@@ -1,0 +1,66 @@
+"""Benchmark AO1: lookup cost and persistent-state footprint.
+
+Paper artifact: the AO1 claim (Section 4.2) — block location via
+"inexpensive mod and div functions instead of a disk-resident directory"
+— and Appendix A's directory-size argument.  These are true
+microbenchmarks: AF() latency at several operation counts, plus a
+directory lookup for contrast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.operations import ScalingOp
+from repro.core.scaddar import ScaddarMapper
+from repro.experiments import access_cost
+from repro.workloads.generator import random_x0s
+
+
+def _mapper_with_ops(j: int) -> ScaddarMapper:
+    mapper = ScaddarMapper(n0=4, bits=32)
+    for __ in range(j):
+        mapper.apply(ScalingOp.add(1))
+    return mapper
+
+
+@pytest.mark.parametrize("operations", [0, 4, 8, 16])
+def test_af_lookup_latency(benchmark, operations):
+    """AF() latency grows linearly with the operation count j."""
+    mapper = _mapper_with_ops(operations)
+    probes = random_x0s(512, bits=32, seed=1)
+
+    def lookup_batch():
+        for x0 in probes:
+            mapper.disk_of(x0)
+
+    benchmark(lookup_batch)
+
+
+def test_directory_lookup_latency(benchmark):
+    """The O(1) directory lookup AO1 competes against."""
+    probes = random_x0s(512, bits=32, seed=1)
+    directory = {x0: x0 % 12 for x0 in probes}
+
+    def lookup_batch():
+        for x0 in probes:
+            directory[x0]
+
+    benchmark(lookup_batch)
+
+
+def test_state_footprint_table(run_once):
+    result = run_once(
+        access_cost.run_access_cost,
+        max_operations=16,
+        op_stride=4,
+        num_probe_blocks=100,
+    )
+    # The chain is exactly j REMAP steps.
+    assert [p.remap_steps for p in result.lookups] == [0, 4, 8, 12, 16]
+    # Directory state is linear in blocks; SCADDAR state is constant.
+    directory = [row.entries_by_policy["directory"] for row in result.state]
+    assert directory == sorted(directory) and directory[-1] == 1_000_000
+    assert len({row.entries_by_policy["scaddar"] for row in result.state}) == 1
+    print()
+    print(access_cost.report(result))

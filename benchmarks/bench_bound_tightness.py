@@ -1,0 +1,30 @@
+"""Benchmark ABL-1 (ablation): Lemma 4.2/4.3 vs exact unfairness.
+
+Not a paper table — validates the design choice DESIGN.md calls out:
+using the Lemma 4.3 pre-check to decide when to reshuffle.  All 2**16
+random values are pushed through the vectorized REMAP chain, making the
+unfairness coefficient exact.  Expected shape: the analytic bound
+dominates the exact value everywhere, and the budget halts scaling
+strictly before exact unfairness crosses the tolerance.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments import bound_tightness
+
+
+def test_bound_tightness(run_once):
+    result = run_once(bound_tightness.run_bound_tightness, bits=16, operations=8)
+    for point in result.points:
+        if math.isinf(point.exact):
+            assert math.isinf(point.bound)
+        else:
+            assert point.bound >= point.exact - 1e-12
+        if point.within_budget:
+            assert point.exact < result.eps
+    # The range does die eventually at b=16 — the budget is load-bearing.
+    assert any(math.isinf(p.exact) for p in result.points)
+    print()
+    print(bound_tightness.report(result))

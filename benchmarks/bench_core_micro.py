@@ -1,0 +1,111 @@
+"""Microbenchmarks of the core primitives.
+
+Not a paper table — engineering telemetry for the library itself: REMAP
+step cost, full-chain AF() cost, RF() planning throughput, generator
+throughput.  These are the numbers a capacity planner would use to size
+the SCADDAR control path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.operations import OperationLog, ScalingOp
+from repro.core.remap import remap_add, remap_remove
+from repro.core.scaddar import ScaddarMapper
+from repro.core.vectorized import disks_array
+from repro.prng.generators import Lcg48, SplitMix64, Xorshift64Star
+from repro.workloads.generator import random_x0s
+
+
+def test_remap_add_step(benchmark):
+    xs = random_x0s(1_000, bits=32, seed=1)
+
+    def run():
+        for x in xs:
+            remap_add(x, 8, 9)
+
+    benchmark(run)
+
+
+def test_remap_remove_step(benchmark):
+    xs = random_x0s(1_000, bits=32, seed=2)
+
+    def run():
+        for x in xs:
+            remap_remove(x, 9, (3,))
+
+    benchmark(run)
+
+
+def test_rf_planning_throughput(benchmark):
+    """Plan one addition's moves over a 50k-block population."""
+    x0s = {i: x for i, x in enumerate(random_x0s(50_000, bits=32, seed=3))}
+
+    def plan():
+        mapper = ScaddarMapper(n0=8, bits=32)
+        mapper.apply(ScalingOp.add(2))
+        return mapper.redistribution_moves(x0s)
+
+    moves = benchmark.pedantic(plan, rounds=3, iterations=1)
+    assert abs(len(moves) / len(x0s) - 0.2) < 0.02
+
+
+def _chain_setup(num_blocks: int):
+    log = OperationLog(n0=4)
+    for __ in range(8):
+        log.append(ScalingOp.add(1))
+    return log, random_x0s(num_blocks, bits=32, seed=5)
+
+
+def test_af_chain_scalar_50k(benchmark):
+    """Scalar AF() over 50k blocks through an 8-op chain."""
+    log, x0s = _chain_setup(50_000)
+    mapper = ScaddarMapper(n0=4, bits=32)
+    for op in log:
+        mapper.apply(op)
+
+    def run():
+        return [mapper.disk_of(x0) for x0 in x0s]
+
+    disks = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert len(disks) == 50_000
+
+
+def test_af_chain_vectorized_50k(benchmark):
+    """Vectorized AF() over the same 50k blocks (numpy uint64)."""
+    log, x0s = _chain_setup(50_000)
+    array = np.asarray(x0s, dtype=np.uint64)
+
+    def run():
+        return disks_array(array, log)
+
+    disks = benchmark.pedantic(run, rounds=5, iterations=1)
+    assert len(disks) == 50_000
+
+
+def test_generator_throughput_splitmix(benchmark):
+    def run():
+        gen = SplitMix64(1, bits=32)
+        for __ in range(10_000):
+            gen.next()
+
+    benchmark(run)
+
+
+def test_generator_throughput_xorshift(benchmark):
+    def run():
+        gen = Xorshift64Star(1, bits=32)
+        for __ in range(10_000):
+            gen.next()
+
+    benchmark(run)
+
+
+def test_generator_throughput_lcg48(benchmark):
+    def run():
+        gen = Lcg48(1, bits=32)
+        for __ in range(10_000):
+            gen.next()
+
+    benchmark(run)

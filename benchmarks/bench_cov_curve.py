@@ -1,0 +1,59 @@
+"""Benchmark 5.1: the Section 5 coefficient-of-variation curve.
+
+Paper artifact: the (omitted-for-space but fully described) Section 5
+figure — CoV of blocks/disk vs scaling operations, 20 objects, b = 32,
+eps = 5%.  Expected shape: SCADDAR's curve grows with the operation
+count and crosses the threshold right after the 8-operation budget;
+the complete-redistribution curve stays flat.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import cov_curve
+
+
+def test_cov_curve_section5(run_once):
+    result = run_once(
+        cov_curve.run_cov_curve,
+        num_objects=20,
+        blocks_per_object=2_500,
+        operations=10,
+    )
+    # Paper: "we find k <= 8 where eps = 5%, kbar = 8 and b = 32 ...
+    # after eight scaling operations ... redistribution of all blocks is
+    # recommended".
+    assert result.budget == 8
+    # SCADDAR degrades past the budget; complete redistribution doesn't.
+    past_budget = [p for p in result.points if p.operations > 8]
+    assert all(p.cov_scaddar > p.cov_complete for p in past_budget)
+    flat = [p.cov_complete for p in result.points]
+    assert max(flat) < 0.05
+    # "the load on each disk remains fairly equivalent" inside the budget.
+    inside = [p.cov_scaddar for p in result.points if p.operations <= 8]
+    assert max(inside) < 0.05
+    print()
+    print(cov_curve.report(result))
+
+
+def test_cov_curve_stress_b16(benchmark):
+    """Stress variant: b=16 makes the degradation unmistakable — the
+    budget collapses to ~3 operations and the CoV explodes right after,
+    the failure mode the Section 5 threshold exists to prevent."""
+    result = benchmark.pedantic(
+        cov_curve.run_cov_curve,
+        kwargs={
+            "num_objects": 10,
+            "blocks_per_object": 1_000,
+            "operations": 7,
+            "bits": 16,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    assert 2 <= result.budget <= 4
+    past = [p for p in result.points if p.operations > result.budget + 1]
+    assert any(p.cov_scaddar > 0.2 for p in past)
+    flat = [p.cov_complete for p in result.points]
+    assert max(flat) < 0.06
+    print()
+    print(cov_curve.report(result))

@@ -1,0 +1,22 @@
+"""Benchmark S6: mirroring at offset f(Nj) = Nj/2 (Section 6).
+
+Paper artifact: the Section 6 fault-tolerance sketch.  Expected shape:
+replicas always distinct, zero data loss under any single-disk failure
+(also after scaling operations), failover load concentrated on exactly
+one partner disk (the fixed-offset trade-off).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fault_tolerance
+
+
+def test_mirroring_after_scaling(run_once):
+    result = run_once(fault_tolerance.run_fault_tolerance, num_blocks=20_000)
+    assert result.distinct_replicas
+    assert result.survives_all_single_failures
+    assert all(c.blocks_lost == 0 for c in result.cases)
+    # Fixed offset: one partner disk absorbs the failed disk's reads.
+    assert all(c.overloaded_disks == 1 for c in result.cases)
+    print()
+    print(fault_tolerance.report(result))

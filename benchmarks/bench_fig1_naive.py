@@ -1,0 +1,29 @@
+"""Benchmark Fig-1: regenerate Figure 1 (naive RO2 violation).
+
+Paper artifact: Figure 1 (Section 4.1).  Expected shape: the exact
+44-block layouts of Fig 1a-c, movers to disk 5 sourced only from disks
+1, 3 and 4, while SCADDAR sources movers from every disk.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig1
+
+
+def test_fig1_layout_reproduction(run_once):
+    result = run_once(fig1.run_fig1)
+    final = result.naive_layouts[2]
+    # Exact Figure 1c rows.
+    assert final[0] == [0, 8, 12, 16, 20, 28, 32, 36, 40]
+    assert final[1] == [1, 13, 21, 25, 33, 37]
+    assert final[2] == [2, 6, 10, 18, 22, 26, 30, 38, 42]
+    assert final[3] == [3, 7, 15, 27, 31, 43]
+    assert final[4] == [4, 9, 14, 19, 24, 34, 39]
+    assert final[5] == [5, 11, 17, 23, 29, 35, 41]
+    # RO2 violation: the paper's contributor set, for any population.
+    assert result.naive_contributors == (1, 3, 4)
+    assert set(result.naive_contributors_random) <= {1, 3, 4}
+    # SCADDAR draws movers from all old disks.
+    assert result.scaddar_contributors_random == (0, 1, 2, 3, 4)
+    print()
+    print(fig1.report(result))

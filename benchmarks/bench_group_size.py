@@ -1,0 +1,40 @@
+"""Benchmark ABL-2 (ablation): disk-group size vs budget and traffic.
+
+Paper artifact: Definition 3.3's choice to scale by disk *groups*.
+Expected shape: reaching the same final size with bigger groups uses
+exponentially less of the Lemma 4.3 budget and strictly less cumulative
+block traffic; with +1 groups at b=32 the budget dies mid-schedule and
+measured movement falls *below* theory (new disks starve).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments import group_size
+
+
+def test_group_size_ablation(run_once):
+    result = run_once(group_size.run_group_size, num_blocks=20_000)
+    by_g = {r.group_size: r for r in result.rows}
+    # Budget: Pi shrinks monotonically with group size.
+    pis = [by_g[g].pi for g in sorted(by_g)]
+    assert pis == sorted(pis, reverse=True)
+    # The +1 schedule exhausts a 32-bit range; one +12 group barely dents it.
+    assert math.isinf(by_g[1].unfairness_bound)
+    assert by_g[12].unfairness_bound < 1e-6
+    assert by_g[12].remaining_budget > 0 == by_g[1].remaining_budget
+    # Traffic: theory decreases with g; measurements track it except where
+    # the range died (g=1 moves *less* than theory — the failure mode).
+    for g, row in by_g.items():
+        if not math.isinf(row.unfairness_bound):
+            assert abs(
+                row.cumulative_moved_fraction - row.theoretical_moved_fraction
+            ) < 0.02
+    assert by_g[1].cumulative_moved_fraction < by_g[1].theoretical_moved_fraction - 0.1
+    # One big group hits the one-shot optimum exactly.
+    assert abs(
+        by_g[12].cumulative_moved_fraction - by_g[12].one_shot_fraction
+    ) < 0.01
+    print()
+    print(group_size.report(result))

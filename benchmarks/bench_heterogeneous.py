@@ -1,0 +1,24 @@
+"""Benchmark S6b: SCADDAR over heterogeneous disks (Section 6).
+
+Paper artifact: the Section 6 logical-disk sketch (via ref [18]).
+Expected shape: every physical drive holds a block share proportional to
+its weight (logical-disk count), before and after adding/removing whole
+physical drives.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import heterogeneous
+
+
+def test_heterogeneous_proportional_load(run_once):
+    result = run_once(heterogeneous.run_heterogeneous, num_blocks=40_000)
+    assert len(result.snapshots) == 3
+    for snap in result.snapshots:
+        assert snap.max_share_error < 0.05
+    # Adding a weight-4 drive gives it 4/12 of the logical space.
+    after_add = result.snapshots[1]
+    assert after_add.logical_disks == 12
+    assert after_add.weights[4] == 4
+    print()
+    print(heterogeneous.report(result))

@@ -1,0 +1,21 @@
+"""Benchmark ING: writing new media onto a busy server (Section 2 [1]).
+
+Paper artifact: the write-path requirement the paper delegates to Aref
+et al. — the same spare-bandwidth discipline as online redistribution.
+Expected shape: zero ingest-caused hiccups at every utilization; ingest
+time stretches as streams leave less spare bandwidth.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ingest_under_load
+
+
+def test_ingest_never_disturbs_streams(run_once):
+    rows = run_once(ingest_under_load.run_ingest_under_load)
+    for row in rows:
+        assert row.ingest_caused_hiccups == 0
+    rounds = [r.ingest_rounds for r in rows]
+    assert rounds == sorted(rounds)  # more load -> slower ingest
+    print()
+    print(ingest_under_load.report(rows))

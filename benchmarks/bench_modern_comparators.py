@@ -1,0 +1,28 @@
+"""Benchmark MOD (extension): SCADDAR vs consistent hashing vs jump hash.
+
+Not a paper artifact — a forward-looking ablation against the schemes
+that later dominated weighted placement.  Expected shape: all three are
+near movement-optimal; jump hash matches SCADDAR's uniformity with zero
+state but cannot remove interior disks; the vnode ring pays state and
+uniformity for full removal flexibility; SCADDAR's lookup cost grows
+with the operation count.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import modern
+
+
+def test_modern_comparator_scorecard(run_once):
+    rows = run_once(modern.run_modern, num_blocks=20_000)
+    by_name = {r.policy: r for r in rows}
+    for row in rows:
+        assert row.mean_overhead < 1.3
+    # Jump hash: zero state; ring: O(N * vnodes); SCADDAR: O(ops).
+    assert by_name["jump_hash"].state_entries == 0
+    assert by_name["scaddar"].state_entries == 5
+    assert by_name["consistent_hash"].state_entries > 100
+    # The ring's uniformity is visibly worse at 64 vnodes/disk.
+    assert by_name["consistent_hash"].final_cov > by_name["scaddar"].final_cov
+    print()
+    print(modern.report(rows))

@@ -1,0 +1,30 @@
+"""Benchmark ONL: online scaling without stream interruption.
+
+Paper artifact: the Section 1 requirement ("cannot afford to stop
+services") that motivates SCADDAR, plus the Section 6 online-scaling
+direction.  Expected shape: across stream utilizations, migration
+confined to spare bandwidth causes zero additional hiccups, while the
+stop-the-world alternative loses streams x rounds of service.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import online_scaling
+
+
+def test_online_scaling_zero_downtime(run_once):
+    results = run_once(
+        online_scaling.run_online_scaling,
+        utilizations=(0.3, 0.6, 0.8),
+        num_objects=6,
+        blocks_per_object=800,
+    )
+    for row in results:
+        assert row.migration_caused_hiccups == 0
+        assert row.online_rounds >= row.stop_world_rounds
+        assert row.stop_world_lost_service > 0
+    # Higher utilization -> less spare bandwidth -> longer migrations.
+    rounds = [r.online_rounds for r in results]
+    assert rounds == sorted(rounds)
+    print()
+    print(online_scaling.report(results))

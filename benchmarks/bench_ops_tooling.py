@@ -1,0 +1,63 @@
+"""Benchmark OPS: the operational tooling's own costs.
+
+Not a paper table — timing for the tooling a deployment exercises daily:
+snapshot/restore (should be O(objects + ops), not O(blocks)), fsck over
+a full catalog, and the vectorized RF planner on a large population.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.operations import OperationLog, ScalingOp
+from repro.core.vectorized import redistribution_moves_array
+from repro.server.cmserver import CMServer
+from repro.server.fsck import check_layout
+from repro.server.persistence import restore_server, server_to_json
+from repro.storage.disk import DiskSpec
+from repro.workloads.generator import random_x0s, uniform_catalog
+
+
+def _server(num_objects=10, blocks=500):
+    catalog = uniform_catalog(num_objects, blocks, master_seed=0x0995, bits=32)
+    spec = DiskSpec(capacity_blocks=100_000)
+    server = CMServer(catalog, [spec] * 4, bits=32, default_spec=spec)
+    server.scale(ScalingOp.add(2))
+    return server
+
+
+def test_snapshot_speed(benchmark):
+    server = _server()
+    payload = benchmark(server_to_json, server)
+    # O(objects + ops): a 5000-block server snapshots to ~2 KB.
+    assert len(payload) < 5_000
+
+
+def test_restore_speed(benchmark):
+    payload = server_to_json(_server())
+    restored = benchmark.pedantic(
+        restore_server, args=(payload,), rounds=3, iterations=1
+    )
+    assert restored.total_blocks == 5_000
+
+
+def test_fsck_speed(benchmark):
+    server = _server()
+    report = benchmark.pedantic(
+        check_layout, args=(server,), rounds=3, iterations=1
+    )
+    assert report.clean
+    assert report.blocks_checked == 5_000
+
+
+def test_vectorized_rf_planner_200k(benchmark):
+    log = OperationLog(n0=8)
+    for op in (ScalingOp.add(2), ScalingOp.remove([3]), ScalingOp.add(3)):
+        log.append(op)
+    x0s = np.asarray(random_x0s(200_000, bits=32, seed=1), dtype=np.uint64)
+    indices, __, targets = benchmark.pedantic(
+        redistribution_moves_array, args=(x0s, log), rounds=3, iterations=1
+    )
+    # Latest op adds 3 disks to 9: expect ~3/12 of blocks to move.
+    assert abs(len(indices) / len(x0s) - 0.25) < 0.01
+    assert set(targets.tolist()) == {9, 10, 11}

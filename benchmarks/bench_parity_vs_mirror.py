@@ -1,0 +1,24 @@
+"""Benchmark S6c: parity groups vs offset mirroring (Section 6 future work).
+
+Paper artifact: the Section 6 closing sentence — parity "to handle
+faults with less required storage space".  Expected shape: parity at k=4
+cuts storage overhead 4x (1.0 -> 0.25) and spreads recovery almost
+evenly over survivors, at the cost of k-fold degraded reads; both
+schemes survive any single-disk failure.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import parity_vs_mirror
+
+
+def test_parity_vs_mirror(run_once):
+    result = run_once(parity_vs_mirror.run_parity_vs_mirror, num_blocks=20_000)
+    mirror, parity = result.rows
+    assert mirror.survives_single_failure and parity.survives_single_failure
+    assert parity.storage_overhead < 0.3 < mirror.storage_overhead
+    assert parity.recovery_skew < 1.3 < mirror.recovery_skew
+    assert parity.degraded_read_ios == result.k
+    assert parity.unprotected_blocks < 2 * result.k
+    print()
+    print(parity_vs_mirror.report(result))

@@ -1,0 +1,43 @@
+"""Benchmark PRQ: generator statistical quality (Section 3 assumption).
+
+Paper artifact: Definition 3.2's assumption that ``p_r(s)`` returns
+b-bit random values.  The battery (monobit, runs, serial correlation,
+byte chi-square) must pass for every shipped family and fail for the
+RANDU negative control — evidence the placement results don't rest on a
+defective generator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.prng.generators import Lcg48, Pcg32, SplitMix64, Xorshift64Star
+from repro.prng.quality import Randu, run_battery
+
+
+@pytest.mark.parametrize(
+    "cls,bits",
+    [(SplitMix64, 32), (Xorshift64Star, 32), (Lcg48, 32), (Pcg32, 32)],
+    ids=lambda v: getattr(v, "family", v),
+)
+def test_family_quality(benchmark, cls, bits):
+    report = benchmark.pedantic(
+        run_battery,
+        args=(cls(0xA11CE, bits=bits),),
+        kwargs={"samples": 40_000},
+        rounds=1,
+        iterations=1,
+    )
+    assert report.passes, report
+    print()
+    print(report)
+
+
+def test_negative_control_randu(benchmark):
+    report = benchmark.pedantic(
+        run_battery, args=(Randu(0xA11CE),), kwargs={"samples": 40_000},
+        rounds=1, iterations=1,
+    )
+    assert not report.passes
+    print()
+    print(report)

@@ -1,0 +1,26 @@
+"""Benchmark REM: removal-only and mixed scaling schedules (Sec 4.2.1).
+
+Paper artifact: the removal REMAP (Eq. 3) and the claim that RO1/RO2
+hold for *any* sequence of scaling operations, not just growth.
+Expected shape: per-op movement overhead ~1.0 against z_j, destination
+p-values healthy, CoV flat at the sampling floor while the budget lasts.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import removal_patterns
+
+
+def test_removal_and_mixed_schedules(run_once):
+    results = run_once(removal_patterns.run_removal_patterns, num_blocks=20_000)
+    by_name = {r.schedule_name: r for r in results}
+    for result in results:
+        for op in result.ops:
+            assert 0.9 < op.overhead < 1.1
+            assert op.destination_p > 1e-4
+            assert op.cov_after < 0.08
+    # Removals spend budget exactly like additions: the 4-op removal
+    # schedule leaves budget; the 8-op mixed one exhausts it at b=32.
+    assert by_name["removals-only"].remaining_budget > 0
+    print()
+    print(removal_patterns.report(results))

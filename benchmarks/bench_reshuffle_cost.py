@@ -1,0 +1,32 @@
+"""Benchmark AMO: amortized movement cost with reshuffles billed.
+
+Paper artifact: the Section 4.3 trade — SCADDAR's budget is finite, and
+the paper's remedy is a periodic full redistribution.  Expected shape:
+over a 30-operation growth horizon, SCADDAR+reshuffles moves several
+times less data than complete redistribution even with its reshuffles
+charged; widening b stretches the reshuffle interval and pushes the
+total toward the sum-of-z_j floor.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import reshuffle_cost
+
+
+def test_amortized_cost(run_once):
+    results = run_once(reshuffle_cost.run_reshuffle_cost, num_blocks=30_000)
+    for result in results:
+        by_name = {s.strategy.split(" (")[0]: s for s in result.strategies}
+        scaddar = by_name["scaddar+reshuffle"]
+        complete = by_name["complete redistribution"]
+        floor = by_name["optimal floor"]
+        assert floor.overhead == 1.0
+        assert scaddar.total_moved_fraction < complete.total_moved_fraction / 3
+        assert scaddar.overhead < 4.5
+    b32, b64 = results
+    scaddar32 = b32.strategies[0]
+    scaddar64 = b64.strategies[0]
+    assert scaddar64.reshuffles < scaddar32.reshuffles
+    assert scaddar64.total_moved_fraction < scaddar32.total_moved_fraction
+    print()
+    print(reshuffle_cost.report(results))

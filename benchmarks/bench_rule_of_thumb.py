@@ -1,0 +1,24 @@
+"""Benchmark 5.2: the Section 4.3 rule-of-thumb budget table.
+
+Paper artifact: the two worked examples (b=64/eps=1%/nbar=16 -> k=13;
+b=32/eps=5%/nbar=8 -> k=8) plus a parameter sweep cross-checked against
+exact Pi_k tracking.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import rule_of_thumb
+
+
+def test_rule_of_thumb_table(run_once):
+    rows = run_once(rule_of_thumb.run_rule_of_thumb)
+    paper_rows = [r for r in rows if r.paper_k is not None]
+    assert [r.rule_of_thumb_k for r in paper_rows] == [13, 8]
+    assert all(r.rule_of_thumb_k == r.paper_k for r in paper_rows)
+    # The rule is a good a-priori estimate of the exact budget for the
+    # constant-nbar schedule it assumes.
+    for row in rows:
+        if row.rule_of_thumb_k >= 0:
+            assert abs(row.rule_of_thumb_k - row.exact_constant_k) <= 1
+    print()
+    print(rule_of_thumb.report(rows))

@@ -1,0 +1,70 @@
+"""Benchmark SCL: a million blocks through a long schedule (vectorized).
+
+Not a paper table — a scale check that the library handles a realistic
+CM server population (the paper: "thousands of CM objects and each CM
+object contains tens of thousands of blocks", i.e. millions of blocks):
+1M blocks through 16 operations, with the load CoV asserted against the
+multinomial floor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.stats import coefficient_of_variation
+from repro.analysis.theory import expected_load_cov
+from repro.core.operations import OperationLog, ScalingOp
+from repro.core.vectorized import load_vector_array
+from repro.prng.generators import SplitMix64
+
+NUM_BLOCKS = 1_000_000
+
+
+def _population() -> np.ndarray:
+    gen = SplitMix64(0x5CA1E, bits=64)
+    # Vector generation via the counter-hash identity keeps setup fast.
+    base = np.arange(1, NUM_BLOCKS + 1, dtype=np.uint64)
+    gamma = np.uint64(0x9E3779B97F4A7C15)
+    z = np.uint64(gen.seed) + base * gamma
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return z ^ (z >> np.uint64(31))
+
+
+def test_million_blocks_through_sixteen_ops(benchmark):
+    x0s = _population()
+    log = OperationLog(n0=8)
+    schedule = [
+        ScalingOp.add(2),
+        ScalingOp.add(2),
+        ScalingOp.remove([3]),
+        ScalingOp.add(4),
+        ScalingOp.remove([0, 7]),
+        ScalingOp.add(2),
+        ScalingOp.add(2),
+        ScalingOp.remove([10]),
+        ScalingOp.add(4),
+        ScalingOp.add(2),
+        ScalingOp.remove([5]),
+        ScalingOp.add(2),
+        ScalingOp.add(2),
+        ScalingOp.remove([2]),
+        ScalingOp.add(2),
+        ScalingOp.add(2),
+    ]
+    for op in schedule:
+        log.append(op)
+
+    loads = benchmark.pedantic(
+        load_vector_array, args=(x0s, log), rounds=2, iterations=1
+    )
+    assert int(loads.sum()) == NUM_BLOCKS
+    measured = coefficient_of_variation(loads.tolist())
+    floor = expected_load_cov(NUM_BLOCKS, log.current_disks)
+    # 64-bit range: sixteen ops cost nothing; CoV sits at the floor.
+    assert measured < 3 * floor
+    print()
+    print(
+        f"1M blocks, {len(schedule)} ops -> {log.current_disks} disks; "
+        f"CoV {measured:.5f} vs floor {floor:.5f}"
+    )

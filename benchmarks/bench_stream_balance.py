@@ -1,0 +1,35 @@
+"""Benchmark RND: random placement vs striping under VCR access.
+
+Paper artifact: Section 1's adoption argument for randomized placement
+(RIO's advantages) with Section 2's honesty that striping has
+deterministic guarantees and random placement is "competitive".
+Expected shape: across seeds, random placement's hiccup count sits in a
+tight band and its hiccups spread over streams; striping's outcome
+swings by multiples with convoy alignment and concentrates on the
+convoy members.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import stream_balance
+
+
+def test_stream_balance_predictability(run_once):
+    result = run_once(
+        stream_balance.run_stream_balance,
+        num_streams=28,
+        rounds=250,
+        seeds=10,
+    )
+    by_name = {s.placement: s for s in result.summaries}
+    random_summary = by_name["random"]
+    striped = by_name["round_robin"]
+    # Law of large numbers: random placement's outcome is plannable.
+    assert random_summary.spread < 1.3
+    assert striped.spread > 2 * random_summary.spread
+    # Fairness: striping's hiccups concentrate on convoy members.
+    assert (
+        random_summary.mean_worst_stream_share < striped.mean_worst_stream_share
+    )
+    print()
+    print(stream_balance.report(result))

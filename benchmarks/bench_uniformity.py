@@ -1,0 +1,46 @@
+"""Benchmark RO2: source/destination uniformity of moved blocks.
+
+Paper artifact: the RO2 claim (Section 4.2) and Figure 1's violation.
+Expected shape: SCADDAR's movers come from all disks in proportion to
+population and land uniformly on eligible disks for many successive
+operations; the naive scheme's source distribution collapses (p ~ 0,
+silent source disks) from the second operation on.
+"""
+
+from __future__ import annotations
+
+from repro.core.operations import ScalingOp
+from repro.experiments import uniformity
+
+
+def test_uniformity_additions(run_once):
+    results = run_once(uniformity.run_uniformity, num_blocks=30_000)
+    by_name = {r.policy: r for r in results}
+    scaddar = by_name["scaddar"]
+    assert all(op.source_p > 1e-3 for op in scaddar.per_op)
+    assert all(op.silent_sources == 0 for op in scaddar.per_op)
+    naive = by_name["naive"]
+    assert naive.per_op[0].source_p > 1e-3  # one operation is fine
+    assert any(op.source_p < 1e-9 for op in naive.per_op[1:])
+    print()
+    print(uniformity.report(results))
+
+
+def test_uniformity_group_ops(benchmark):
+    schedule = [ScalingOp.add(3), ScalingOp.remove([2, 5]), ScalingOp.add(2)]
+    results = benchmark.pedantic(
+        uniformity.run_uniformity,
+        kwargs={
+            "schedule": schedule,
+            "num_blocks": 30_000,
+            "policies": ("scaddar", "directory"),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    for result in results:
+        for op in result.per_op:
+            assert op.destination_p > 1e-4
+            assert op.empty_destinations == 0
+    print()
+    print(uniformity.report(results))

@@ -1,0 +1,21 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one paper artifact (see DESIGN.md section 3)
+and asserts its headline shape; heavy experiment drivers run once via
+``benchmark.pedantic`` so the suite stays fast while the measured wall
+time is still recorded.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Benchmark a heavy experiment with a single timed execution."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,62 @@
+"""Quickstart: SCADDAR in five minutes.
+
+Shows the core API end to end on raw block numbers:
+
+1. pseudo-random placement (``X0 mod N0``),
+2. scaling operations and how few blocks move (RO1),
+3. finding blocks afterwards with ``AF()`` — no directory (AO1),
+4. the randomness budget and when to reshuffle (Section 4.3).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ObjectSequence, ScaddarMapper, ScalingOp
+
+# --- 1. Place a movie's blocks on 4 disks ---------------------------------
+# Each object has a seed; its block random numbers are reproducible.
+movie = ObjectSequence(seed=20020226, bits=32)  # ICDE 2002's date as seed
+x0s = movie.prefix(10_000)  # X0 for blocks 0..9999
+
+mapper = ScaddarMapper(n0=4, bits=32)
+print("block 0 starts on disk", mapper.disk_of(x0s[0]))
+loads = [0] * 4
+for x0 in x0s:
+    loads[mapper.disk_of(x0)] += 1
+print("initial load per disk:", loads)
+
+# --- 2. Add a disk: only ~1/5 of blocks move ------------------------------
+before = {x0: mapper.disk_of(x0) for x0 in x0s}
+mapper.apply(ScalingOp.add(1))
+moved = sum(1 for x0 in x0s if mapper.disk_of(x0) != before[x0])
+print(f"added 1 disk: {moved}/{len(x0s)} blocks moved "
+      f"(optimal fraction = 1/5 = {len(x0s) // 5})")
+
+# --- 3. Remove a disk: only its own blocks move ---------------------------
+before = {x0: mapper.disk_of(x0) for x0 in x0s}
+evicted = sum(1 for d in before.values() if d == 2)
+mapper.apply(ScalingOp.remove([2]))
+# Survivors keep their physical disk: old logical 0,1,3,4 -> new 0,1,2,3.
+survivor_rank = {0: 0, 1: 1, 3: 2, 4: 3}
+stayed_put = sum(
+    1
+    for x0 in x0s
+    if before[x0] != 2 and mapper.disk_of(x0) == survivor_rank[before[x0]]
+)
+print(f"removed disk 2: its {evicted} resident blocks relocated; "
+      f"the other {stayed_put} did not move at all")
+assert stayed_put == len(x0s) - evicted
+
+# --- 4. AF(): find any block with pure arithmetic -------------------------
+# No directory was ever built; the location falls out of the op log.
+print("block 1234 now lives on logical disk", mapper.disk_of(x0s[1234]))
+print("operation log holds", mapper.num_operations, "entries — that is ALL "
+      "the persistent state")
+
+# --- 5. The randomness budget ----------------------------------------------
+eps = 0.05
+print(f"operations left before unfairness exceeds {eps:.0%}:",
+      mapper.remaining_operations(eps))
+print("current worst-case unfairness bound:", mapper.unfairness_bound())
+# When the budget runs out, do a full reshuffle with fresh seeds:
+fresh = mapper.reshuffled()
+print("after reshuffle the budget resets:", fresh.remaining_operations(eps))

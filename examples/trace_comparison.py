@@ -1,0 +1,65 @@
+"""Fair A/B comparison of server configurations with a pinned trace.
+
+Seeds alone don't make comparisons fair: two configurations consume
+randomness differently and drift apart.  A recorded *trace* pins the
+viewer workload as data, so both servers face literally the same
+arrivals at the same rounds.
+
+Here: does buying one extra disk beat upgrading admission control?
+The same day of traffic answers.
+
+Run:  python examples/trace_comparison.py
+"""
+
+from repro import CMServer, DiskSpec
+from repro.server.admission import StatisticalAdmission
+from repro.server.scheduler import RoundScheduler
+from repro.server.simulation import ServerSimulation
+from repro.workloads.arrivals import ArrivalProcess
+from repro.workloads.generator import uniform_catalog
+from repro.workloads.traces import TracePlayer, generate_trace
+
+ROUNDS = 1_200
+
+
+def build_catalog():
+    return uniform_catalog(num_objects=10, blocks_per_object=150,
+                           master_seed=0xAB, bits=32)
+
+
+# Record one day of traffic, once.
+trace = generate_trace(
+    ArrivalProcess(build_catalog(), rate=0.30, seed=0xAB), ROUNDS
+)
+print(f"recorded trace: {len(trace)} viewer arrivals over {ROUNDS} rounds\n")
+
+
+def run(label, disks, admission=None):
+    catalog = build_catalog()
+    spec = DiskSpec(capacity_blocks=50_000, bandwidth_blocks_per_round=5)
+    server = CMServer(catalog, [spec] * disks, bits=32, default_spec=spec)
+    sim = ServerSimulation(server, TracePlayer(trace))
+    if admission is not None:
+        sim.scheduler = RoundScheduler(server.array, admission=admission)
+    summary = sim.run(ROUNDS)
+    print(f"{label:<34} admitted {summary.admitted:>4}  "
+          f"rejected {summary.rejected:>3}  hiccups {summary.hiccups:>5}  "
+          f"completed {summary.completed:>4}")
+    return summary
+
+
+base = run("A: 3 disks, aggregate admission", 3)
+extra = run("B: 4 disks, aggregate admission", 4)
+strict = run("C: 3 disks, statistical admission", 3,
+             StatisticalAdmission(overflow_probability=0.02))
+
+print(f"\nper-admitted-viewer hiccups: "
+      f"A {base.hiccups / base.admitted:.1f}, "
+      f"B {extra.hiccups / extra.admitted:.1f}, "
+      f"C {strict.hiccups / strict.admitted:.1f}")
+print("\nreading: the extra disk (B) admits more viewers but aggregate "
+      "admission still\novercommits — every admitted viewer hiccups "
+      "constantly on this overloaded day.\nStatistical admission (C) "
+      "serves fewer viewers *properly* on the same hardware.\nAll three "
+      "judged on the identical, replayable workload — that is the point "
+      "of traces.")

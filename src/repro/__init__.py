@@ -1,0 +1,83 @@
+"""repro — a full reproduction of SCADDAR (Goel et al., ICDE 2002).
+
+SCADDAR ("SCAling Disks for Data Arranged Randomly") reorganizes
+pseudo-randomly placed continuous-media blocks when disks are added or
+removed, moving only the minimum number of blocks while preserving a
+uniform distribution, and locating any block with a short chain of
+mod/div computations instead of a directory.
+
+Quick start
+-----------
+>>> from repro import ScaddarMapper, ScalingOp
+>>> mapper = ScaddarMapper(n0=4, bits=32)
+>>> x0 = 123456                      # a block's random number
+>>> mapper.disk_of(x0)               # initial disk: X0 mod 4
+0
+>>> mapper.apply(ScalingOp.add(1))   # add a fifth disk
+5
+>>> mapper.disk_of(x0) in range(5)
+True
+
+Package map
+-----------
+``repro.core``
+    The contribution: REMAP functions, the mapper (AF/RF), bounds.
+``repro.prng``
+    Seeded generators and per-object sequences (``X0(i)``).
+``repro.placement``
+    The paper's baselines and modern comparators behind one interface.
+``repro.storage``
+    Disk array, migration engine, heterogeneous logical mapping.
+``repro.server``
+    CM server: catalog, streams, round scheduler, online scaling,
+    mirroring.
+``repro.analysis`` / ``repro.workloads``
+    Statistics and generators for the evaluation harness.
+``repro.experiments``
+    One module per paper table/figure; shared by the CLI and benches.
+"""
+
+from repro.core import (
+    BlockLocation,
+    NaiveMapper,
+    OperationLog,
+    ScaddarMapper,
+    ScalingOp,
+    remap_add,
+    remap_remove,
+    rule_of_thumb_max_operations,
+    unfairness_coefficient,
+)
+from repro.core.errors import (
+    RandomnessExhaustedError,
+    ScaddarError,
+    UnsupportedOperationError,
+)
+from repro.prng import ObjectSequence
+from repro.server import CMServer, MirroredPlacement, ObjectCatalog
+from repro.storage import Block, BlockId, DiskArray, DiskSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Block",
+    "BlockId",
+    "BlockLocation",
+    "CMServer",
+    "DiskArray",
+    "DiskSpec",
+    "MirroredPlacement",
+    "NaiveMapper",
+    "ObjectCatalog",
+    "ObjectSequence",
+    "OperationLog",
+    "RandomnessExhaustedError",
+    "ScaddarError",
+    "ScaddarMapper",
+    "ScalingOp",
+    "UnsupportedOperationError",
+    "remap_add",
+    "remap_remove",
+    "rule_of_thumb_max_operations",
+    "unfairness_coefficient",
+]

@@ -1,0 +1,66 @@
+"""Measurement helpers for the evaluation harness.
+
+* :mod:`repro.analysis.stats` — load statistics: coefficient of variation
+  (the Section 5 metric), chi-square uniformity, load summaries.
+* :mod:`repro.analysis.fairness` — empirical unfairness and destination
+  uniformity of moved blocks (RO2 verification).
+* :mod:`repro.analysis.movement` — physical move accounting across
+  scaling schedules and the RO1 optimum ``z_j`` to compare against.
+* :mod:`repro.analysis.exact` — exact load distributions by exhaustive
+  enumeration (vectorized), powering the bound-tightness ablation.
+* :mod:`repro.analysis.theory` — balls-in-bins expectations (CoV floor,
+  expected max load) the measurements should converge to.
+"""
+
+from repro.analysis.fairness import (
+    destination_counts,
+    empirical_unfairness,
+    proportional_chi_square,
+    uniformity_pvalue,
+)
+from repro.analysis.movement import (
+    OpMovement,
+    PhysicalTracker,
+    optimal_move_fraction,
+    run_schedule,
+)
+from repro.analysis.confidence import (
+    Interval,
+    proportion_consistent,
+    wilson_interval,
+)
+from repro.analysis.exact import exact_load_distribution, exact_unfairness
+from repro.analysis.stats import (
+    LoadSummary,
+    chi_square_uniform,
+    coefficient_of_variation,
+    summarize_loads,
+)
+from repro.analysis.theory import (
+    cov_excess,
+    expected_load_cov,
+    expected_max_load,
+)
+
+__all__ = [
+    "Interval",
+    "LoadSummary",
+    "OpMovement",
+    "PhysicalTracker",
+    "chi_square_uniform",
+    "coefficient_of_variation",
+    "cov_excess",
+    "destination_counts",
+    "empirical_unfairness",
+    "exact_load_distribution",
+    "exact_unfairness",
+    "expected_load_cov",
+    "expected_max_load",
+    "optimal_move_fraction",
+    "proportion_consistent",
+    "proportional_chi_square",
+    "run_schedule",
+    "summarize_loads",
+    "uniformity_pvalue",
+    "wilson_interval",
+]

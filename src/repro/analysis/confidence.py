@@ -1,0 +1,74 @@
+"""Confidence intervals for the measurement harness.
+
+Movement experiments observe binomial counts (a block moves or it
+doesn't); asserting "measured ≈ z_j" honestly means checking the
+theoretical rate lies inside a confidence interval rather than inside an
+arbitrary tolerance.  The Wilson score interval behaves well at the
+extremes (p near 0 or 1, small n) where the naive Wald interval breaks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A two-sided confidence interval."""
+
+    low: float
+    high: float
+
+    def contains(self, value: float) -> bool:
+        """Whether a value lies inside the interval (inclusive)."""
+        return self.low <= value <= self.high
+
+    @property
+    def width(self) -> float:
+        """Interval width."""
+        return self.high - self.low
+
+
+def wilson_interval(successes: int, trials: int, z: float = 3.0) -> Interval:
+    """Wilson score interval for a binomial proportion.
+
+    Parameters
+    ----------
+    successes / trials:
+        The observed count and sample size.
+    z:
+        Normal quantile; the default 3.0 (~99.7 %) suits test assertions
+        that must essentially never flake.
+    """
+    if trials <= 0:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(
+            f"successes must be in 0..{trials}, got {successes}"
+        )
+    if z <= 0:
+        raise ValueError(f"z must be > 0, got {z}")
+    p_hat = successes / trials
+    z2 = z * z
+    denominator = 1 + z2 / trials
+    center = (p_hat + z2 / (2 * trials)) / denominator
+    margin = (
+        z
+        * math.sqrt(p_hat * (1 - p_hat) / trials + z2 / (4 * trials * trials))
+        / denominator
+    )
+    # The Wilson interval provably contains the MLE p_hat; enforce that
+    # through floating-point rounding at the boundaries.
+    low = min(max(0.0, center - margin), p_hat)
+    high = max(min(1.0, center + margin), p_hat)
+    return Interval(low=low, high=high)
+
+
+def proportion_consistent(
+    successes: int, trials: int, expected: float, z: float = 3.0
+) -> bool:
+    """Whether an observed proportion is consistent with ``expected``."""
+    if not 0.0 <= expected <= 1.0:
+        raise ValueError(f"expected proportion must be in [0, 1], got {expected}")
+    return wilson_interval(successes, trials, z).contains(expected)

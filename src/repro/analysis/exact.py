@@ -1,0 +1,46 @@
+"""Exact load distributions — how tight are the Section 4.3 bounds?
+
+The unfairness coefficient is defined on *expected* loads.  For moderate
+``b`` the expectation is exactly computable: push every value of
+``[0, 2**b)`` through the REMAP chain (vectorized) and count how many
+land on each disk.  This turns Lemma 4.2/4.3 from bounds into measured
+quantities, and powers the bound-tightness ablation
+(``benchmarks/bench_bound_tightness.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.operations import OperationLog
+from repro.core.vectorized import load_vector_array
+
+#: Refuse exhaustive enumeration beyond this many values (memory/time).
+MAX_EXHAUSTIVE_BITS = 26
+
+
+def exact_load_distribution(log: OperationLog, bits: int) -> np.ndarray:
+    """Expected blocks per disk for a uniform ``b``-bit ``X0``, exactly.
+
+    Returns the count of ``X0`` values in ``[0, 2**bits)`` mapping to
+    each logical disk — i.e. the expected load vector scaled by
+    ``2**bits / B``.
+    """
+    if not 1 <= bits <= MAX_EXHAUSTIVE_BITS:
+        raise ValueError(
+            f"exhaustive enumeration supports 1..{MAX_EXHAUSTIVE_BITS} bits, "
+            f"got {bits}"
+        )
+    x0s = np.arange(1 << bits, dtype=np.uint64)
+    return load_vector_array(x0s, log)
+
+
+def exact_unfairness(log: OperationLog, bits: int) -> float:
+    """The true unfairness coefficient after the logged operations:
+    largest expected load over smallest, minus one."""
+    loads = exact_load_distribution(log, bits)
+    low = int(loads.min())
+    high = int(loads.max())
+    if low == 0:
+        return float("inf") if high > 0 else 0.0
+    return high / low - 1.0

@@ -1,0 +1,97 @@
+"""RO2 verification: are moved blocks' destinations uniform?
+
+RO2 (restated in Section 4) demands that blocks which change disks land
+with equal probability on any *eligible* disk — the added disks for an
+addition, the surviving disks for a removal.  These helpers turn a list
+of destination disks into counts over the eligible set and test them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.analysis.stats import chi_square_uniform
+
+
+def destination_counts(
+    destinations: Iterable[int], eligible: Sequence[int]
+) -> list[int]:
+    """Count destinations over the eligible disk list.
+
+    Raises
+    ------
+    ValueError
+        If any destination is not an eligible disk — that alone is an
+        RO2 violation worth failing loudly on.
+    """
+    eligible_list = list(eligible)
+    index_of = {disk: i for i, disk in enumerate(eligible_list)}
+    counts = [0] * len(eligible_list)
+    for disk in destinations:
+        if disk not in index_of:
+            raise ValueError(
+                f"destination disk {disk} is not in the eligible set "
+                f"{eligible_list}"
+            )
+        counts[index_of[disk]] += 1
+    return counts
+
+
+def uniformity_pvalue(counts: Sequence[int]) -> float:
+    """Chi-square p-value of the destination counts against uniform."""
+    __, pvalue = chi_square_uniform(counts)
+    return pvalue
+
+
+def proportional_chi_square(
+    observed: Sequence[int], weights: Sequence[int | float]
+) -> tuple[float, float]:
+    """Chi-square of observed counts against expectations proportional to
+    ``weights``.
+
+    Used for RO2's *source* side: the blocks an addition moves should be
+    a uniform random subset, so each source disk contributes movers in
+    proportion to its population.  Zero-weight categories must have zero
+    observations and are dropped from the test.
+    """
+    if len(observed) != len(weights):
+        raise ValueError(
+            f"{len(observed)} observations but {len(weights)} weights"
+        )
+    pairs = []
+    for count, weight in zip(observed, weights):
+        if weight <= 0:
+            if count:
+                raise ValueError(
+                    f"category with weight {weight} observed {count} times"
+                )
+            continue
+        pairs.append((count, weight))
+    if len(pairs) < 2:
+        return 0.0, 1.0
+    counts = np.asarray([p[0] for p in pairs], dtype=float)
+    weight_arr = np.asarray([p[1] for p in pairs], dtype=float)
+    total = counts.sum()
+    if total == 0:
+        return 0.0, 1.0
+    expected = weight_arr / weight_arr.sum() * total
+    statistic, pvalue = scipy_stats.chisquare(counts, f_exp=expected)
+    return float(statistic), float(pvalue)
+
+
+def empirical_unfairness(loads: Sequence[int | float]) -> float:
+    """Observed unfairness: max load over min load, minus one.
+
+    This is the empirical analogue of the paper's unfairness coefficient
+    (which is defined on *expected* loads); ``inf`` when some disk is
+    empty while another is not.
+    """
+    if len(loads) == 0:
+        raise ValueError("load vector must not be empty")
+    low, high = min(loads), max(loads)
+    if low == 0:
+        return float("inf") if high > 0 else 0.0
+    return high / low - 1.0

@@ -1,0 +1,136 @@
+"""RO1 verification: how many blocks does each operation actually move?
+
+Logical indices are reshuffled by removals (the paper's ``new()``
+compaction), so comparing logical snapshots across an operation would
+over-count.  :class:`PhysicalTracker` assigns stable physical identities
+to logical slots — additions mint new ids at the top, removals delete
+slots — and the schedule runner counts a block as moved only when its
+*physical* disk changes, exactly what costs disk bandwidth.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.core.operations import ScalingOp
+from repro.placement.base import PlacementPolicy
+from repro.storage.block import Block
+
+
+class PhysicalTracker:
+    """Stable physical ids for a policy's logical index space."""
+
+    def __init__(self, n0: int):
+        if n0 <= 0:
+            raise ValueError(f"initial disk count must be >= 1, got {n0}")
+        self._table = list(range(n0))
+        self._next_id = n0
+
+    @property
+    def table(self) -> tuple[int, ...]:
+        """Physical id of each current logical index."""
+        return tuple(self._table)
+
+    def physical(self, logical: int) -> int:
+        """Physical id behind a logical index."""
+        return self._table[logical]
+
+    def apply(self, op: ScalingOp) -> None:
+        """Track one scaling operation."""
+        if op.kind == "add":
+            fresh = range(self._next_id, self._next_id + op.count)
+            self._table.extend(fresh)
+            self._next_id += op.count
+            return
+        for logical in reversed(op.removed):
+            if not 0 <= logical < len(self._table):
+                raise IndexError(
+                    f"logical disk {logical} out of 0..{len(self._table) - 1}"
+                )
+            del self._table[logical]
+
+
+def optimal_move_fraction(op: ScalingOp, n_before: int) -> Fraction:
+    """The paper's ``z_j`` (Eq. 1): the minimum fraction of blocks that
+    must move to keep the load balanced.
+
+    * addition: ``(Nj - Nj-1) / Nj``
+    * removal: ``(Nj-1 - Nj) / Nj-1`` (the removed disks' share)
+    """
+    n_after = op.next_disk_count(n_before)
+    if n_after > n_before:
+        return Fraction(n_after - n_before, n_after)
+    return Fraction(n_before - n_after, n_before)
+
+
+@dataclass(frozen=True)
+class OpMovement:
+    """Movement outcome of one scaling operation for one policy."""
+
+    op_index: int
+    kind: str
+    n_before: int
+    n_after: int
+    moved: int
+    total_blocks: int
+    optimal_fraction: Fraction
+
+    @property
+    def moved_fraction(self) -> float:
+        """Observed fraction of all blocks that changed physical disk."""
+        return self.moved / self.total_blocks if self.total_blocks else 0.0
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Observed over optimal movement (1.0 = RO1-optimal)."""
+        optimal = float(self.optimal_fraction)
+        if optimal == 0.0:
+            return 0.0 if self.moved == 0 else float("inf")
+        return self.moved_fraction / optimal
+
+
+def run_schedule(
+    policy: PlacementPolicy,
+    blocks: Sequence[Block],
+    schedule: Sequence[ScalingOp],
+) -> list[OpMovement]:
+    """Apply a scaling schedule to a policy, metering physical movement.
+
+    The policy must start un-scaled; blocks are registered first (a no-op
+    for computed policies, the initial assignment for the directory).
+    """
+    if policy.num_operations != 0:
+        raise ValueError("policy must be fresh (no operations applied yet)")
+    policy.register(blocks)
+    tracker = PhysicalTracker(policy.current_disks)
+    results: list[OpMovement] = []
+    before = {
+        block.block_id: tracker.physical(policy.disk_of(block))
+        for block in blocks
+    }
+    for op_index, op in enumerate(schedule):
+        n_before = policy.current_disks
+        n_after = policy.apply(op)
+        tracker.apply(op)
+        after = {
+            block.block_id: tracker.physical(policy.disk_of(block))
+            for block in blocks
+        }
+        moved = sum(
+            1 for block_id, home in after.items() if before[block_id] != home
+        )
+        results.append(
+            OpMovement(
+                op_index=op_index,
+                kind=op.kind,
+                n_before=n_before,
+                n_after=n_after,
+                moved=moved,
+                total_blocks=len(blocks),
+                optimal_fraction=optimal_move_fraction(op, n_before),
+            )
+        )
+        before = after
+    return results

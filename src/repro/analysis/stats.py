@@ -1,0 +1,80 @@
+"""Load statistics.
+
+The paper's Section 5 metric is the *coefficient of variation*: "the
+standard deviation divided by the average number of blocks across all
+disks".  We also provide a chi-square uniformity test and a compact load
+summary used by the report tables.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+
+def coefficient_of_variation(loads: Sequence[int | float]) -> float:
+    """Population standard deviation over the mean (the Section 5 metric).
+
+    Raises on an empty vector; returns ``inf`` when the mean is zero but
+    the loads are not all zero, and ``0.0`` for an all-zero vector.
+    """
+    if len(loads) == 0:
+        raise ValueError("load vector must not be empty")
+    data = np.asarray(loads, dtype=float)
+    mean = data.mean()
+    if mean == 0.0:
+        return 0.0 if np.all(data == 0.0) else float("inf")
+    return float(data.std(ddof=0) / mean)
+
+
+def chi_square_uniform(counts: Sequence[int]) -> tuple[float, float]:
+    """Chi-square goodness-of-fit of counts against the uniform law.
+
+    Returns ``(statistic, p_value)``.  A *small* p-value rejects
+    uniformity — the RO2 benches expect large p-values for SCADDAR and
+    vanishing ones for the naive scheme's second operation.
+    """
+    if len(counts) < 2:
+        raise ValueError("need at least two categories for a chi-square test")
+    data = np.asarray(counts, dtype=float)
+    if data.sum() == 0:
+        raise ValueError("cannot test uniformity of an all-zero count vector")
+    statistic, pvalue = scipy_stats.chisquare(data)
+    return float(statistic), float(pvalue)
+
+
+@dataclass(frozen=True)
+class LoadSummary:
+    """Compact description of one load vector."""
+
+    disks: int
+    total: int
+    mean: float
+    minimum: int
+    maximum: int
+    cov: float
+
+    @property
+    def max_over_min(self) -> float:
+        """Largest over smallest load (``inf`` for an empty disk)."""
+        if self.minimum == 0:
+            return float("inf") if self.maximum > 0 else 1.0
+        return self.maximum / self.minimum
+
+
+def summarize_loads(loads: Sequence[int]) -> LoadSummary:
+    """Build a :class:`LoadSummary` from a blocks-per-disk vector."""
+    if len(loads) == 0:
+        raise ValueError("load vector must not be empty")
+    data = [int(v) for v in loads]
+    return LoadSummary(
+        disks=len(data),
+        total=sum(data),
+        mean=sum(data) / len(data),
+        minimum=min(data),
+        maximum=max(data),
+        cov=coefficient_of_variation(data),
+    )

@@ -1,0 +1,57 @@
+"""Closed-form expectations for randomized placement (balls in bins).
+
+Placing ``B`` blocks uniformly on ``N`` disks is a multinomial; these
+helpers give the statistics the empirical measurements should converge
+to, so tests can assert "measured ~ theory" instead of loose magic
+tolerances:
+
+* per-disk load: mean ``B/N``, variance ``B (1/N)(1 - 1/N)``;
+* coefficient of variation: ``sqrt((N - 1) / B)`` — the sampling floor
+  visible in the Section 5 curve even for perfect placement;
+* expected maximum load: the classic ``mean + sigma * sqrt(2 ln N)``
+  first-order approximation.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def expected_load_cov(num_blocks: int, num_disks: int) -> float:
+    """CoV of a uniform multinomial load vector: ``sqrt((N - 1) / B)``."""
+    if num_blocks <= 0:
+        raise ValueError(f"num_blocks must be >= 1, got {num_blocks}")
+    if num_disks <= 0:
+        raise ValueError(f"num_disks must be >= 1, got {num_disks}")
+    return math.sqrt((num_disks - 1) / num_blocks)
+
+
+def load_standard_deviation(num_blocks: int, num_disks: int) -> float:
+    """Standard deviation of one disk's load, ``sqrt(B p (1 - p))``."""
+    if num_blocks <= 0 or num_disks <= 0:
+        raise ValueError("num_blocks and num_disks must be >= 1")
+    p = 1.0 / num_disks
+    return math.sqrt(num_blocks * p * (1.0 - p))
+
+
+def expected_max_load(num_blocks: int, num_disks: int) -> float:
+    """First-order expected maximum of ``N`` near-Gaussian loads:
+    ``B/N + sigma * sqrt(2 ln N)``."""
+    if num_disks == 1:
+        return float(num_blocks)
+    mean = num_blocks / num_disks
+    sigma = load_standard_deviation(num_blocks, num_disks)
+    return mean + sigma * math.sqrt(2.0 * math.log(num_disks))
+
+
+def cov_excess(observed_cov: float, num_blocks: int, num_disks: int) -> float:
+    """How much of an observed CoV is *not* sampling noise.
+
+    Subtracts the multinomial floor in quadrature (variances add):
+    returns ``sqrt(max(observed^2 - floor^2, 0))`` — the placement
+    skew attributable to the mechanism (e.g. SCADDAR's shrinking range)
+    rather than to finite ``B``.
+    """
+    floor = expected_load_cov(num_blocks, num_disks)
+    excess_sq = observed_cov * observed_cov - floor * floor
+    return math.sqrt(excess_sq) if excess_sq > 0 else 0.0

@@ -1,0 +1,50 @@
+"""SCADDAR core: REMAP functions, the mapper, and the randomness bounds.
+
+This package is the paper's primary contribution (Section 4):
+
+* :mod:`repro.core.operations` — scaling operations (Def 3.3) and the
+  operation log, the only persistent state SCADDAR needs.
+* :mod:`repro.core.remap` — the pure REMAP arithmetic for disk-group
+  addition (Eq. 4/5) and removal (Eq. 3), exact integer mod/div only.
+* :mod:`repro.core.scaddar` — :class:`ScaddarMapper`, the access function
+  ``AF()`` and redistribution function ``RF()`` built on the REMAP chain.
+* :mod:`repro.core.naive` — the naive single-operation scheme of
+  Section 4.1 (Eq. 2), kept as the paper's own negative baseline.
+* :mod:`repro.core.bounds` — unfairness coefficient, Lemma 4.2/4.3, and
+  the rule-of-thumb operation budget (Section 4.3).
+"""
+
+from repro.core.bounds import (
+    lemma_43_allows,
+    range_lower_bound,
+    rule_of_thumb_max_operations,
+    unfairness_coefficient,
+)
+from repro.core.naive import NaiveMapper, naive_disk, naive_remap_chain
+from repro.core.operations import OperationLog, ScalingOp
+from repro.core.remap import (
+    RemapResult,
+    remap_add,
+    remap_remove,
+    survivor_ranks,
+)
+from repro.core.scaddar import BlockLocation, RedistributionMove, ScaddarMapper
+
+__all__ = [
+    "BlockLocation",
+    "NaiveMapper",
+    "OperationLog",
+    "RedistributionMove",
+    "RemapResult",
+    "ScaddarMapper",
+    "ScalingOp",
+    "lemma_43_allows",
+    "naive_disk",
+    "naive_remap_chain",
+    "range_lower_bound",
+    "remap_add",
+    "remap_remove",
+    "rule_of_thumb_max_operations",
+    "survivor_ranks",
+    "unfairness_coefficient",
+]

@@ -1,0 +1,138 @@
+"""Randomness-shrinkage analysis of Section 4.3.
+
+The unfairness coefficient of drawing ``x`` uniformly from ``0 .. R - 1``
+and assigning disk ``x mod N`` is::
+
+    f(R, N) = 1 / (R div N)
+
+(the largest expected disk load over the smallest, minus one).  Each
+scaling operation divides the usable random range by roughly the current
+disk count (Lemma 4.2), so after ``k`` operations::
+
+    R_k div N_k  >=  R_0 div (N_0 * N_1 * ... * N_k)      (Lemma 4.2)
+
+and the system stays within tolerance ``eps`` as long as::
+
+    Pi_k = N_0 * ... * N_k  <=  R_0 * eps / (1 + eps)     (Lemma 4.3)
+
+which yields the rule of thumb ``k + 1 <= (b - log2(1/eps)) / log2(nbar)``
+for ``b`` random bits and an average of ``nbar`` disks.
+
+All predicates here use exact integer/rational arithmetic so the
+"can we scale once more?" decision never suffers float rounding.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from fractions import Fraction
+
+
+def unfairness_coefficient(r: int, n: int) -> float:
+    """``f(R, N) = 1 / (R div N)`` — ``inf`` when ``R div N == 0``.
+
+    ``r`` is the size of the random range (the paper samples
+    ``x`` uniformly from ``[0 .. R - 1]``), ``n`` the disk count.
+    """
+    if r < 0:
+        raise ValueError(f"range size must be >= 0, got {r}")
+    if n <= 0:
+        raise ValueError(f"disk count must be >= 1, got {n}")
+    full_rows = r // n
+    if full_rows == 0:
+        return math.inf
+    return 1.0 / full_rows
+
+
+def range_lower_bound(r0: int, disk_counts: Sequence[int]) -> int:
+    """Lemma 4.2: lower bound on ``R_k div N_k`` after the given trajectory.
+
+    Parameters
+    ----------
+    r0:
+        Initial range size ``R_0`` (e.g. ``2**b``).
+    disk_counts:
+        ``[N0, N1, ..., Nk]`` — *including* the initial count.
+    """
+    if not disk_counts:
+        raise ValueError("disk_counts must contain at least N0")
+    product = 1
+    for n in disk_counts:
+        if n <= 0:
+            raise ValueError(f"disk counts must be >= 1, got {n}")
+        product *= n
+    return r0 // product
+
+
+def unfairness_upper_bound(r0: int, disk_counts: Sequence[int]) -> float:
+    """Upper bound on the unfairness coefficient after ``k`` operations,
+    combining Lemma 4.2 with the ``f`` definition."""
+    bound = range_lower_bound(r0, disk_counts)
+    if bound == 0:
+        return math.inf
+    return 1.0 / bound
+
+
+def lemma_43_allows(r0: int, pi_k: int, eps: Fraction | float) -> bool:
+    """Exact Lemma 4.3 precondition: ``Pi_k <= R_0 * eps / (1 + eps)``.
+
+    ``eps`` may be a float (converted exactly) or a ``Fraction``.
+    """
+    if pi_k <= 0:
+        raise ValueError(f"Pi_k must be >= 1, got {pi_k}")
+    tolerance = Fraction(eps)
+    if tolerance <= 0:
+        raise ValueError(f"eps must be > 0, got {eps}")
+    return pi_k <= Fraction(r0) * tolerance / (1 + tolerance)
+
+
+def rule_of_thumb_max_operations(
+    bits: int, eps: float, nbar: float
+) -> int:
+    """Section 4.3's rule of thumb: the supported operation count ``k``.
+
+    ``k + 1 <= (b - log2(1/eps)) / log2(nbar)``, so
+    ``k = floor((b - log2(1/eps)) / log2(nbar)) - 1`` when the division is
+    not itself integral (paper's examples: ``b=64, eps=1%, nbar=16 -> 13``;
+    ``b=32, eps=5%, nbar=8 -> 8``).
+
+    Returns ``-1`` when even the initial layout exceeds the tolerance.
+    """
+    if bits <= 0:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    if not 0 < eps:
+        raise ValueError(f"eps must be > 0, got {eps}")
+    if nbar <= 1:
+        raise ValueError(f"average disk count must be > 1, got {nbar}")
+    budget = (bits - math.log2(1.0 / eps)) / math.log2(nbar)
+    return max(math.floor(budget) - 1, -1)
+
+
+def exact_max_operations(
+    r0: int, n0: int, eps: Fraction | float, group_size: int = 1
+) -> int:
+    """Exact operation budget for a concrete all-additions schedule.
+
+    Simulates ``Pi_k`` for the trajectory ``N_j = n0 + j * group_size`` and
+    returns the largest ``k`` such that Lemma 4.3 still holds.  This is
+    the "keep track of Pi_k explicitly" check the paper recommends over
+    the rule of thumb.
+    """
+    if n0 <= 0:
+        raise ValueError(f"initial disk count must be >= 1, got {n0}")
+    if group_size <= 0:
+        raise ValueError(f"group size must be >= 1, got {group_size}")
+    tolerance = Fraction(eps)
+    limit = Fraction(r0) * tolerance / (1 + tolerance)
+    pi = n0
+    if pi > limit:
+        return -1
+    k = 0
+    n = n0
+    while True:
+        n += group_size
+        if pi * n > limit:
+            return k
+        pi *= n
+        k += 1

@@ -1,0 +1,22 @@
+"""Exception types for the SCADDAR core."""
+
+from __future__ import annotations
+
+
+class ScaddarError(Exception):
+    """Base class for all SCADDAR core errors."""
+
+
+class RandomnessExhaustedError(ScaddarError):
+    """Raised when a scaling operation would violate the Lemma 4.3
+    precondition for the requested unfairness tolerance.
+
+    Section 4.3 recommends a full redistribution (reshuffle with fresh
+    seeds) when this point is reached; see
+    :meth:`repro.core.scaddar.ScaddarMapper.reshuffled`.
+    """
+
+
+class UnsupportedOperationError(ScaddarError):
+    """Raised when a mapper cannot represent an operation — e.g. the naive
+    Section 4.1 scheme is defined for disk additions only."""

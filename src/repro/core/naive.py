@@ -1,0 +1,102 @@
+"""The naive single-operation scheme of Section 4.1 (Eq. 2).
+
+The naive REMAP reuses the original random number ``X0`` at every
+operation::
+
+    REMAP_j = X0 mod Nj        if X0 mod Nj >= N(j-1)   (block moves)
+              REMAP_(j-1)      otherwise                 (block stays)
+
+After one addition this is fine; after a second addition it violates RO2
+because the *same* random bits decide both operations — Figure 1 shows
+blocks arriving on the new disk only from a subset of the old disks.
+The scheme is kept as the paper's own negative baseline; the Figure 1
+bench reproduces the violation exactly.
+
+Disk removals are not defined for this scheme ("the same results are
+seen", Section 4.1, so the paper omits them); attempting one raises
+:class:`~repro.core.errors.UnsupportedOperationError`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.errors import UnsupportedOperationError
+from repro.core.operations import OperationLog, ScalingOp
+
+
+def naive_disk(x0: int, disk_counts: Sequence[int]) -> int:
+    """Disk of a block under the naive scheme after all operations.
+
+    Parameters
+    ----------
+    x0:
+        The block's original random number ``X0``.
+    disk_counts:
+        The trajectory ``[N0, N1, ..., Nj]`` (strictly increasing — the
+        naive scheme only supports additions).
+    """
+    if x0 < 0:
+        raise ValueError(f"random number must be >= 0, got {x0}")
+    if not disk_counts:
+        raise ValueError("disk_counts must contain at least N0")
+    if any(b >= a for b, a in zip(disk_counts, disk_counts[1:])):
+        raise UnsupportedOperationError(
+            f"naive scheme supports additions only; got counts {list(disk_counts)}"
+        )
+    # Unroll the recursion: the newest operation whose "move" condition
+    # fires wins; otherwise fall through to the initial placement.
+    for k in range(len(disk_counts) - 1, 0, -1):
+        if x0 % disk_counts[k] >= disk_counts[k - 1]:
+            return x0 % disk_counts[k]
+    return x0 % disk_counts[0]
+
+
+def naive_remap_chain(x0: int, disk_counts: Sequence[int]) -> list[int]:
+    """Disk of the block after each prefix of operations.
+
+    Returns ``[D0, D1, ..., Dj]`` where ``Dk`` is the naive placement
+    after the first ``k`` operations.  Useful for counting moves.
+    """
+    return [
+        naive_disk(x0, disk_counts[: k + 1]) for k in range(len(disk_counts))
+    ]
+
+
+class NaiveMapper:
+    """Stateful wrapper over :func:`naive_disk` mirroring ``ScaddarMapper``.
+
+    Only disk-group additions are accepted.  The class exists so the
+    benchmark harness can swap mapping policies behind one interface.
+    """
+
+    name = "naive"
+
+    def __init__(self, n0: int):
+        self.log = OperationLog(n0=n0)
+
+    @property
+    def current_disks(self) -> int:
+        """Current total disk count ``Nj``."""
+        return self.log.current_disks
+
+    @property
+    def num_operations(self) -> int:
+        """Number of scaling operations applied so far."""
+        return self.log.num_operations
+
+    def apply(self, op: ScalingOp) -> int:
+        """Record an addition; removals raise ``UnsupportedOperationError``."""
+        if op.kind != "add":
+            raise UnsupportedOperationError(
+                "the naive Section 4.1 scheme handles disk additions only"
+            )
+        return self.log.append(op)
+
+    def disk_of(self, x0: int) -> int:
+        """Current logical disk of the block with random number ``x0``."""
+        return naive_disk(x0, self.log.disk_counts())
+
+    def disk_history(self, x0: int) -> list[int]:
+        """Logical disk after each operation prefix, ``[D0 .. Dj]``."""
+        return naive_remap_chain(x0, self.log.disk_counts())

@@ -1,0 +1,121 @@
+"""The REMAP arithmetic of Section 4.2 — pure, exact-integer functions.
+
+Notation (Definition 4.1): for the random number ``x`` of a block after
+operation ``j-1`` on ``n_prev`` disks,
+
+* ``q = x div n_prev`` is the *fresh randomness* reserve, and
+* ``r = x mod n_prev`` is the block's current logical disk (``D = r``).
+
+Each operation consumes part of ``q`` so successive operations keep RO2
+(uniform destinations); the price is that the usable range shrinks by
+about a factor ``n`` per operation (Lemma 4.2), bounded in
+:mod:`repro.core.bounds`.
+
+All functions here work on *logical* disk indices ``0 .. n-1``; mapping a
+logical index to a physical disk name (the paper's "the 4-th disk is
+Disk 5" step) is the disk array's job (:mod:`repro.storage.array`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RemapResult:
+    """Outcome of one REMAP step for one block.
+
+    Attributes
+    ----------
+    x_new:
+        The remapped random number ``X_j``.
+    disk:
+        The block's logical disk after the operation,
+        ``D_j = X_j mod N_j``.
+    moved:
+        Whether the operation relocates the block (RO1 accounting).
+    """
+
+    x_new: int
+    disk: int
+    moved: bool
+
+
+def survivor_ranks(removed: Collection[int], n_prev: int) -> list[int]:
+    """The paper's ``new()`` function as a lookup table.
+
+    Maps each pre-removal logical index to its rank among the surviving
+    disks (``-1`` for removed disks).  Example: removing disk 1 from
+    ``{0, 1, 2, 3}`` yields ``[0, -1, 1, 2]`` — disk 2 "becomes the first
+    disk" after old disk 1, i.e. ``new(2) = 1``.
+    """
+    removed_set = frozenset(removed)
+    if any(d < 0 or d >= n_prev for d in removed_set):
+        raise ValueError(f"removed indices {sorted(removed_set)} out of 0..{n_prev - 1}")
+    ranks: list[int] = []
+    survivors_seen = 0
+    for disk in range(n_prev):
+        if disk in removed_set:
+            ranks.append(-1)
+        else:
+            ranks.append(survivors_seen)
+            survivors_seen += 1
+    return ranks
+
+
+def remap_add(x_prev: int, n_prev: int, n_new: int) -> RemapResult:
+    """REMAP for a disk-group addition (Eq. 4 / simplified Eq. 5).
+
+    With ``q = x_prev div n_prev`` and ``r = x_prev mod n_prev``:
+
+    * if ``q mod n_new < n_prev`` the block stays on disk ``r`` and
+      ``X_j = (q div n_new) * n_new + r``;
+    * otherwise the block moves to the added disk ``q mod n_new`` and
+      ``X_j = (q div n_new) * n_new + (q mod n_new)``.
+
+    The move probability is exactly ``(n_new - n_prev) / n_new`` for a
+    uniform ``q`` (RO1), and the destination is uniform over the added
+    disks (RO2).
+    """
+    if x_prev < 0:
+        raise ValueError(f"random number must be >= 0, got {x_prev}")
+    if not 0 < n_prev < n_new:
+        raise ValueError(f"addition needs 0 < n_prev < n_new, got {n_prev}, {n_new}")
+    q, r = divmod(x_prev, n_prev)
+    q_high, target = divmod(q, n_new)
+    if target < n_prev:
+        x_new = q_high * n_new + r
+        return RemapResult(x_new=x_new, disk=r, moved=False)
+    x_new = q_high * n_new + target
+    return RemapResult(x_new=x_new, disk=target, moved=True)
+
+
+def remap_remove(
+    x_prev: int, n_prev: int, removed: Collection[int]
+) -> RemapResult:
+    """REMAP for a disk-group removal (Eq. 3, generalized to groups).
+
+    With ``q = x_prev div n_prev`` and ``r = x_prev mod n_prev``:
+
+    * if disk ``r`` survives, the block stays put:
+      ``X_j = q * n_new + new(r)`` where ``new()`` compacts the surviving
+      indices (:func:`survivor_ranks`);
+    * if disk ``r`` was removed, the block's new home is drawn from the
+      fresh randomness: ``X_j = q`` and ``D_j = q mod n_new``, uniform
+      over the surviving disks (RO2).
+    """
+    if x_prev < 0:
+        raise ValueError(f"random number must be >= 0, got {x_prev}")
+    if n_prev <= 0:
+        raise ValueError(f"n_prev must be >= 1, got {n_prev}")
+    ranks = survivor_ranks(removed, n_prev)
+    n_new = n_prev - len(frozenset(removed))
+    if n_new <= 0:
+        raise ValueError("removal would leave no disks")
+    q, r = divmod(x_prev, n_prev)
+    if ranks[r] >= 0:
+        x_new = q * n_new + ranks[r]
+        return RemapResult(x_new=x_new, disk=ranks[r], moved=False)
+    x_new = q
+    return RemapResult(x_new=x_new, disk=q % n_new, moved=True)

@@ -1,0 +1,297 @@
+"""The SCADDAR mapper: access function ``AF()`` and redistribution
+function ``RF()`` built on the REMAP chain (Section 4).
+
+:class:`ScaddarMapper` holds the operation log and answers, for any block
+random number ``X0``:
+
+* ``disk_of(x0)`` — the block's current logical disk, computed by chaining
+  ``REMAP_1 .. REMAP_j`` (this is ``AF()``, AO1: ``j`` mod/div steps, no
+  directory);
+* ``redistribution_moves(...)`` — which blocks must physically move for
+  the *latest* operation and where (this is ``RF()``, RO1: exactly the
+  minimum set moves);
+* Lemma 4.3 bookkeeping — ``Pi_k`` is tracked explicitly so the caller can
+  refuse an operation that would push unfairness past a tolerance and
+  trigger a full reshuffle instead (Section 4.3, last paragraph).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Hashable, Optional
+
+from repro.core.bounds import lemma_43_allows, unfairness_upper_bound
+from repro.core.errors import RandomnessExhaustedError
+from repro.core.operations import OperationLog, ScalingOp
+from repro.core.remap import RemapResult, remap_add, remap_remove
+
+
+@dataclass(frozen=True)
+class BlockLocation:
+    """Where a block lives after all recorded scaling operations.
+
+    Attributes
+    ----------
+    disk:
+        Logical disk index ``D_j = X_j mod N_j``.
+    x:
+        The block's current random number ``X_j``.
+    operations_applied:
+        ``j``, the number of REMAP steps chained to produce this answer.
+    """
+
+    disk: int
+    x: int
+    operations_applied: int
+
+
+@dataclass(frozen=True)
+class RedistributionMove:
+    """One physical block move demanded by the latest scaling operation.
+
+    Logical indices are in their respective epochs: ``source_disk`` indexes
+    the pre-operation layout (``N_{j-1}`` disks), ``target_disk`` the
+    post-operation layout (``N_j`` disks).
+    """
+
+    block: Hashable
+    source_disk: int
+    target_disk: int
+
+
+class ScaddarMapper:
+    """SCADDAR placement state for one disk array.
+
+    Parameters
+    ----------
+    n0:
+        Initial number of disks ``N0``.
+    bits:
+        Width ``b`` of the random numbers; ``R0 = 2**bits`` values are
+        available, which bounds how many operations keep the placement
+        fair (Section 4.3).
+
+    Examples
+    --------
+    >>> mapper = ScaddarMapper(n0=4, bits=32)
+    >>> mapper.apply(ScalingOp.add(1))
+    5
+    >>> mapper.disk_of(x0=123456789) in range(5)
+    True
+    """
+
+    name = "scaddar"
+
+    def __init__(self, n0: int, bits: int = 64):
+        if not 1 <= bits <= 64:
+            raise ValueError(f"bits must be in 1..64, got {bits}")
+        self.bits = bits
+        self.log = OperationLog(n0=n0)
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+    @property
+    def current_disks(self) -> int:
+        """``Nj`` — disk count after all recorded operations."""
+        return self.log.current_disks
+
+    @property
+    def num_operations(self) -> int:
+        """``j`` — number of scaling operations recorded."""
+        return self.log.num_operations
+
+    @property
+    def range_size(self) -> int:
+        """``R0`` — the number of distinct initial random values, ``2**b``."""
+        return 1 << self.bits
+
+    # ------------------------------------------------------------------
+    # Scaling operations
+    # ------------------------------------------------------------------
+    def apply(self, op: ScalingOp, eps: Optional[float] = None) -> int:
+        """Record a scaling operation; returns the new disk count ``Nj``.
+
+        When ``eps`` is given, the Lemma 4.3 precondition is checked for
+        the post-operation ``Pi`` first and
+        :class:`~repro.core.errors.RandomnessExhaustedError` is raised if
+        the operation would exceed the tolerance — the paper's recommended
+        moment to do a full redistribution instead.
+        """
+        if eps is not None and not self.can_apply(op, eps):
+            raise RandomnessExhaustedError(
+                f"operation {op} would push Pi_k past R0 * eps / (1 + eps) "
+                f"for eps={eps}; a full reshuffle is required"
+            )
+        return self.log.append(op)
+
+    def can_apply(self, op: ScalingOp, eps: float) -> bool:
+        """Exact pre-check of the Lemma 4.3 condition for one more op."""
+        n_after = op.next_disk_count(self.current_disks)
+        pi_after = self.log.product_n() * n_after
+        return lemma_43_allows(self.range_size, pi_after, Fraction(eps))
+
+    def reshuffled(self) -> "ScaddarMapper":
+        """A fresh mapper for the current disk count with an empty log.
+
+        Models the paper's full redistribution: every block receives a
+        brand-new ``X0`` (callers re-seed their objects) and the range
+        budget resets to ``R0``.
+        """
+        return ScaddarMapper(n0=self.current_disks, bits=self.bits)
+
+    # ------------------------------------------------------------------
+    # AF(): block location
+    # ------------------------------------------------------------------
+    def x_chain(self, x0: int) -> list[int]:
+        """The full chain ``[X_0, X_1, ..., X_j]`` for one block."""
+        if x0 < 0:
+            raise ValueError(f"random number must be >= 0, got {x0}")
+        chain = [x0]
+        x = x0
+        n_prev = self.log.n0
+        for op in self.log:
+            result = self._remap_once(x, n_prev, op)
+            x = result.x_new
+            n_prev = op.next_disk_count(n_prev)
+            chain.append(x)
+        return chain
+
+    def locate(self, x0: int) -> BlockLocation:
+        """``AF()``: chain all REMAPs and return the block's location."""
+        x = x0
+        if x0 < 0:
+            raise ValueError(f"random number must be >= 0, got {x0}")
+        n_prev = self.log.n0
+        for op in self.log:
+            x = self._remap_once(x, n_prev, op).x_new
+            n_prev = op.next_disk_count(n_prev)
+        return BlockLocation(
+            disk=x % n_prev, x=x, operations_applied=self.num_operations
+        )
+
+    def disk_of(self, x0: int) -> int:
+        """Current logical disk of the block with initial number ``x0``."""
+        return self.locate(x0).disk
+
+    def disk_history(self, x0: int) -> list[int]:
+        """Logical disk after each operation prefix, ``[D0, D1, ..., Dj]``.
+
+        Each entry is relative to that epoch's logical numbering.
+        """
+        disks = [x0 % self.log.n0]
+        x = x0
+        n_prev = self.log.n0
+        for op in self.log:
+            result = self._remap_once(x, n_prev, op)
+            disks.append(result.disk)
+            x = result.x_new
+            n_prev = op.next_disk_count(n_prev)
+        return disks
+
+    # ------------------------------------------------------------------
+    # RF(): redistribution plan for the latest operation
+    # ------------------------------------------------------------------
+    def redistribution_moves(
+        self, x0_by_block: Mapping[Hashable, int] | Iterable[tuple[Hashable, int]]
+    ) -> list[RedistributionMove]:
+        """``RF()``: the physical moves the *latest* operation requires.
+
+        Parameters
+        ----------
+        x0_by_block:
+            Mapping (or iterable of pairs) from a caller-chosen block key
+            to the block's original random number ``X0``.
+
+        Returns only the blocks whose disk changes — per RO1 this is the
+        minimum possible set: an expected ``(Nj - Nj-1)/Nj`` fraction on
+        addition, exactly the removed disks' blocks on removal.
+        """
+        if self.num_operations == 0:
+            return []
+        items = (
+            x0_by_block.items()
+            if isinstance(x0_by_block, Mapping)
+            else x0_by_block
+        )
+        ops = self.log.operations
+        last_op = ops[-1]
+        n_before_last = self.log.disks_after(self.num_operations - 1)
+        moves: list[RedistributionMove] = []
+        for block, x0 in items:
+            x_prev = self._x_after(x0, len(ops) - 1)
+            source = x_prev % n_before_last
+            result = self._remap_once(x_prev, n_before_last, last_op)
+            if result.moved:
+                moves.append(
+                    RedistributionMove(
+                        block=block, source_disk=source, target_disk=result.disk
+                    )
+                )
+        return moves
+
+    # ------------------------------------------------------------------
+    # Fairness bookkeeping (Section 4.3)
+    # ------------------------------------------------------------------
+    def product_n(self) -> int:
+        """``Pi_j = N0 * N1 * ... * Nj`` (explicitly tracked)."""
+        return self.log.product_n()
+
+    def unfairness_bound(self) -> float:
+        """Worst-case unfairness coefficient after the recorded operations
+        (Lemma 4.2 + the ``f(R, N)`` definition); ``inf`` once the range
+        is fully consumed."""
+        return unfairness_upper_bound(self.range_size, self.log.disk_counts())
+
+    def needs_reshuffle(self, eps: float) -> bool:
+        """True when the already-applied operations exceed tolerance
+        ``eps`` by the Lemma 4.3 criterion."""
+        return not lemma_43_allows(
+            self.range_size, self.log.product_n(), Fraction(eps)
+        )
+
+    def remaining_operations(self, eps: float, group_size: int = 1) -> int:
+        """How many further ``group_size``-disk additions Lemma 4.3 still
+        permits at tolerance ``eps`` (0 when the next one must reshuffle)."""
+        tolerance = Fraction(eps)
+        limit = Fraction(self.range_size) * tolerance / (1 + tolerance)
+        pi = self.log.product_n()
+        n = self.current_disks
+        allowed = 0
+        if pi > limit:
+            return 0
+        while True:
+            n += group_size
+            if pi * n > limit:
+                return allowed
+            pi *= n
+            allowed += 1
+            if allowed > self.bits:  # range halves at least once per op
+                return allowed
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _x_after(self, x0: int, j: int) -> int:
+        """``X_j`` for one block (``j = 0`` returns ``x0``)."""
+        x = x0
+        n_prev = self.log.n0
+        for op in self.log.operations[:j]:
+            x = self._remap_once(x, n_prev, op).x_new
+            n_prev = op.next_disk_count(n_prev)
+        return x
+
+    @staticmethod
+    def _remap_once(x_prev: int, n_prev: int, op: ScalingOp) -> RemapResult:
+        """Dispatch one REMAP step for an operation."""
+        if op.kind == "add":
+            return remap_add(x_prev, n_prev, n_prev + op.count)
+        return remap_remove(x_prev, n_prev, op.removed)
+
+    def __repr__(self) -> str:
+        return (
+            f"ScaddarMapper(n0={self.log.n0}, bits={self.bits}, "
+            f"operations={self.num_operations}, disks={self.current_disks})"
+        )

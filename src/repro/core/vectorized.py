@@ -1,0 +1,127 @@
+"""NumPy-vectorized REMAP chains.
+
+The scalar functions in :mod:`repro.core.remap` are the reference
+implementation (exact Python integers, one block at a time).  Evaluation
+workloads push hundreds of thousands of blocks through chains of REMAPs,
+which is slow one ``divmod`` at a time; this module evaluates a whole
+``X0`` array per operation with NumPy ``uint64`` arithmetic.
+
+The two implementations are property-tested for bit-exact agreement
+(``tests/test_vectorized.py``); the microbenchmark in
+``benchmarks/bench_core_micro.py`` quantifies the speedup.
+
+All values fit ``uint64`` by construction: every REMAP output is bounded
+by its input (the randomness reserve ``x div n`` never grows), so a
+``b <= 64``-bit ``X0`` never overflows.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Sequence
+
+import numpy as np
+
+from repro.core.operations import OperationLog, ScalingOp
+from repro.core.remap import survivor_ranks
+
+
+def remap_add_array(
+    x_prev: np.ndarray, n_prev: int, n_new: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized Eq. 4: returns ``(x_new, moved)`` arrays.
+
+    ``x_prev`` must be an unsigned/non-negative integer array.
+    """
+    if not 0 < n_prev < n_new:
+        raise ValueError(f"addition needs 0 < n_prev < n_new, got {n_prev}, {n_new}")
+    x = np.asarray(x_prev, dtype=np.uint64)
+    n_prev_u = np.uint64(n_prev)
+    n_new_u = np.uint64(n_new)
+    q = x // n_prev_u
+    r = x - q * n_prev_u
+    q_high = q // n_new_u
+    target = q - q_high * n_new_u
+    moved = target >= n_prev_u
+    x_new = q_high * n_new_u + np.where(moved, target, r)
+    return x_new, moved
+
+
+def remap_remove_array(
+    x_prev: np.ndarray, n_prev: int, removed: Collection[int]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized Eq. 3: returns ``(x_new, moved)`` arrays."""
+    ranks = survivor_ranks(removed, n_prev)
+    n_new = n_prev - len(frozenset(removed))
+    if n_new <= 0:
+        raise ValueError("removal would leave no disks")
+    x = np.asarray(x_prev, dtype=np.uint64)
+    n_prev_u = np.uint64(n_prev)
+    n_new_u = np.uint64(n_new)
+    q = x // n_prev_u
+    r = (x - q * n_prev_u).astype(np.int64)
+    rank_table = np.asarray(ranks, dtype=np.int64)
+    new_r = rank_table[r]
+    moved = new_r < 0
+    stay_x = q * n_new_u + np.where(moved, 0, new_r).astype(np.uint64)
+    x_new = np.where(moved, q, stay_x)
+    return x_new, moved
+
+
+def apply_operation_array(
+    x_prev: np.ndarray, n_prev: int, op: ScalingOp
+) -> tuple[np.ndarray, np.ndarray]:
+    """Dispatch one vectorized REMAP step."""
+    if op.kind == "add":
+        return remap_add_array(x_prev, n_prev, n_prev + op.count)
+    return remap_remove_array(x_prev, n_prev, op.removed)
+
+
+def chain_x_array(x0s: Sequence[int] | np.ndarray, log: OperationLog) -> np.ndarray:
+    """Final ``X_j`` for every block after the whole operation log."""
+    x = np.asarray(x0s, dtype=np.uint64)
+    n_prev = log.n0
+    for op in log:
+        x, __ = apply_operation_array(x, n_prev, op)
+        n_prev = op.next_disk_count(n_prev)
+    return x
+
+
+def disks_array(x0s: Sequence[int] | np.ndarray, log: OperationLog) -> np.ndarray:
+    """Vectorized ``AF()``: current logical disk for every block."""
+    x = chain_x_array(x0s, log)
+    return (x % np.uint64(log.current_disks)).astype(np.int64)
+
+
+def load_vector_array(
+    x0s: Sequence[int] | np.ndarray, log: OperationLog
+) -> np.ndarray:
+    """Blocks per logical disk after the whole operation log."""
+    disks = disks_array(x0s, log)
+    return np.bincount(disks, minlength=log.current_disks)
+
+
+def redistribution_moves_array(
+    x0s: Sequence[int] | np.ndarray, log: OperationLog
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized RF(): the latest operation's moves over a population.
+
+    Returns ``(indices, source_disks, target_disks)`` — the positions in
+    ``x0s`` of the blocks the latest operation relocates, with their
+    pre-op and post-op logical disks (matching
+    :meth:`~repro.core.scaddar.ScaddarMapper.redistribution_moves`).
+    """
+    if log.num_operations == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    x = np.asarray(x0s, dtype=np.uint64)
+    n_prev = log.n0
+    ops = log.operations
+    for op in ops[:-1]:
+        x, __ = apply_operation_array(x, n_prev, op)
+        n_prev = op.next_disk_count(n_prev)
+    sources = (x % np.uint64(n_prev)).astype(np.int64)
+    x_new, moved = apply_operation_array(x, n_prev, ops[-1])
+    n_after = ops[-1].next_disk_count(n_prev)
+    targets = (x_new % np.uint64(n_after)).astype(np.int64)
+    indices = np.flatnonzero(moved)
+    return indices, sources[indices], targets[indices]

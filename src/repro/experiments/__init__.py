@@ -1,0 +1,76 @@
+"""The evaluation harness: one module per paper table/figure/claim.
+
+Each module exposes ``run_*`` (returns structured results) and
+``report()`` (renders the same table the CLI prints); the pytest-benchmark
+suite under ``benchmarks/`` wraps the ``run_*`` functions.
+
+Index (see DESIGN.md section 3 for the full mapping):
+
+====================  ==========================================
+module                paper artifact
+====================  ==========================================
+``fig1``              Figure 1 (naive RO2 violation)
+``cov_curve``         Section 5 CoV-vs-operations curve
+``rule_of_thumb``     Section 4.3 worked examples + sweep
+``movement``          RO1: per-op movement vs optimum ``z_j``
+``uniformity``        RO2: source/destination chi-square
+``access_cost``       AO1: lookup latency + state footprint
+``fault_tolerance``   Section 6 mirroring
+``heterogeneous``     Section 6 logical-disk mapping
+``online_scaling``    Section 1 online requirement
+``stream_balance``    Section 1 random-vs-striping claims
+``bound_tightness``   ablation: Lemma 4.2/4.3 vs exact unfairness
+``parity_vs_mirror``  Section 6 future work: parity vs mirroring
+``group_size``        ablation: Def 3.3 disk groups vs single adds
+``removal_patterns``  Sec 4.2.1: removal-only and mixed schedules
+``generator_sensitivity``  ablation: PRNG family independence
+``reshuffle_cost``    amortized traffic incl. periodic reshuffles
+``ingest_under_load`` Sec 2 [1]: writing new media on a busy server
+``modern``            extension: vs consistent/jump hashing
+====================  ==========================================
+"""
+
+from repro.experiments import (
+    access_cost,
+    bound_tightness,
+    cov_curve,
+    fault_tolerance,
+    fig1,
+    generator_sensitivity,
+    group_size,
+    heterogeneous,
+    ingest_under_load,
+    modern,
+    movement,
+    online_scaling,
+    parity_vs_mirror,
+    removal_patterns,
+    reshuffle_cost,
+    rule_of_thumb,
+    stream_balance,
+    uniformity,
+)
+
+#: CLI name -> experiment module (each has a ``report()``).
+EXPERIMENTS = {
+    "fig1": fig1,
+    "cov-curve": cov_curve,
+    "rule-of-thumb": rule_of_thumb,
+    "movement": movement,
+    "uniformity": uniformity,
+    "access-cost": access_cost,
+    "fault-tolerance": fault_tolerance,
+    "heterogeneous": heterogeneous,
+    "online-scaling": online_scaling,
+    "stream-balance": stream_balance,
+    "parity-vs-mirror": parity_vs_mirror,
+    "group-size": group_size,
+    "removal-patterns": removal_patterns,
+    "generator-sensitivity": generator_sensitivity,
+    "reshuffle-cost": reshuffle_cost,
+    "ingest-under-load": ingest_under_load,
+    "bound-tightness": bound_tightness,
+    "modern": modern,
+}
+
+__all__ = ["EXPERIMENTS"]

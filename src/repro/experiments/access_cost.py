@@ -1,0 +1,157 @@
+"""Experiment AO1: access cost and persistent-state footprint.
+
+AO1 demands block location "through low complexity computation": SCADDAR
+needs one disk access plus a chain of ``j`` mod/div steps, against the
+directory baseline's O(1) lookup that costs O(blocks) persistent state
+and concurrency-controlled updates.  The harness measures:
+
+* lookup latency of ``AF()`` as the operation count ``j`` grows,
+  alongside a directory dict lookup;
+* the arithmetic-step count of the chain (exactly ``j`` REMAPs);
+* persistent-state entries per policy as the catalog grows (the paper's
+  "millions of entries" argument).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.operations import ScalingOp
+from repro.core.scaddar import ScaddarMapper
+from repro.experiments.tables import format_table
+from repro.placement import ALL_POLICIES
+from repro.storage.block import Block
+from repro.workloads.generator import random_x0s
+
+
+@dataclass(frozen=True)
+class LookupPoint:
+    """Lookup cost after ``operations`` scaling operations."""
+
+    operations: int
+    scaddar_ns: float
+    directory_ns: float
+    remap_steps: int
+
+
+@dataclass(frozen=True)
+class StateRow:
+    """Persistent state of each policy for one catalog size."""
+
+    blocks: int
+    operations: int
+    entries_by_policy: dict[str, int]
+
+
+@dataclass(frozen=True)
+class AccessCostResult:
+    """Latency curve + state table."""
+
+    lookups: tuple[LookupPoint, ...]
+    state: tuple[StateRow, ...]
+
+
+def _time_per_call(fn, calls: int) -> float:
+    start = time.perf_counter()
+    for __ in range(calls):
+        fn()
+    return (time.perf_counter() - start) / calls * 1e9
+
+
+def run_access_cost(
+    max_operations: int = 16,
+    op_stride: int = 2,
+    num_probe_blocks: int = 200,
+    bits: int = 32,
+    state_block_counts: tuple[int, ...] = (1_000, 10_000, 100_000, 1_000_000),
+    state_operations: int = 8,
+) -> AccessCostResult:
+    """Measure lookup latency vs ``j`` and state size vs catalog size."""
+    probes = random_x0s(num_probe_blocks, bits=bits, seed=0xACCE55)
+    directory = {x0: x0 % 4 for x0 in probes}
+
+    lookups = []
+    mapper = ScaddarMapper(n0=4, bits=bits)
+    for j in range(0, max_operations + 1, op_stride):
+        while mapper.num_operations < j:
+            mapper.apply(ScalingOp.add(1))
+        probe_iter = iter(probes * 50)
+        scaddar_ns = _time_per_call(
+            lambda: mapper.disk_of(next(probe_iter)), len(probes) * 40
+        )
+        dir_iter = iter(probes * 50)
+        directory_ns = _time_per_call(
+            lambda: directory[next(dir_iter)], len(probes) * 40
+        )
+        lookups.append(
+            LookupPoint(
+                operations=j,
+                scaddar_ns=scaddar_ns,
+                directory_ns=directory_ns,
+                remap_steps=j,
+            )
+        )
+
+    state_rows = []
+    for num_blocks in state_block_counts:
+        entries: dict[str, int] = {}
+        # Scale-free policies can report without building the population.
+        sample = [
+            Block(object_id=0, index=i, x0=x0)
+            for i, x0 in enumerate(
+                random_x0s(min(num_blocks, 1_000), bits=bits, seed=1)
+            )
+        ]
+        for name, cls in ALL_POLICIES.items():
+            policy = cls(4, bits=bits) if name == "scaddar" else cls(4)
+            policy.register(sample)
+            for __ in range(state_operations):
+                try:
+                    policy.apply(ScalingOp.add(1))
+                except Exception:
+                    break
+            raw = policy.state_entries()
+            if name == "directory":
+                # The directory scales linearly with the catalog; report
+                # the full-population footprint, not the sample's.
+                raw = num_blocks
+            entries[name] = raw
+        state_rows.append(
+            StateRow(
+                blocks=num_blocks,
+                operations=state_operations,
+                entries_by_policy=entries,
+            )
+        )
+    return AccessCostResult(lookups=tuple(lookups), state=tuple(state_rows))
+
+
+def report(result: AccessCostResult | None = None) -> str:
+    """Render the latency curve and the state-footprint table."""
+    result = result or run_access_cost()
+    latency = format_table(
+        ("ops j", "REMAP steps", "AF() ns/lookup", "directory ns/lookup"),
+        [
+            (p.operations, p.remap_steps, p.scaddar_ns, p.directory_ns)
+            for p in result.lookups
+        ],
+    )
+    policies = sorted(result.state[0].entries_by_policy) if result.state else []
+    state = format_table(
+        ("blocks", "ops", *policies),
+        [
+            (row.blocks, row.operations, *(row.entries_by_policy[p] for p in policies))
+            for row in result.state
+        ],
+    )
+    return (
+        "lookup latency (mean):\n"
+        + latency
+        + "\n\npersistent state entries by policy:\n"
+        + state
+    )
+
+
+#: Uniform entry point used by the CLI (`scaddar <name>`).
+run = run_access_cost

@@ -1,0 +1,150 @@
+"""Ablation: why scale by disk *groups*? (Definition 3.3)
+
+The paper defines a scaling operation on a whole disk group rather than
+a single disk.  This ablation quantifies why, growing a server from
+``N0`` to ``N0 + total_new`` disks with different group sizes:
+
+* **randomness budget** — ``Pi_k`` multiplies by every intermediate disk
+  count, so twelve +1 operations cost a factor ``5*6*...*16`` while one
+  +12 group costs only ``16``: grouping preserves orders of magnitude of
+  the Lemma 4.3 budget;
+* **block traffic** — with single additions a block can move several
+  times (onto disk 5, then onto disk 9, ...); the expected cumulative
+  moved fraction is ``sum 1/(N+i) > G/(N+G)``, the one-group optimum.
+
+Both effects are measured: the exact ``Pi`` / remaining budget, and the
+observed per-schedule cumulative block-moves over a 20k population
+(vectorized REMAP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.operations import OperationLog, ScalingOp
+from repro.core.scaddar import ScaddarMapper
+from repro.core.vectorized import disks_array
+from repro.experiments.tables import format_table
+from repro.workloads.generator import random_x0s
+
+
+@dataclass(frozen=True)
+class GroupSizeRow:
+    """Outcome of reaching the same final size with one group size."""
+
+    group_size: int
+    operations: int
+    pi: int
+    unfairness_bound: float
+    remaining_budget: int
+    #: cumulative block-moves over the whole schedule / population size
+    cumulative_moved_fraction: float
+    #: what RO1 predicts for this schedule with unlimited randomness:
+    #: sum of g / (N + i*g) over the steps
+    theoretical_moved_fraction: float
+    #: the one-shot optimum: total_new / n_final
+    one_shot_fraction: float
+
+
+@dataclass(frozen=True)
+class GroupSizeResult:
+    """The ablation table."""
+
+    n0: int
+    total_new: int
+    bits: int
+    eps: float
+    rows: tuple[GroupSizeRow, ...]
+
+
+def run_group_size(
+    n0: int = 4,
+    total_new: int = 12,
+    group_sizes: tuple[int, ...] = (1, 2, 3, 4, 6, 12),
+    num_blocks: int = 20_000,
+    bits: int = 32,
+    eps: float = 0.05,
+    seed: int = 0x6A0F,
+) -> GroupSizeResult:
+    """Grow ``n0 -> n0 + total_new`` with each group size and compare."""
+    for g in group_sizes:
+        if total_new % g:
+            raise ValueError(
+                f"group size {g} does not divide the growth {total_new}"
+            )
+    x0s = np.asarray(random_x0s(num_blocks, bits=bits, seed=seed), dtype=np.uint64)
+    rows = []
+    for g in group_sizes:
+        mapper = ScaddarMapper(n0=n0, bits=bits)
+        log_prefix = OperationLog(n0=n0)
+        previous = disks_array(x0s, log_prefix)
+        moves = 0
+        for __ in range(total_new // g):
+            mapper.apply(ScalingOp.add(g))
+            log_prefix.append(ScalingOp.add(g))
+            current = disks_array(x0s, log_prefix)
+            moves += int(np.count_nonzero(current != previous))
+            previous = current
+        theoretical = sum(
+            g / (n0 + (i + 1) * g) for i in range(total_new // g)
+        )
+        rows.append(
+            GroupSizeRow(
+                group_size=g,
+                operations=mapper.num_operations,
+                pi=mapper.product_n(),
+                unfairness_bound=mapper.unfairness_bound(),
+                remaining_budget=mapper.remaining_operations(eps, group_size=g),
+                cumulative_moved_fraction=moves / num_blocks,
+                theoretical_moved_fraction=theoretical,
+                one_shot_fraction=total_new / (n0 + total_new),
+            )
+        )
+    return GroupSizeResult(
+        n0=n0, total_new=total_new, bits=bits, eps=eps, rows=tuple(rows)
+    )
+
+
+def report(result: GroupSizeResult | None = None) -> str:
+    """Render the ablation table."""
+    result = result or run_group_size()
+    table = format_table(
+        (
+            "group size",
+            "ops used",
+            "Pi",
+            "unfairness bound",
+            f"further ops left (eps={result.eps})",
+            "moved frac (measured)",
+            "moved frac (theory)",
+            "one-shot optimum",
+        ),
+        [
+            (
+                r.group_size,
+                r.operations,
+                r.pi,
+                r.unfairness_bound,
+                r.remaining_budget,
+                r.cumulative_moved_fraction,
+                r.theoretical_moved_fraction,
+                r.one_shot_fraction,
+            )
+            for r in result.rows
+        ],
+    )
+    return (
+        f"growing {result.n0} -> {result.n0 + result.total_new} disks, "
+        f"b={result.bits}\n"
+        + table
+        + "\nbigger groups spend less randomness AND less block traffic "
+        "for the same growth — Definition 3.3's rationale.\n"
+        "measured < theory signals an exhausted range: blocks STOP moving "
+        "(the new disks starve) — the failure mode, not a saving"
+    )
+
+
+#: Uniform entry point used by the CLI (`scaddar <name>`).
+run = run_group_size

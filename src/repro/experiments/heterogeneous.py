@@ -1,0 +1,199 @@
+"""Experiment S6b: SCADDAR on heterogeneous disks via logical mapping.
+
+Section 6: "by applying previous work of mapping homogeneous logical
+disks to heterogeneous physical disks [18], SCADDAR may naturally evolve
+to allow block redistribution on heterogeneous physical disks".  The
+harness builds a three-generation pool (weights 1, 2 and 4 logical disks
+per drive), verifies each drive receives load proportional to its weight,
+then adds and removes drives and re-verifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.tables import format_table
+from repro.storage.hetero import HeterogeneousPool
+from repro.workloads.generator import random_x0s
+
+
+@dataclass(frozen=True)
+class PoolSnapshot:
+    """Load picture of the pool at one point of the scenario."""
+
+    label: str
+    logical_disks: int
+    loads: dict[int, int]  # physical id -> blocks
+    weights: dict[int, int]  # physical id -> logical disks
+    max_share_error: float  # worst |observed - expected| / expected
+
+
+@dataclass(frozen=True)
+class HeterogeneousResult:
+    """Snapshots across the add/remove scenario."""
+
+    blocks: int
+    snapshots: tuple[PoolSnapshot, ...]
+
+
+def _snapshot(pool: HeterogeneousPool, x0s: list[int], label: str) -> PoolSnapshot:
+    loads = pool.load_by_physical(x0s)
+    weights = {pid: pool.weight_of(pid) for pid in pool.physical_ids}
+    total_weight = sum(weights.values())
+    worst = 0.0
+    for pid, load in loads.items():
+        expected = len(x0s) * weights[pid] / total_weight
+        if expected > 0:
+            worst = max(worst, abs(load - expected) / expected)
+    return PoolSnapshot(
+        label=label,
+        logical_disks=pool.num_logical_disks,
+        loads=loads,
+        weights=weights,
+        max_share_error=worst,
+    )
+
+
+def run_heterogeneous(
+    num_blocks: int = 40_000, bits: int = 32, seed: int = 0x8E7E
+) -> HeterogeneousResult:
+    """Three-generation pool: initial, +fast drive, -slow drive."""
+    x0s = random_x0s(num_blocks, bits=bits, seed=seed)
+    # gen1 = 1 logical disk, gen2 = 2, gen3 = 4 (bandwidth ratios).
+    pool = HeterogeneousPool([(0, 1), (1, 1), (2, 2), (3, 4)], bits=bits)
+    snapshots = [_snapshot(pool, x0s, "initial (2x gen1, gen2, gen3)")]
+    pool.add_disk(4, weight=4)
+    snapshots.append(_snapshot(pool, x0s, "+ gen3 drive (weight 4)"))
+    pool.remove_disk(0)
+    snapshots.append(_snapshot(pool, x0s, "- gen1 drive (weight 1)"))
+    return HeterogeneousResult(blocks=num_blocks, snapshots=tuple(snapshots))
+
+
+def report(result: HeterogeneousResult | None = None) -> str:
+    """Render per-drive load vs the weight-proportional expectation."""
+    result = result or run_heterogeneous()
+    sections = []
+    for snap in result.snapshots:
+        total_weight = sum(snap.weights.values())
+        rows = [
+            (
+                f"drive {pid}",
+                snap.weights[pid],
+                snap.loads[pid],
+                result.blocks * snap.weights[pid] / total_weight,
+            )
+            for pid in sorted(snap.loads)
+        ]
+        table = format_table(("drive", "weight", "blocks", "expected"), rows)
+        sections.append(
+            f"{snap.label} — {snap.logical_disks} logical disks, "
+            f"max share error {snap.max_share_error:.3%}\n{table}"
+        )
+    comparison = report_comparison()
+    return "\n\n".join(sections) + "\n\n" + comparison
+
+
+@dataclass(frozen=True)
+class ApproachRow:
+    """One heterogeneous approach's score on the same fleet scenario."""
+
+    approach: str
+    max_share_error_initial: float
+    max_share_error_final: float
+    #: blocks moved when one weight-4 drive was added / removed,
+    #: as a fraction of the population (optimum: the drive's share)
+    add_moved_fraction: float
+    remove_moved_fraction: float
+    add_optimal: float
+    remove_optimal: float
+
+
+def run_hetero_comparison(
+    num_blocks: int = 40_000, bits: int = 32, seed: int = 0x8E7F
+) -> list[ApproachRow]:
+    """SCADDAR-over-logical-disks vs weighted straw2, identical fleet.
+
+    Scenario: drives of weight 1/1/2/4; add a weight-4 drive; remove a
+    weight-1 drive.  Both approaches should keep load proportional and
+    move only the affected drive's share.
+    """
+    from repro.placement.weighted_straw import WeightedStrawPool
+
+    x0s = random_x0s(num_blocks, bits=bits, seed=seed)
+    members = [(0, 1), (1, 1), (2, 2), (3, 4)]
+    rows = []
+    for name, pool in (
+        ("scaddar + logical disks", HeterogeneousPool(members, bits=bits)),
+        ("weighted straw2", WeightedStrawPool([(p, float(w)) for p, w in members])),
+    ):
+        def share_error():
+            loads = pool.load_by_physical(x0s)
+            total_weight = sum(pool.weight_of(p) for p in pool.physical_ids)
+            worst = 0.0
+            for pid, load in loads.items():
+                expected = num_blocks * pool.weight_of(pid) / total_weight
+                worst = max(worst, abs(load - expected) / expected)
+            return worst
+
+        initial_error = share_error()
+        before = {x0: pool.physical_of_block(x0) for x0 in x0s}
+        pool.add_disk(4, 4)
+        add_moved = sum(
+            1 for x0 in x0s if pool.physical_of_block(x0) != before[x0]
+        )
+        before = {x0: pool.physical_of_block(x0) for x0 in x0s}
+        pool.remove_disk(0)
+        remove_moved = sum(
+            1 for x0 in x0s if pool.physical_of_block(x0) != before[x0]
+        )
+        rows.append(
+            ApproachRow(
+                approach=name,
+                max_share_error_initial=initial_error,
+                max_share_error_final=share_error(),
+                add_moved_fraction=add_moved / num_blocks,
+                remove_moved_fraction=remove_moved / num_blocks,
+                add_optimal=4 / 12,  # the new drive's share of weight 12
+                remove_optimal=1 / 12,  # the retired drive's share
+            )
+        )
+    return rows
+
+
+def report_comparison(rows: list[ApproachRow] | None = None) -> str:
+    """Render the two-approach comparison table."""
+    rows = rows if rows is not None else run_hetero_comparison()
+    table = format_table(
+        (
+            "approach",
+            "share err (initial)",
+            "share err (final)",
+            "+drive moved",
+            "optimal",
+            "-drive moved",
+            "optimal ",
+        ),
+        [
+            (
+                r.approach,
+                r.max_share_error_initial,
+                r.max_share_error_final,
+                r.add_moved_fraction,
+                r.add_optimal,
+                r.remove_moved_fraction,
+                r.remove_optimal,
+            )
+            for r in rows
+        ],
+    )
+    return (
+        "approach comparison on the same fleet (weights 1/1/2/4, +4, -1):\n"
+        + table
+        + "\nboth keep load proportional and move ~the affected drive's "
+        "share; straw2 needs no logical-disk indirection but draws O(N) "
+        "straws per lookup"
+    )
+
+
+#: Uniform entry point used by the CLI (`scaddar <name>`).
+run = run_heterogeneous

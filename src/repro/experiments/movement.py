@@ -1,0 +1,113 @@
+"""Experiment RO1: block movement per scaling operation, per policy.
+
+RO1 demands that operation ``j`` move only ``z_j * B`` blocks (Eq. 1).
+The harness runs the same scaling schedule over every policy and compares
+the observed moved fraction with the optimum:
+
+* SCADDAR and the directory baseline sit at the optimum;
+* complete redistribution and round-robin move nearly everything;
+* the naive scheme is also movement-optimal (its failure is RO2);
+* the modern comparators are near-optimal in expectation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.movement import OpMovement, run_schedule
+from repro.core.errors import UnsupportedOperationError
+from repro.core.operations import ScalingOp
+from repro.experiments.tables import format_table
+from repro.placement import ALL_POLICIES
+from repro.storage.block import Block
+from repro.workloads.generator import random_x0s
+from repro.workloads.schedules import additions
+
+
+@dataclass(frozen=True)
+class PolicyMovement:
+    """Per-operation movement of one policy over one schedule."""
+
+    policy: str
+    per_op: tuple[OpMovement, ...]
+    skipped_reason: str | None = None
+
+    @property
+    def mean_overhead(self) -> float:
+        """Mean observed/optimal ratio over the schedule."""
+        if not self.per_op:
+            return float("nan")
+        return sum(m.overhead_ratio for m in self.per_op) / len(self.per_op)
+
+
+def _make_policy(name: str, n0: int, bits: int):
+    cls = ALL_POLICIES[name]
+    if name == "scaddar":
+        return cls(n0, bits=bits)
+    return cls(n0)
+
+
+def run_movement(
+    schedule: list[ScalingOp] | None = None,
+    n0: int = 4,
+    num_blocks: int = 20_000,
+    bits: int = 32,
+    seed: int = 0x40E5,
+    policies: tuple[str, ...] = tuple(ALL_POLICIES),
+) -> list[PolicyMovement]:
+    """Sweep the schedule over the selected policies.
+
+    Policies that cannot represent an operation in the schedule (the
+    naive scheme on removals, extendible hashing on non-doublings, jump
+    hash on non-tail removals) are reported as skipped rather than
+    crashing the sweep.
+    """
+    schedule = schedule if schedule is not None else additions(8)
+    blocks = [
+        Block(object_id=0, index=i, x0=x0)
+        for i, x0 in enumerate(random_x0s(num_blocks, bits=bits, seed=seed))
+    ]
+    results: list[PolicyMovement] = []
+    for name in policies:
+        try:
+            policy = _make_policy(name, n0, bits)
+            per_op = run_schedule(policy, blocks, schedule)
+        except UnsupportedOperationError as exc:
+            results.append(
+                PolicyMovement(policy=name, per_op=(), skipped_reason=str(exc))
+            )
+            continue
+        results.append(PolicyMovement(policy=name, per_op=tuple(per_op)))
+    return results
+
+
+def report(results: list[PolicyMovement] | None = None) -> str:
+    """Render moved fractions per operation and the overhead summary."""
+    results = results if results is not None else run_movement()
+    complete = [r for r in results if r.per_op]
+    if not complete:
+        return "all policies skipped the schedule"
+    ops = len(complete[0].per_op)
+    headers = ["policy"] + [f"op{j}" for j in range(ops)] + ["optimal", "overhead"]
+    rows: list[list[object]] = []
+    for result in results:
+        if not result.per_op:
+            rows.append(
+                [result.policy]
+                + ["-"] * ops
+                + ["-", f"skipped: {result.skipped_reason}"]
+            )
+            continue
+        rows.append(
+            [result.policy]
+            + [m.moved_fraction for m in result.per_op]
+            + [
+                " ".join(f"{float(m.optimal_fraction):.3f}" for m in result.per_op),
+                result.mean_overhead,
+            ]
+        )
+    return format_table(headers, rows)
+
+
+#: Uniform entry point used by the CLI (`scaddar <name>`).
+run = run_movement

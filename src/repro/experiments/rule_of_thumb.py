@@ -1,0 +1,129 @@
+"""Experiment 5.2: the Section 4.3 rule-of-thumb operation budget.
+
+Regenerates the paper's worked examples and a parameter sweep:
+
+* ``b = 64``, ``eps = 1%``, ``nbar = 16``  ->  ``k = 13``;
+* ``b = 32``, ``eps = 5%``, ``nbar = 8``   ->  ``k = 8``;
+
+and cross-checks each rule-of-thumb value against the *exact* budget from
+tracking ``Pi_k`` explicitly for a concrete single-disk-addition schedule
+whose average disk count matches ``nbar`` (the paper's own advice: "keep
+track of the quantity Pi_k explicitly").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bounds import exact_max_operations, rule_of_thumb_max_operations
+from repro.experiments.tables import format_table
+
+
+@dataclass(frozen=True)
+class RuleOfThumbRow:
+    """One (b, eps, nbar) configuration of the budget table."""
+
+    bits: int
+    eps: float
+    nbar: float
+    rule_of_thumb_k: int
+    #: exact budget when every epoch has exactly nbar disks — the
+    #: schedule whose geometric mean the rule of thumb assumes
+    exact_constant_k: int
+    #: exact budget for the schedule N0 = nbar - ops/2 growing by +1/op
+    exact_k: int
+    paper_k: int | None = None
+
+
+#: The paper's two worked examples (bits, eps, nbar, expected k).
+PAPER_EXAMPLES = ((64, 0.01, 16.0, 13), (32, 0.05, 8.0, 8))
+
+#: Sweep grid for the wider table.
+SWEEP = tuple(
+    (bits, eps, float(nbar))
+    for bits in (16, 32, 48, 64)
+    for eps in (0.01, 0.05, 0.10)
+    for nbar in (4, 8, 16, 64)
+)
+
+
+def _matched_schedule_n0(nbar: float, rule_k: int) -> int:
+    """Initial disk count whose +1/op schedule averages roughly ``nbar``.
+
+    For ``k`` single-disk additions the average count is about
+    ``n0 + k/2``, so start at ``nbar - k/2`` (at least 2).
+    """
+    return max(2, int(round(nbar - max(rule_k, 0) / 2)))
+
+
+def run_rule_of_thumb() -> list[RuleOfThumbRow]:
+    """Build the budget table: paper examples first, then the sweep."""
+    rows: list[RuleOfThumbRow] = []
+    for bits, eps, nbar, paper_k in PAPER_EXAMPLES:
+        rows.append(_row(bits, eps, nbar, paper_k))
+    for bits, eps, nbar in SWEEP:
+        rows.append(_row(bits, eps, nbar, None))
+    return rows
+
+
+def _exact_constant(bits: int, eps: float, nbar: float) -> int:
+    """Largest ``k`` with ``nbar**(k+1) <= R0 * eps / (1 + eps)``."""
+    from fractions import Fraction
+
+    limit = Fraction(1 << bits) * Fraction(eps).limit_denominator(10**9)
+    limit /= 1 + Fraction(eps).limit_denominator(10**9)
+    n = Fraction(nbar).limit_denominator(10**6)
+    pi = n
+    k = -1
+    while pi <= limit:
+        k += 1
+        pi *= n
+    return k
+
+
+def _row(bits: int, eps: float, nbar: float, paper_k: int | None) -> RuleOfThumbRow:
+    rule_k = rule_of_thumb_max_operations(bits, eps, nbar)
+    n0 = _matched_schedule_n0(nbar, rule_k)
+    exact_k = exact_max_operations(1 << bits, n0, eps)
+    return RuleOfThumbRow(
+        bits=bits,
+        eps=eps,
+        nbar=nbar,
+        rule_of_thumb_k=rule_k,
+        exact_constant_k=_exact_constant(bits, eps, nbar),
+        exact_k=exact_k,
+        paper_k=paper_k,
+    )
+
+
+def report(rows: list[RuleOfThumbRow] | None = None) -> str:
+    """Render the budget table."""
+    rows = rows if rows is not None else run_rule_of_thumb()
+    table_rows = [
+        (
+            r.bits,
+            r.eps,
+            r.nbar,
+            r.rule_of_thumb_k,
+            r.exact_constant_k,
+            r.exact_k,
+            "-" if r.paper_k is None else str(r.paper_k),
+        )
+        for r in rows
+    ]
+    return format_table(
+        (
+            "b",
+            "eps",
+            "nbar",
+            "rule-of-thumb k",
+            "exact k (const nbar)",
+            "exact k (+1 growth)",
+            "paper k",
+        ),
+        table_rows,
+    )
+
+
+#: Uniform entry point used by the CLI (`scaddar <name>`).
+run = run_rule_of_thumb

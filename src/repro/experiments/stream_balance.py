@@ -1,0 +1,245 @@
+"""Experiment RND: why random placement? (Section 1's RIO claims)
+
+The paper adopts randomized placement for the RIO-style advantages:
+load balancing "by the law of large numbers", a *single traffic
+pattern*, and support for unpredictable access such as "interactive
+applications or VCR-style operations" — while Section 2 concedes that
+constrained striping offers deterministic guarantees and random
+placement is "competitive".  This experiment measures exactly that
+trade under a mixed VCR workload (normal playback plus 2x and 4x
+fast-scan, whose strides pin a striped stream to ``N / gcd(s, N)``
+disks):
+
+* **predictability** — across many seeds (stream populations), random
+  placement's hiccup count sits in a tight band (law of large numbers);
+  striping's outcome swings by multiples depending on how convoys
+  happen to align, so a provider cannot plan for it;
+* **fairness** — striping's hiccups concentrate on the convoy members
+  (the same few viewers suffer every round); random placement spreads
+  them thinly over everyone.
+
+Both layouts serve the identical stream populations on identical disks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.server.objects import ObjectCatalog
+from repro.server.scheduler import RoundScheduler
+from repro.server.streams import Stream
+from repro.storage.array import DiskArray
+from repro.storage.disk import DiskSpec
+from repro.workloads.generator import uniform_catalog
+
+#: VCR playback modes: (stride, share of streams). Stride s = skip s-1
+#: blocks after each delivered block (fast-scan).
+PLAYBACK_MODES = ((1, 0.5), (2, 0.25), (4, 0.25))
+
+
+@dataclass(frozen=True)
+class SeedOutcome:
+    """One stream population on one layout."""
+
+    hiccups: int
+    worst_peak_queue: int
+    #: largest share of all hiccups charged to a single stream
+    worst_stream_share: float
+
+
+@dataclass(frozen=True)
+class LayoutSummary:
+    """Across-seed statistics for one layout."""
+
+    placement: str
+    seeds: int
+    mean_hiccups: float
+    min_hiccups: int
+    max_hiccups: int
+    #: max/min across seeds — the predictability metric (lower = planable)
+    spread: float
+    mean_worst_stream_share: float
+
+    @classmethod
+    def from_outcomes(
+        cls, placement: str, outcomes: list[SeedOutcome]
+    ) -> "LayoutSummary":
+        hiccups = [o.hiccups for o in outcomes]
+        low = min(hiccups)
+        return cls(
+            placement=placement,
+            seeds=len(outcomes),
+            mean_hiccups=float(np.mean(hiccups)),
+            min_hiccups=low,
+            max_hiccups=max(hiccups),
+            spread=max(hiccups) / low if low else float("inf"),
+            mean_worst_stream_share=float(
+                np.mean([o.worst_stream_share for o in outcomes])
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class StreamBalanceResult:
+    """Random vs round-robin striping under mixed VCR access."""
+
+    streams: int
+    disks: int
+    bandwidth: int
+    rounds: int
+    summaries: tuple[LayoutSummary, ...]
+
+
+def _build_array(
+    catalog: ObjectCatalog, n_disks: int, bandwidth: int, layout: str
+) -> DiskArray:
+    spec = DiskSpec(capacity_blocks=1_000_000, bandwidth_blocks_per_round=bandwidth)
+    array = DiskArray([spec] * n_disks)
+    for media in catalog:
+        for block in media.blocks():
+            if layout == "random":
+                logical = block.x0 % n_disks
+            else:
+                logical = (block.object_id + block.index) % n_disks
+            array.place(block, logical)
+    return array
+
+
+def _run_layout(
+    catalog: ObjectCatalog,
+    layout: str,
+    n_disks: int,
+    bandwidth: int,
+    starts: list[tuple[int, int, int]],
+    rounds: int,
+) -> SeedOutcome:
+    array = _build_array(catalog, n_disks, bandwidth, layout)
+    scheduler = RoundScheduler(array)
+    strides: dict[int, int] = {}
+    for sid, (object_id, position, stride) in enumerate(starts):
+        scheduler.admit(Stream(sid, catalog.get(object_id), start_block=position))
+        strides[sid] = stride
+    peaks = []
+    for __ in range(rounds):
+        positions_before = {s.stream_id: s.position for s in scheduler.streams}
+        report = scheduler.run_round()
+        peaks.append(max(report.load_by_physical.values(), default=0))
+        for stream in scheduler.streams:
+            advanced = stream.position != positions_before[stream.stream_id]
+            skip = strides[stream.stream_id] - 1
+            if advanced and skip and stream.is_active:
+                stream.seek(min(stream.position + skip, stream.media.num_blocks - 1))
+    total = scheduler.total_hiccups
+    worst_stream = max(scheduler.hiccups_by_stream.values(), default=0)
+    return SeedOutcome(
+        hiccups=total,
+        worst_peak_queue=int(max(peaks)),
+        worst_stream_share=worst_stream / total if total else 0.0,
+    )
+
+
+def _draw_starts(
+    rng: random.Random,
+    num_objects: int,
+    blocks_per_object: int,
+    num_streams: int,
+    rounds: int,
+) -> list[tuple[int, int, int]]:
+    mode_cdf = []
+    acc = 0.0
+    for stride, share in PLAYBACK_MODES:
+        acc += share
+        mode_cdf.append((acc, stride))
+    max_stride = max(stride for stride, __ in PLAYBACK_MODES)
+    headroom = blocks_per_object - rounds * max_stride - 1
+    if headroom <= 0:
+        raise ValueError(
+            "objects too short for the horizon: need more than "
+            f"{rounds * max_stride + 1} blocks, have {blocks_per_object}"
+        )
+    starts = []
+    for __ in range(num_streams):
+        roll = rng.random()
+        stride = next(s for threshold, s in mode_cdf if roll <= threshold)
+        starts.append((rng.randrange(num_objects), rng.randrange(headroom), stride))
+    return starts
+
+
+def run_stream_balance(
+    num_objects: int = 8,
+    blocks_per_object: int = 1_500,
+    n_disks: int = 8,
+    bandwidth: int = 4,
+    num_streams: int = 28,
+    rounds: int = 250,
+    seeds: int = 10,
+) -> StreamBalanceResult:
+    """Sweep stream populations; aggregate per-layout statistics."""
+    catalog = uniform_catalog(num_objects, blocks_per_object, master_seed=7, bits=32)
+    outcomes: dict[str, list[SeedOutcome]] = {"random": [], "round_robin": []}
+    for seed in range(seeds):
+        rng = random.Random(seed)
+        starts = _draw_starts(
+            rng, num_objects, blocks_per_object, num_streams, rounds
+        )
+        for layout in outcomes:
+            outcomes[layout].append(
+                _run_layout(catalog, layout, n_disks, bandwidth, starts, rounds)
+            )
+    summaries = tuple(
+        LayoutSummary.from_outcomes(layout, results)
+        for layout, results in outcomes.items()
+    )
+    return StreamBalanceResult(
+        streams=num_streams,
+        disks=n_disks,
+        bandwidth=bandwidth,
+        rounds=rounds,
+        summaries=summaries,
+    )
+
+
+def report(result: StreamBalanceResult | None = None) -> str:
+    """Render the layout comparison."""
+    from repro.experiments.tables import format_table
+
+    result = result or run_stream_balance()
+    table = format_table(
+        (
+            "placement",
+            "seeds",
+            "mean hiccups",
+            "min",
+            "max",
+            "max/min spread",
+            "worst-stream share",
+        ),
+        [
+            (
+                s.placement,
+                s.seeds,
+                s.mean_hiccups,
+                s.min_hiccups,
+                s.max_hiccups,
+                s.spread,
+                s.mean_worst_stream_share,
+            )
+            for s in result.summaries
+        ],
+    )
+    return (
+        f"{result.streams} streams (50% play, 25% 2x scan, 25% 4x scan), "
+        f"{result.disks} disks, bandwidth {result.bandwidth}/round, "
+        f"{result.rounds} rounds per seed\n"
+        + table
+        + "\nrandom placement: outcome in a tight band (plannable, law of"
+        " large numbers), hiccups spread over streams;\nstriping: outcome"
+        " swings with convoy luck and concentrates on the convoy members"
+    )
+
+
+#: Uniform entry point used by the CLI (`scaddar <name>`).
+run = run_stream_balance

@@ -1,0 +1,61 @@
+"""Plain-text table rendering shared by the experiment reports."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned monospace table.
+
+    Numbers are right-aligned, text left-aligned; floats print with four
+    significant decimals.
+    """
+    rendered_rows = [[_render(cell) for cell in row] for row in rows]
+    columns = len(headers)
+    for row in rendered_rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells but the table has {columns} columns"
+            )
+    widths = [
+        max(len(headers[c]), *(len(row[c]) for row in rendered_rows))
+        if rendered_rows
+        else len(headers[c])
+        for c in range(columns)
+    ]
+    numeric = [
+        bool(rendered_rows) and all(_is_number_like(row[c]) for row in rendered_rows)
+        for c in range(columns)
+    ]
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        parts = []
+        for c, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[c]) if numeric[c] else cell.ljust(widths[c]))
+        return "  ".join(parts).rstrip()
+
+    separator = "  ".join("-" * w for w in widths)
+    lines = [fmt_line(list(headers)), separator]
+    lines.extend(fmt_line(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def _render(cell: object) -> str:
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        if cell != cell:  # NaN
+            return "nan"
+        if cell in (float("inf"), float("-inf")):
+            return "inf" if cell > 0 else "-inf"
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def _is_number_like(text: str) -> bool:
+    try:
+        float(text)
+        return True
+    except ValueError:
+        return text in ("inf", "-inf", "nan", "yes", "no", "-")

@@ -1,0 +1,203 @@
+"""Experiment RO2: randomness of the redistribution, per operation.
+
+RO2 has two observable sides:
+
+* **destinations** — blocks that move must land uniformly on the eligible
+  disks (the added group for an addition, the survivors for a removal);
+* **sources** — the moved set must be a uniform random sample of all
+  blocks, so each pre-operation disk contributes movers in proportion to
+  its population.  This is where the naive scheme fails at operation 2:
+  Figure 1 shows disks 0 and 2 contributing *nothing*.
+
+The harness runs a schedule per policy and reports chi-square p-values
+for both sides of every operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.fairness import destination_counts, proportional_chi_square
+from repro.analysis.movement import PhysicalTracker
+from repro.analysis.stats import chi_square_uniform
+from repro.core.errors import UnsupportedOperationError
+from repro.core.operations import ScalingOp
+from repro.experiments.tables import format_table
+from repro.placement import ALL_POLICIES
+from repro.storage.block import Block
+from repro.workloads.generator import random_x0s
+from repro.workloads.schedules import additions
+
+
+@dataclass(frozen=True)
+class OpUniformity:
+    """Randomness verdict of one operation under one policy."""
+
+    op_index: int
+    kind: str
+    moved: int
+    eligible_disks: tuple[int, ...]
+    destination_counts: tuple[int, ...]
+    destination_p: float
+    source_counts: tuple[int, ...]
+    source_populations: tuple[int, ...]
+    source_p: float
+
+    @property
+    def empty_destinations(self) -> int:
+        """Eligible disks that received zero moved blocks."""
+        return sum(1 for c in self.destination_counts if c == 0)
+
+    @property
+    def silent_sources(self) -> int:
+        """Populated pre-op disks that contributed zero movers."""
+        return sum(
+            1
+            for count, population in zip(self.source_counts, self.source_populations)
+            if population > 0 and count == 0
+        )
+
+
+@dataclass(frozen=True)
+class PolicyUniformity:
+    """Per-operation uniformity results of one policy."""
+
+    policy: str
+    per_op: tuple[OpUniformity, ...]
+    skipped_reason: str | None = None
+
+
+def _eligible_logical(op: ScalingOp, n_before: int, n_after: int) -> list[int]:
+    """Post-operation logical indices a moved block may land on."""
+    if op.kind == "add":
+        return list(range(n_before, n_after))
+    return list(range(n_after))
+
+
+def run_uniformity(
+    schedule: list[ScalingOp] | None = None,
+    n0: int = 4,
+    num_blocks: int = 30_000,
+    bits: int = 32,
+    seed: int = 0x0402,
+    policies: tuple[str, ...] = ("scaddar", "naive", "directory"),
+) -> list[PolicyUniformity]:
+    """Sweep the schedule, collecting source/destination statistics."""
+    schedule = schedule if schedule is not None else additions(4)
+    blocks = [
+        Block(object_id=0, index=i, x0=x0)
+        for i, x0 in enumerate(random_x0s(num_blocks, bits=bits, seed=seed))
+    ]
+    results: list[PolicyUniformity] = []
+    for name in policies:
+        cls = ALL_POLICIES[name]
+        policy = cls(n0, bits=bits) if name == "scaddar" else cls(n0)
+        policy.register(blocks)
+        tracker = PhysicalTracker(n0)
+        per_op: list[OpUniformity] = []
+        skipped = None
+        # logical disk per block, pre-op; populations per logical disk.
+        logical_before = {b.block_id: policy.disk_of(b) for b in blocks}
+        physical_before = {
+            bid: tracker.physical(d) for bid, d in logical_before.items()
+        }
+        for op_index, op in enumerate(schedule):
+            n_before = policy.current_disks
+            populations = [0] * n_before
+            for disk in logical_before.values():
+                populations[disk] += 1
+            try:
+                n_after = policy.apply(op)
+            except UnsupportedOperationError as exc:
+                skipped = str(exc)
+                break
+            tracker.apply(op)
+            eligible = _eligible_logical(op, n_before, n_after)
+            destinations: list[int] = []
+            sources = [0] * n_before
+            logical_after: dict = {}
+            physical_after: dict = {}
+            for block in blocks:
+                disk = policy.disk_of(block)
+                home = tracker.physical(disk)
+                logical_after[block.block_id] = disk
+                physical_after[block.block_id] = home
+                if home != physical_before[block.block_id]:
+                    destinations.append(disk)
+                    sources[logical_before[block.block_id]] += 1
+            dest_counts = destination_counts(destinations, eligible)
+            if len(dest_counts) >= 2 and sum(dest_counts) > 0:
+                __, dest_p = chi_square_uniform(dest_counts)
+            else:
+                dest_p = 1.0  # single eligible disk: trivially uniform
+            if op.kind == "add":
+                source_weights = populations
+            else:
+                # Removal: only evicted disks contribute movers; their
+                # contribution is exactly their population (p = 1).
+                source_weights = [
+                    populations[d] if d in op.removed else 0
+                    for d in range(n_before)
+                ]
+                sources = [
+                    sources[d] if d in op.removed else 0 for d in range(n_before)
+                ]
+            __, source_p = proportional_chi_square(sources, source_weights)
+            per_op.append(
+                OpUniformity(
+                    op_index=op_index,
+                    kind=op.kind,
+                    moved=len(destinations),
+                    eligible_disks=tuple(eligible),
+                    destination_counts=tuple(dest_counts),
+                    destination_p=dest_p,
+                    source_counts=tuple(sources),
+                    source_populations=tuple(source_weights),
+                    source_p=source_p,
+                )
+            )
+            logical_before = logical_after
+            physical_before = physical_after
+        results.append(
+            PolicyUniformity(policy=name, per_op=tuple(per_op), skipped_reason=skipped)
+        )
+    return results
+
+
+def report(results: list[PolicyUniformity] | None = None) -> str:
+    """Render the per-operation uniformity table."""
+    results = results if results is not None else run_uniformity()
+    rows: list[tuple[object, ...]] = []
+    for result in results:
+        for op in result.per_op:
+            rows.append(
+                (
+                    result.policy,
+                    op.op_index,
+                    op.kind,
+                    op.moved,
+                    op.destination_p,
+                    op.empty_destinations,
+                    op.source_p,
+                    op.silent_sources,
+                )
+            )
+        if result.skipped_reason:
+            rows.append((result.policy, "-", "skipped", "-", "-", "-", "-", "-"))
+    return format_table(
+        (
+            "policy",
+            "op",
+            "kind",
+            "moved",
+            "dest p-value",
+            "empty dests",
+            "source p-value",
+            "silent sources",
+        ),
+        rows,
+    )
+
+
+#: Uniform entry point used by the CLI (`scaddar <name>`).
+run = run_uniformity

@@ -1,0 +1,71 @@
+"""Placement policies: SCADDAR, the paper's baselines, and modern comparators.
+
+Every policy answers "which logical disk holds this block?" behind the
+same :class:`~repro.placement.base.PlacementPolicy` interface, so the
+benchmark harness can sweep a scaling schedule over all of them and
+compare block movement (RO1), uniformity (RO2), lookup cost (AO1) and
+persistent state size.
+
+Paper baselines (Appendix A / Sections 1-2):
+
+* :class:`ScaddarPolicy` / :class:`NaivePolicy` — the contribution and
+  its Section 4.1 strawman.
+* :class:`CompleteRedistribution` — ``X0 mod Nj``: keeps perfect
+  randomness but moves nearly every block.
+* :class:`DirectoryPolicy` — bookkeeping baseline: optimal movement and
+  randomness at the cost of O(blocks) persistent state.
+* :class:`RoundRobinPolicy` — constrained striping; re-stripes the world
+  on every scaling operation.
+* :class:`ExtendibleHashingPolicy` — Appendix A's rejected approach; only
+  supports doubling/halving the disk count.
+
+Modern comparators (extensions, not in the paper):
+
+* :class:`ConsistentHashPolicy` — a vnode ring (Karger et al.).
+* :class:`JumpHashPolicy` — jump consistent hash (Lamping & Veach).
+* :class:`StrawPolicy` — CRUSH-style straw2 selection (Weil et al.).
+"""
+
+from repro.placement.base import PlacementPolicy
+from repro.placement.complete import CompleteRedistribution
+from repro.placement.consistent_hash import ConsistentHashPolicy
+from repro.placement.directory import DirectoryPolicy
+from repro.placement.extendible import ExtendibleHashingPolicy
+from repro.placement.jump_hash import JumpHashPolicy, jump_hash
+from repro.placement.pseudo_random import NaivePolicy, ScaddarPolicy
+from repro.placement.round_robin import RoundRobinPolicy
+from repro.placement.straw import StrawPolicy, straw_length
+from repro.placement.weighted_straw import WeightedStrawPool
+
+#: All policies the comparison benches sweep, keyed by policy name.
+ALL_POLICIES: dict[str, type[PlacementPolicy]] = {
+    cls.name: cls
+    for cls in (
+        ScaddarPolicy,
+        NaivePolicy,
+        CompleteRedistribution,
+        DirectoryPolicy,
+        RoundRobinPolicy,
+        ExtendibleHashingPolicy,
+        ConsistentHashPolicy,
+        JumpHashPolicy,
+        StrawPolicy,
+    )
+}
+
+__all__ = [
+    "ALL_POLICIES",
+    "CompleteRedistribution",
+    "ConsistentHashPolicy",
+    "DirectoryPolicy",
+    "ExtendibleHashingPolicy",
+    "JumpHashPolicy",
+    "NaivePolicy",
+    "PlacementPolicy",
+    "RoundRobinPolicy",
+    "ScaddarPolicy",
+    "StrawPolicy",
+    "WeightedStrawPool",
+    "jump_hash",
+    "straw_length",
+]

@@ -1,0 +1,88 @@
+"""The common placement-policy interface.
+
+A policy maps blocks to *logical* disk indices ``0 .. N-1`` and reacts to
+scaling operations.  The contract is deliberately minimal so that both
+function-computed policies (SCADDAR, round-robin, hashes) and stateful
+ones (the directory baseline) fit behind it:
+
+* :meth:`register` introduces the block population (no-op for computed
+  policies; the directory needs it to assign and later relocate entries);
+* :meth:`apply` records one scaling operation;
+* :meth:`disk_of` answers the current logical disk of a block;
+* :meth:`state_entries` reports the persistent-state footprint, the
+  quantity the paper's directory-vs-SCADDAR storage argument is about.
+
+Benches measure movement by snapshotting ``disk_of`` over the population
+before and after ``apply`` — no policy-specific move API needed.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable
+
+from repro.core.operations import OperationLog, ScalingOp
+from repro.storage.block import Block, BlockId
+
+
+class PlacementPolicy(ABC):
+    """Base class for all placement policies.
+
+    Parameters
+    ----------
+    n0:
+        Initial number of (logical) disks.
+    """
+
+    #: Policy name used by benches and the CLI registry.
+    name: str = "abstract"
+
+    def __init__(self, n0: int):
+        self.log = OperationLog(n0=n0)
+
+    @property
+    def current_disks(self) -> int:
+        """Current disk count ``Nj``."""
+        return self.log.current_disks
+
+    @property
+    def num_operations(self) -> int:
+        """Scaling operations applied so far."""
+        return self.log.num_operations
+
+    def register(self, blocks: Iterable[Block]) -> None:
+        """Introduce blocks to the policy (default: nothing to do)."""
+
+    def apply(self, op: ScalingOp) -> int:
+        """Apply one scaling operation; returns the new disk count."""
+        n_before = self.current_disks
+        n_after = op.next_disk_count(n_before)
+        self._on_apply(op, n_before, n_after)
+        self.log.append(op)
+        return n_after
+
+    @abstractmethod
+    def disk_of(self, block: Block) -> int:
+        """Current logical disk of a block."""
+
+    def state_entries(self) -> int:
+        """Persistent-state footprint in entries.
+
+        The unit is "one record": a logged scaling operation, a directory
+        entry, a virtual ring node...  Policies that recompute placement
+        purely from ``(X0, N)`` report 0.
+        """
+        return self.num_operations
+
+    def placement_snapshot(self, blocks: Iterable[Block]) -> dict[BlockId, int]:
+        """Current disk of every block — the movement bench's raw data."""
+        return {block.block_id: self.disk_of(block) for block in blocks}
+
+    def _on_apply(self, op: ScalingOp, n_before: int, n_after: int) -> None:
+        """Hook for policies with per-operation work (default: none)."""
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(disks={self.current_disks}, "
+            f"operations={self.num_operations})"
+        )

@@ -1,0 +1,26 @@
+"""Complete redistribution: ``disk = X0 mod Nj`` (Appendix A).
+
+After every scaling operation this policy behaves exactly like a fresh
+random placement — perfect randomness, zero extra state — but the disk of
+nearly every block changes: an expected ``1 - 1/max(Nj-1, Nj)``-ish
+fraction moves per operation.  It is the paper's "new initial state"
+alternative and the flat-CoV comparison curve in the Section 5 experiment.
+"""
+
+from __future__ import annotations
+
+from repro.placement.base import PlacementPolicy
+from repro.storage.block import Block
+
+
+class CompleteRedistribution(PlacementPolicy):
+    """``X0 mod Nj`` placement with full reshuffles on scaling."""
+
+    name = "complete"
+
+    def disk_of(self, block: Block) -> int:
+        return block.x0 % self.current_disks
+
+    def state_entries(self) -> int:
+        # Only the seeds are needed; the disk count is a single scalar.
+        return 0

@@ -1,0 +1,86 @@
+"""The directory (bookkeeping) baseline of Appendix A.
+
+A directory records the disk of every block explicitly.  Movement is
+optimal and randomness perfect — on addition each block moves to a fresh
+disk with exactly probability ``(Nj - Nj-1)/Nj``; on removal only the
+evicted blocks move, to uniformly random survivors — but the persistent
+state is O(total blocks) ("the directory can potentially expand to
+millions of entries") and every scaling operation must touch it all.
+SCADDAR matches this policy's movement and (up to range shrinkage) its
+randomness with O(operations) state instead.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+
+from repro.core.operations import ScalingOp
+from repro.core.remap import survivor_ranks
+from repro.placement.base import PlacementPolicy
+from repro.storage.block import Block, BlockId
+
+
+class DirectoryPolicy(PlacementPolicy):
+    """Explicit per-block directory with optimal random relocation.
+
+    Parameters
+    ----------
+    n0:
+        Initial disk count.
+    seed:
+        Seed of the policy's private RNG (placement and relocation draws),
+        so runs are reproducible.
+    """
+
+    name = "directory"
+
+    def __init__(self, n0: int, seed: int = 0x5CADDA):
+        super().__init__(n0)
+        self._rng = random.Random(seed)
+        self._directory: dict[BlockId, int] = {}
+
+    def register(self, blocks: Iterable[Block]) -> None:
+        """Assign each new block a uniformly random disk."""
+        n = self.current_disks
+        for block in blocks:
+            if block.block_id not in self._directory:
+                self._directory[block.block_id] = self._rng.randrange(n)
+
+    def disk_of(self, block: Block) -> int:
+        try:
+            return self._directory[block.block_id]
+        except KeyError:
+            raise KeyError(
+                f"block {block.block_id} was never registered with the directory"
+            )
+
+    def state_entries(self) -> int:
+        """One directory entry per block — the Appendix A complaint."""
+        return len(self._directory)
+
+    def _on_apply(self, op: ScalingOp, n_before: int, n_after: int) -> None:
+        if op.kind == "add":
+            self._relocate_for_addition(n_before, n_after)
+        else:
+            self._relocate_for_removal(op, n_before, n_after)
+
+    def _relocate_for_addition(self, n_before: int, n_after: int) -> None:
+        # Move each block with probability (n_after - n_before) / n_after
+        # onto a uniformly chosen added disk: optimal and perfectly random.
+        move_numerator = n_after - n_before
+        for block_id in self._directory:
+            if self._rng.randrange(n_after) < move_numerator:
+                self._directory[block_id] = self._rng.randrange(n_before, n_after)
+
+    def _relocate_for_removal(
+        self, op: ScalingOp, n_before: int, n_after: int
+    ) -> None:
+        ranks = survivor_ranks(op.removed, n_before)
+        for block_id, disk in self._directory.items():
+            if ranks[disk] >= 0:
+                # Survivor: re-index compactly, no physical move implied.
+                self._directory[block_id] = ranks[disk]
+            else:
+                # Evicted: uniformly random surviving disk.
+                self._directory[block_id] = self._rng.randrange(n_after)

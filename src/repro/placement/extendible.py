@@ -1,0 +1,69 @@
+"""Extendible-hashing placement — Appendix A's rejected approach.
+
+Blocks hash into a directory of ``2**d`` entries, each pointing to one
+disk; with every entry equally likely, load balancing forces exactly one
+disk per entry, so ``N = 2**d`` always.  Scaling therefore only comes in
+doubling and halving steps — "not a feasible or flexible solution"
+(Appendix A) — which this implementation enforces loudly.
+
+Within its constraint the scheme is actually movement-optimal: doubling
+moves the expected half of all blocks (each directly to its one new home)
+and halving folds each removed disk onto one survivor.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import UnsupportedOperationError
+from repro.core.operations import ScalingOp
+from repro.placement.base import PlacementPolicy
+from repro.storage.block import Block
+
+
+def _is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+class ExtendibleHashingPolicy(PlacementPolicy):
+    """Power-of-two placement: ``disk = X0 mod 2**d``.
+
+    Allowed operations:
+
+    * addition of exactly ``N`` disks (doubling, ``d -> d + 1``);
+    * removal of exactly the upper half ``N/2 .. N-1`` (halving).
+
+    Anything else raises
+    :class:`~repro.core.errors.UnsupportedOperationError`, demonstrating
+    the inflexibility the paper rejects the approach for.
+    """
+
+    name = "extendible"
+
+    def __init__(self, n0: int):
+        if not _is_power_of_two(n0):
+            raise UnsupportedOperationError(
+                f"extendible hashing needs a power-of-two disk count, got {n0}"
+            )
+        super().__init__(n0)
+
+    def disk_of(self, block: Block) -> int:
+        # The directory label of a block is its d low-order hash bits.
+        return block.x0 % self.current_disks
+
+    def state_entries(self) -> int:
+        """The 2**d directory entries (one pointer per entry)."""
+        return self.current_disks
+
+    def _on_apply(self, op: ScalingOp, n_before: int, n_after: int) -> None:
+        if op.kind == "add":
+            if op.count != n_before:
+                raise UnsupportedOperationError(
+                    f"extendible hashing can only double: adding {op.count} "
+                    f"disks to {n_before} is not a doubling"
+                )
+            return
+        upper_half = tuple(range(n_before // 2, n_before))
+        if op.removed != upper_half:
+            raise UnsupportedOperationError(
+                "extendible hashing can only halve by removing the upper "
+                f"half {list(upper_half)}, got {list(op.removed)}"
+            )

@@ -1,0 +1,57 @@
+"""Jump consistent hash — a modern comparator (not in the paper).
+
+Lamping & Veach's jump hash maps a 64-bit key to a bucket in ``0..N-1``
+with no state at all and provably minimal movement when ``N`` grows or
+shrinks — but buckets can only be added or removed *at the end*, the same
+structural restriction SCADDAR's removal equations exist to avoid.  The
+policy therefore accepts arbitrary additions but only removals of the
+highest logical indices.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import UnsupportedOperationError
+from repro.core.operations import ScalingOp
+from repro.placement.base import PlacementPolicy
+from repro.storage.block import Block
+
+_MASK64 = (1 << 64) - 1
+_JUMP_MULTIPLIER = 2862933555777941757
+
+
+def jump_hash(key: int, buckets: int) -> int:
+    """Jump consistent hash of a 64-bit key into ``0 .. buckets - 1``.
+
+    Reference algorithm from Lamping & Veach (2014), exact integer port.
+    """
+    if buckets <= 0:
+        raise ValueError(f"buckets must be >= 1, got {buckets}")
+    key &= _MASK64
+    bucket, candidate = -1, 0
+    while candidate < buckets:
+        bucket = candidate
+        key = (key * _JUMP_MULTIPLIER + 1) & _MASK64
+        candidate = int((bucket + 1) * ((1 << 31) / ((key >> 33) + 1)))
+    return bucket
+
+
+class JumpHashPolicy(PlacementPolicy):
+    """Stateless jump-hash placement: ``disk = jump_hash(X0, N)``."""
+
+    name = "jump_hash"
+
+    def disk_of(self, block: Block) -> int:
+        return jump_hash(block.x0, self.current_disks)
+
+    def state_entries(self) -> int:
+        # Placement is a pure function of (X0, N).
+        return 0
+
+    def _on_apply(self, op: ScalingOp, n_before: int, n_after: int) -> None:
+        if op.kind == "remove":
+            tail = tuple(range(n_after, n_before))
+            if op.removed != tail:
+                raise UnsupportedOperationError(
+                    "jump hash can only shrink from the end: expected removal "
+                    f"of {list(tail)}, got {list(op.removed)}"
+                )

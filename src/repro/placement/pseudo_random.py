@@ -1,0 +1,50 @@
+"""SCADDAR and the naive Section 4.1 scheme as placement policies.
+
+These are thin adapters: the actual REMAP logic lives in
+:mod:`repro.core`; the adapters bind it to the :class:`Block` currency and
+the uniform policy interface the benches sweep.
+"""
+
+from __future__ import annotations
+
+from repro.core.naive import NaiveMapper
+from repro.core.operations import ScalingOp
+from repro.core.scaddar import ScaddarMapper
+from repro.placement.base import PlacementPolicy
+from repro.storage.block import Block
+
+
+class ScaddarPolicy(PlacementPolicy):
+    """SCADDAR behind the generic policy interface.
+
+    Persistent state is the operation log only (AO1's storage argument);
+    lookups chain ``j`` REMAP steps over the block's ``X0``.
+    """
+
+    name = "scaddar"
+
+    def __init__(self, n0: int, bits: int = 64):
+        super().__init__(n0)
+        self.mapper = ScaddarMapper(n0=n0, bits=bits)
+
+    def disk_of(self, block: Block) -> int:
+        return self.mapper.disk_of(block.x0)
+
+    def _on_apply(self, op: ScalingOp, n_before: int, n_after: int) -> None:
+        self.mapper.apply(op)
+
+
+class NaivePolicy(PlacementPolicy):
+    """The Section 4.1 naive scheme (additions only) as a policy."""
+
+    name = "naive"
+
+    def __init__(self, n0: int):
+        super().__init__(n0)
+        self.mapper = NaiveMapper(n0=n0)
+
+    def disk_of(self, block: Block) -> int:
+        return self.mapper.disk_of(block.x0)
+
+    def _on_apply(self, op: ScalingOp, n_before: int, n_after: int) -> None:
+        self.mapper.apply(op)

@@ -1,0 +1,84 @@
+"""Weighted straw2 pool — the CRUSH way to run heterogeneous disks.
+
+SCADDAR handles mixed hardware by splitting fast drives into several
+unit logical disks (Section 6 / :mod:`repro.storage.hetero`); CRUSH's
+straw2 instead weights the selection draw directly: disk ``i`` wins a
+block with probability proportional to ``w_i``, no virtual disks needed.
+:class:`WeightedStrawPool` mirrors the
+:class:`~repro.storage.hetero.HeterogeneousPool` interface so the
+heterogeneous experiment can compare the two approaches on identical
+fleets.
+"""
+
+from __future__ import annotations
+
+from repro.placement.straw import straw_length
+
+
+class WeightedStrawPool:
+    """Straw2 selection over weighted physical disks.
+
+    Parameters
+    ----------
+    initial:
+        Sequence of ``(physical_id, weight)`` pairs.
+    """
+
+    def __init__(self, initial: list[tuple[int, float]]):
+        if not initial:
+            raise ValueError("pool needs at least one physical disk")
+        self._weights: dict[int, float] = {}
+        for physical_id, weight in initial:
+            self._add(physical_id, weight)
+        self.operations = 0
+
+    def _add(self, physical_id: int, weight: float) -> None:
+        if weight <= 0:
+            raise ValueError(f"weight must be > 0, got {weight}")
+        if physical_id in self._weights:
+            raise ValueError(f"physical disk {physical_id} is already in the pool")
+        self._weights[physical_id] = weight
+
+    @property
+    def physical_ids(self) -> tuple[int, ...]:
+        """Member disks (insertion order)."""
+        return tuple(self._weights)
+
+    def weight_of(self, physical_id: int) -> float:
+        """A member's selection weight."""
+        try:
+            return self._weights[physical_id]
+        except KeyError:
+            raise KeyError(f"physical disk {physical_id} is not in the pool")
+
+    def add_disk(self, physical_id: int, weight: float) -> None:
+        """Attach a disk; only blocks it wins move to it."""
+        self._add(physical_id, weight)
+        self.operations += 1
+
+    def remove_disk(self, physical_id: int) -> None:
+        """Detach a disk; only its resident blocks move."""
+        if physical_id not in self._weights:
+            raise KeyError(f"physical disk {physical_id} is not in the pool")
+        if len(self._weights) == 1:
+            raise ValueError("cannot remove the last disk")
+        del self._weights[physical_id]
+        self.operations += 1
+
+    def physical_of_block(self, x0: int) -> int:
+        """The disk whose weighted straw wins this block."""
+        best_id = None
+        best_straw = None
+        for physical_id, weight in self._weights.items():
+            straw = straw_length(x0, physical_id, weight)
+            if best_straw is None or straw > best_straw:
+                best_straw = straw
+                best_id = physical_id
+        return best_id
+
+    def load_by_physical(self, x0s: list[int]) -> dict[int, int]:
+        """Blocks per disk for a population."""
+        loads = {pid: 0 for pid in self._weights}
+        for x0 in x0s:
+            loads[self.physical_of_block(x0)] += 1
+        return loads

@@ -1,0 +1,42 @@
+"""Pseudo-random generators and reproducible per-object sequences.
+
+The paper models block placement with a seeded generator ``p_r(s_m)``
+returning ``b``-bit values: block ``i`` of object ``m`` uses the *i*-th
+iteration ``X0(i)`` of the stream (Definition 3.2).  This package provides
+three from-scratch generators plus :class:`ObjectSequence`, which turns a
+generator family and a seed into the paper's ``X0(i)`` accessor.
+
+Generators
+----------
+:class:`SplitMix64`
+    A counter-based hash generator.  Because each output is a pure function
+    of ``seed + (i+1) * GAMMA``, indexed access ``at(i)`` is O(1) and equal
+    to iterated access — the property the reproduction's fast path relies on.
+:class:`Xorshift64Star`
+    A classic xorshift with a multiplicative finalizer; iteration only.
+:class:`Lcg48`
+    A 48-bit linear congruential generator (the ``java.util.Random``
+    constants) with O(log i) jump-ahead via affine-map exponentiation.
+:class:`Pcg32`
+    PCG-XSH-RR: modern output quality on an LCG core, O(log i) jumps.
+"""
+
+from repro.prng.generators import (
+    Lcg48,
+    Pcg32,
+    PseudoRandomGenerator,
+    SplitMix64,
+    Xorshift64Star,
+)
+from repro.prng.sequence import GENERATOR_FAMILIES, ObjectSequence, make_generator
+
+__all__ = [
+    "GENERATOR_FAMILIES",
+    "Lcg48",
+    "ObjectSequence",
+    "Pcg32",
+    "PseudoRandomGenerator",
+    "SplitMix64",
+    "Xorshift64Star",
+    "make_generator",
+]

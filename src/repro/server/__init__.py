@@ -1,0 +1,69 @@
+"""Continuous-media server simulation.
+
+The substrate the paper's claims live in: a catalog of CM objects with
+per-object seeds, a round-based retrieval scheduler serving concurrent
+streams, online scaling that interleaves redistribution with playback,
+and the Section 6 mirroring extension for fault tolerance.
+"""
+
+from repro.server.admission import (
+    AggregateAdmission,
+    StatisticalAdmission,
+    UtilizationAdmission,
+)
+from repro.server.cmserver import CMServer, ScaleReport
+from repro.server.faults import MirroredPlacement, mirror_offset
+from repro.server.fsck import LayoutReport, check_layout, repair_layout
+from repro.server.ingest import IngestReport, IngestSession
+from repro.server.metrics import MetricsCollector, MetricsSummary
+from repro.server.objects import MediaObject, ObjectCatalog
+from repro.server.parity import ParityLayout, ParityPlacement
+from repro.server.online import OnlineScaler, OnlineScaleReport
+from repro.server.recovery import RecoveryReport, simulate_failure_recovery
+from repro.server.planner import CapacityPlan, GrowthForecast, minimum_bits, plan_capacity
+from repro.server.persistence import (
+    restore_server,
+    server_to_json,
+    snapshot_server,
+)
+from repro.server.scheduler import RoundReport, RoundScheduler
+from repro.server.simulation import DaySummary, ServerSimulation
+from repro.server.streams import Stream, StreamState
+
+__all__ = [
+    "AggregateAdmission",
+    "CMServer",
+    "CapacityPlan",
+    "GrowthForecast",
+    "DaySummary",
+    "IngestReport",
+    "LayoutReport",
+    "MetricsCollector",
+    "MetricsSummary",
+    "IngestSession",
+    "MediaObject",
+    "MirroredPlacement",
+    "ObjectCatalog",
+    "OnlineScaleReport",
+    "OnlineScaler",
+    "ParityLayout",
+    "ParityPlacement",
+    "RecoveryReport",
+    "RoundReport",
+    "RoundScheduler",
+    "ScaleReport",
+    "ServerSimulation",
+    "StatisticalAdmission",
+    "Stream",
+    "StreamState",
+    "UtilizationAdmission",
+    "check_layout",
+    "minimum_bits",
+    "mirror_offset",
+    "plan_capacity",
+    "repair_layout",
+    "restore_server",
+    "simulate_failure_recovery",
+    "server_to_json",
+    "snapshot_server",
+]

@@ -1,0 +1,359 @@
+"""The CM server facade: catalog + SCADDAR mapper + disk array.
+
+Ties the pieces together the way the paper's system would run:
+
+* loading an object places its blocks by ``X0 mod N0`` (plus any recorded
+  REMAPs);
+* ``scale()`` performs one scaling operation — mapper first (the log is
+  the source of truth), then the RF() plan, then the physical moves, then
+  the topology change;
+* lookups go through ``AF()`` only; the array's inventory is the
+  simulated "ground truth" the integration tests check AF against;
+* when the Lemma 4.3 budget is spent, ``reshuffle()`` performs the full
+  redistribution the paper prescribes: fresh seeds, fresh mapper, blocks
+  moved to their new homes.
+
+Scaling can also be *begun* (plan computed, topology prepared) and
+executed lazily by the online scaler (:mod:`repro.server.online`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Optional
+
+from repro.analysis.movement import optimal_move_fraction
+from repro.core.operations import ScalingOp
+from repro.core.scaddar import ScaddarMapper
+from repro.server.objects import MediaObject, ObjectCatalog
+from repro.storage.array import DiskArray
+from repro.storage.block import Block, BlockId
+from repro.storage.disk import DiskSpec
+from repro.storage.migration import (
+    MigrationPlan,
+    MigrationSession,
+    PhysicalMove,
+)
+
+
+@dataclass
+class ScaleReport:
+    """Outcome of one completed scaling operation."""
+
+    op: ScalingOp
+    n_before: int
+    n_after: int
+    blocks_moved: int
+    total_blocks: int
+    optimal_fraction: Fraction
+
+    @property
+    def moved_fraction(self) -> float:
+        """Observed fraction of all blocks moved."""
+        return self.blocks_moved / self.total_blocks if self.total_blocks else 0.0
+
+
+@dataclass
+class PendingScale:
+    """A begun-but-not-finished scaling operation.
+
+    The mapper already reflects the new epoch and added disks are already
+    attached; the caller owns executing ``plan`` (at whatever pace) and
+    then calling :meth:`CMServer.finish_scale`.
+    """
+
+    op: ScalingOp
+    n_before: int
+    n_after: int
+    plan: MigrationPlan
+    removed_physicals: tuple[int, ...] = ()
+    _finished: bool = field(default=False, repr=False)
+
+
+class CMServer:
+    """A scalable continuous-media server with SCADDAR placement.
+
+    Parameters
+    ----------
+    catalog:
+        The object catalog (may be empty; objects can be loaded later).
+    initial_specs:
+        Disk specs of the initial group.
+    bits:
+        Random-number width ``b`` (bounds the operation budget).
+    default_spec:
+        Spec used for added disks when ``scale`` is not given explicit
+        specs.
+
+    Examples
+    --------
+    >>> server = CMServer(ObjectCatalog(bits=32), [DiskSpec()] * 4, bits=32)
+    >>> server.num_disks
+    4
+    """
+
+    def __init__(
+        self,
+        catalog: ObjectCatalog,
+        initial_specs: list[DiskSpec],
+        bits: int = 64,
+        default_spec: Optional[DiskSpec] = None,
+    ):
+        if catalog.bits != bits:
+            raise ValueError(
+                f"catalog bit width {catalog.bits} != server bit width {bits}; "
+                "the mapper and the sequences must agree on R"
+            )
+        self.catalog = catalog
+        self.array = DiskArray(initial_specs)
+        self.mapper = ScaddarMapper(n0=len(initial_specs), bits=bits)
+        self.default_spec = default_spec or initial_specs[0]
+        self._x0: dict[BlockId, int] = {}
+        self.reshuffles = 0
+        for media in catalog:
+            self._load_blocks(media)
+
+    @classmethod
+    def from_state(
+        cls,
+        catalog: ObjectCatalog,
+        mapper: ScaddarMapper,
+        current_specs: list[DiskSpec],
+        default_spec: Optional[DiskSpec] = None,
+    ) -> "CMServer":
+        """Rebuild a server from restored state (seeds + operation log).
+
+        ``current_specs`` describes the disks of the *current* epoch (one
+        per logical index, ``len == mapper.current_disks``); blocks are
+        placed where the replayed REMAP chain says they belong — the
+        paper's claim that seeds plus the op log fully determine the
+        layout.
+        """
+        if len(current_specs) != mapper.current_disks:
+            raise ValueError(
+                f"mapper expects {mapper.current_disks} disks but "
+                f"{len(current_specs)} specs were given"
+            )
+        server = cls.__new__(cls)
+        server.catalog = catalog
+        server.array = DiskArray(current_specs)
+        server.mapper = mapper
+        server.default_spec = default_spec or current_specs[0]
+        server._x0 = {}
+        server.reshuffles = 0
+        for media in catalog:
+            server._load_blocks(media)
+        return server
+
+    # ------------------------------------------------------------------
+    # Catalog / placement
+    # ------------------------------------------------------------------
+    @property
+    def num_disks(self) -> int:
+        """Current disk count ``Nj``."""
+        return self.array.num_disks
+
+    @property
+    def total_blocks(self) -> int:
+        """Blocks resident on the array."""
+        return self.array.total_blocks
+
+    def add_object(
+        self, name: str, num_blocks: int, blocks_per_round: int = 1
+    ) -> MediaObject:
+        """Register a new object and place all its blocks."""
+        media = self.catalog.add_object(name, num_blocks, blocks_per_round)
+        self._load_blocks(media)
+        return media
+
+    def remove_object(self, object_id: int) -> None:
+        """Drop an object and free its blocks."""
+        media = self.catalog.remove_object(object_id)
+        for index in range(media.num_blocks):
+            block_id = BlockId(object_id, index)
+            self.array.drop(block_id)
+            del self._x0[block_id]
+
+    def block_location(self, object_id: int, index: int) -> int:
+        """``AF()``: physical disk of a block, computed (not looked up).
+
+        This is the retrieval path — a chain of mod/div steps over the
+        block's ``X0`` plus one logical->physical translation; the block
+        inventory is never consulted.
+        """
+        x0 = self._x0_of(object_id, index)
+        return self.array.physical_at(self.mapper.disk_of(x0))
+
+    def load_vector(self) -> list[int]:
+        """Blocks per disk in logical order (the evaluation's raw data)."""
+        return self.array.load_vector()
+
+    # ------------------------------------------------------------------
+    # Scaling
+    # ------------------------------------------------------------------
+    def scale(
+        self,
+        op: ScalingOp,
+        specs: Optional[list[DiskSpec]] = None,
+        eps: Optional[float] = None,
+    ) -> ScaleReport:
+        """Perform one scaling operation, moving blocks immediately.
+
+        ``eps`` (when given) enforces the Lemma 4.3 budget: the operation
+        raises :class:`~repro.core.errors.RandomnessExhaustedError`
+        instead of degrading fairness past the tolerance.
+        """
+        pending = self.begin_scale(op, specs=specs, eps=eps)
+        session = MigrationSession(self.array, pending.plan)
+        while not session.done:
+            # Unthrottled execution: a budget covering every endpoint.
+            session.step(len(pending.plan))
+        self.finish_scale(pending)
+        return ScaleReport(
+            op=op,
+            n_before=pending.n_before,
+            n_after=pending.n_after,
+            blocks_moved=len(pending.plan),
+            total_blocks=self.total_blocks,
+            optimal_fraction=optimal_move_fraction(op, pending.n_before),
+        )
+
+    def begin_scale(
+        self,
+        op: ScalingOp,
+        specs: Optional[list[DiskSpec]] = None,
+        eps: Optional[float] = None,
+    ) -> PendingScale:
+        """Start a scaling operation: update the mapper, attach any new
+        disks, and compute the RF() migration plan — without moving data.
+
+        For removals the doomed disks stay attached (and readable) until
+        :meth:`finish_scale`; their blocks drain via the plan.
+        """
+        n_before = self.num_disks
+        if op.kind == "add":
+            group = specs if specs is not None else [self.default_spec] * op.count
+            if len(group) != op.count:
+                raise ValueError(
+                    f"operation adds {op.count} disks but {len(group)} specs given"
+                )
+            removed_physicals: tuple[int, ...] = ()
+            target_table = None  # resolved after attach
+            self.mapper.apply(op, eps=eps)
+            self.array.add_group(group)
+            target_table = list(self.array.physical_ids)
+        else:
+            if specs is not None:
+                raise ValueError("specs are only meaningful for additions")
+            removed_physicals = tuple(
+                self.array.physical_at(logical) for logical in op.removed
+            )
+            self.mapper.apply(op, eps=eps)
+            target_table = self.array.survivors_after_removal(op.removed)
+
+        moves = self._plan_moves(target_table)
+        return PendingScale(
+            op=op,
+            n_before=n_before,
+            n_after=self.mapper.current_disks,
+            plan=MigrationPlan.from_moves(moves),
+            removed_physicals=removed_physicals,
+        )
+
+    def finish_scale(self, pending: PendingScale) -> None:
+        """Complete a begun operation (detach drained disks, if any)."""
+        if pending._finished:
+            raise ValueError("this scaling operation was already finished")
+        if pending.op.kind == "remove":
+            self.array.remove_group(pending.op.removed)
+        pending._finished = True
+
+    def replace_disk(
+        self,
+        logical: int,
+        spec: Optional[DiskSpec] = None,
+        eps: Optional[float] = None,
+    ) -> tuple[ScaleReport, ScaleReport]:
+        """Swap the disk at a logical index for a new one.
+
+        The paper's upgrade scenario ("these existing disks may
+        eventually need to be replaced", Section 1) as one call: add the
+        replacement (blocks rebalance onto it), then remove the old disk
+        (its blocks drain to survivors) — two scaling operations, so two
+        entries of the Lemma 4.3 budget.
+
+        Returns the (addition, removal) reports.
+        """
+        self.array.physical_at(logical)  # bounds check before mutating
+        add_report = self.scale(
+            ScalingOp.add(1), specs=[spec or self.default_spec], eps=eps
+        )
+        remove_report = self.scale(ScalingOp.remove([logical]), eps=eps)
+        return add_report, remove_report
+
+    def reshuffle(self) -> int:
+        """Full redistribution: fresh seeds, fresh mapper, all blocks
+        replaced by their new placement.  Returns blocks moved.
+
+        This is the paper's recommended action once Lemma 4.3's budget is
+        exhausted; afterwards the operation budget is reset.
+        """
+        self.catalog.reseed_all()
+        self.mapper = self.mapper.reshuffled()
+        moved = 0
+        self._x0.clear()
+        for media in self.catalog:
+            for block in media.blocks():
+                self._x0[block.block_id] = block.x0
+                target_logical = self.mapper.disk_of(block.x0)
+                target_physical = self.array.physical_at(target_logical)
+                if self.array.move(block.block_id, target_physical):
+                    moved += 1
+        self.reshuffles += 1
+        return moved
+
+    def needs_reshuffle(self, eps: float) -> bool:
+        """Whether the recorded operations already exceed tolerance."""
+        return self.mapper.needs_reshuffle(eps)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _load_blocks(self, media: MediaObject) -> None:
+        for block in media.blocks():
+            self._x0[block.block_id] = block.x0
+            self.array.place(block, self.mapper.disk_of(block.x0))
+
+    def _x0_of(self, object_id: int, index: int) -> int:
+        block_id = BlockId(object_id, index)
+        try:
+            return self._x0[block_id]
+        except KeyError:
+            # Not cached (e.g. after external churn): recompute from seed.
+            return self.catalog.get(object_id).block(index).x0
+
+    def _plan_moves(self, target_table: list[int]) -> list[PhysicalMove]:
+        """RF(): physical moves for the mapper's latest operation."""
+        raw = self.mapper.redistribution_moves(
+            {block_id: x0 for block_id, x0 in self._x0.items()}
+        )
+        moves = []
+        for entry in raw:
+            source_physical = self.array.home_of(entry.block)
+            target_physical = target_table[entry.target_disk]
+            if source_physical != target_physical:
+                moves.append(
+                    PhysicalMove(
+                        block_id=entry.block,
+                        source_physical=source_physical,
+                        target_physical=target_physical,
+                    )
+                )
+        return moves
+
+    def __repr__(self) -> str:
+        return (
+            f"CMServer(disks={self.num_disks}, objects={len(self.catalog)}, "
+            f"blocks={self.total_blocks}, operations={self.mapper.num_operations})"
+        )

@@ -1,0 +1,94 @@
+"""Layout consistency checking (an ``fsck`` for the CM server).
+
+SCADDAR's correctness rests on one identity: the *computed* location of
+every block (``AF()`` over seeds + op log) equals where its bytes
+physically sit.  Crashes mid-migration, operator surgery or software
+bugs can break it; :func:`check_layout` audits a server and
+:func:`repair_layout` moves stray blocks back where the arithmetic says
+they belong (computation wins — it is what retrieval will use).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.server.cmserver import CMServer
+from repro.storage.block import BlockId
+
+
+@dataclass(frozen=True)
+class LayoutViolation:
+    """One block whose physical home disagrees with ``AF()``."""
+
+    block_id: BlockId
+    expected_physical: int
+    actual_physical: int
+
+
+@dataclass
+class LayoutReport:
+    """Outcome of one consistency audit."""
+
+    blocks_checked: int = 0
+    missing: list[BlockId] = field(default_factory=list)
+    orphans: list[BlockId] = field(default_factory=list)
+    misplaced: list[LayoutViolation] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when the layout is fully consistent."""
+        return not (self.missing or self.orphans or self.misplaced)
+
+
+def check_layout(server: CMServer) -> LayoutReport:
+    """Audit the server: catalog vs inventory vs computed locations.
+
+    Checks three invariants:
+
+    * every catalog block is resident somewhere (**missing** otherwise);
+    * every resident block belongs to a catalog object (**orphans**);
+    * every resident block sits on the disk ``AF()`` computes
+      (**misplaced**).
+    """
+    report = LayoutReport()
+    cataloged: set[BlockId] = set()
+    for media in server.catalog:
+        for index in range(media.num_blocks):
+            block_id = BlockId(media.object_id, index)
+            cataloged.add(block_id)
+            report.blocks_checked += 1
+            try:
+                actual = server.array.home_of(block_id)
+            except KeyError:
+                report.missing.append(block_id)
+                continue
+            expected = server.block_location(media.object_id, index)
+            if actual != expected:
+                report.misplaced.append(
+                    LayoutViolation(
+                        block_id=block_id,
+                        expected_physical=expected,
+                        actual_physical=actual,
+                    )
+                )
+    for pid in server.array.physical_ids:
+        for block in server.array.blocks_on_physical(pid):
+            if block.block_id not in cataloged:
+                report.orphans.append(block.block_id)
+    return report
+
+
+def repair_layout(server: CMServer, report: LayoutReport | None = None) -> int:
+    """Move misplaced blocks to their computed homes; returns moves made.
+
+    Missing blocks cannot be conjured (that is data loss — surface it);
+    orphans are left in place (they may be another catalog epoch's data —
+    deleting is the operator's call).  Only *misplaced* blocks are safe
+    to fix mechanically.
+    """
+    report = report if report is not None else check_layout(server)
+    moves = 0
+    for violation in report.misplaced:
+        if server.array.move(violation.block_id, violation.expected_physical):
+            moves += 1
+    return moves

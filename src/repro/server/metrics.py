@@ -1,0 +1,137 @@
+"""Round-level metrics collection for server simulations.
+
+Long-horizon runs need observability: per-round demand, hiccups, disk
+load balance and utilization, with summaries and a CSV export so results
+can leave Python.  The collector is pull-based — feed it each
+:class:`~repro.server.scheduler.RoundReport` (and optionally the load
+vector) as the simulation produces them.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.stats import coefficient_of_variation
+from repro.server.scheduler import RoundReport
+
+
+@dataclass(frozen=True)
+class RoundSample:
+    """One round's recorded metrics."""
+
+    round_index: int
+    requested: int
+    served: int
+    hiccups: int
+    peak_disk_queue: int
+    spare_bandwidth: int
+    load_cov: Optional[float]
+
+
+@dataclass(frozen=True)
+class MetricsSummary:
+    """Aggregates over the collected horizon."""
+
+    rounds: int
+    total_requested: int
+    total_served: int
+    total_hiccups: int
+    hiccup_rate: float
+    mean_peak_queue: float
+    p99_peak_queue: float
+    mean_spare_bandwidth: float
+
+
+class MetricsCollector:
+    """Accumulates per-round samples and produces summaries/CSV."""
+
+    def __init__(self):
+        self._samples: list[RoundSample] = []
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> tuple[RoundSample, ...]:
+        """All recorded samples in round order."""
+        return tuple(self._samples)
+
+    def record(
+        self, report: RoundReport, load_vector: Optional[list[int]] = None
+    ) -> None:
+        """Record one round (optionally with the blocks-per-disk vector)."""
+        self._samples.append(
+            RoundSample(
+                round_index=report.round_index,
+                requested=report.requested,
+                served=report.served,
+                hiccups=report.hiccups,
+                peak_disk_queue=max(report.load_by_physical.values(), default=0),
+                spare_bandwidth=sum(report.spare_by_physical.values()),
+                load_cov=(
+                    coefficient_of_variation(load_vector)
+                    if load_vector is not None
+                    else None
+                ),
+            )
+        )
+
+    def summary(self) -> MetricsSummary:
+        """Aggregate the horizon so far."""
+        if not self._samples:
+            raise ValueError("no rounds recorded yet")
+        requested = sum(s.requested for s in self._samples)
+        served = sum(s.served for s in self._samples)
+        hiccups = sum(s.hiccups for s in self._samples)
+        peaks = np.asarray([s.peak_disk_queue for s in self._samples], dtype=float)
+        return MetricsSummary(
+            rounds=len(self._samples),
+            total_requested=requested,
+            total_served=served,
+            total_hiccups=hiccups,
+            hiccup_rate=hiccups / requested if requested else 0.0,
+            mean_peak_queue=float(peaks.mean()),
+            p99_peak_queue=float(np.percentile(peaks, 99)),
+            mean_spare_bandwidth=float(
+                np.mean([s.spare_bandwidth for s in self._samples])
+            ),
+        )
+
+    def to_csv(self, path: Optional[str | Path] = None) -> str:
+        """Export samples as CSV; writes to ``path`` when given, and
+        always returns the CSV text."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(
+            [
+                "round",
+                "requested",
+                "served",
+                "hiccups",
+                "peak_disk_queue",
+                "spare_bandwidth",
+                "load_cov",
+            ]
+        )
+        for s in self._samples:
+            writer.writerow(
+                [
+                    s.round_index,
+                    s.requested,
+                    s.served,
+                    s.hiccups,
+                    s.peak_disk_queue,
+                    s.spare_bandwidth,
+                    "" if s.load_cov is None else f"{s.load_cov:.6f}",
+                ]
+            )
+        text = buffer.getvalue()
+        if path is not None:
+            Path(path).write_text(text)
+        return text

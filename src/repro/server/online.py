@@ -1,0 +1,113 @@
+"""Online scaling: redistribute while streams keep playing.
+
+The paper's motivating requirement (Section 1): a CM service "cannot
+afford to stop services to its customers in order to add, remove, or
+upgrade the CM server disks".  :class:`OnlineScaler` interleaves the RF()
+migration with the round scheduler — each round, migration only spends
+the bandwidth streams left over on both endpoints of each move — and
+reports whether any stream hiccupped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.operations import ScalingOp
+from repro.server.cmserver import CMServer
+from repro.server.scheduler import RoundScheduler
+from repro.storage.disk import DiskSpec
+from repro.storage.migration import MigrationSession
+
+
+@dataclass
+class OnlineScaleReport:
+    """Outcome of one online scaling operation.
+
+    Attributes
+    ----------
+    op:
+        The scaling operation performed.
+    rounds:
+        Scheduling rounds from begin to finish of the migration.
+    blocks_moved:
+        Physical transfers performed.
+    hiccups:
+        Stream reads that missed their round during the migration
+        (0 = true zero-downtime scaling).
+    moves_per_round:
+        Migration progress per round.
+    """
+
+    op: ScalingOp
+    rounds: int = 0
+    blocks_moved: int = 0
+    hiccups: int = 0
+    moves_per_round: list[int] = field(default_factory=list)
+
+
+class StalledMigrationError(Exception):
+    """Raised when streams saturate the disks so migration cannot finish."""
+
+
+class OnlineScaler:
+    """Drives a scaling operation concurrently with stream service.
+
+    Parameters
+    ----------
+    server:
+        The CM server to scale.
+    scheduler:
+        The round scheduler serving the server's streams (must target the
+        same disk array).
+    """
+
+    def __init__(self, server: CMServer, scheduler: RoundScheduler):
+        if scheduler.array is not server.array:
+            raise ValueError("scheduler and server must share one disk array")
+        self.server = server
+        self.scheduler = scheduler
+
+    def scale_online(
+        self,
+        op: ScalingOp,
+        specs: Optional[list[DiskSpec]] = None,
+        eps: Optional[float] = None,
+        max_rounds: int = 100_000,
+        stall_rounds: int = 1_000,
+    ) -> OnlineScaleReport:
+        """Run one scaling operation to completion without stopping streams.
+
+        Every round: serve all streams first, then spend each disk's
+        leftover bandwidth on migration moves.  Raises
+        :class:`StalledMigrationError` if ``stall_rounds`` consecutive
+        rounds make no migration progress.
+        """
+        pending = self.server.begin_scale(op, specs=specs, eps=eps)
+        session = MigrationSession(self.server.array, pending.plan)
+        report = OnlineScaleReport(op=op)
+        stalled = 0
+        while not session.done:
+            if report.rounds >= max_rounds:
+                raise StalledMigrationError(
+                    f"migration incomplete after {max_rounds} rounds; "
+                    f"{session.remaining} moves remain"
+                )
+            round_report = self.scheduler.run_round()
+            executed = session.step(round_report.spare_by_physical)
+            report.rounds += 1
+            report.hiccups += round_report.hiccups
+            report.blocks_moved += len(executed)
+            report.moves_per_round.append(len(executed))
+            if executed:
+                stalled = 0
+            else:
+                stalled += 1
+                if stalled >= stall_rounds:
+                    raise StalledMigrationError(
+                        f"no migration progress for {stall_rounds} rounds; "
+                        f"{session.remaining} moves remain (streams saturate "
+                        "the endpoints)"
+                    )
+        self.server.finish_scale(pending)
+        return report

@@ -1,0 +1,137 @@
+"""Server state persistence.
+
+The paper's storage argument (Section 1): SCADDAR needs "only a storage
+structure for recording scaling operations" plus the per-object seeds.
+This module makes that literal — a snapshot is a small JSON document
+(object seeds + operation log + disk specs), independent of the number
+of blocks, and restoring it reproduces every block location bit-exactly
+(``tests/test_persistence.py``).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.operations import OperationLog
+from repro.core.scaddar import ScaddarMapper
+from repro.server.cmserver import CMServer
+from repro.server.objects import MediaObject, ObjectCatalog
+from repro.storage.disk import DiskSpec
+
+#: Snapshot format version, bumped on incompatible layout changes.
+SNAPSHOT_VERSION = 1
+
+
+def snapshot_server(server: CMServer) -> dict:
+    """Serialize a server to a JSON-compatible dict.
+
+    The snapshot is O(objects + operations + disks) — never O(blocks).
+    """
+    return {
+        "version": SNAPSHOT_VERSION,
+        "bits": server.mapper.bits,
+        "reshuffles": server.reshuffles,
+        "catalog": {
+            "master_seed": server.catalog.master_seed,
+            "bits": server.catalog.bits,
+            "family": server.catalog.family,
+            "objects": [
+                {
+                    "object_id": media.object_id,
+                    "name": media.name,
+                    "num_blocks": media.num_blocks,
+                    "seed": media.seed,
+                    "blocks_per_round": media.blocks_per_round,
+                }
+                for media in server.catalog
+            ],
+        },
+        "operation_log": json.loads(server.mapper.log.to_json()),
+        "disks": [
+            {
+                "capacity_blocks": disk.capacity_blocks,
+                "bandwidth_blocks_per_round": disk.bandwidth_blocks_per_round,
+                "model": disk.model,
+            }
+            for disk in (
+                server.array.disk(pid) for pid in server.array.physical_ids
+            )
+        ],
+        "default_spec": {
+            "capacity_blocks": server.default_spec.capacity_blocks,
+            "bandwidth_blocks_per_round": (
+                server.default_spec.bandwidth_blocks_per_round
+            ),
+            "model": server.default_spec.model,
+        },
+    }
+
+
+def server_to_json(server: CMServer) -> str:
+    """Snapshot a server to a JSON string."""
+    return json.dumps(snapshot_server(server))
+
+
+def restore_server(snapshot: dict | str) -> CMServer:
+    """Rebuild a server from a snapshot; block layout is bit-identical.
+
+    Raises
+    ------
+    ValueError
+        On unknown snapshot versions.
+    """
+    data = json.loads(snapshot) if isinstance(snapshot, str) else snapshot
+    version = data.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise ValueError(
+            f"unsupported snapshot version {version!r}; "
+            f"this build reads version {SNAPSHOT_VERSION}"
+        )
+
+    catalog_data = data["catalog"]
+    objects = {
+        entry["object_id"]: MediaObject(
+            object_id=entry["object_id"],
+            name=entry["name"],
+            num_blocks=entry["num_blocks"],
+            seed=entry["seed"],
+            bits=catalog_data["bits"],
+            family=catalog_data["family"],
+            blocks_per_round=entry["blocks_per_round"],
+        )
+        for entry in catalog_data["objects"]
+    }
+    catalog = ObjectCatalog(
+        master_seed=catalog_data["master_seed"],
+        bits=catalog_data["bits"],
+        family=catalog_data["family"],
+        _objects=objects,
+        _next_id=max(objects, default=-1) + 1,
+    )
+
+    log = OperationLog.from_json(json.dumps(data["operation_log"]))
+    mapper = ScaddarMapper(n0=log.n0, bits=data["bits"])
+    for op in log:
+        mapper.apply(op)
+
+    specs = [
+        DiskSpec(
+            capacity_blocks=entry["capacity_blocks"],
+            bandwidth_blocks_per_round=entry["bandwidth_blocks_per_round"],
+            model=entry["model"],
+        )
+        for entry in data["disks"]
+    ]
+    default = data["default_spec"]
+    server = CMServer.from_state(
+        catalog,
+        mapper,
+        specs,
+        default_spec=DiskSpec(
+            capacity_blocks=default["capacity_blocks"],
+            bandwidth_blocks_per_round=default["bandwidth_blocks_per_round"],
+            model=default["model"],
+        ),
+    )
+    server.reshuffles = data["reshuffles"]
+    return server

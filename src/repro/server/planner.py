@@ -1,0 +1,143 @@
+"""Capacity planning: Section 4.3 as an API.
+
+Given a growth forecast (how many scaling events, of what group size,
+over what fleet), the planner answers the questions an operator asks
+before deploying SCADDAR:
+
+* how many random bits do the object sequences need so the whole
+  forecast fits in one Lemma 4.3 budget?
+* if the bit width is fixed, how many reshuffles will the forecast cost,
+  and roughly how much block traffic (incremental + reshuffles)?
+
+All arithmetic is exact (`Fraction`), matching the mapper's own
+pre-checks — a plan that says "no reshuffle" is a guarantee, not an
+estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.core.bounds import lemma_43_allows
+
+
+@dataclass(frozen=True)
+class GrowthForecast:
+    """A planned scaling history.
+
+    Attributes
+    ----------
+    n0:
+        Starting disk count.
+    operations:
+        Number of scaling events forecast.
+    group_size:
+        Disks added per event (all additions; removals consume the
+        budget identically, multiplying ``Pi`` by the post-op count).
+    """
+
+    n0: int
+    operations: int
+    group_size: int = 1
+
+    def __post_init__(self):
+        if self.n0 <= 0:
+            raise ValueError(f"n0 must be >= 1, got {self.n0}")
+        if self.operations < 0:
+            raise ValueError(f"operations must be >= 0, got {self.operations}")
+        if self.group_size <= 0:
+            raise ValueError(f"group_size must be >= 1, got {self.group_size}")
+
+    def disk_counts(self) -> list[int]:
+        """The trajectory ``[N0, N1, ..., Nk]``."""
+        return [
+            self.n0 + j * self.group_size for j in range(self.operations + 1)
+        ]
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """The planner's verdict for one (forecast, bits, eps) configuration."""
+
+    forecast: GrowthForecast
+    bits: int
+    eps: float
+    reshuffles_needed: int
+    #: operations completed before each reshuffle (cycle lengths)
+    cycle_lengths: tuple[int, ...]
+    #: expected moved fraction summed over the forecast, reshuffles billed
+    expected_traffic: float
+
+    @property
+    def fits_without_reshuffle(self) -> bool:
+        """True when the whole forecast fits one budget."""
+        return self.reshuffles_needed == 0
+
+
+def plan_capacity(
+    forecast: GrowthForecast, bits: int, eps: float = 0.05
+) -> CapacityPlan:
+    """Simulate the forecast against the Lemma 4.3 budget.
+
+    Walks the trajectory exactly as the mapper would: each operation
+    multiplies ``Pi`` by the post-operation disk count; when the next
+    operation would violate the budget, a reshuffle resets ``Pi`` to the
+    current disk count and is billed ``(N-1)/N`` of the population in
+    traffic.
+    """
+    if not 1 <= bits <= 64:
+        raise ValueError(f"bits must be in 1..64, got {bits}")
+    if eps <= 0:
+        raise ValueError(f"eps must be > 0, got {eps}")
+    r0 = 1 << bits
+    tolerance = Fraction(eps).limit_denominator(10**9)
+
+    counts = forecast.disk_counts()
+    pi = counts[0]
+    reshuffles = 0
+    cycles: list[int] = []
+    current_cycle = 0
+    traffic = Fraction(0)
+    for j in range(1, len(counts)):
+        n_next = counts[j]
+        if not lemma_43_allows(r0, pi * n_next, tolerance):
+            # Reshuffle on the pre-op fleet, then retry the operation.
+            reshuffles += 1
+            cycles.append(current_cycle)
+            current_cycle = 0
+            n_now = counts[j - 1]
+            traffic += Fraction(n_now - 1, n_now)
+            pi = n_now
+            if not lemma_43_allows(r0, pi * n_next, tolerance):
+                raise ValueError(
+                    f"even a fresh {bits}-bit budget cannot absorb one "
+                    f"operation at N={n_next}; increase bits"
+                )
+        pi *= n_next
+        current_cycle += 1
+        traffic += Fraction(n_next - counts[j - 1], n_next)
+    cycles.append(current_cycle)
+    return CapacityPlan(
+        forecast=forecast,
+        bits=bits,
+        eps=eps,
+        reshuffles_needed=reshuffles,
+        cycle_lengths=tuple(cycles),
+        expected_traffic=float(traffic),
+    )
+
+
+def minimum_bits(forecast: GrowthForecast, eps: float = 0.05) -> int:
+    """Smallest bit width whose budget absorbs the whole forecast.
+
+    Returns 65 when even 64 bits cannot (then plan reshuffles instead).
+    """
+    for bits in range(1, 65):
+        try:
+            plan = plan_capacity(forecast, bits, eps)
+        except ValueError:
+            continue
+        if plan.fits_without_reshuffle:
+            return bits
+    return 65

@@ -1,0 +1,169 @@
+"""Round-based retrieval scheduling.
+
+Continuous media is served in fixed rounds: every active stream must
+receive its next block(s) each round or the client observes a *hiccup*.
+Each disk can serve a bounded number of block reads per round (its
+bandwidth); randomized placement keeps per-round disk queues balanced by
+the law of large numbers (Section 1), which is exactly what the
+round-level statistics here expose.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from repro.server.streams import Stream
+from repro.storage.array import DiskArray
+from repro.storage.block import BlockId
+
+
+@dataclass
+class RoundReport:
+    """What happened in one scheduling round.
+
+    Attributes
+    ----------
+    round_index:
+        Sequence number of the round.
+    requested:
+        Block reads demanded by active streams.
+    served:
+        Reads that fit in their disk's bandwidth.
+    hiccups:
+        Reads that did not fit (missed deadlines).
+    load_by_physical:
+        Reads demanded per physical disk.
+    spare_by_physical:
+        Leftover bandwidth per physical disk after stream service —
+        the budget the online scaler hands to migration.
+    """
+
+    round_index: int
+    requested: int = 0
+    served: int = 0
+    hiccups: int = 0
+    load_by_physical: dict[int, int] = field(default_factory=dict)
+    spare_by_physical: dict[int, int] = field(default_factory=dict)
+
+
+class RoundScheduler:
+    """Serves a set of streams from a disk array, round by round.
+
+    Parameters
+    ----------
+    array:
+        The disk array holding the blocks (reads are charged to the
+        block's *physical* home, so a mid-migration block is correctly
+        served from wherever its bytes currently are).
+    locator:
+        Optional override mapping a :class:`BlockId` to a physical disk;
+        defaults to the array's inventory.
+    """
+
+    def __init__(
+        self,
+        array: DiskArray,
+        locator: Callable[[BlockId], int] | None = None,
+        admission: "AdmissionPolicy | None" = None,
+    ):
+        from repro.server.admission import AggregateAdmission
+
+        self.array = array
+        self._locate = locator or array.home_of
+        self.admission = admission or AggregateAdmission()
+        self._streams: dict[int, Stream] = {}
+        self._round_index = 0
+        self.total_hiccups = 0
+        #: Cumulative hiccups charged to each stream id (fairness data).
+        self.hiccups_by_stream: dict[int, int] = defaultdict(int)
+
+    # ------------------------------------------------------------------
+    # Stream management
+    # ------------------------------------------------------------------
+    @property
+    def streams(self) -> tuple[Stream, ...]:
+        """All admitted streams (including finished ones)."""
+        return tuple(self._streams.values())
+
+    @property
+    def active_streams(self) -> int:
+        """Streams currently demanding blocks."""
+        return sum(1 for s in self._streams.values() if s.is_active)
+
+    def admit(self, stream: Stream) -> None:
+        """Admit a stream, subject to the configured admission policy.
+
+        The default :class:`~repro.server.admission.AggregateAdmission`
+        rejects streams whose rate would push aggregate demand past the
+        array's aggregate bandwidth; statistical policies leave headroom
+        for the per-disk variance of random placement.
+        """
+        if stream.stream_id in self._streams:
+            raise ValueError(f"stream id {stream.stream_id} already admitted")
+        active_demand = sum(
+            s.media.blocks_per_round for s in self._streams.values() if s.is_active
+        )
+        if not self.admission.admits(
+            self.array, active_demand, stream.media.blocks_per_round
+        ):
+            raise ValueError(
+                f"admission denied by {type(self.admission).__name__}: "
+                f"active demand {active_demand} + new rate "
+                f"{stream.media.blocks_per_round} blocks/round"
+            )
+        self._streams[stream.stream_id] = stream
+
+    def depart(self, stream_id: int) -> Stream:
+        """Remove a stream (client disconnect)."""
+        try:
+            return self._streams.pop(stream_id)
+        except KeyError:
+            raise KeyError(f"stream id {stream_id} is not admitted")
+
+    # ------------------------------------------------------------------
+    # Rounds
+    # ------------------------------------------------------------------
+    def run_round(self) -> RoundReport:
+        """Serve one round: collect demands, enforce per-disk bandwidth."""
+        report = RoundReport(round_index=self._round_index)
+        self._round_index += 1
+
+        demand_by_disk: dict[int, list[tuple[Stream, BlockId]]] = defaultdict(list)
+        for stream in self._streams.values():
+            for block_id in stream.blocks_needed():
+                demand_by_disk[self._locate(block_id)].append((stream, block_id))
+
+        served_by_stream: dict[int, int] = defaultdict(int)
+        for pid in self.array.physical_ids:
+            bandwidth = self.array.disk(pid).bandwidth_blocks_per_round
+            queue = demand_by_disk.get(pid, [])
+            report.load_by_physical[pid] = len(queue)
+            served_here = min(len(queue), bandwidth)
+            for stream, __ in queue[:served_here]:
+                served_by_stream[stream.stream_id] += 1
+            for stream, __ in queue[served_here:]:
+                self.hiccups_by_stream[stream.stream_id] += 1
+            report.requested += len(queue)
+            report.served += served_here
+            report.hiccups += len(queue) - served_here
+            report.spare_by_physical[pid] = bandwidth - served_here
+
+        for stream in self._streams.values():
+            stream.deliver(served_by_stream.get(stream.stream_id, 0))
+
+        self.total_hiccups += report.hiccups
+        return report
+
+    def run_rounds(self, count: int) -> list[RoundReport]:
+        """Run ``count`` rounds and return their reports."""
+        if count < 0:
+            raise ValueError(f"round count must be >= 0, got {count}")
+        return [self.run_round() for _ in range(count)]
+
+    def peak_queue_per_round(self, reports: Iterable[RoundReport]) -> list[int]:
+        """Largest single-disk demand of each round (load-balance signal)."""
+        return [
+            max(report.load_by_physical.values(), default=0) for report in reports
+        ]

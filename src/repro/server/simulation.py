@@ -1,0 +1,135 @@
+"""Long-horizon server simulation with arrivals, departures and scaling.
+
+Drives a :class:`~repro.server.cmserver.CMServer` through many rounds of
+Poisson viewer arrivals (admission-controlled), natural departures, and
+optional mid-run scaling triggered by rejection pressure — the
+operational loop the paper's introduction describes: capacity fills up,
+disks are added online, service never stops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.operations import ScalingOp
+from repro.server.cmserver import CMServer
+from repro.server.metrics import MetricsCollector
+from repro.server.online import OnlineScaler
+from repro.server.scheduler import RoundScheduler
+from repro.server.streams import Stream, StreamState
+from repro.workloads.arrivals import ArrivalProcess
+
+
+@dataclass
+class DaySummary:
+    """Aggregate outcome of one simulated horizon."""
+
+    rounds: int = 0
+    arrivals: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    hiccups: int = 0
+    scale_events: int = 0
+    peak_active_streams: int = 0
+    active_per_round: list[int] = field(default_factory=list)
+
+    @property
+    def rejection_rate(self) -> float:
+        """Fraction of arrivals turned away."""
+        return self.rejected / self.arrivals if self.arrivals else 0.0
+
+
+class ServerSimulation:
+    """Round loop: admit -> serve -> depart, with optional auto-scaling.
+
+    Parameters
+    ----------
+    server:
+        The CM server under test.
+    arrivals:
+        The arrival process generating viewers.
+    autoscale_rejections:
+        When set, a single-disk addition is performed online after this
+        many cumulative rejections (then the counter resets).  ``None``
+        disables autoscaling.
+    """
+
+    def __init__(
+        self,
+        server: CMServer,
+        arrivals: ArrivalProcess,
+        autoscale_rejections: Optional[int] = None,
+        metrics: "MetricsCollector | None" = None,
+    ):
+        self.server = server
+        self.arrivals = arrivals
+        self.scheduler = RoundScheduler(server.array)
+        self.autoscale_rejections = autoscale_rejections
+        self.metrics = metrics
+        self._next_stream_id = 0
+        self._rejections_since_scale = 0
+
+    def run(self, rounds: int) -> DaySummary:
+        """Simulate ``rounds`` scheduling rounds."""
+        if rounds < 0:
+            raise ValueError(f"rounds must be >= 0, got {rounds}")
+        summary = DaySummary()
+        for __ in range(rounds):
+            self._admit_new_viewers(summary)
+            report = self.scheduler.run_round()
+            if self.metrics is not None:
+                self.metrics.record(report, self.server.load_vector())
+            summary.hiccups += report.hiccups
+            summary.rounds += 1
+            active = self.scheduler.active_streams
+            summary.active_per_round.append(active)
+            summary.peak_active_streams = max(summary.peak_active_streams, active)
+            summary.completed += self._retire_finished()
+            if self._should_scale():
+                self._scale_online(summary)
+        return summary
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _admit_new_viewers(self, summary: DaySummary) -> None:
+        for arrival in self.arrivals.next_round():
+            summary.arrivals += 1
+            media = self.server.catalog.get(arrival.object_id)
+            stream = Stream(
+                self._next_stream_id, media, start_block=arrival.start_block
+            )
+            self._next_stream_id += 1
+            try:
+                self.scheduler.admit(stream)
+            except ValueError:
+                summary.rejected += 1
+                self._rejections_since_scale += 1
+            else:
+                summary.admitted += 1
+
+    def _retire_finished(self) -> int:
+        finished = [
+            s.stream_id
+            for s in self.scheduler.streams
+            if s.state is StreamState.DONE
+        ]
+        for stream_id in finished:
+            self.scheduler.depart(stream_id)
+        return len(finished)
+
+    def _should_scale(self) -> bool:
+        return (
+            self.autoscale_rejections is not None
+            and self._rejections_since_scale >= self.autoscale_rejections
+        )
+
+    def _scale_online(self, summary: DaySummary) -> None:
+        scaler = OnlineScaler(self.server, self.scheduler)
+        report = scaler.scale_online(ScalingOp.add(1))
+        summary.hiccups += report.hiccups
+        summary.rounds += report.rounds
+        summary.scale_events += 1
+        self._rejections_since_scale = 0

@@ -1,0 +1,98 @@
+"""Client streams.
+
+A stream plays one CM object at a fixed consumption rate (blocks per
+scheduling round) and may pause, resume and seek — the "VCR-style
+operations" whose unpredictable access patterns motivate random placement
+(Section 1).  Streams are pure bookkeeping; the scheduler turns their
+per-round block needs into disk requests.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.server.objects import MediaObject
+from repro.storage.block import BlockId
+
+
+class StreamState(Enum):
+    """Lifecycle of a stream."""
+
+    PLAYING = "playing"
+    PAUSED = "paused"
+    DONE = "done"
+
+
+class Stream:
+    """One playback session of one object.
+
+    Parameters
+    ----------
+    stream_id:
+        Caller-chosen identity.
+    media:
+        The object being played.
+    start_block:
+        Initial playback position (block index).
+    """
+
+    def __init__(self, stream_id: int, media: MediaObject, start_block: int = 0):
+        if not 0 <= start_block < media.num_blocks:
+            raise ValueError(
+                f"start block {start_block} out of 0..{media.num_blocks - 1}"
+            )
+        self.stream_id = stream_id
+        self.media = media
+        self.position = start_block
+        self.state = StreamState.PLAYING
+        self.blocks_consumed = 0
+
+    @property
+    def is_active(self) -> bool:
+        """Whether the stream demands blocks this round."""
+        return self.state is StreamState.PLAYING
+
+    def blocks_needed(self) -> list[BlockId]:
+        """The block ids this stream must receive in the current round."""
+        if not self.is_active:
+            return []
+        end = min(self.position + self.media.blocks_per_round, self.media.num_blocks)
+        return [
+            BlockId(self.media.object_id, index)
+            for index in range(self.position, end)
+        ]
+
+    def deliver(self, count: int) -> None:
+        """Acknowledge ``count`` delivered blocks and advance playback."""
+        if count < 0:
+            raise ValueError(f"delivered count must be >= 0, got {count}")
+        self.position = min(self.position + count, self.media.num_blocks)
+        self.blocks_consumed += count
+        if self.position >= self.media.num_blocks:
+            self.state = StreamState.DONE
+
+    def pause(self) -> None:
+        """Pause playback (no demand while paused)."""
+        if self.state is StreamState.PLAYING:
+            self.state = StreamState.PAUSED
+
+    def resume(self) -> None:
+        """Resume a paused stream."""
+        if self.state is StreamState.PAUSED:
+            self.state = StreamState.PLAYING
+
+    def seek(self, block_index: int) -> None:
+        """VCR-style random access to a position in the object."""
+        if not 0 <= block_index < self.media.num_blocks:
+            raise ValueError(
+                f"seek target {block_index} out of 0..{self.media.num_blocks - 1}"
+            )
+        self.position = block_index
+        if self.state is StreamState.DONE:
+            self.state = StreamState.PLAYING
+
+    def __repr__(self) -> str:
+        return (
+            f"Stream(id={self.stream_id}, object={self.media.object_id}, "
+            f"position={self.position}, state={self.state.value})"
+        )

@@ -1,0 +1,30 @@
+"""Disk-array substrate: disks, groups, block inventory, migration.
+
+The paper's experiments only need block *placement* to be exercised, but a
+credible CM server needs the physical side too: named disks with capacity
+and bandwidth, a logical->physical name table (SCADDAR's REMAP works on
+compact logical indices 0..N-1 while physical disks keep their identity —
+"the 4-th disk is Disk 5"), bandwidth-throttled migration, and the
+logical-disk indirection that carries SCADDAR onto heterogeneous hardware
+(Section 6 / reference [18]).
+"""
+
+from repro.storage.array import DiskArray, PlacementConflictError
+from repro.storage.block import Block, BlockId
+from repro.storage.disk import Disk, DiskSpec
+from repro.storage.hetero import HeterogeneousPool, LogicalMapping
+from repro.storage.migration import MigrationPlan, MigrationReport, PhysicalMove
+
+__all__ = [
+    "Block",
+    "BlockId",
+    "Disk",
+    "DiskArray",
+    "DiskSpec",
+    "HeterogeneousPool",
+    "LogicalMapping",
+    "MigrationPlan",
+    "MigrationReport",
+    "PhysicalMove",
+    "PlacementConflictError",
+]

@@ -1,0 +1,55 @@
+"""Block identities.
+
+A continuous-media object is split into fixed-size blocks (Section 1);
+block *i* of object *m* carries the random number ``X0(i)`` drawn from the
+object's seeded sequence.  :class:`Block` is the immutable currency passed
+between the catalog, the placement policies, and the disk array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class BlockId:
+    """Stable identity of one block: (object id, block index)."""
+
+    object_id: int
+    index: int
+
+    def __post_init__(self):
+        if self.index < 0:
+            raise ValueError(f"block index must be >= 0, got {self.index}")
+
+
+@dataclass(frozen=True, order=True)
+class Block:
+    """A block together with its placement random number ``X0``.
+
+    Attributes
+    ----------
+    object_id:
+        Owning CM object.
+    index:
+        Position of the block within the object (0-based).
+    x0:
+        The block's original random number, the ``X0(i)`` of
+        Definition 3.2.  All pseudo-random policies derive the block's
+        disk purely from this value and the scaling history.
+    """
+
+    object_id: int
+    index: int
+    x0: int
+
+    def __post_init__(self):
+        if self.index < 0:
+            raise ValueError(f"block index must be >= 0, got {self.index}")
+        if self.x0 < 0:
+            raise ValueError(f"x0 must be >= 0, got {self.x0}")
+
+    @property
+    def block_id(self) -> BlockId:
+        """The identity part of the block, without the random number."""
+        return BlockId(self.object_id, self.index)

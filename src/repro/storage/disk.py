@@ -1,0 +1,81 @@
+"""Physical disk model.
+
+Disks are simulated at the granularity the paper's evaluation needs:
+capacity in blocks and service bandwidth in block reads per scheduling
+round.  Generations ("models") exist so the heterogeneous extension
+(Section 6) can mix old and new drives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+
+_physical_ids = count()
+
+
+def _next_physical_id() -> int:
+    """Process-wide monotonically increasing physical disk id."""
+    return next(_physical_ids)
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    """Capability sheet of a disk model.
+
+    Attributes
+    ----------
+    capacity_blocks:
+        How many blocks fit on the disk.
+    bandwidth_blocks_per_round:
+        How many block-sized transfers the disk can serve per scheduling
+        round (shared by stream reads and migration traffic).
+    model:
+        Free-form generation tag, e.g. ``"gen1"``.
+    """
+
+    capacity_blocks: int = 10_000
+    bandwidth_blocks_per_round: int = 8
+    model: str = "gen1"
+
+    def __post_init__(self):
+        if self.capacity_blocks <= 0:
+            raise ValueError(
+                f"capacity must be >= 1 block, got {self.capacity_blocks}"
+            )
+        if self.bandwidth_blocks_per_round <= 0:
+            raise ValueError(
+                "bandwidth must be >= 1 block/round, got "
+                f"{self.bandwidth_blocks_per_round}"
+            )
+
+
+@dataclass
+class Disk:
+    """One physical disk: an immutable spec plus a stable physical id.
+
+    The id survives scaling operations — removing logical disk 4 does not
+    renumber the physical drives, mirroring the paper's distinction
+    between the compact logical index and the actual drive ("Disk 5").
+    """
+
+    spec: DiskSpec = field(default_factory=DiskSpec)
+    physical_id: int = field(default_factory=_next_physical_id)
+
+    @property
+    def capacity_blocks(self) -> int:
+        """Capacity in blocks (delegates to the spec)."""
+        return self.spec.capacity_blocks
+
+    @property
+    def bandwidth_blocks_per_round(self) -> int:
+        """Service bandwidth in block transfers per round."""
+        return self.spec.bandwidth_blocks_per_round
+
+    @property
+    def model(self) -> str:
+        """Generation tag of the disk."""
+        return self.spec.model
+
+    def __repr__(self) -> str:
+        return f"Disk(physical_id={self.physical_id}, model={self.model!r})"

@@ -1,0 +1,173 @@
+"""Heterogeneous disks via homogeneous logical disks (Section 6, ref [18]).
+
+SCADDAR assumes homogeneous disks, but the paper notes it applies
+unchanged to *logical* disks; mapping several logical disks onto one
+powerful physical disk (Zimmermann & Ghandeharizadeh's technique) carries
+the scheme onto mixed-generation hardware.  A physical disk of weight
+``w`` hosts ``w`` logical disks, so it receives ``w / N`` of the blocks —
+load proportional to capability.
+
+:class:`LogicalMapping` maintains the logical->physical table through
+scaling operations; :class:`HeterogeneousPool` pairs it with a
+:class:`~repro.core.scaddar.ScaddarMapper` so adding/removing one physical
+disk becomes one SCADDAR group operation of its weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.operations import ScalingOp
+from repro.core.scaddar import ScaddarMapper
+from repro.storage.disk import DiskSpec
+
+
+def weight_for_spec(spec: DiskSpec, unit_bandwidth: int) -> int:
+    """Logical-disk count for a physical disk: bandwidth in units of the
+    weakest generation's bandwidth, at least 1."""
+    if unit_bandwidth <= 0:
+        raise ValueError(f"unit bandwidth must be >= 1, got {unit_bandwidth}")
+    return max(1, spec.bandwidth_blocks_per_round // unit_bandwidth)
+
+
+@dataclass(frozen=True)
+class _Member:
+    physical_id: int
+    weight: int
+
+
+class LogicalMapping:
+    """Order-preserving map between logical indices and physical disks.
+
+    Logical indices are contiguous 0..N-1; each physical member owns a
+    consecutive run of them.  Removing a member compacts the indices the
+    same way the paper's ``new()`` function does.
+    """
+
+    def __init__(self):
+        self._members: list[_Member] = []
+
+    @property
+    def num_logical(self) -> int:
+        """Total logical disks N."""
+        return sum(m.weight for m in self._members)
+
+    @property
+    def physical_ids(self) -> tuple[int, ...]:
+        """Physical members in logical order."""
+        return tuple(m.physical_id for m in self._members)
+
+    def weight_of(self, physical_id: int) -> int:
+        """Number of logical disks hosted by a physical member."""
+        return self._member(physical_id).weight
+
+    def add_physical(self, physical_id: int, weight: int) -> list[int]:
+        """Append a physical disk hosting ``weight`` logical disks;
+        returns the new logical indices (always the highest ones, matching
+        the REMAP addition convention)."""
+        if weight <= 0:
+            raise ValueError(f"weight must be >= 1, got {weight}")
+        if any(m.physical_id == physical_id for m in self._members):
+            raise ValueError(f"physical disk {physical_id} is already mapped")
+        start = self.num_logical
+        self._members.append(_Member(physical_id, weight))
+        return list(range(start, start + weight))
+
+    def remove_physical(self, physical_id: int) -> list[int]:
+        """Drop a physical disk; returns the logical indices it occupied
+        *before* removal (the indices to hand to ``ScalingOp.remove``)."""
+        start = 0
+        for position, member in enumerate(self._members):
+            if member.physical_id == physical_id:
+                del self._members[position]
+                return list(range(start, start + member.weight))
+            start += member.weight
+        raise KeyError(f"physical disk {physical_id} is not mapped")
+
+    def physical_of(self, logical: int) -> int:
+        """Physical disk hosting a logical index."""
+        if logical < 0:
+            raise IndexError(f"logical index must be >= 0, got {logical}")
+        cursor = 0
+        for member in self._members:
+            cursor += member.weight
+            if logical < cursor:
+                return member.physical_id
+        raise IndexError(f"logical index {logical} out of 0..{self.num_logical - 1}")
+
+    def logicals_of(self, physical_id: int) -> list[int]:
+        """Current logical indices hosted by a physical disk."""
+        start = 0
+        for member in self._members:
+            if member.physical_id == physical_id:
+                return list(range(start, start + member.weight))
+            start += member.weight
+        raise KeyError(f"physical disk {physical_id} is not mapped")
+
+    def _member(self, physical_id: int) -> _Member:
+        for member in self._members:
+            if member.physical_id == physical_id:
+                return member
+        raise KeyError(f"physical disk {physical_id} is not mapped")
+
+
+class HeterogeneousPool:
+    """SCADDAR over mixed-generation physical disks.
+
+    Parameters
+    ----------
+    initial:
+        Sequence of ``(physical_id, weight)`` pairs for the starting pool.
+    bits:
+        Random-number width handed to the underlying mapper.
+
+    Examples
+    --------
+    >>> pool = HeterogeneousPool([(0, 1), (1, 2)], bits=32)
+    >>> pool.num_logical_disks
+    3
+    """
+
+    def __init__(self, initial: list[tuple[int, int]], bits: int = 64):
+        if not initial:
+            raise ValueError("pool needs at least one physical disk")
+        self.mapping = LogicalMapping()
+        for physical_id, weight in initial:
+            self.mapping.add_physical(physical_id, weight)
+        self.mapper = ScaddarMapper(n0=self.mapping.num_logical, bits=bits)
+
+    @property
+    def num_logical_disks(self) -> int:
+        """Logical disk count the mapper currently addresses."""
+        return self.mapper.current_disks
+
+    @property
+    def physical_ids(self) -> tuple[int, ...]:
+        """Physical members in logical order."""
+        return self.mapping.physical_ids
+
+    def weight_of(self, physical_id: int) -> int:
+        """Logical disks hosted by a member."""
+        return self.mapping.weight_of(physical_id)
+
+    def add_disk(self, physical_id: int, weight: int) -> None:
+        """Attach a physical disk as one SCADDAR addition of its weight."""
+        self.mapping.add_physical(physical_id, weight)
+        self.mapper.apply(ScalingOp.add(weight))
+
+    def remove_disk(self, physical_id: int) -> None:
+        """Detach a physical disk as one SCADDAR group removal."""
+        logicals = self.mapping.logicals_of(physical_id)
+        self.mapping.remove_physical(physical_id)
+        self.mapper.apply(ScalingOp.remove(logicals))
+
+    def physical_of_block(self, x0: int) -> int:
+        """Physical disk of the block with initial random number ``x0``."""
+        return self.mapping.physical_of(self.mapper.disk_of(x0))
+
+    def load_by_physical(self, x0s: list[int]) -> dict[int, int]:
+        """Blocks per physical disk for a block population."""
+        loads = {pid: 0 for pid in self.mapping.physical_ids}
+        for x0 in x0s:
+            loads[self.physical_of_block(x0)] += 1
+        return loads

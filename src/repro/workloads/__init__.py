@@ -1,0 +1,52 @@
+"""Workload and scaling-schedule generators for the evaluation harness.
+
+* :mod:`repro.workloads.generator` — catalogs, raw X0 populations, Zipf.
+* :mod:`repro.workloads.schedules` — scaling-operation schedules.
+* :mod:`repro.workloads.arrivals` — Poisson/Zipf viewer arrivals.
+* :mod:`repro.workloads.traces` — record/replay arrival traces as data.
+"""
+
+from repro.workloads.arrivals import Arrival, ArrivalProcess
+from repro.workloads.generator import (
+    lognormal_catalog,
+    make_blocks,
+    random_x0s,
+    uniform_catalog,
+    zipf_popularity,
+)
+from repro.workloads.traces import (
+    TraceEvent,
+    TracePlayer,
+    generate_trace,
+    load_trace,
+    save_trace,
+)
+from repro.workloads.schedules import (
+    additions,
+    doublings,
+    fig1_schedule,
+    mixed_schedule,
+    random_removals,
+    section5_schedule,
+)
+
+__all__ = [
+    "Arrival",
+    "ArrivalProcess",
+    "TraceEvent",
+    "TracePlayer",
+    "additions",
+    "doublings",
+    "fig1_schedule",
+    "lognormal_catalog",
+    "make_blocks",
+    "mixed_schedule",
+    "random_removals",
+    "generate_trace",
+    "load_trace",
+    "random_x0s",
+    "save_trace",
+    "section5_schedule",
+    "uniform_catalog",
+    "zipf_popularity",
+]

@@ -1,0 +1,98 @@
+"""Stream arrival workloads.
+
+Video-on-demand load is arrivals, not a fixed stream set: viewers show
+up (Poisson), pick titles by popularity (Zipf), sometimes seek around
+(VCR), and leave when the movie ends.  :class:`ArrivalProcess` generates
+that per-round demand reproducibly; the server-side driver lives in
+:mod:`repro.server.simulation`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.server.objects import ObjectCatalog
+from repro.workloads.generator import zipf_popularity
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One new viewer: which object, and where playback starts."""
+
+    object_id: int
+    start_block: int
+
+
+class ArrivalProcess:
+    """Poisson arrivals with Zipf title popularity.
+
+    Parameters
+    ----------
+    catalog:
+        The server's object catalog (titles and lengths).
+    rate:
+        Expected arrivals per scheduling round (Poisson mean).
+    zipf_exponent:
+        Popularity skew; 0 = uniform.
+    resume_probability:
+        Chance a viewer starts mid-object (e.g. resuming) instead of at
+        block 0.
+    seed:
+        RNG seed; the whole day is reproducible.
+    """
+
+    def __init__(
+        self,
+        catalog: ObjectCatalog,
+        rate: float,
+        zipf_exponent: float = 0.729,
+        resume_probability: float = 0.2,
+        seed: int = 0xA881,
+    ):
+        if rate < 0:
+            raise ValueError(f"arrival rate must be >= 0, got {rate}")
+        if not 0.0 <= resume_probability <= 1.0:
+            raise ValueError(
+                f"resume probability must be in [0, 1], got {resume_probability}"
+            )
+        if len(catalog) == 0:
+            raise ValueError("catalog must contain at least one object")
+        self.catalog = catalog
+        self.rate = rate
+        self.resume_probability = resume_probability
+        self._rng = random.Random(seed)
+        self._object_ids = sorted(o.object_id for o in catalog)
+        self._popularity = zipf_popularity(len(self._object_ids), zipf_exponent)
+
+    def _poisson(self) -> int:
+        """Knuth's algorithm — fine for the small per-round rates here."""
+        threshold = math.exp(-self.rate)
+        count, product = 0, self._rng.random()
+        while product > threshold:
+            count += 1
+            product *= self._rng.random()
+        return count
+
+    def _pick_object(self) -> int:
+        roll = self._rng.random()
+        acc = 0.0
+        for object_id, share in zip(self._object_ids, self._popularity):
+            acc += share
+            if roll <= acc:
+                return object_id
+        return self._object_ids[-1]
+
+    def next_round(self) -> list[Arrival]:
+        """Arrivals for one scheduling round."""
+        arrivals = []
+        for __ in range(self._poisson()):
+            object_id = self._pick_object()
+            media = self.catalog.get(object_id)
+            if self._rng.random() < self.resume_probability:
+                start = self._rng.randrange(media.num_blocks)
+            else:
+                start = 0
+            arrivals.append(Arrival(object_id=object_id, start_block=start))
+        return arrivals

@@ -1,0 +1,92 @@
+"""Synthetic CM object catalogs.
+
+The paper evaluated on real media; only block *counts* and the random
+sequences matter to its claims, so the reproduction substitutes synthetic
+catalogs: constant-size (the paper's simulation style — "20 different
+objects") and lognormal-size (realistic video libraries mix shorts and
+features).  A Zipf popularity helper feeds the streaming workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.server.objects import ObjectCatalog
+from repro.storage.block import Block
+
+
+def uniform_catalog(
+    num_objects: int,
+    blocks_per_object: int,
+    master_seed: int = 0xCADDA,
+    bits: int = 64,
+    family: str = "splitmix64",
+) -> ObjectCatalog:
+    """Catalog of equally sized objects (the Section 5 simulation shape)."""
+    if num_objects <= 0:
+        raise ValueError(f"num_objects must be >= 1, got {num_objects}")
+    catalog = ObjectCatalog(master_seed=master_seed, bits=bits, family=family)
+    for index in range(num_objects):
+        catalog.add_object(name=f"object-{index:04d}", num_blocks=blocks_per_object)
+    return catalog
+
+
+def lognormal_catalog(
+    num_objects: int,
+    median_blocks: int = 900,
+    sigma: float = 0.6,
+    master_seed: int = 0xCADDA,
+    bits: int = 64,
+    family: str = "splitmix64",
+) -> ObjectCatalog:
+    """Catalog with lognormal object sizes (realistic video library).
+
+    ``median_blocks`` is the distribution median; sizes are clamped to at
+    least one block.  Sizes are drawn reproducibly from ``master_seed``.
+    """
+    if num_objects <= 0:
+        raise ValueError(f"num_objects must be >= 1, got {num_objects}")
+    if median_blocks <= 0:
+        raise ValueError(f"median_blocks must be >= 1, got {median_blocks}")
+    rng = np.random.default_rng(master_seed)
+    sizes = rng.lognormal(mean=np.log(median_blocks), sigma=sigma, size=num_objects)
+    catalog = ObjectCatalog(master_seed=master_seed, bits=bits, family=family)
+    for index, size in enumerate(sizes):
+        catalog.add_object(
+            name=f"object-{index:04d}", num_blocks=max(1, int(round(size)))
+        )
+    return catalog
+
+
+def make_blocks(catalog: ObjectCatalog) -> list[Block]:
+    """All blocks of a catalog (convenience passthrough)."""
+    return catalog.all_blocks()
+
+
+def random_x0s(count: int, bits: int = 32, seed: int = 0x5EED) -> list[int]:
+    """``count`` block random numbers from one b-bit SplitMix64 stream.
+
+    The raw-``X0`` population used by experiments that do not need the
+    object/catalog machinery (uniformity, bounds, comparator sweeps).
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    from repro.prng.generators import SplitMix64
+
+    gen = SplitMix64(seed, bits=bits)
+    return [gen.next() for _ in range(count)]
+
+
+def zipf_popularity(num_objects: int, exponent: float = 0.729) -> list[float]:
+    """Zipf access probabilities over objects, most popular first.
+
+    The default exponent 0.729 is the classic video-on-demand fit
+    (Chervenak's trace analyses); probabilities sum to 1.
+    """
+    if num_objects <= 0:
+        raise ValueError(f"num_objects must be >= 1, got {num_objects}")
+    if exponent < 0:
+        raise ValueError(f"exponent must be >= 0, got {exponent}")
+    ranks = np.arange(1, num_objects + 1, dtype=float)
+    weights = ranks ** (-exponent)
+    return list(weights / weights.sum())

@@ -1,0 +1,105 @@
+"""Scaling-schedule builders.
+
+A schedule is a list of :class:`~repro.core.operations.ScalingOp`; the
+builders here produce the paper's named scenarios plus parameterized
+sweeps.  Removal schedules must pick logical indices that are valid for
+the evolving disk count, so the random builders simulate the trajectory
+as they generate.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.operations import ScalingOp
+
+
+def additions(count: int, group_size: int = 1) -> list[ScalingOp]:
+    """``count`` successive additions of ``group_size`` disks."""
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    return [ScalingOp.add(group_size) for _ in range(count)]
+
+
+def fig1_schedule() -> list[ScalingOp]:
+    """Figure 1's scenario: two successive single-disk additions."""
+    return additions(2)
+
+
+def section5_schedule() -> list[ScalingOp]:
+    """The Section 5 simulation: eight successive single-disk additions.
+
+    With ``N0 = 4`` this walks the disk count 4 -> 12, matching the
+    experiment's average of about eight disks (``nbar = 8``) used in the
+    rule-of-thumb cross-check.
+    """
+    return additions(8)
+
+
+def doublings(count: int, n0: int) -> list[ScalingOp]:
+    """``count`` successive doublings — the only growth extendible
+    hashing supports (Appendix A), included so that baseline gets a
+    schedule it can participate in."""
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if n0 <= 0:
+        raise ValueError(f"n0 must be >= 1, got {n0}")
+    schedule = []
+    n = n0
+    for __ in range(count):
+        schedule.append(ScalingOp.add(n))
+        n *= 2
+    return schedule
+
+
+def random_removals(
+    count: int, n0: int, seed: int = 7, group_size: int = 1, min_disks: int = 2
+) -> list[ScalingOp]:
+    """``count`` removals of random logical disks, respecting a floor.
+
+    Raises if the schedule would shrink the array below ``min_disks``.
+    """
+    if n0 - count * group_size < min_disks:
+        raise ValueError(
+            f"{count} removals of {group_size} from {n0} disks would go "
+            f"below the floor of {min_disks}"
+        )
+    rng = random.Random(seed)
+    schedule: list[ScalingOp] = []
+    n = n0
+    for _ in range(count):
+        victims = rng.sample(range(n), group_size)
+        schedule.append(ScalingOp.remove(victims))
+        n -= group_size
+    return schedule
+
+
+def mixed_schedule(
+    count: int,
+    n0: int,
+    seed: int = 7,
+    add_probability: float = 0.5,
+    min_disks: int = 2,
+) -> list[ScalingOp]:
+    """Random interleaving of single-disk additions and removals.
+
+    A removal is only drawn while the array stays at or above
+    ``min_disks``; otherwise the step becomes an addition.
+    """
+    if not 0.0 <= add_probability <= 1.0:
+        raise ValueError(f"add_probability must be in [0, 1], got {add_probability}")
+    if n0 < min_disks:
+        raise ValueError(f"n0={n0} is already below the floor {min_disks}")
+    rng = random.Random(seed)
+    schedule: list[ScalingOp] = []
+    n = n0
+    for _ in range(count):
+        removable = n > min_disks
+        if not removable or rng.random() < add_probability:
+            schedule.append(ScalingOp.add(1))
+            n += 1
+        else:
+            victim = rng.randrange(n)
+            schedule.append(ScalingOp.remove([victim]))
+            n -= 1
+    return schedule

@@ -1,0 +1,125 @@
+"""Workload traces: record an arrival sequence, replay it anywhere.
+
+Comparing placement schemes or server configurations fairly requires the
+*identical* viewer workload on each — not just the same RNG seed, which
+drifts the moment one configuration consumes randomness differently.  A
+trace pins the workload as data:
+
+* :func:`generate_trace` rolls an :class:`ArrivalProcess` forward and
+  records every arrival with its round;
+* :class:`TracePlayer` replays a trace round by round, duck-typing the
+  ``next_round()`` interface :class:`~repro.server.simulation.ServerSimulation`
+  consumes;
+* :func:`save_trace` / :func:`load_trace` round-trip JSON Lines files so
+  traces can be versioned alongside benchmark results.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.workloads.arrivals import Arrival, ArrivalProcess
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded viewer arrival."""
+
+    round_index: int
+    object_id: int
+    start_block: int
+
+    def __post_init__(self):
+        if self.round_index < 0:
+            raise ValueError(f"round must be >= 0, got {self.round_index}")
+        if self.start_block < 0:
+            raise ValueError(f"start block must be >= 0, got {self.start_block}")
+
+
+def generate_trace(arrivals: ArrivalProcess, rounds: int) -> list[TraceEvent]:
+    """Record ``rounds`` rounds of the arrival process as a trace."""
+    if rounds < 0:
+        raise ValueError(f"rounds must be >= 0, got {rounds}")
+    events = []
+    for round_index in range(rounds):
+        for arrival in arrivals.next_round():
+            events.append(
+                TraceEvent(
+                    round_index=round_index,
+                    object_id=arrival.object_id,
+                    start_block=arrival.start_block,
+                )
+            )
+    return events
+
+
+class TracePlayer:
+    """Replays a trace round by round (an ``ArrivalProcess`` stand-in).
+
+    Each :meth:`next_round` call advances one round and returns that
+    round's recorded arrivals; after the trace's final round it returns
+    empty lists forever.
+    """
+
+    def __init__(self, events: list[TraceEvent]):
+        self._by_round: dict[int, list[TraceEvent]] = defaultdict(list)
+        for event in events:
+            self._by_round[event.round_index].append(event)
+        self._cursor = 0
+        self.total_events = len(events)
+
+    @property
+    def current_round(self) -> int:
+        """The next round index :meth:`next_round` will serve."""
+        return self._cursor
+
+    def next_round(self) -> list[Arrival]:
+        """The recorded arrivals of the next round."""
+        events = self._by_round.get(self._cursor, [])
+        self._cursor += 1
+        return [
+            Arrival(object_id=e.object_id, start_block=e.start_block)
+            for e in events
+        ]
+
+    def rewind(self) -> None:
+        """Restart the replay from round 0."""
+        self._cursor = 0
+
+
+def save_trace(events: list[TraceEvent], path: str | Path) -> None:
+    """Write a trace as JSON Lines (one event per line)."""
+    with open(path, "w") as handle:
+        for event in events:
+            handle.write(
+                json.dumps(
+                    {
+                        "round": event.round_index,
+                        "object_id": event.object_id,
+                        "start_block": event.start_block,
+                    }
+                )
+                + "\n"
+            )
+
+
+def load_trace(path: str | Path) -> list[TraceEvent]:
+    """Read a trace written by :func:`save_trace`."""
+    events = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            events.append(
+                TraceEvent(
+                    round_index=data["round"],
+                    object_id=data["object_id"],
+                    start_block=data["start_block"],
+                )
+            )
+    return events

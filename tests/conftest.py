@@ -1,0 +1,46 @@
+"""Shared fixtures for the SCADDAR reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scaddar import ScaddarMapper
+from repro.storage.block import Block
+from repro.storage.disk import DiskSpec
+from repro.workloads.generator import random_x0s, uniform_catalog
+
+
+@pytest.fixture
+def mapper32() -> ScaddarMapper:
+    """A fresh 32-bit mapper on 4 disks (the paper's evaluation shape)."""
+    return ScaddarMapper(n0=4, bits=32)
+
+
+@pytest.fixture
+def blocks_small() -> list[Block]:
+    """2 000 blocks with random 32-bit X0 values."""
+    return [
+        Block(object_id=0, index=i, x0=x0)
+        for i, x0 in enumerate(random_x0s(2_000, bits=32, seed=0x7E57))
+    ]
+
+
+@pytest.fixture
+def blocks_large() -> list[Block]:
+    """20 000 blocks for statistical assertions."""
+    return [
+        Block(object_id=0, index=i, x0=x0)
+        for i, x0 in enumerate(random_x0s(20_000, bits=32, seed=0x7E57))
+    ]
+
+
+@pytest.fixture
+def small_catalog():
+    """Five objects of 100 blocks each, 32-bit sequences."""
+    return uniform_catalog(5, 100, master_seed=0xCAFE, bits=32)
+
+
+@pytest.fixture
+def default_specs() -> list[DiskSpec]:
+    """Four identical disk specs with generous capacity."""
+    return [DiskSpec(capacity_blocks=100_000, bandwidth_blocks_per_round=8)] * 4

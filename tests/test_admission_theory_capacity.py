@@ -1,0 +1,233 @@
+"""Tests for admission policies, balls-in-bins theory, and
+capacity-safe migration ordering."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import coefficient_of_variation
+from repro.analysis.theory import (
+    cov_excess,
+    expected_load_cov,
+    expected_max_load,
+    load_standard_deviation,
+)
+from repro.server.admission import (
+    AggregateAdmission,
+    StatisticalAdmission,
+    UtilizationAdmission,
+)
+from repro.server.objects import MediaObject
+from repro.server.scheduler import RoundScheduler
+from repro.server.streams import Stream
+from repro.storage.array import DiskArray
+from repro.storage.block import Block, BlockId
+from repro.storage.disk import DiskSpec
+from repro.storage.migration import (
+    CapacityDeadlockError,
+    MigrationPlan,
+    MigrationSession,
+    PhysicalMove,
+    order_capacity_safe,
+)
+from repro.workloads.generator import random_x0s
+
+
+def make_array(n=4, bandwidth=4, capacity=100):
+    return DiskArray(
+        [
+            DiskSpec(
+                capacity_blocks=capacity, bandwidth_blocks_per_round=bandwidth
+            )
+        ]
+        * n
+    )
+
+
+class TestAggregateAdmission:
+    def test_admits_to_capacity(self):
+        policy = AggregateAdmission()
+        array = make_array(n=2, bandwidth=3)  # total 6
+        assert policy.admits(array, active_demand=5, new_rate=1)
+        assert not policy.admits(array, active_demand=6, new_rate=1)
+
+
+class TestUtilizationAdmission:
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            UtilizationAdmission(0.0)
+        with pytest.raises(ValueError):
+            UtilizationAdmission(1.5)
+
+    def test_leaves_headroom(self):
+        policy = UtilizationAdmission(0.5)
+        array = make_array(n=2, bandwidth=4)  # total 8, budget 4
+        assert policy.admits(array, active_demand=3, new_rate=1)
+        assert not policy.admits(array, active_demand=4, new_rate=1)
+
+
+class TestStatisticalAdmission:
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            StatisticalAdmission(0.0)
+        with pytest.raises(ValueError):
+            StatisticalAdmission(1.0)
+
+    def test_zero_demand_never_overflows(self):
+        array = make_array()
+        assert StatisticalAdmission.round_overflow_probability(array, 0) == 0.0
+
+    def test_overflow_probability_monotone_in_demand(self):
+        array = make_array(n=8, bandwidth=4)
+        probs = [
+            StatisticalAdmission.round_overflow_probability(array, d)
+            for d in range(0, 33, 4)
+        ]
+        assert probs == sorted(probs)
+
+    def test_stricter_than_aggregate(self):
+        """The statistical policy admits fewer streams than the aggregate
+        bound — it prices in per-disk variance."""
+        array = make_array(n=8, bandwidth=4)  # aggregate capacity 32
+        strict = StatisticalAdmission(overflow_probability=0.05)
+        assert strict.max_admissible_demand(array) < 32
+
+    def test_probability_matches_simulation(self):
+        """Union-bound estimate vs Monte Carlo for one configuration."""
+        array = make_array(n=8, bandwidth=4)
+        demand = 20
+        estimate = StatisticalAdmission.round_overflow_probability(array, demand)
+        rng = np.random.default_rng(7)
+        trials = 4_000
+        overflows = 0
+        for __ in range(trials):
+            loads = np.bincount(rng.integers(0, 8, size=demand), minlength=8)
+            overflows += int((loads > 4).any())
+        simulated = overflows / trials
+        # Union bound overestimates, but stays in the same regime.
+        assert estimate >= simulated - 0.03
+        assert estimate < simulated + 0.25
+
+    def test_scheduler_integration(self):
+        array = make_array(n=4, bandwidth=4, capacity=1000)
+        media = MediaObject(object_id=0, name="m", num_blocks=50, seed=1, bits=32)
+        for i in range(media.num_blocks):
+            array.place(Block(0, i, x0=i), i % 4)
+        sched = RoundScheduler(array, admission=StatisticalAdmission(0.02))
+        admitted = 0
+        with pytest.raises(ValueError):
+            for sid in range(100):
+                sched.admit(Stream(sid, media))
+                admitted += 1
+        # Strictly fewer than the aggregate capacity of 16.
+        assert 0 < admitted < 16
+
+
+class TestTheory:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_load_cov(0, 4)
+        with pytest.raises(ValueError):
+            expected_load_cov(10, 0)
+        with pytest.raises(ValueError):
+            load_standard_deviation(0, 4)
+
+    def test_single_disk_degenerate(self):
+        assert expected_load_cov(100, 1) == 0.0
+        assert expected_max_load(100, 1) == 100.0
+
+    def test_cov_floor_matches_measurement(self):
+        """Complete-redistribution loads hit the multinomial floor."""
+        n, b = 10, 50_000
+        x0s = random_x0s(b, bits=32, seed=3)
+        loads = [0] * n
+        for x0 in x0s:
+            loads[x0 % n] += 1
+        measured = coefficient_of_variation(loads)
+        floor = expected_load_cov(b, n)
+        assert 0.5 * floor < measured < 2.0 * floor
+
+    def test_expected_max_load_sane(self):
+        n, b = 8, 20_000
+        rng = np.random.default_rng(11)
+        maxima = [
+            np.bincount(rng.integers(0, n, size=b), minlength=n).max()
+            for __ in range(50)
+        ]
+        predicted = expected_max_load(b, n)
+        assert abs(float(np.mean(maxima)) - predicted) / predicted < 0.02
+
+    def test_cov_excess(self):
+        floor = expected_load_cov(10_000, 8)
+        assert cov_excess(floor, 10_000, 8) == 0.0
+        assert cov_excess(2 * floor, 10_000, 8) == pytest.approx(
+            math.sqrt(3) * floor
+        )
+
+
+class TestCapacitySafeOrdering:
+    def _tight_array(self):
+        """Three disks of capacity 2: A=[a0,a1] B=[b0,b1] C=[c0]."""
+        array = DiskArray([DiskSpec(capacity_blocks=2)] * 3)
+        array.place(Block(0, 0, 0), 0)
+        array.place(Block(0, 1, 1), 0)
+        array.place(Block(1, 0, 2), 1)
+        array.place(Block(1, 1, 3), 1)
+        array.place(Block(2, 0, 4), 2)
+        return array
+
+    def test_reorders_blocked_move_last(self):
+        array = self._tight_array()
+        a, b, c = array.physical_ids
+        # a0 -> B (B full!) must wait for b0 -> C (C has one slot).
+        plan = MigrationPlan.from_moves(
+            [
+                PhysicalMove(BlockId(0, 0), a, b),
+                PhysicalMove(BlockId(1, 0), b, c),
+            ]
+        )
+        ordered = order_capacity_safe(array, plan)
+        assert [m.block_id for m in ordered.moves] == [
+            BlockId(1, 0),
+            BlockId(0, 0),
+        ]
+        MigrationSession(array, ordered).run(budget=10)
+        assert array.home_of(BlockId(0, 0)) == b
+
+    def test_deadlock_detected(self):
+        """A swap between two full disks has no safe order."""
+        array = DiskArray([DiskSpec(capacity_blocks=1)] * 2)
+        a, b = array.physical_ids
+        array.place_physical(Block(0, 0, 0), a)
+        array.place_physical(Block(1, 0, 1), b)
+        plan = MigrationPlan.from_moves(
+            [
+                PhysicalMove(BlockId(0, 0), a, b),
+                PhysicalMove(BlockId(1, 0), b, a),
+            ]
+        )
+        with pytest.raises(CapacityDeadlockError):
+            order_capacity_safe(array, plan)
+
+    def test_session_defers_capacity_blocked_moves(self):
+        """Even unordered, the session retries blocked moves next round."""
+        array = self._tight_array()
+        a, b, c = array.physical_ids
+        plan = MigrationPlan.from_moves(
+            [
+                PhysicalMove(BlockId(0, 0), a, b),  # blocked round 1
+                PhysicalMove(BlockId(1, 0), b, c),
+            ]
+        )
+        session = MigrationSession(array, plan)
+        report = session.run(budget=10)
+        assert report.moves_executed == 2
+        assert report.rounds_used == 2  # blocked move lands in round 2
+
+    def test_noop_plan(self):
+        array = self._tight_array()
+        ordered = order_capacity_safe(array, MigrationPlan.from_moves([]))
+        assert len(ordered) == 0

@@ -1,0 +1,68 @@
+"""Tests for the reshuffle-cost and ingest-under-load experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ingest_under_load, reshuffle_cost
+
+
+class TestReshuffleCost:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return reshuffle_cost.run_reshuffle_cost(
+            num_blocks=10_000, operations=20
+        )
+
+    def test_one_result_per_bit_width(self, results):
+        assert [r.bits for r in results] == [32, 64]
+
+    def test_three_strategies_each(self, results):
+        for result in results:
+            assert len(result.strategies) == 3
+
+    def test_floor_is_floor(self, results):
+        for result in results:
+            floor = result.strategies[-1]
+            for strategy in result.strategies:
+                assert strategy.total_moved_fraction >= (
+                    floor.total_moved_fraction - 0.05
+                )
+
+    def test_scaddar_beats_complete(self, results):
+        for result in results:
+            scaddar, complete, __ = result.strategies
+            assert scaddar.total_moved_fraction < complete.total_moved_fraction
+
+    def test_wider_bits_fewer_reshuffles(self, results):
+        b32, b64 = results
+        assert b64.strategies[0].reshuffles <= b32.strategies[0].reshuffles
+
+    def test_complete_reshuffles_every_op(self, results):
+        complete = results[0].strategies[1]
+        assert complete.reshuffles == complete.operations
+
+    def test_report_renders(self, results):
+        assert "reshuffles" in reshuffle_cost.report(results)
+
+
+class TestIngestUnderLoad:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ingest_under_load.run_ingest_under_load(
+            utilizations=(0.2, 0.6),
+            blocks_per_object=600,
+            ingest_blocks=200,
+        )
+
+    def test_zero_ingest_caused_hiccups(self, rows):
+        assert all(r.ingest_caused_hiccups == 0 for r in rows)
+
+    def test_all_blocks_land(self, rows):
+        assert all(r.ingest_blocks == 200 for r in rows)
+
+    def test_load_slows_ingest(self, rows):
+        assert rows[0].ingest_rounds <= rows[1].ingest_rounds
+
+    def test_report_renders(self, rows):
+        assert "ingest-caused" in ingest_under_load.report(rows)

@@ -1,0 +1,216 @@
+"""Unit tests for the analysis helpers (stats, fairness, movement)."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.fairness import (
+    destination_counts,
+    empirical_unfairness,
+    proportional_chi_square,
+    uniformity_pvalue,
+)
+from repro.analysis.movement import (
+    PhysicalTracker,
+    optimal_move_fraction,
+    run_schedule,
+)
+from repro.analysis.stats import (
+    chi_square_uniform,
+    coefficient_of_variation,
+    summarize_loads,
+)
+from repro.core.operations import ScalingOp
+from repro.placement import CompleteRedistribution, ScaddarPolicy
+from repro.storage.block import Block
+from repro.workloads.generator import random_x0s
+
+
+class TestStats:
+    def test_cov_zero_for_equal_loads(self):
+        assert coefficient_of_variation([5, 5, 5]) == 0.0
+
+    def test_cov_known_value(self):
+        # loads 2,4: mean 3, population std 1 -> CoV = 1/3.
+        assert coefficient_of_variation([2, 4]) == pytest.approx(1 / 3)
+
+    def test_cov_empty_rejected(self):
+        with pytest.raises(ValueError):
+            coefficient_of_variation([])
+
+    def test_cov_all_zero(self):
+        assert coefficient_of_variation([0, 0]) == 0.0
+
+    def test_cov_zero_mean_mixed(self):
+        assert coefficient_of_variation([-1, 1]) == math.inf
+
+    def test_chi_square_uniform_accepts_uniform(self):
+        __, p = chi_square_uniform([100, 101, 99, 100])
+        assert p > 0.9
+
+    def test_chi_square_uniform_rejects_skew(self):
+        __, p = chi_square_uniform([400, 0, 0, 0])
+        assert p < 1e-10
+
+    def test_chi_square_validation(self):
+        with pytest.raises(ValueError):
+            chi_square_uniform([5])
+        with pytest.raises(ValueError):
+            chi_square_uniform([0, 0])
+
+    def test_summarize_loads(self):
+        summary = summarize_loads([1, 2, 3])
+        assert summary.disks == 3
+        assert summary.total == 6
+        assert summary.mean == 2.0
+        assert summary.minimum == 1
+        assert summary.maximum == 3
+        assert summary.max_over_min == 3.0
+
+    def test_summarize_empty_disk(self):
+        assert summarize_loads([0, 5]).max_over_min == math.inf
+        assert summarize_loads([0, 0]).max_over_min == 1.0
+
+    def test_summarize_rejects_empty(self):
+        with pytest.raises(ValueError):
+            summarize_loads([])
+
+
+class TestFairness:
+    def test_destination_counts(self):
+        counts = destination_counts([4, 5, 4, 4], eligible=[4, 5])
+        assert counts == [3, 1]
+
+    def test_destination_counts_rejects_stranger(self):
+        with pytest.raises(ValueError):
+            destination_counts([3], eligible=[4, 5])
+
+    def test_uniformity_pvalue(self):
+        assert uniformity_pvalue([50, 50]) > 0.9
+
+    def test_empirical_unfairness(self):
+        assert empirical_unfairness([10, 10]) == 0.0
+        assert empirical_unfairness([10, 20]) == pytest.approx(1.0)
+        assert empirical_unfairness([0, 5]) == math.inf
+        assert empirical_unfairness([0, 0]) == 0.0
+        with pytest.raises(ValueError):
+            empirical_unfairness([])
+
+    def test_proportional_chi_square_accepts_proportional(self):
+        __, p = proportional_chi_square([100, 200, 300], [1, 2, 3])
+        assert p > 0.9
+
+    def test_proportional_chi_square_rejects_skew(self):
+        __, p = proportional_chi_square([300, 0, 300], [1, 1, 1])
+        assert p < 1e-10
+
+    def test_proportional_chi_square_drops_zero_weights(self):
+        __, p = proportional_chi_square([50, 0, 50], [1, 0, 1])
+        assert p > 0.9
+
+    def test_proportional_chi_square_zero_weight_with_count(self):
+        with pytest.raises(ValueError):
+            proportional_chi_square([50, 1], [1, 0])
+
+    def test_proportional_chi_square_length_mismatch(self):
+        with pytest.raises(ValueError):
+            proportional_chi_square([1, 2], [1])
+
+    def test_proportional_chi_square_degenerate(self):
+        assert proportional_chi_square([5], [1]) == (0.0, 1.0)
+        assert proportional_chi_square([0, 0], [1, 1]) == (0.0, 1.0)
+
+
+class TestPhysicalTracker:
+    def test_initial_identity(self):
+        tracker = PhysicalTracker(3)
+        assert tracker.table == (0, 1, 2)
+
+    def test_invalid_n0(self):
+        with pytest.raises(ValueError):
+            PhysicalTracker(0)
+
+    def test_add_mints_fresh_ids(self):
+        tracker = PhysicalTracker(3)
+        tracker.apply(ScalingOp.add(2))
+        assert tracker.table == (0, 1, 2, 3, 4)
+
+    def test_remove_deletes_slots(self):
+        tracker = PhysicalTracker(5)
+        tracker.apply(ScalingOp.remove([1, 3]))
+        assert tracker.table == (0, 2, 4)
+
+    def test_removed_ids_never_reused(self):
+        tracker = PhysicalTracker(3)
+        tracker.apply(ScalingOp.remove([0]))
+        tracker.apply(ScalingOp.add(1))
+        assert tracker.table == (1, 2, 3)
+
+    def test_remove_bounds(self):
+        tracker = PhysicalTracker(3)
+        with pytest.raises(IndexError):
+            tracker.apply(ScalingOp.remove([3]))
+
+
+class TestOptimalMoveFraction:
+    def test_addition(self):
+        assert optimal_move_fraction(ScalingOp.add(1), 4) == Fraction(1, 5)
+        assert optimal_move_fraction(ScalingOp.add(4), 4) == Fraction(1, 2)
+
+    def test_removal(self):
+        assert optimal_move_fraction(ScalingOp.remove([0]), 4) == Fraction(1, 4)
+        assert optimal_move_fraction(ScalingOp.remove([0, 1]), 4) == Fraction(1, 2)
+
+
+class TestRunSchedule:
+    def test_scaddar_near_optimal(self):
+        blocks = [
+            Block(0, i, x0) for i, x0 in enumerate(random_x0s(8_000, 32, seed=1))
+        ]
+        results = run_schedule(
+            ScaddarPolicy(4, bits=32), blocks, [ScalingOp.add(1), ScalingOp.remove([0])]
+        )
+        assert len(results) == 2
+        add, remove = results
+        assert add.kind == "add"
+        assert abs(add.moved_fraction - 0.2) < 0.02
+        assert add.overhead_ratio == pytest.approx(1.0, abs=0.1)
+        assert remove.kind == "remove"
+        assert abs(remove.moved_fraction - 0.2) < 0.02
+
+    def test_complete_moves_nearly_all(self):
+        blocks = [
+            Block(0, i, x0) for i, x0 in enumerate(random_x0s(5_000, 32, seed=2))
+        ]
+        results = run_schedule(CompleteRedistribution(4), blocks, [ScalingOp.add(1)])
+        assert results[0].moved_fraction > 0.7
+
+    def test_requires_fresh_policy(self):
+        policy = ScaddarPolicy(4, bits=32)
+        policy.apply(ScalingOp.add(1))
+        with pytest.raises(ValueError):
+            run_schedule(policy, [], [ScalingOp.add(1)])
+
+    def test_removal_counts_only_physical_moves(self):
+        """Survivor re-indexing must not count as movement."""
+        blocks = [
+            Block(0, i, x0) for i, x0 in enumerate(random_x0s(5_000, 32, seed=3))
+        ]
+        policy = ScaddarPolicy(4, bits=32)
+        before = {b.block_id: policy.disk_of(b) for b in blocks}
+        results = run_schedule(policy, blocks, [ScalingOp.remove([0])])
+        evicted = sum(1 for d in before.values() if d == 0)
+        assert results[0].moved == evicted
+
+    def test_overhead_ratio_semantics(self):
+        move = run_schedule(
+            ScaddarPolicy(4, bits=32),
+            [Block(0, i, x) for i, x in enumerate(random_x0s(2_000, 32, seed=4))],
+            [ScalingOp.add(1)],
+        )[0]
+        assert move.overhead_ratio == pytest.approx(
+            move.moved_fraction / float(move.optimal_fraction)
+        )

@@ -1,0 +1,187 @@
+"""Unit tests for the DiskArray (logical/physical mapping + inventory)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.array import DiskArray, PlacementConflictError
+from repro.storage.block import Block, BlockId
+from repro.storage.disk import DiskSpec
+
+
+def make_array(n=4, capacity=100):
+    return DiskArray([DiskSpec(capacity_blocks=capacity)] * n)
+
+
+def b(i, x0=None):
+    return Block(object_id=0, index=i, x0=x0 if x0 is not None else i)
+
+
+class TestTopology:
+    def test_initial_logical_order(self):
+        array = make_array(4)
+        assert array.num_disks == 4
+        assert len(array.physical_ids) == 4
+        assert [array.logical_of(pid) for pid in array.physical_ids] == [0, 1, 2, 3]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DiskArray([])
+
+    def test_add_group_appends_logicals(self):
+        array = make_array(3)
+        before = array.physical_ids
+        new_ids = array.add_group([DiskSpec(), DiskSpec()])
+        assert array.num_disks == 5
+        assert array.physical_ids == before + tuple(new_ids)
+        assert array.physical_at(3) == new_ids[0]
+        assert array.physical_at(4) == new_ids[1]
+
+    def test_add_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            make_array().add_group([])
+
+    def test_physical_at_bounds(self):
+        array = make_array(2)
+        with pytest.raises(IndexError):
+            array.physical_at(2)
+        with pytest.raises(IndexError):
+            array.physical_at(-1)
+
+    def test_logical_of_unknown(self):
+        with pytest.raises(KeyError):
+            make_array().logical_of(10**9)
+
+    def test_disk_lookup(self):
+        array = make_array()
+        pid = array.physical_at(0)
+        assert array.disk(pid).physical_id == pid
+        with pytest.raises(KeyError):
+            array.disk(10**9)
+
+    def test_survivors_after_removal(self):
+        array = make_array(5)
+        pids = array.physical_ids
+        survivors = array.survivors_after_removal([1, 3])
+        assert survivors == [pids[0], pids[2], pids[4]]
+        # Non-destructive.
+        assert array.num_disks == 5
+
+    def test_survivors_bounds_check(self):
+        with pytest.raises(IndexError):
+            make_array(3).survivors_after_removal([3])
+
+    def test_remove_group_compacts(self):
+        array = make_array(5)
+        pids = array.physical_ids
+        removed = array.remove_group([1, 3])
+        assert [d.physical_id for d in removed] == [pids[1], pids[3]]
+        assert array.physical_ids == (pids[0], pids[2], pids[4])
+        assert array.logical_of(pids[4]) == 2
+
+    def test_remove_nonempty_disk_refused(self):
+        array = make_array()
+        array.place(b(0), 1)
+        with pytest.raises(PlacementConflictError):
+            array.remove_group([1])
+
+    def test_remove_all_refused(self):
+        with pytest.raises(ValueError):
+            make_array(2).remove_group([0, 1])
+
+    def test_remove_empty_group_refused(self):
+        with pytest.raises(ValueError):
+            make_array().remove_group([])
+
+
+class TestInventory:
+    def test_place_and_home(self):
+        array = make_array()
+        array.place(b(0), 2)
+        assert array.home_of(BlockId(0, 0)) == array.physical_at(2)
+        assert array.total_blocks == 1
+        assert array.load_vector() == [0, 0, 1, 0]
+
+    def test_place_duplicate_refused(self):
+        array = make_array()
+        array.place(b(0), 0)
+        with pytest.raises(PlacementConflictError):
+            array.place(b(0), 1)
+
+    def test_place_capacity_enforced(self):
+        array = make_array(2, capacity=2)
+        array.place(b(0), 0)
+        array.place(b(1), 0)
+        with pytest.raises(PlacementConflictError):
+            array.place(b(2), 0)
+
+    def test_place_physical(self):
+        array = make_array()
+        pid = array.physical_at(3)
+        array.place_physical(b(9), pid)
+        assert array.home_of(BlockId(0, 9)) == pid
+
+    def test_place_unknown_physical(self):
+        with pytest.raises(KeyError):
+            make_array().place_physical(b(0), 10**9)
+
+    def test_move_transfers_and_counts(self):
+        array = make_array()
+        array.place(b(0), 0)
+        target = array.physical_at(3)
+        assert array.move(BlockId(0, 0), target) is True
+        assert array.home_of(BlockId(0, 0)) == target
+        assert array.blocks_moved == 1
+        assert array.load_vector() == [0, 0, 0, 1]
+
+    def test_move_noop_when_already_there(self):
+        array = make_array()
+        array.place(b(0), 1)
+        assert array.move(BlockId(0, 0), array.physical_at(1)) is False
+        assert array.blocks_moved == 0
+
+    def test_move_unknown_block(self):
+        with pytest.raises(KeyError):
+            make_array().move(BlockId(0, 0), 0)
+
+    def test_move_unknown_target(self):
+        array = make_array()
+        array.place(b(0), 0)
+        with pytest.raises(KeyError):
+            array.move(BlockId(0, 0), 10**9)
+
+    def test_move_respects_capacity(self):
+        array = make_array(2, capacity=1)
+        array.place(b(0), 0)
+        array.place(b(1), 1)
+        with pytest.raises(PlacementConflictError):
+            array.move(BlockId(0, 0), array.physical_at(1))
+
+    def test_blocks_on(self):
+        array = make_array()
+        array.place(b(0), 1)
+        array.place(b(1), 1)
+        assert {blk.index for blk in array.blocks_on(1)} == {0, 1}
+        assert array.blocks_on(0) == frozenset()
+
+    def test_blocks_on_unknown_physical(self):
+        with pytest.raises(KeyError):
+            make_array().blocks_on_physical(10**9)
+
+    def test_drop(self):
+        array = make_array()
+        array.place(b(0), 0)
+        array.drop(BlockId(0, 0))
+        assert array.total_blocks == 0
+        with pytest.raises(KeyError):
+            array.home_of(BlockId(0, 0))
+
+    def test_utilization(self):
+        array = make_array(2, capacity=10)
+        assert array.utilization() == 0.0
+        array.place(b(0), 0)
+        array.place(b(1), 1)
+        assert array.utilization() == pytest.approx(0.1)
+
+    def test_repr(self):
+        assert "disks=4" in repr(make_array())

@@ -1,0 +1,134 @@
+"""Tests for the arrival process and the long-horizon simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server.cmserver import CMServer
+from repro.server.simulation import ServerSimulation
+from repro.storage.disk import DiskSpec
+from repro.workloads.arrivals import Arrival, ArrivalProcess
+from repro.workloads.generator import uniform_catalog
+
+
+def make_catalog(objects=6, blocks=80):
+    return uniform_catalog(objects, blocks, master_seed=0xA1, bits=32)
+
+
+def make_server(catalog, disks=3, bandwidth=5):
+    spec = DiskSpec(capacity_blocks=100_000, bandwidth_blocks_per_round=bandwidth)
+    return CMServer(catalog, [spec] * disks, bits=32, default_spec=spec)
+
+
+class TestArrivalProcess:
+    def test_validation(self):
+        catalog = make_catalog()
+        with pytest.raises(ValueError):
+            ArrivalProcess(catalog, rate=-1)
+        with pytest.raises(ValueError):
+            ArrivalProcess(catalog, rate=1, resume_probability=2)
+        from repro.server.objects import ObjectCatalog
+
+        with pytest.raises(ValueError):
+            ArrivalProcess(ObjectCatalog(), rate=1)
+
+    def test_reproducible(self):
+        catalog = make_catalog()
+        a = ArrivalProcess(catalog, rate=0.8, seed=5)
+        b = ArrivalProcess(catalog, rate=0.8, seed=5)
+        rounds_a = [a.next_round() for __ in range(50)]
+        rounds_b = [b.next_round() for __ in range(50)]
+        assert rounds_a == rounds_b
+
+    def test_rate_zero_generates_nothing(self):
+        process = ArrivalProcess(make_catalog(), rate=0.0)
+        assert all(process.next_round() == [] for __ in range(20))
+
+    def test_mean_rate_approximates_poisson(self):
+        process = ArrivalProcess(make_catalog(), rate=2.0, seed=9)
+        total = sum(len(process.next_round()) for __ in range(2_000))
+        assert 2.0 * 2_000 * 0.9 < total < 2.0 * 2_000 * 1.1
+
+    def test_arrivals_are_valid(self):
+        catalog = make_catalog()
+        process = ArrivalProcess(catalog, rate=3.0, resume_probability=0.5, seed=3)
+        seen_resume = False
+        for __ in range(200):
+            for arrival in process.next_round():
+                assert isinstance(arrival, Arrival)
+                media = catalog.get(arrival.object_id)
+                assert 0 <= arrival.start_block < media.num_blocks
+                seen_resume = seen_resume or arrival.start_block > 0
+        assert seen_resume
+
+    def test_zipf_skews_popularity(self):
+        catalog = make_catalog(objects=10)
+        process = ArrivalProcess(catalog, rate=3.0, zipf_exponent=1.2, seed=4)
+        counts = {oid: 0 for oid in range(10)}
+        for __ in range(2_000):
+            for arrival in process.next_round():
+                counts[arrival.object_id] += 1
+        assert counts[0] > 2 * counts[9]
+
+
+class TestServerSimulation:
+    def test_zero_rounds(self):
+        catalog = make_catalog()
+        sim = ServerSimulation(make_server(catalog), ArrivalProcess(catalog, 1.0))
+        summary = sim.run(0)
+        assert summary.rounds == 0
+        assert summary.arrivals == 0
+
+    def test_negative_rounds_rejected(self):
+        catalog = make_catalog()
+        sim = ServerSimulation(make_server(catalog), ArrivalProcess(catalog, 1.0))
+        with pytest.raises(ValueError):
+            sim.run(-1)
+
+    def test_accounting_is_consistent(self):
+        catalog = make_catalog()
+        sim = ServerSimulation(
+            make_server(catalog), ArrivalProcess(catalog, 0.3, seed=11)
+        )
+        summary = sim.run(400)
+        assert summary.arrivals == summary.admitted + summary.rejected
+        assert summary.completed <= summary.admitted
+        assert summary.peak_active_streams <= summary.admitted
+        assert len(summary.active_per_round) == 400
+
+    def test_viewers_complete_movies(self):
+        catalog = make_catalog(blocks=40)
+        sim = ServerSimulation(
+            make_server(catalog, bandwidth=8),
+            ArrivalProcess(catalog, 0.2, seed=12),
+        )
+        summary = sim.run(500)
+        assert summary.completed > 0
+
+    def test_autoscale_triggers_and_grows(self):
+        catalog = make_catalog(blocks=200)
+        server = make_server(catalog, disks=2, bandwidth=4)
+        sim = ServerSimulation(
+            server,
+            ArrivalProcess(catalog, 0.5, seed=13),
+            autoscale_rejections=3,
+        )
+        summary = sim.run(600)
+        assert summary.scale_events > 0
+        assert server.num_disks > 2
+        assert summary.scale_events == server.mapper.num_operations
+
+    def test_no_autoscale_keeps_size(self):
+        catalog = make_catalog()
+        server = make_server(catalog, disks=2, bandwidth=4)
+        sim = ServerSimulation(server, ArrivalProcess(catalog, 0.5, seed=14))
+        sim.run(300)
+        assert server.num_disks == 2
+
+    def test_rejection_rate_property(self):
+        from repro.server.simulation import DaySummary
+
+        empty = DaySummary()
+        assert empty.rejection_rate == 0.0
+        some = DaySummary(arrivals=10, rejected=2)
+        assert some.rejection_rate == pytest.approx(0.2)

@@ -1,0 +1,126 @@
+"""Sweeps of the REMAP invariants across bit-width regimes.
+
+The paper's analysis parameterizes everything by ``b``; these tests run
+the structural invariants at the extremes — tiny ranges where the budget
+dies within a couple of operations, and the full 64-bit boundary where
+integer overflow would bite a careless implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.operations import OperationLog, ScalingOp
+from repro.core.remap import remap_add, remap_remove
+from repro.core.scaddar import ScaddarMapper
+from repro.core.vectorized import (
+    disks_array,
+    redistribution_moves_array,
+)
+from repro.workloads.generator import random_x0s
+
+
+class TestTinyRanges:
+    @pytest.mark.parametrize("bits", [1, 2, 4, 8])
+    def test_lookups_defined_even_when_range_dead(self, bits):
+        mapper = ScaddarMapper(n0=2, bits=bits)
+        for __ in range(6):
+            mapper.apply(ScalingOp.add(1))
+        for x0 in range(1 << bits):
+            assert 0 <= mapper.disk_of(x0) < mapper.current_disks
+
+    def test_one_bit_range(self):
+        mapper = ScaddarMapper(n0=2, bits=1)
+        assert mapper.disk_of(0) == 0
+        assert mapper.disk_of(1) == 1
+        mapper.apply(ScalingOp.add(1))
+        # q = x div 2 = 0 for both values: nothing can ever move.
+        assert mapper.disk_of(0) == 0
+        assert mapper.disk_of(1) == 1
+
+    def test_budget_zero_at_tiny_bits(self):
+        mapper = ScaddarMapper(n0=4, bits=4)
+        assert mapper.remaining_operations(eps=0.05) == 0
+        assert mapper.needs_reshuffle(eps=0.05)
+
+
+class TestFullWidthBoundary:
+    TOP = 2**64 - 1
+
+    def test_remap_add_at_uint64_max(self):
+        result = remap_add(self.TOP, 7, 9)
+        assert result.x_new <= self.TOP
+        assert result.disk == result.x_new % 9
+
+    def test_remap_remove_at_uint64_max(self):
+        result = remap_remove(self.TOP, 9, {4})
+        assert result.x_new <= self.TOP
+        assert result.disk == result.x_new % 8
+
+    def test_long_chain_at_boundary(self):
+        mapper = ScaddarMapper(n0=3, bits=64)
+        for op in (
+            ScalingOp.add(5),
+            ScalingOp.remove([1, 6]),
+            ScalingOp.add(10),
+            ScalingOp.remove([0]),
+        ):
+            mapper.apply(op)
+        chain = mapper.x_chain(self.TOP)
+        assert all(0 <= x <= self.TOP for x in chain)
+
+    def test_vectorized_matches_scalar_at_boundary(self):
+        log = OperationLog(n0=3)
+        for op in (ScalingOp.add(5), ScalingOp.remove([2]), ScalingOp.add(3)):
+            log.append(op)
+        mapper = ScaddarMapper(n0=3, bits=64)
+        for op in log:
+            mapper.apply(op)
+        xs = [self.TOP, self.TOP - 1, 2**63, 2**63 - 1, 0, 1]
+        vec = disks_array(np.array(xs, dtype=np.uint64), log)
+        assert vec.tolist() == [mapper.disk_of(x) for x in xs]
+
+    @given(bits=st.sampled_from([8, 16, 32, 48, 63, 64]), seed=st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_chain_stays_in_range_property(self, bits, seed):
+        mapper = ScaddarMapper(n0=4, bits=bits)
+        mapper.apply(ScalingOp.add(2))
+        mapper.apply(ScalingOp.remove([1]))
+        for x0 in random_x0s(50, bits=bits, seed=seed):
+            chain = mapper.x_chain(x0)
+            assert all(0 <= x < (1 << bits) for x in chain)
+
+
+class TestVectorizedRF:
+    def test_matches_scalar_rf(self):
+        log = OperationLog(n0=4)
+        mapper = ScaddarMapper(n0=4, bits=32)
+        for op in (ScalingOp.add(2), ScalingOp.remove([1]), ScalingOp.add(1)):
+            log.append(op)
+            mapper.apply(op)
+        x0s = random_x0s(4_000, bits=32, seed=8)
+        indices, sources, targets = redistribution_moves_array(x0s, log)
+        scalar = mapper.redistribution_moves(
+            {i: x for i, x in enumerate(x0s)}
+        )
+        scalar_by_index = {m.block: m for m in scalar}
+        assert set(indices.tolist()) == set(scalar_by_index)
+        for i, src, dst in zip(indices.tolist(), sources, targets):
+            assert scalar_by_index[i].source_disk == int(src)
+            assert scalar_by_index[i].target_disk == int(dst)
+
+    def test_empty_log(self):
+        log = OperationLog(n0=4)
+        indices, sources, targets = redistribution_moves_array([1, 2, 3], log)
+        assert indices.size == sources.size == targets.size == 0
+
+    def test_addition_fraction(self):
+        log = OperationLog(n0=4)
+        log.append(ScalingOp.add(1))
+        x0s = random_x0s(30_000, bits=32, seed=9)
+        indices, __, targets = redistribution_moves_array(x0s, log)
+        assert abs(len(indices) / len(x0s) - 0.2) < 0.01
+        assert set(targets.tolist()) == {4}

@@ -1,0 +1,197 @@
+"""Unit + property tests for the Section 4.3 analysis."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    exact_max_operations,
+    lemma_43_allows,
+    range_lower_bound,
+    rule_of_thumb_max_operations,
+    unfairness_coefficient,
+    unfairness_upper_bound,
+)
+
+
+class TestUnfairnessCoefficient:
+    def test_definition(self):
+        # R = 10 values over N = 3 disks: loads 4,3,3 -> f = 1/3.
+        assert unfairness_coefficient(10, 3) == pytest.approx(1 / 3)
+
+    def test_divisible_range(self):
+        assert unfairness_coefficient(12, 3) == pytest.approx(1 / 4)
+
+    def test_range_smaller_than_disks(self):
+        assert unfairness_coefficient(2, 3) == math.inf
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            unfairness_coefficient(-1, 3)
+        with pytest.raises(ValueError):
+            unfairness_coefficient(10, 0)
+
+    @given(r=st.integers(1, 10**9), n=st.integers(1, 1000))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_exact_load_ratio(self, r, n):
+        """f is exactly max_load/min_load - 1 for uniform x in [0, R)."""
+        if r < n:
+            assert unfairness_coefficient(r, n) == math.inf
+            return
+        max_load = -(-r // n)  # ceil
+        min_load = r // n
+        expected = max_load / min_load - 1
+        # f = 1/(r div n) upper-bounds the exact ratio and equals it
+        # whenever r mod n != 0.
+        f = unfairness_coefficient(r, n)
+        assert f >= expected - 1e-12
+        if r % n:
+            assert f == pytest.approx(expected)
+
+
+class TestRangeLowerBound:
+    def test_single_epoch(self):
+        assert range_lower_bound(100, [4]) == 25
+
+    def test_lemma_42_product(self):
+        assert range_lower_bound(2**32, [4, 5, 6]) == 2**32 // 120
+
+    def test_empty_counts_rejected(self):
+        with pytest.raises(ValueError):
+            range_lower_bound(100, [])
+
+    def test_zero_disk_rejected(self):
+        with pytest.raises(ValueError):
+            range_lower_bound(100, [4, 0])
+
+    @given(
+        r0=st.integers(1, 2**48),
+        counts=st.lists(st.integers(1, 50), min_size=1, max_size=8),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_lemma_42_simulation_property(self, r0, counts):
+        """Simulating the worst-case range shrink (divide by N each op)
+        never goes below the closed-form bound."""
+        simulated = r0
+        for n in counts:
+            simulated //= n
+        assert simulated >= range_lower_bound(r0, counts)
+        # In fact iterated integer division equals division by the product.
+        product = math.prod(counts)
+        assert simulated == r0 // product
+
+    def test_upper_bound_inf_when_exhausted(self):
+        assert unfairness_upper_bound(100, [50, 50]) == math.inf
+
+    def test_upper_bound_finite(self):
+        assert unfairness_upper_bound(2**32, [4, 5]) == pytest.approx(
+            1 / (2**32 // 20)
+        )
+
+
+class TestLemma43:
+    def test_exact_threshold(self):
+        # Pi <= R0 * eps / (1 + eps), exact in rationals.
+        r0 = 1000
+        eps = Fraction(1, 19)  # eps/(1+eps) = 1/20 -> limit 50
+        assert lemma_43_allows(r0, 50, eps)
+        assert not lemma_43_allows(r0, 51, eps)
+
+    def test_accepts_floats(self):
+        assert lemma_43_allows(2**32, 4 * 5 * 6, 0.05)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            lemma_43_allows(100, 0, 0.05)
+        with pytest.raises(ValueError):
+            lemma_43_allows(100, 10, 0)
+
+    @given(
+        r0=st.integers(10, 2**40),
+        pi=st.integers(1, 2**40),
+        eps_num=st.integers(1, 100),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_lemma_43_implies_bounded_unfairness(self, r0, pi, eps_num):
+        """Whenever the precondition holds, the paper's conclusion
+        f(R_k, N_k) < eps must hold for the worst-case shrunken range."""
+        eps = Fraction(eps_num, 100)
+        if not lemma_43_allows(r0, pi, eps):
+            return
+        worst_range_div_n = r0 // pi  # Lemma 4.2 with Pi = N0...Nk
+        assert worst_range_div_n > 0
+        f = 1 / worst_range_div_n
+        assert f < eps or math.isclose(f, float(eps), rel_tol=1e-12)
+
+
+class TestRuleOfThumb:
+    def test_paper_example_64bit(self):
+        assert rule_of_thumb_max_operations(64, 0.01, 16) == 13
+
+    def test_paper_example_32bit(self):
+        assert rule_of_thumb_max_operations(32, 0.05, 8) == 8
+
+    def test_floor_behaviour(self):
+        # (16 - log2(20)) / 2 = 5.83 -> k = 4
+        assert rule_of_thumb_max_operations(16, 0.05, 4) == 4
+
+    def test_negative_budget_clamps(self):
+        assert rule_of_thumb_max_operations(4, 0.01, 16) == -1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            rule_of_thumb_max_operations(0, 0.05, 8)
+        with pytest.raises(ValueError):
+            rule_of_thumb_max_operations(32, 0, 8)
+        with pytest.raises(ValueError):
+            rule_of_thumb_max_operations(32, 0.05, 1)
+
+
+class TestExactMaxOperations:
+    def test_section5_configuration(self):
+        assert exact_max_operations(2**32, 4, 0.05) == 8
+
+    def test_zero_when_initial_state_tight(self):
+        # Pi_0 = n0 already close to the limit.
+        assert exact_max_operations(100, 4, 0.05) == 0
+
+    def test_negative_when_initial_state_exceeds(self):
+        assert exact_max_operations(10, 4, 0.05) == -1
+
+    def test_group_size(self):
+        single = exact_max_operations(2**32, 4, 0.05, group_size=1)
+        grouped = exact_max_operations(2**32, 4, 0.05, group_size=4)
+        assert grouped <= single
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            exact_max_operations(2**32, 0, 0.05)
+        with pytest.raises(ValueError):
+            exact_max_operations(2**32, 4, 0.05, group_size=0)
+
+    @given(
+        bits=st.integers(8, 48),
+        n0=st.integers(2, 16),
+        eps_pct=st.integers(1, 20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_budget_is_maximal_property(self, bits, n0, eps_pct):
+        """k ops satisfy Lemma 4.3, k+1 ops would not."""
+        eps = Fraction(eps_pct, 100)
+        r0 = 1 << bits
+        k = exact_max_operations(r0, n0, eps)
+        if k < 0:
+            assert not lemma_43_allows(r0, n0, eps)
+            return
+        pi = n0
+        n = n0
+        for __ in range(k):
+            n += 1
+            pi *= n
+        assert lemma_43_allows(r0, pi, eps)
+        assert not lemma_43_allows(r0, pi * (n + 1), eps)

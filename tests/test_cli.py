@@ -1,0 +1,53 @@
+"""Unit tests for the CLI entry point."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import QUICK_KWARGS, build_parser, main
+from repro.experiments import EXPERIMENTS
+
+
+class TestParser:
+    def test_all_experiments_are_choices(self):
+        parser = build_parser()
+        for name in EXPERIMENTS:
+            args = parser.parse_args([name])
+            assert args.experiment == name
+
+    def test_all_keyword(self):
+        assert build_parser().parse_args(["all"]).experiment == "all"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nonsense"])
+
+    def test_missing_argument_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_runs_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "=== fig1 ===" in out
+        assert "disk 5" in out
+
+    def test_runs_rule_of_thumb(self, capsys):
+        assert main(["rule-of-thumb"]) == 0
+        out = capsys.readouterr().out
+        assert "paper k" in out
+
+    def test_quick_mode_runs(self, capsys):
+        assert main(["bound-tightness", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "2^14" in out  # quick mode shrinks the enumeration
+
+    def test_every_experiment_has_quick_parameters(self):
+        assert set(QUICK_KWARGS) == set(EXPERIMENTS)
+
+    def test_every_experiment_has_run_alias(self):
+        for module in EXPERIMENTS.values():
+            assert callable(module.run)
+            assert callable(module.report)

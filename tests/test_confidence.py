@@ -1,0 +1,98 @@
+"""Tests for the Wilson confidence intervals — and their use against
+the movement experiments' binomial claims."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.confidence import (
+    Interval,
+    proportion_consistent,
+    wilson_interval,
+)
+from repro.core.operations import ScalingOp
+from repro.core.scaddar import ScaddarMapper
+from repro.workloads.generator import random_x0s
+
+
+class TestWilson:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 4)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 4)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 4, z=0)
+        with pytest.raises(ValueError):
+            proportion_consistent(1, 4, expected=1.5)
+
+    def test_symmetric_at_half(self):
+        interval = wilson_interval(500, 1000)
+        assert interval.contains(0.5)
+        assert abs((0.5 - interval.low) - (interval.high - 0.5)) < 1e-9
+
+    def test_extremes_stay_in_unit_range(self):
+        assert wilson_interval(0, 50).low == 0.0
+        assert wilson_interval(50, 50).high == 1.0
+        # Unlike Wald, Wilson gives a non-degenerate interval at 0/n.
+        assert wilson_interval(0, 50).high > 0.0
+
+    def test_narrows_with_samples(self):
+        wide = wilson_interval(50, 100)
+        narrow = wilson_interval(5_000, 10_000)
+        assert narrow.width < wide.width
+
+    def test_interval_contains(self):
+        interval = Interval(low=0.2, high=0.4)
+        assert interval.contains(0.2) and interval.contains(0.4)
+        assert not interval.contains(0.41)
+
+    @given(
+        trials=st.integers(1, 10_000),
+        data=st.data(),
+        z=st.floats(0.5, 5.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_interval_well_formed_property(self, trials, data, z):
+        successes = data.draw(st.integers(0, trials))
+        interval = wilson_interval(successes, trials, z)
+        assert 0.0 <= interval.low <= interval.high <= 1.0
+        assert interval.contains(successes / trials)
+
+
+class TestAgainstMovementClaims:
+    def test_addition_rate_consistent_with_z_j(self):
+        """The RO1 claim stated properly: observed movers are a binomial
+        sample at rate z_j = 1/5."""
+        mapper = ScaddarMapper(n0=4, bits=32)
+        x0s = random_x0s(30_000, bits=32, seed=5)
+        before = {x: mapper.disk_of(x) for x in x0s}
+        mapper.apply(ScalingOp.add(1))
+        moved = sum(1 for x in x0s if mapper.disk_of(x) != before[x])
+        assert proportion_consistent(moved, len(x0s), expected=1 / 5)
+
+    def test_removal_rate_consistent(self):
+        mapper = ScaddarMapper(n0=5, bits=32)
+        x0s = random_x0s(30_000, bits=32, seed=6)
+        before = {x: mapper.disk_of(x) for x in x0s}
+        mapper.apply(ScalingOp.remove([2]))
+        survivor_rank = {0: 0, 1: 1, 3: 2, 4: 3}
+        moved = sum(
+            1
+            for x in x0s
+            if before[x] == 2
+            or mapper.disk_of(x) != survivor_rank[before[x]]
+        )
+        assert proportion_consistent(moved, len(x0s), expected=1 / 5)
+
+    def test_group_addition_rate(self):
+        mapper = ScaddarMapper(n0=6, bits=32)
+        x0s = random_x0s(30_000, bits=32, seed=7)
+        before = {x: mapper.disk_of(x) for x in x0s}
+        mapper.apply(ScalingOp.add(3))
+        moved = sum(1 for x in x0s if mapper.disk_of(x) != before[x])
+        assert proportion_consistent(moved, len(x0s), expected=3 / 9)

@@ -1,0 +1,112 @@
+"""Pinning the paper's Definition 4.1 algebra on the live mapper.
+
+Section 4.2 derives each REMAP from identities on
+``q_j = X_j div N_j`` and ``r_j = X_j mod N_j``:
+
+* ``D_k`` always equals ``r_k`` ("D_k always equals r_k for any k-th
+  operation");
+* after an addition, the stored fresh randomness is
+  ``X_j div N_j = q_{j-1} div N_j`` (Eq. 4 construction);
+* after a removal that keeps the block, ``X_j div N_j = q_{j-1}``
+  (Eq. 3a "later we can retrieve q_{j-1}");
+* after a removal that moves the block, ``X_j = q_{j-1}`` itself.
+
+These tests walk random schedules and check the identities at every
+link of the chain — the strongest guard against a subtly wrong REMAP.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.remap import survivor_ranks
+from repro.core.scaddar import ScaddarMapper
+
+
+@st.composite
+def schedules_with_x0(draw):
+    from repro.core.operations import ScalingOp
+
+    n0 = draw(st.integers(2, 8))
+    ops = []
+    n = n0
+    for __ in range(draw(st.integers(1, 6))):
+        if n > 2 and draw(st.booleans()):
+            victims = draw(
+                st.sets(st.integers(0, n - 1), min_size=1, max_size=min(2, n - 2))
+            )
+            ops.append(ScalingOp.remove(victims))
+            n -= len(victims)
+        else:
+            count = draw(st.integers(1, 3))
+            ops.append(ScalingOp.add(count))
+            n += count
+    x0 = draw(st.integers(0, 2**32 - 1))
+    return n0, ops, x0
+
+
+class TestDef41:
+    @given(spec=schedules_with_x0())
+    @settings(max_examples=150, deadline=None)
+    def test_disk_equals_r_at_every_epoch(self, spec):
+        """D_k == X_k mod N_k along the whole chain."""
+        n0, ops, x0 = spec
+        mapper = ScaddarMapper(n0=n0, bits=32)
+        for op in ops:
+            mapper.apply(op)
+        chain = mapper.x_chain(x0)
+        history = mapper.disk_history(x0)
+        counts = mapper.log.disk_counts()
+        for x, disk, n in zip(chain, history, counts):
+            assert disk == x % n
+
+    @given(spec=schedules_with_x0())
+    @settings(max_examples=150, deadline=None)
+    def test_fresh_randomness_identities(self, spec):
+        """The q-recovery identities of Eq. 3 and Eq. 4."""
+        n0, ops, x0 = spec
+        mapper = ScaddarMapper(n0=n0, bits=32)
+        for op in ops:
+            mapper.apply(op)
+        chain = mapper.x_chain(x0)
+        counts = mapper.log.disk_counts()
+        for j, op in enumerate(mapper.log.operations):
+            x_prev, x_next = chain[j], chain[j + 1]
+            n_prev, n_next = counts[j], counts[j + 1]
+            q_prev, r_prev = divmod(x_prev, n_prev)
+            if op.kind == "add":
+                # Eq. 4: X_j div N_j == q_{j-1} div N_j (both branches).
+                assert x_next // n_next == q_prev // n_next
+            else:
+                ranks = survivor_ranks(op.removed, n_prev)
+                if ranks[r_prev] >= 0:
+                    # Eq. 3a: stays put, q preserved as the high part.
+                    assert x_next // n_next == q_prev
+                    assert x_next % n_next == ranks[r_prev]
+                else:
+                    # Eq. 3b: the fresh draw IS q_{j-1}.
+                    assert x_next == q_prev
+
+    @given(spec=schedules_with_x0())
+    @settings(max_examples=100, deadline=None)
+    def test_stayers_preserve_physical_identity(self, spec):
+        """Any block whose physical disk survives an operation and whose
+        remap says 'stay' must still map to that same physical disk."""
+        from repro.analysis.movement import PhysicalTracker
+
+        n0, ops, x0 = spec
+        mapper = ScaddarMapper(n0=n0, bits=32)
+        tracker = PhysicalTracker(n0)
+        previous_physical = tracker.physical(mapper.disk_of(x0))
+        for op in ops:
+            n_before = mapper.current_disks
+            x_before = mapper.x_chain(x0)[-1]
+            r_before = x_before % n_before
+            mapper.apply(op)
+            tracker.apply(op)
+            now_physical = tracker.physical(mapper.disk_of(x0))
+            evicted = op.kind == "remove" and r_before in op.removed
+            if not evicted and op.kind == "remove":
+                assert now_physical == previous_physical
+            previous_physical = now_physical

@@ -1,0 +1,123 @@
+"""Docs-vs-code consistency: the documentation must track the registry.
+
+These tests keep README / DESIGN / EXPERIMENTS honest as experiments and
+modules are added: every CLI experiment must be documented, every bench
+file must exist, and the quick-parameter table must stay in sync.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import QUICK_KWARGS
+from repro.experiments import EXPERIMENTS
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def read(name: str) -> str:
+    return (REPO / name).read_text()
+
+
+class TestRegistryIntegrity:
+    def test_quick_kwargs_cover_every_experiment(self):
+        assert set(QUICK_KWARGS) == set(EXPERIMENTS)
+
+    def test_every_experiment_has_run_and_report(self):
+        for module in EXPERIMENTS.values():
+            assert callable(module.run)
+            assert callable(module.report)
+
+    def test_experiment_modules_have_docstrings(self):
+        for name, module in EXPERIMENTS.items():
+            assert module.__doc__, f"{name} lacks a module docstring"
+            assert len(module.__doc__) > 100, f"{name} docstring too thin"
+
+
+class TestReadme:
+    @pytest.fixture(scope="class")
+    def readme(self):
+        return read("README.md")
+
+    def test_mentions_every_cli_experiment(self, readme):
+        for name in EXPERIMENTS:
+            assert f"scaddar {name}" in readme, f"README missing {name}"
+
+    def test_links_companion_docs(self, readme):
+        for doc in ("DESIGN.md", "EXPERIMENTS.md", "docs/API.md",
+                    "docs/PAPER_MAP.md", "docs/THEORY.md",
+                    "docs/OPERATIONS.md"):
+            assert doc in readme
+
+    def test_companion_docs_exist(self, readme):
+        for doc in ("DESIGN.md", "EXPERIMENTS.md", "CONTRIBUTING.md",
+                    "CHANGELOG.md", "docs/API.md", "docs/PAPER_MAP.md",
+                    "docs/THEORY.md", "docs/OPERATIONS.md"):
+            assert (REPO / doc).exists(), f"{doc} missing"
+
+    def test_lists_every_example(self, readme):
+        for example in sorted((REPO / "examples").glob("*.py")):
+            assert example.name in readme, f"README missing {example.name}"
+
+
+class TestDesign:
+    @pytest.fixture(scope="class")
+    def design(self):
+        return read("DESIGN.md")
+
+    def test_confirms_paper_identity(self, design):
+        assert "SCADDAR" in design
+        assert "ICDE 2002" in design
+
+    def test_references_every_bench_file(self, design):
+        for bench in sorted((REPO / "benchmarks").glob("bench_*.py")):
+            # Scale/micro/tooling/quality benches are engineering
+            # telemetry, not paper artifacts; DESIGN indexes artifacts.
+            if bench.stem in (
+                "bench_core_micro",
+                "bench_scale",
+                "bench_ops_tooling",
+                "bench_prng_quality",
+            ):
+                continue
+            assert bench.name in design, f"DESIGN.md missing {bench.name}"
+
+    def test_bench_files_exist_for_design_references(self, design):
+        for line in design.splitlines():
+            if "benchmarks/bench_" in line:
+                for token in line.split("`"):
+                    if token.startswith("benchmarks/bench_"):
+                        assert (REPO / token).exists(), f"{token} missing"
+
+
+class TestExperimentsDoc:
+    @pytest.fixture(scope="class")
+    def doc(self):
+        return read("EXPERIMENTS.md")
+
+    def test_mentions_every_cli_command(self, doc):
+        for name in EXPERIMENTS:
+            # fig1/cov-curve etc. appear as `scaddar <name>` commands.
+            assert f"scaddar {name}" in doc, f"EXPERIMENTS.md missing {name}"
+
+    def test_paper_headline_numbers_present(self, doc):
+        for fact in ("k = 13", "exactly 8", "{1, 3, 4}", "0.25"):
+            assert fact in doc, f"EXPERIMENTS.md missing headline fact {fact!r}"
+
+
+class TestBenchmarks:
+    #: Pure microbenchmarks: pytest-benchmark's timing table IS the output.
+    MICRO = {"bench_core_micro.py", "bench_ops_tooling.py"}
+
+    def test_every_artifact_bench_prints_its_report(self):
+        """Artifact benches must surface the regenerated table, not just
+        assert; pure timing benches are exempt."""
+        for bench in sorted((REPO / "benchmarks").glob("bench_*.py")):
+            if bench.name in self.MICRO:
+                continue
+            text = bench.read_text()
+            if "report(" in text or "print(" in text:
+                continue
+            pytest.fail(f"{bench.name} produces no visible output")

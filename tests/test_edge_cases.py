@@ -1,0 +1,197 @@
+"""Edge-case tests sweeping the corners the main suites don't reach."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.operations import OperationLog, ScalingOp
+from repro.core.scaddar import ScaddarMapper
+from repro.core.vectorized import (
+    chain_x_array,
+    load_vector_array,
+    remap_add_array,
+    remap_remove_array,
+)
+from repro.experiments.tables import format_table
+from repro.server.objects import MediaObject
+from repro.server.scheduler import RoundScheduler
+from repro.server.streams import Stream
+from repro.storage.array import DiskArray
+from repro.storage.block import Block
+from repro.storage.disk import DiskSpec
+
+
+class TestScalingEdges:
+    def test_one_disk_array_can_only_grow(self):
+        mapper = ScaddarMapper(n0=1, bits=32)
+        assert mapper.disk_of(12345) == 0
+        mapper.apply(ScalingOp.add(1))
+        assert mapper.current_disks == 2
+        with pytest.raises(ValueError):
+            mapper.apply(ScalingOp.remove([0, 1]))
+
+    def test_grow_from_one_disk_moves_half(self):
+        mapper = ScaddarMapper(n0=1, bits=32)
+        before = {x: mapper.disk_of(x) for x in range(20_000)}
+        mapper.apply(ScalingOp.add(1))
+        moved = sum(1 for x in before if mapper.disk_of(x) != before[x])
+        assert abs(moved / 20_000 - 0.5) < 0.02
+
+    def test_shrink_to_one_disk(self):
+        mapper = ScaddarMapper(n0=3, bits=32)
+        mapper.apply(ScalingOp.remove([0, 2]))
+        assert mapper.current_disks == 1
+        assert all(mapper.disk_of(x) == 0 for x in (0, 7, 999))
+
+    def test_huge_group_addition(self):
+        mapper = ScaddarMapper(n0=2, bits=64)
+        mapper.apply(ScalingOp.add(1000))
+        assert mapper.current_disks == 1002
+        assert 0 <= mapper.disk_of(2**60) < 1002
+
+    def test_x0_zero_is_valid_everywhere(self):
+        mapper = ScaddarMapper(n0=5, bits=32)
+        for op in (ScalingOp.add(3), ScalingOp.remove([0]), ScalingOp.remove([6])):
+            mapper.apply(op)
+            assert 0 <= mapper.disk_of(0) < mapper.current_disks
+
+    def test_x0_at_range_max(self):
+        mapper = ScaddarMapper(n0=4, bits=32)
+        top = mapper.range_size - 1
+        mapper.apply(ScalingOp.add(1))
+        assert 0 <= mapper.disk_of(top) < 5
+
+
+class TestVectorizedEdges:
+    def test_empty_array(self):
+        log = OperationLog(n0=3)
+        log.append(ScalingOp.add(1))
+        assert chain_x_array([], log).size == 0
+        assert load_vector_array([], log).tolist() == [0, 0, 0, 0]
+
+    def test_remove_validation(self):
+        with pytest.raises(ValueError):
+            remap_remove_array(np.array([1], dtype=np.uint64), 3, {3})
+
+    def test_add_validation(self):
+        with pytest.raises(ValueError):
+            remap_add_array(np.array([1], dtype=np.uint64), 0, 1)
+
+    def test_accepts_python_lists(self):
+        x_new, moved = remap_add_array([0, 5, 10], 4, 5)
+        assert len(x_new) == 3
+        assert moved.dtype == bool
+
+
+class TestTablesEdges:
+    def test_single_column(self):
+        text = format_table(("only",), [("a",), ("bb",)])
+        assert "only" in text
+
+    def test_negative_and_large_numbers(self):
+        text = format_table(("v",), [(-5,), (10**15,)])
+        assert "-5" in text and str(10**15) in text
+
+    def test_nan_rendering(self):
+        text = format_table(("v",), [(float("nan"),)])
+        assert "nan" in text
+
+    def test_negative_infinity(self):
+        text = format_table(("v",), [(float("-inf"),)])
+        assert "-inf" in text
+
+    def test_mixed_type_column_left_aligned(self):
+        text = format_table(("v",), [("word",), (3,)])
+        lines = text.splitlines()
+        assert lines[2].startswith("word")
+
+
+class TestSchedulerEdges:
+    def _setup(self, bandwidth=1, n_disks=2):
+        array = DiskArray(
+            [
+                DiskSpec(capacity_blocks=100, bandwidth_blocks_per_round=bandwidth)
+            ]
+            * n_disks
+        )
+        media = MediaObject(object_id=0, name="m", num_blocks=10, seed=3, bits=32)
+        for i in range(10):
+            array.place(Block(0, i, i), i % n_disks)
+        return array, media
+
+    def test_per_stream_hiccup_accounting(self):
+        array, media = self._setup()
+        sched = RoundScheduler(array)
+        s1, s2 = Stream(1, media), Stream(2, media)
+        sched.admit(s1)
+        sched.admit(s2)
+        sched.run_round()  # both want block 0 on disk 0, bandwidth 1
+        assert sum(sched.hiccups_by_stream.values()) == 1
+        assert set(sched.hiccups_by_stream) <= {1, 2}
+
+    def test_round_with_no_streams(self):
+        array, __ = self._setup()
+        sched = RoundScheduler(array)
+        report = sched.run_round()
+        assert report.requested == 0
+        assert report.hiccups == 0
+        assert sum(report.spare_by_physical.values()) == 2
+
+    def test_paused_stream_demands_nothing(self):
+        array, media = self._setup(bandwidth=4)
+        sched = RoundScheduler(array)
+        stream = Stream(1, media)
+        sched.admit(stream)
+        stream.pause()
+        report = sched.run_round()
+        assert report.requested == 0
+        assert stream.position == 0
+
+    def test_finished_streams_do_not_block_admission(self):
+        array, media = self._setup(bandwidth=1, n_disks=2)
+        sched = RoundScheduler(array)
+        short = MediaObject(object_id=0, name="s", num_blocks=1, seed=3, bits=32)
+        done = Stream(1, short)
+        done.deliver(1)
+        sched.admit(done)  # inactive: should not count toward demand
+        sched.admit(Stream(2, media))
+        sched.admit(Stream(3, media))  # 2 active = capacity, OK
+
+
+class TestMediaObjectEdges:
+    def test_multi_rate_object(self):
+        media = MediaObject(
+            object_id=0, name="hd", num_blocks=10, seed=1, bits=32,
+            blocks_per_round=3,
+        )
+        stream = Stream(0, media)
+        assert len(stream.blocks_needed()) == 3
+        stream.deliver(3)
+        assert stream.position == 3
+
+    def test_single_block_object(self):
+        media = MediaObject(object_id=0, name="tiny", num_blocks=1, seed=1, bits=32)
+        assert len(media.blocks()) == 1
+        stream = Stream(0, media)
+        stream.deliver(1)
+        assert not stream.is_active
+
+
+class TestOperationLogEdges:
+    def test_remove_then_add_same_size(self):
+        log = OperationLog(n0=4)
+        log.append(ScalingOp.remove([3]))
+        log.append(ScalingOp.add(1))
+        assert log.current_disks == 4
+        assert log.product_n() == 4 * 3 * 4
+
+    def test_unfairness_bound_infinite_when_range_dies(self):
+        mapper = ScaddarMapper(n0=4, bits=8)
+        for __ in range(4):
+            mapper.apply(ScalingOp.add(1))
+        assert math.isinf(mapper.unfairness_bound())
+        # Lookups still work (degraded, but defined).
+        assert 0 <= mapper.disk_of(200) < mapper.current_disks

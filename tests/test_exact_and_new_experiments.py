@@ -1,0 +1,108 @@
+"""Tests for the exact-distribution analysis and the two newest
+experiments (bound tightness, stream balance)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.exact import exact_load_distribution, exact_unfairness
+from repro.core.operations import OperationLog, ScalingOp
+from repro.experiments import bound_tightness, stream_balance
+
+
+class TestExactDistribution:
+    def test_no_ops_divisible_range(self):
+        log = OperationLog(n0=4)
+        loads = exact_load_distribution(log, bits=10)
+        assert loads.tolist() == [256, 256, 256, 256]
+        assert exact_unfairness(log, bits=10) == 0.0
+
+    def test_no_ops_indivisible_range(self):
+        log = OperationLog(n0=3)
+        loads = exact_load_distribution(log, bits=4)
+        assert sorted(loads.tolist()) == [5, 5, 6]
+        assert exact_unfairness(log, bits=4) == pytest.approx(6 / 5 - 1)
+
+    def test_sums_to_range(self):
+        log = OperationLog(n0=4)
+        log.append(ScalingOp.add(1))
+        log.append(ScalingOp.remove([0]))
+        assert exact_load_distribution(log, bits=14).sum() == 1 << 14
+
+    def test_bits_limits(self):
+        log = OperationLog(n0=2)
+        with pytest.raises(ValueError):
+            exact_load_distribution(log, bits=0)
+        with pytest.raises(ValueError):
+            exact_load_distribution(log, bits=40)
+
+    def test_exhausted_range_is_infinite(self):
+        log = OperationLog(n0=4)
+        for __ in range(8):
+            log.append(ScalingOp.add(1))
+        # With 8 bits the range dies well before 8 ops.
+        assert exact_unfairness(log, bits=8) == math.inf
+
+
+class TestBoundTightness:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return bound_tightness.run_bound_tightness(bits=16, operations=6)
+
+    def test_bound_dominates_exact(self, result):
+        for point in result.points:
+            if math.isinf(point.exact):
+                assert math.isinf(point.bound)
+            else:
+                assert point.bound >= point.exact - 1e-12
+
+    def test_budget_is_conservative(self, result):
+        """Lemma 4.3 stops scaling while exact unfairness is still < eps."""
+        for point in result.points:
+            if point.within_budget:
+                assert point.exact < result.eps
+
+    def test_unfairness_eventually_degrades(self, result):
+        assert math.isinf(result.points[-1].exact) or (
+            result.points[-1].exact > result.points[0].exact
+        )
+
+    def test_report_renders(self, result):
+        text = bound_tightness.report(result)
+        assert "Lemma 4.2 bound" in text
+
+
+class TestStreamBalance:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return stream_balance.run_stream_balance(
+            num_streams=28, rounds=150, seeds=6
+        )
+
+    def test_both_layouts_present(self, result):
+        assert {s.placement for s in result.summaries} == {
+            "random",
+            "round_robin",
+        }
+
+    def test_random_is_more_predictable(self, result):
+        by_name = {s.placement: s for s in result.summaries}
+        assert by_name["random"].spread < by_name["round_robin"].spread
+
+    def test_random_spreads_hiccups_over_streams(self, result):
+        by_name = {s.placement: s for s in result.summaries}
+        assert (
+            by_name["random"].mean_worst_stream_share
+            < by_name["round_robin"].mean_worst_stream_share
+        )
+
+    def test_headroom_validation(self):
+        with pytest.raises(ValueError):
+            stream_balance.run_stream_balance(
+                blocks_per_object=100, rounds=200, seeds=1
+            )
+
+    def test_report_renders(self, result):
+        assert "placement" in stream_balance.report(result)

@@ -1,0 +1,336 @@
+"""Tests that the experiment harness reproduces the paper's claims.
+
+Each test pins the qualitative (and where the paper gives them,
+quantitative) results: these are the EXPERIMENTS.md numbers, enforced.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.operations import ScalingOp
+from repro.experiments import (
+    access_cost,
+    cov_curve,
+    fault_tolerance,
+    fig1,
+    heterogeneous,
+    modern,
+    movement,
+    online_scaling,
+    rule_of_thumb,
+    uniformity,
+)
+from repro.experiments.tables import format_table
+
+
+class TestTables:
+    def test_format_alignment(self):
+        text = format_table(("a", "bbb"), [(1, "x"), (22, "yy")])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bbb" in lines[0]
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [(1,)])
+
+    def test_float_rendering(self):
+        text = format_table(("v",), [(0.123456,), (float("inf"),)])
+        assert "0.1235" in text
+        assert "inf" in text
+
+    def test_bool_rendering(self):
+        text = format_table(("ok",), [(True,), (False,)])
+        assert "yes" in text and "no" in text
+
+    def test_empty_rows(self):
+        text = format_table(("a",), [])
+        assert "a" in text
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig1.run_fig1(random_population=5_000)
+
+    def test_exact_paper_layout(self, result):
+        final = result.naive_layouts[2]
+        assert final[0] == [0, 8, 12, 16, 20, 28, 32, 36, 40]
+        assert final[5] == [5, 11, 17, 23, 29, 35, 41]
+
+    def test_naive_contributors_match_paper(self, result):
+        assert result.naive_contributors == (1, 3, 4)
+
+    def test_violation_is_structural(self, result):
+        assert set(result.naive_contributors_random) <= {1, 3, 4}
+
+    def test_scaddar_covers_all_disks(self, result):
+        assert result.scaddar_contributors_random == (0, 1, 2, 3, 4)
+
+    def test_report_renders(self, result):
+        text = fig1.report(result)
+        assert "disk 5" in text
+
+
+class TestCovCurve:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return cov_curve.run_cov_curve(
+            num_objects=10, blocks_per_object=800, operations=9
+        )
+
+    def test_budget_is_eight(self, result):
+        """Paper Section 5: threshold reached after 8 operations."""
+        assert result.budget == 8
+
+    def test_scaddar_cov_degrades_past_budget(self, result):
+        in_budget = [p.cov_scaddar for p in result.points if p.operations <= 8]
+        past = [p.cov_scaddar for p in result.points if p.operations > 8]
+        assert max(in_budget) < min(past)
+
+    def test_complete_stays_flat(self, result):
+        covs = [p.cov_complete for p in result.points]
+        assert max(covs) < 0.05
+
+    def test_within_tolerance_flags(self, result):
+        flags = [p.within_tolerance for p in result.points]
+        assert flags == [True] * 9 + [False]
+
+    def test_unfairness_bound_monotone(self, result):
+        bounds = [p.unfairness_bound for p in result.points]
+        assert bounds == sorted(bounds)
+
+    def test_report_renders(self, result):
+        assert "paper: 8" in cov_curve.report(result)
+
+
+class TestRuleOfThumb:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return rule_of_thumb.run_rule_of_thumb()
+
+    def test_paper_examples_first(self, rows):
+        assert rows[0].rule_of_thumb_k == 13 == rows[0].paper_k
+        assert rows[1].rule_of_thumb_k == 8 == rows[1].paper_k
+
+    def test_rule_matches_constant_schedule_exactly(self, rows):
+        """For the constant-nbar schedule the rule assumes, the rule of
+        thumb and explicit Pi tracking must agree to within one op (the
+        rule floors a logarithm)."""
+        for row in rows:
+            if row.rule_of_thumb_k >= 0:
+                assert abs(row.rule_of_thumb_k - row.exact_constant_k) <= 1
+
+    def test_budget_monotone_in_bits(self, rows):
+        by_config = {
+            (r.bits, r.eps, r.nbar): r.rule_of_thumb_k for r in rows
+        }
+        for eps in (0.01, 0.05, 0.10):
+            for nbar in (4.0, 8.0, 16.0, 64.0):
+                ks = [by_config[(b, eps, nbar)] for b in (16, 32, 48, 64)]
+                assert ks == sorted(ks)
+
+    def test_report_renders(self, rows):
+        assert "paper k" in rule_of_thumb.report(rows)
+
+
+class TestMovement:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return movement.run_movement(num_blocks=6_000)
+
+    def test_scaddar_is_movement_optimal(self, results):
+        scaddar = next(r for r in results if r.policy == "scaddar")
+        assert 0.9 < scaddar.mean_overhead < 1.1
+
+    def test_complete_moves_far_more(self, results):
+        complete = next(r for r in results if r.policy == "complete")
+        scaddar = next(r for r in results if r.policy == "scaddar")
+        assert complete.mean_overhead > 4 * scaddar.mean_overhead
+
+    def test_round_robin_moves_far_more(self, results):
+        rr = next(r for r in results if r.policy == "round_robin")
+        assert rr.mean_overhead > 4
+
+    def test_extendible_is_skipped_on_non_doubling(self, results):
+        ext = next(r for r in results if r.policy == "extendible")
+        assert ext.skipped_reason is not None
+        assert ext.per_op == ()
+
+    def test_report_renders(self, results):
+        assert "scaddar" in movement.report(results)
+
+
+class TestUniformity:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return uniformity.run_uniformity(num_blocks=15_000)
+
+    def test_scaddar_sources_healthy(self, results):
+        scaddar = next(r for r in results if r.policy == "scaddar")
+        assert all(op.source_p > 1e-3 for op in scaddar.per_op)
+        assert all(op.silent_sources == 0 for op in scaddar.per_op)
+
+    def test_naive_first_operation_fine(self, results):
+        naive = next(r for r in results if r.policy == "naive")
+        assert naive.per_op[0].source_p > 1e-3
+
+    def test_naive_violates_ro2_later(self, results):
+        naive = next(r for r in results if r.policy == "naive")
+        later = naive.per_op[1:]
+        assert any(op.source_p < 1e-6 for op in later)
+        assert any(op.silent_sources > 0 for op in later)
+
+    def test_directory_is_gold_standard(self, results):
+        directory = next(r for r in results if r.policy == "directory")
+        assert all(op.source_p > 1e-3 for op in directory.per_op)
+
+    def test_group_addition_destinations(self):
+        results = uniformity.run_uniformity(
+            schedule=[ScalingOp.add(3), ScalingOp.add(3)],
+            num_blocks=15_000,
+            policies=("scaddar",),
+        )
+        for op in results[0].per_op:
+            assert op.destination_p > 1e-3
+            assert op.empty_destinations == 0
+
+    def test_removal_destinations_uniform(self):
+        results = uniformity.run_uniformity(
+            schedule=[ScalingOp.add(2), ScalingOp.remove([1, 4])],
+            num_blocks=15_000,
+            policies=("scaddar",),
+        )
+        removal = results[0].per_op[1]
+        assert removal.kind == "remove"
+        assert removal.destination_p > 1e-3
+        assert removal.empty_destinations == 0
+
+    def test_report_renders(self, results):
+        assert "p-value" in uniformity.report(results)
+
+
+class TestAccessCost:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return access_cost.run_access_cost(
+            max_operations=6,
+            op_stride=3,
+            num_probe_blocks=50,
+            state_block_counts=(1_000, 10_000),
+        )
+
+    def test_remap_steps_equal_j(self, result):
+        assert [p.remap_steps for p in result.lookups] == [0, 3, 6]
+
+    def test_latency_grows_with_j(self, result):
+        latencies = [p.scaddar_ns for p in result.lookups]
+        assert latencies[-1] > latencies[0]
+
+    def test_directory_state_linear_in_blocks(self, result):
+        assert [row.entries_by_policy["directory"] for row in result.state] == [
+            1_000,
+            10_000,
+        ]
+
+    def test_scaddar_state_constant(self, result):
+        entries = {row.entries_by_policy["scaddar"] for row in result.state}
+        assert len(entries) == 1
+
+    def test_report_renders(self, result):
+        assert "ns/lookup" in access_cost.report(result)
+
+
+class TestFaultTolerance:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fault_tolerance.run_fault_tolerance(num_blocks=6_000)
+
+    def test_no_data_loss(self, result):
+        assert result.survives_all_single_failures
+        assert result.distinct_replicas
+
+    def test_every_disk_covered(self, result):
+        assert len(result.cases) == result.disks
+
+    def test_failover_concentration_documented(self, result):
+        # The fixed-offset trade-off: exactly one partner is overloaded.
+        assert all(c.overloaded_disks == 1 for c in result.cases)
+
+    def test_report_renders(self, result):
+        assert "survivable: yes" in fault_tolerance.report(result)
+
+
+class TestHeterogeneous:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return heterogeneous.run_heterogeneous(num_blocks=20_000)
+
+    def test_three_snapshots(self, result):
+        assert len(result.snapshots) == 3
+
+    def test_load_proportional_everywhere(self, result):
+        for snap in result.snapshots:
+            assert snap.max_share_error < 0.08
+
+    def test_membership_changes(self, result):
+        first, second, third = result.snapshots
+        assert set(second.loads) == set(first.loads) | {4}
+        assert set(third.loads) == set(second.loads) - {0}
+
+    def test_report_renders(self, result):
+        assert "drive" in heterogeneous.report(result)
+
+
+class TestOnlineScaling:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return online_scaling.run_online_scaling(
+            utilizations=(0.3, 0.6),
+            num_objects=4,
+            blocks_per_object=400,
+        )
+
+    def test_migration_causes_no_hiccups(self, results):
+        assert all(r.migration_caused_hiccups == 0 for r in results)
+
+    def test_online_takes_longer_than_stop_world(self, results):
+        assert all(r.online_rounds >= r.stop_world_rounds for r in results)
+
+    def test_stop_world_loses_service(self, results):
+        assert all(r.stop_world_lost_service > 0 for r in results)
+
+    def test_report_renders(self, results):
+        assert "zero-downtime" in online_scaling.report(results)
+
+
+class TestModern:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return modern.run_modern(num_blocks=8_000)
+
+    def test_all_comparators_present(self, rows):
+        assert {r.policy for r in rows} == {
+            "scaddar",
+            "consistent_hash",
+            "jump_hash",
+            "straw",
+        }
+
+    def test_straw_supports_arbitrary_removal(self, rows):
+        straw = next(r for r in rows if r.policy == "straw")
+        assert straw.supports_arbitrary_removal
+
+    def test_all_near_movement_optimal(self, rows):
+        for row in rows:
+            assert row.mean_overhead < 1.5
+
+    def test_scaddar_state_smallest_nonzero_class(self, rows):
+        by_name = {r.policy: r for r in rows}
+        assert by_name["scaddar"].state_entries < by_name[
+            "consistent_hash"
+        ].state_entries
+
+    def test_report_renders(self, rows):
+        assert "arbitrary removal" in modern.report(rows)

@@ -1,0 +1,97 @@
+"""Tests for the layout checker/repairer."""
+
+from __future__ import annotations
+
+from repro.core.operations import ScalingOp
+from repro.server.cmserver import CMServer
+from repro.server.fsck import check_layout, repair_layout
+from repro.storage.block import Block, BlockId
+from repro.storage.disk import DiskSpec
+from repro.workloads.generator import uniform_catalog
+
+
+def make_server():
+    catalog = uniform_catalog(3, 80, master_seed=0xF5C, bits=32)
+    spec = DiskSpec(capacity_blocks=100_000)
+    return CMServer(catalog, [spec] * 4, bits=32, default_spec=spec)
+
+
+class TestCheckLayout:
+    def test_fresh_server_is_clean(self):
+        report = check_layout(make_server())
+        assert report.clean
+        assert report.blocks_checked == 240
+
+    def test_clean_after_scaling(self):
+        server = make_server()
+        server.scale(ScalingOp.add(2))
+        server.scale(ScalingOp.remove([1]))
+        assert check_layout(server).clean
+
+    def test_detects_misplaced_block(self):
+        server = make_server()
+        block_id = BlockId(0, 0)
+        home = server.array.home_of(block_id)
+        other = next(p for p in server.array.physical_ids if p != home)
+        server.array.move(block_id, other)
+        report = check_layout(server)
+        assert not report.clean
+        assert len(report.misplaced) == 1
+        violation = report.misplaced[0]
+        assert violation.block_id == block_id
+        assert violation.actual_physical == other
+        assert violation.expected_physical == home
+
+    def test_detects_missing_block(self):
+        server = make_server()
+        server.array.drop(BlockId(1, 5))
+        report = check_layout(server)
+        assert report.missing == [BlockId(1, 5)]
+        assert not report.clean
+
+    def test_detects_orphan_block(self):
+        server = make_server()
+        stray = Block(object_id=99, index=0, x0=123)
+        server.array.place(stray, 0)
+        report = check_layout(server)
+        assert report.orphans == [BlockId(99, 0)]
+
+
+class TestRepairLayout:
+    def test_repairs_misplaced(self):
+        server = make_server()
+        for index in (0, 1, 2):
+            block_id = BlockId(0, index)
+            home = server.array.home_of(block_id)
+            other = next(p for p in server.array.physical_ids if p != home)
+            server.array.move(block_id, other)
+        assert repair_layout(server) == 3
+        assert check_layout(server).clean
+
+    def test_repair_is_idempotent(self):
+        server = make_server()
+        assert repair_layout(server) == 0
+        assert repair_layout(server) == 0
+
+    def test_repair_leaves_missing_and_orphans(self):
+        server = make_server()
+        server.array.drop(BlockId(0, 0))
+        server.array.place(Block(object_id=50, index=0, x0=9), 1)
+        repair_layout(server)
+        report = check_layout(server)
+        assert report.missing == [BlockId(0, 0)]
+        assert report.orphans == [BlockId(50, 0)]
+
+    def test_repair_after_interrupted_migration(self):
+        """Simulate a crash mid-scale: mapper updated, moves half-done."""
+        server = make_server()
+        pending = server.begin_scale(ScalingOp.add(1))
+        from repro.storage.migration import MigrationSession
+
+        session = MigrationSession(server.array, pending.plan)
+        session.step(budget=1)  # partial progress, then "crash"
+        server.finish_scale(pending)
+        report = check_layout(server)
+        assert report.misplaced  # the unexecuted moves
+        repair_layout(server, report)
+        assert check_layout(server).clean

@@ -1,0 +1,57 @@
+"""Tests for the group-size ablation experiment."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments import group_size
+
+
+class TestGroupSize:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return group_size.run_group_size(num_blocks=6_000)
+
+    def test_divisibility_validation(self):
+        with pytest.raises(ValueError):
+            group_size.run_group_size(total_new=12, group_sizes=(5,))
+
+    def test_all_rows_reach_same_size(self, result):
+        for row in result.rows:
+            assert row.group_size * row.operations == result.total_new
+
+    def test_pi_decreases_with_group_size(self, result):
+        pis = [r.pi for r in result.rows]
+        assert pis == sorted(pis, reverse=True)
+
+    def test_single_group_is_one_shot_optimal(self, result):
+        big = result.rows[-1]
+        assert big.group_size == result.total_new
+        assert big.cumulative_moved_fraction == pytest.approx(
+            big.one_shot_fraction, abs=0.02
+        )
+
+    def test_theory_matches_healthy_rows(self, result):
+        for row in result.rows:
+            if not math.isinf(row.unfairness_bound):
+                assert row.cumulative_moved_fraction == pytest.approx(
+                    row.theoretical_moved_fraction, abs=0.03
+                )
+
+    def test_exhausted_range_starves_movement(self, result):
+        ones = result.rows[0]
+        assert ones.group_size == 1
+        assert math.isinf(ones.unfairness_bound)
+        assert (
+            ones.cumulative_moved_fraction
+            < ones.theoretical_moved_fraction - 0.05
+        )
+
+    def test_theoretical_fraction_decreases_with_group_size(self, result):
+        theory = [r.theoretical_moved_fraction for r in result.rows]
+        assert theory == sorted(theory, reverse=True)
+
+    def test_report_renders(self, result):
+        assert "Definition 3.3" in group_size.report(result)

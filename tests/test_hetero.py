@@ -1,0 +1,142 @@
+"""Unit tests for the heterogeneous logical-disk mapping (Section 6)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.disk import DiskSpec
+from repro.storage.hetero import HeterogeneousPool, LogicalMapping, weight_for_spec
+from repro.workloads.generator import random_x0s
+
+
+class TestWeightForSpec:
+    def test_proportional(self):
+        unit = 4
+        assert weight_for_spec(DiskSpec(bandwidth_blocks_per_round=4), unit) == 1
+        assert weight_for_spec(DiskSpec(bandwidth_blocks_per_round=9), unit) == 2
+        assert weight_for_spec(DiskSpec(bandwidth_blocks_per_round=16), unit) == 4
+
+    def test_minimum_one(self):
+        assert weight_for_spec(DiskSpec(bandwidth_blocks_per_round=1), 8) == 1
+
+    def test_invalid_unit(self):
+        with pytest.raises(ValueError):
+            weight_for_spec(DiskSpec(), 0)
+
+
+class TestLogicalMapping:
+    def test_add_returns_new_indices(self):
+        mapping = LogicalMapping()
+        assert mapping.add_physical(10, 2) == [0, 1]
+        assert mapping.add_physical(11, 3) == [2, 3, 4]
+        assert mapping.num_logical == 5
+
+    def test_duplicate_physical_rejected(self):
+        mapping = LogicalMapping()
+        mapping.add_physical(1, 1)
+        with pytest.raises(ValueError):
+            mapping.add_physical(1, 2)
+
+    def test_zero_weight_rejected(self):
+        with pytest.raises(ValueError):
+            LogicalMapping().add_physical(1, 0)
+
+    def test_physical_of(self):
+        mapping = LogicalMapping()
+        mapping.add_physical(10, 2)
+        mapping.add_physical(11, 1)
+        assert [mapping.physical_of(i) for i in range(3)] == [10, 10, 11]
+        with pytest.raises(IndexError):
+            mapping.physical_of(3)
+        with pytest.raises(IndexError):
+            mapping.physical_of(-1)
+
+    def test_logicals_of(self):
+        mapping = LogicalMapping()
+        mapping.add_physical(10, 2)
+        mapping.add_physical(11, 3)
+        assert mapping.logicals_of(11) == [2, 3, 4]
+        with pytest.raises(KeyError):
+            mapping.logicals_of(99)
+
+    def test_remove_compacts(self):
+        mapping = LogicalMapping()
+        mapping.add_physical(10, 2)
+        mapping.add_physical(11, 1)
+        mapping.add_physical(12, 2)
+        removed = mapping.remove_physical(11)
+        assert removed == [2]
+        assert mapping.num_logical == 4
+        assert mapping.logicals_of(12) == [2, 3]
+
+    def test_remove_unknown(self):
+        with pytest.raises(KeyError):
+            LogicalMapping().remove_physical(1)
+
+    def test_weight_of(self):
+        mapping = LogicalMapping()
+        mapping.add_physical(5, 3)
+        assert mapping.weight_of(5) == 3
+        with pytest.raises(KeyError):
+            mapping.weight_of(6)
+
+    @given(weights=st.lists(st.integers(1, 5), min_size=1, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, weights):
+        mapping = LogicalMapping()
+        for pid, weight in enumerate(weights):
+            mapping.add_physical(pid, weight)
+        assert mapping.num_logical == sum(weights)
+        for pid in range(len(weights)):
+            for logical in mapping.logicals_of(pid):
+                assert mapping.physical_of(logical) == pid
+
+
+class TestHeterogeneousPool:
+    def test_requires_members(self):
+        with pytest.raises(ValueError):
+            HeterogeneousPool([])
+
+    def test_logical_count(self):
+        pool = HeterogeneousPool([(0, 1), (1, 2), (2, 4)], bits=32)
+        assert pool.num_logical_disks == 7
+        assert pool.physical_ids == (0, 1, 2)
+
+    def test_block_routing_in_members(self):
+        pool = HeterogeneousPool([(0, 2), (1, 3)], bits=32)
+        for x0 in random_x0s(500, bits=32, seed=1):
+            assert pool.physical_of_block(x0) in (0, 1)
+
+    def test_load_proportional_to_weight(self):
+        pool = HeterogeneousPool([(0, 1), (1, 3)], bits=32)
+        loads = pool.load_by_physical(random_x0s(40_000, bits=32, seed=2))
+        ratio = loads[1] / loads[0]
+        assert 2.7 < ratio < 3.3
+
+    def test_add_disk_shifts_proportion(self):
+        pool = HeterogeneousPool([(0, 2), (1, 2)], bits=32)
+        x0s = random_x0s(20_000, bits=32, seed=3)
+        pool.add_disk(2, weight=4)
+        loads = pool.load_by_physical(x0s)
+        assert loads[2] / len(x0s) == pytest.approx(0.5, abs=0.03)
+        assert pool.num_logical_disks == 8
+
+    def test_remove_disk_preserves_routing(self):
+        pool = HeterogeneousPool([(0, 2), (1, 2), (2, 1)], bits=32)
+        x0s = random_x0s(10_000, bits=32, seed=4)
+        pool.remove_disk(1)
+        loads = pool.load_by_physical(x0s)
+        assert set(loads) == {0, 2}
+        assert sum(loads.values()) == len(x0s)
+        assert pool.num_logical_disks == 3
+
+    def test_removal_only_moves_evicted_share(self):
+        pool = HeterogeneousPool([(0, 2), (1, 2)], bits=32)
+        x0s = random_x0s(20_000, bits=32, seed=5)
+        before = {x0: pool.physical_of_block(x0) for x0 in x0s}
+        pool.remove_disk(1)
+        moved = sum(1 for x0 in x0s if before[x0] != pool.physical_of_block(x0))
+        evicted = sum(1 for pid in before.values() if pid == 1)
+        assert moved == evicted

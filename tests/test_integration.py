@@ -1,0 +1,127 @@
+"""End-to-end integration tests across the whole stack.
+
+These exercise the paper's full story: load a server, stream from it,
+scale repeatedly (both directions), exhaust the randomness budget,
+reshuffle, and keep going — asserting the AF()/physical-inventory
+agreement and the load-balance invariants at every step.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import coefficient_of_variation
+from repro.core.operations import OperationLog, ScalingOp
+from repro.core.scaddar import ScaddarMapper
+from repro.server.cmserver import CMServer
+from repro.server.online import OnlineScaler
+from repro.server.scheduler import RoundScheduler
+from repro.server.streams import Stream
+from repro.storage.block import BlockId
+from repro.storage.disk import DiskSpec
+from repro.workloads.generator import uniform_catalog
+from repro.workloads.schedules import mixed_schedule
+
+
+def full_af_check(server):
+    for media in server.catalog:
+        for index in range(media.num_blocks):
+            assert server.block_location(media.object_id, index) == (
+                server.array.home_of(BlockId(media.object_id, index))
+            )
+
+
+class TestServerLifecycle:
+    def test_long_mixed_schedule(self):
+        catalog = uniform_catalog(6, 300, master_seed=0x11, bits=32)
+        spec = DiskSpec(capacity_blocks=100_000)
+        server = CMServer(catalog, [spec] * 5, bits=32, default_spec=spec)
+        for op in mixed_schedule(12, n0=5, seed=9, min_disks=3):
+            server.scale(op)
+        full_af_check(server)
+        assert sum(server.load_vector()) == 1_800
+        assert coefficient_of_variation(server.load_vector()) < 0.3
+
+    def test_budget_exhaustion_then_reshuffle_cycle(self):
+        catalog = uniform_catalog(4, 250, master_seed=0x22, bits=32)
+        spec = DiskSpec(capacity_blocks=100_000)
+        server = CMServer(catalog, [spec] * 4, bits=32, default_spec=spec)
+        eps = 0.05
+        operations_done = 0
+        for __ in range(2):  # two full budget cycles
+            while server.mapper.can_apply(ScalingOp.add(1), eps):
+                server.scale(ScalingOp.add(1), eps=eps)
+                operations_done += 1
+            server.reshuffle()
+            assert server.mapper.num_operations == 0
+        assert operations_done >= 8
+        full_af_check(server)
+
+    def test_streaming_through_scaling(self):
+        catalog = uniform_catalog(3, 200, master_seed=0x33, bits=32)
+        spec = DiskSpec(capacity_blocks=100_000, bandwidth_blocks_per_round=8)
+        server = CMServer(catalog, [spec] * 4, bits=32, default_spec=spec)
+        scheduler = RoundScheduler(server.array)
+        streams = [Stream(i, catalog.get(i % 3), start_block=i * 11) for i in range(6)]
+        for stream in streams:
+            scheduler.admit(stream)
+        scaler = OnlineScaler(server, scheduler)
+        report_add = scaler.scale_online(ScalingOp.add(2))
+        report_remove = scaler.scale_online(ScalingOp.remove([0]))
+        assert report_add.hiccups == 0
+        assert report_remove.hiccups == 0
+        assert server.num_disks == 5
+        # Streams made progress during scaling.
+        assert all(s.blocks_consumed > 0 for s in streams)
+        full_af_check(server)
+
+    def test_operation_log_survives_serialization(self):
+        """A restarted server (same seeds + replayed log) locates every
+        block exactly where the original placed it — the paper's claim
+        that only the op log and seeds are needed."""
+        catalog = uniform_catalog(3, 150, master_seed=0x44, bits=32)
+        spec = DiskSpec(capacity_blocks=100_000)
+        server = CMServer(catalog, [spec] * 4, bits=32, default_spec=spec)
+        for op in (ScalingOp.add(2), ScalingOp.remove([1]), ScalingOp.add(1)):
+            server.scale(op)
+
+        payload = server.mapper.log.to_json()
+        restored_log = OperationLog.from_json(payload)
+        restored = ScaddarMapper(n0=restored_log.n0, bits=32)
+        for op in restored_log:
+            restored.apply(op)
+
+        fresh_catalog = uniform_catalog(3, 150, master_seed=0x44, bits=32)
+        for media in fresh_catalog:
+            for block in media.blocks():
+                assert restored.disk_of(block.x0) == server.mapper.disk_of(block.x0)
+
+    def test_capacity_pressure_is_loud(self):
+        catalog = uniform_catalog(1, 50, master_seed=0x55, bits=32)
+        tiny = DiskSpec(capacity_blocks=10)
+        from repro.storage.array import PlacementConflictError
+
+        with pytest.raises(PlacementConflictError):
+            CMServer(catalog, [tiny] * 2, bits=32)
+
+
+class TestCrossPolicyAgreement:
+    def test_scaddar_policy_and_server_agree(self):
+        """The standalone policy and the full server compute identical
+        logical placements for the same schedule."""
+        from repro.placement import ScaddarPolicy
+
+        catalog = uniform_catalog(2, 200, master_seed=0x66, bits=32)
+        spec = DiskSpec(capacity_blocks=100_000)
+        server = CMServer(catalog, [spec] * 4, bits=32, default_spec=spec)
+        policy = ScaddarPolicy(4, bits=32)
+        schedule = [ScalingOp.add(1), ScalingOp.remove([2]), ScalingOp.add(2)]
+        for op in schedule:
+            server.scale(op)
+            policy.apply(op)
+        for media in catalog:
+            for block in media.blocks():
+                logical = policy.disk_of(block)
+                assert server.array.physical_at(logical) == server.block_location(
+                    media.object_id, block.index
+                )

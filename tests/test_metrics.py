@@ -1,0 +1,82 @@
+"""Tests for the metrics collector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server.cmserver import CMServer
+from repro.server.metrics import MetricsCollector
+from repro.server.scheduler import RoundReport
+from repro.server.simulation import ServerSimulation
+from repro.storage.disk import DiskSpec
+from repro.workloads.arrivals import ArrivalProcess
+from repro.workloads.generator import uniform_catalog
+
+
+def sample_report(index=0, requested=5, served=4):
+    return RoundReport(
+        round_index=index,
+        requested=requested,
+        served=served,
+        hiccups=requested - served,
+        load_by_physical={0: 3, 1: 2},
+        spare_by_physical={0: 1, 1: 2},
+    )
+
+
+class TestCollector:
+    def test_empty_summary_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsCollector().summary()
+
+    def test_record_and_summarize(self):
+        collector = MetricsCollector()
+        collector.record(sample_report(0))
+        collector.record(sample_report(1, requested=8, served=8))
+        summary = collector.summary()
+        assert summary.rounds == 2
+        assert summary.total_requested == 13
+        assert summary.total_served == 12
+        assert summary.total_hiccups == 1
+        assert summary.hiccup_rate == pytest.approx(1 / 13)
+        assert summary.mean_peak_queue == 3.0
+        assert summary.mean_spare_bandwidth == 3.0
+
+    def test_load_cov_optional(self):
+        collector = MetricsCollector()
+        collector.record(sample_report(), load_vector=[10, 10, 10])
+        collector.record(sample_report(1))
+        assert collector.samples[0].load_cov == 0.0
+        assert collector.samples[1].load_cov is None
+
+    def test_csv_roundtrip(self, tmp_path):
+        collector = MetricsCollector()
+        collector.record(sample_report(), load_vector=[5, 7])
+        path = tmp_path / "metrics.csv"
+        text = collector.to_csv(path)
+        assert path.read_text() == text
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("round,")
+        assert len(lines) == 2
+
+    def test_len(self):
+        collector = MetricsCollector()
+        assert len(collector) == 0
+        collector.record(sample_report())
+        assert len(collector) == 1
+
+
+class TestSimulationIntegration:
+    def test_simulation_feeds_collector(self):
+        catalog = uniform_catalog(3, 50, master_seed=0x3E7, bits=32)
+        spec = DiskSpec(capacity_blocks=50_000, bandwidth_blocks_per_round=4)
+        server = CMServer(catalog, [spec] * 3, bits=32, default_spec=spec)
+        collector = MetricsCollector()
+        sim = ServerSimulation(
+            server, ArrivalProcess(catalog, 0.3, seed=2), metrics=collector
+        )
+        summary = sim.run(100)
+        assert len(collector) == 100
+        assert collector.summary().total_hiccups == summary.hiccups
+        # Every sample has a load CoV since the simulation passes vectors.
+        assert all(s.load_cov is not None for s in collector.samples)

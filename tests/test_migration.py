@@ -1,0 +1,128 @@
+"""Unit tests for the bandwidth-throttled migration engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.array import DiskArray
+from repro.storage.block import Block, BlockId
+from repro.storage.disk import DiskSpec
+from repro.storage.migration import (
+    InfeasibleBudgetError,
+    MigrationPlan,
+    MigrationSession,
+    PhysicalMove,
+)
+
+
+def setup_array(n=3, blocks_on_zero=6):
+    array = DiskArray([DiskSpec(capacity_blocks=100)] * n)
+    for i in range(blocks_on_zero):
+        array.place(Block(object_id=0, index=i, x0=i), 0)
+    return array
+
+
+def plan_spread(array, count):
+    """Plan: move `count` blocks from logical 0 to logical 1."""
+    src = array.physical_at(0)
+    dst = array.physical_at(1)
+    return MigrationPlan.from_moves(
+        [PhysicalMove(BlockId(0, i), src, dst) for i in range(count)]
+    )
+
+
+class TestPlan:
+    def test_rejects_self_move(self):
+        with pytest.raises(ValueError):
+            PhysicalMove(BlockId(0, 0), 1, 1)
+
+    def test_rejects_duplicate_blocks(self):
+        with pytest.raises(ValueError):
+            MigrationPlan.from_moves(
+                [
+                    PhysicalMove(BlockId(0, 0), 1, 2),
+                    PhysicalMove(BlockId(0, 0), 1, 3),
+                ]
+            )
+
+    def test_len(self):
+        assert len(MigrationPlan.from_moves([])) == 0
+
+    def test_traffic_by_disk(self):
+        plan = MigrationPlan.from_moves(
+            [
+                PhysicalMove(BlockId(0, 0), 1, 2),
+                PhysicalMove(BlockId(0, 1), 1, 3),
+            ]
+        )
+        assert plan.traffic_by_disk() == {1: 2, 2: 1, 3: 1}
+
+
+class TestSession:
+    def test_unthrottled_completes_in_one_round(self):
+        array = setup_array()
+        session = MigrationSession(array, plan_spread(array, 6))
+        executed = session.step(100)
+        assert len(executed) == 6
+        assert session.done
+        assert array.load_vector() == [0, 6, 0]
+
+    def test_throttled_spreads_over_rounds(self):
+        array = setup_array()
+        session = MigrationSession(array, plan_spread(array, 6))
+        report = session.run(budget=2)
+        assert report.rounds_used == 3
+        assert report.moves_executed == 6
+        assert report.moves_per_round == [2, 2, 2]
+
+    def test_budget_charged_on_both_endpoints(self):
+        # Moves 0->1 and 1->... share disk 1's budget.
+        array = setup_array(n=3)
+        array.place(Block(object_id=1, index=0, x0=0), 1)
+        src0 = array.physical_at(0)
+        dst1 = array.physical_at(1)
+        dst2 = array.physical_at(2)
+        plan = MigrationPlan.from_moves(
+            [
+                PhysicalMove(BlockId(0, 0), src0, dst1),
+                PhysicalMove(BlockId(1, 0), dst1, dst2),
+            ]
+        )
+        session = MigrationSession(array, plan)
+        executed = session.step(1)
+        # Disk 1 participates in both moves; budget 1 allows only one.
+        assert len(executed) == 1
+        assert session.remaining == 1
+
+    def test_mapping_budget(self):
+        array = setup_array()
+        src = array.physical_at(0)
+        dst = array.physical_at(1)
+        session = MigrationSession(array, plan_spread(array, 4))
+        executed = session.step({src: 2, dst: 10})
+        assert len(executed) == 2
+
+    def test_missing_budget_key_means_zero(self):
+        array = setup_array()
+        src = array.physical_at(0)
+        session = MigrationSession(array, plan_spread(array, 2))
+        assert session.step({src: 5}) == []
+
+    def test_run_raises_on_stall(self):
+        array = setup_array()
+        session = MigrationSession(array, plan_spread(array, 2))
+        with pytest.raises(InfeasibleBudgetError):
+            session.run(budget=0)
+
+    def test_run_respects_max_rounds(self):
+        array = setup_array(blocks_on_zero=10)
+        session = MigrationSession(array, plan_spread(array, 10))
+        with pytest.raises(InfeasibleBudgetError):
+            session.run(budget=1, max_rounds=3)
+
+    def test_empty_plan_is_done(self):
+        array = setup_array()
+        session = MigrationSession(array, MigrationPlan.from_moves([]))
+        assert session.done
+        report = session.run(budget=1)
+        assert report.rounds_used == 0

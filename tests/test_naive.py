@@ -1,0 +1,124 @@
+"""Unit tests for the naive Section 4.1 scheme (Eq. 2 / Figure 1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import UnsupportedOperationError
+from repro.core.naive import NaiveMapper, naive_disk, naive_remap_chain
+from repro.core.operations import ScalingOp
+
+#: Exact Figure 1c layout (disk -> X0 values), transcribed from the paper.
+FIG1_FINAL = {
+    0: [0, 8, 12, 16, 20, 28, 32, 36, 40],
+    1: [1, 13, 21, 25, 33, 37],
+    2: [2, 6, 10, 18, 22, 26, 30, 38, 42],
+    3: [3, 7, 15, 27, 31, 43],
+    4: [4, 9, 14, 19, 24, 34, 39],
+    5: [5, 11, 17, 23, 29, 35, 41],
+}
+
+FIG1_AFTER_ONE = {
+    0: [0, 8, 12, 16, 20, 28, 32, 36, 40],
+    1: [1, 5, 13, 17, 21, 25, 33, 37, 41],
+    2: [2, 6, 10, 18, 22, 26, 30, 38, 42],
+    3: [3, 7, 11, 15, 23, 27, 31, 35, 43],
+    4: [4, 9, 14, 19, 24, 29, 34, 39],
+}
+
+
+def _layout(counts):
+    layout = {}
+    for x in range(44):
+        layout.setdefault(naive_disk(x, counts), []).append(x)
+    return {d: sorted(v) for d, v in layout.items()}
+
+
+class TestFigure1:
+    def test_initial_round_robin(self):
+        layout = _layout([4])
+        assert layout[0] == [0, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40]
+        assert layout[3] == [3, 7, 11, 15, 19, 23, 27, 31, 35, 39, 43]
+
+    def test_after_first_addition(self):
+        assert _layout([4, 5]) == FIG1_AFTER_ONE
+
+    def test_after_second_addition(self):
+        assert _layout([4, 5, 6]) == FIG1_FINAL
+
+    def test_disks_0_and_2_never_feed_disk_5(self):
+        for x in range(100_000):
+            chain = naive_remap_chain(x, [4, 5, 6])
+            if chain[2] == 5 and chain[1] != 5:
+                assert chain[1] in (1, 3, 4)
+
+
+class TestNaiveDisk:
+    def test_no_operations(self):
+        assert naive_disk(10, [4]) == 2
+
+    def test_negative_x_rejected(self):
+        with pytest.raises(ValueError):
+            naive_disk(-1, [4])
+
+    def test_empty_counts_rejected(self):
+        with pytest.raises(ValueError):
+            naive_disk(1, [])
+
+    def test_non_increasing_counts_rejected(self):
+        with pytest.raises(UnsupportedOperationError):
+            naive_disk(1, [4, 4])
+        with pytest.raises(UnsupportedOperationError):
+            naive_disk(1, [4, 3])
+
+    def test_chain_matches_prefixes(self):
+        counts = [4, 6, 7, 10]
+        for x in (0, 5, 17, 123, 999):
+            chain = naive_remap_chain(x, counts)
+            assert chain == [naive_disk(x, counts[: k + 1]) for k in range(4)]
+
+    @given(x=st.integers(0, 2**32 - 1), n0=st.integers(1, 10), adds=st.lists(st.integers(1, 4), min_size=1, max_size=6))
+    @settings(max_examples=100, deadline=None)
+    def test_disk_in_range_property(self, x, n0, adds):
+        counts = [n0]
+        for a in adds:
+            counts.append(counts[-1] + a)
+        chain = naive_remap_chain(x, counts)
+        for disk, n in zip(chain, counts):
+            assert 0 <= disk < n
+
+    @given(x=st.integers(0, 2**32 - 1), n0=st.integers(1, 10), adds=st.lists(st.integers(1, 4), min_size=1, max_size=6))
+    @settings(max_examples=100, deadline=None)
+    def test_ro1_movement_property(self, x, n0, adds):
+        """A block either stays or moves onto a disk added by that op."""
+        counts = [n0]
+        for a in adds:
+            counts.append(counts[-1] + a)
+        chain = naive_remap_chain(x, counts)
+        for j in range(1, len(chain)):
+            if chain[j] != chain[j - 1]:
+                assert counts[j - 1] <= chain[j] < counts[j]
+
+
+class TestNaiveMapper:
+    def test_apply_and_lookup(self):
+        mapper = NaiveMapper(n0=4)
+        assert mapper.apply(ScalingOp.add(1)) == 5
+        assert mapper.current_disks == 5
+        assert mapper.num_operations == 1
+        assert mapper.disk_of(29) == 4  # Figure 1b: 29 moved to disk 4
+
+    def test_rejects_removal(self):
+        mapper = NaiveMapper(n0=4)
+        with pytest.raises(UnsupportedOperationError):
+            mapper.apply(ScalingOp.remove([0]))
+        # The failed operation must not be recorded.
+        assert mapper.num_operations == 0
+
+    def test_disk_history(self):
+        mapper = NaiveMapper(n0=4)
+        mapper.apply(ScalingOp.add(1))
+        mapper.apply(ScalingOp.add(1))
+        assert mapper.disk_history(29) == [1, 4, 5]

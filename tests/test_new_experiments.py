@@ -1,0 +1,71 @@
+"""Tests for the removal-patterns and generator-sensitivity experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import generator_sensitivity, removal_patterns
+
+
+class TestRemovalPatterns:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return removal_patterns.run_removal_patterns(num_blocks=8_000)
+
+    def test_both_schedules_present(self, results):
+        assert [r.schedule_name for r in results] == ["removals-only", "mixed"]
+
+    def test_ro1_overhead_near_one(self, results):
+        for result in results:
+            for op in result.ops:
+                assert 0.85 < op.overhead < 1.15
+
+    def test_ro2_destinations_uniform(self, results):
+        for result in results:
+            for op in result.ops:
+                assert op.destination_p > 1e-4
+
+    def test_cov_stays_low(self, results):
+        for result in results:
+            for op in result.ops:
+                assert op.cov_after < 0.1
+
+    def test_removals_consume_budget(self, results):
+        removal_only = results[0]
+        # 4 removals from 10 disks at b=32 leave budget, but not all of it.
+        assert 0 < removal_only.remaining_budget < 8
+
+    def test_report_renders(self, results):
+        text = removal_patterns.report(results)
+        assert "removals-only" in text and "mixed" in text
+
+
+class TestGeneratorSensitivity:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return generator_sensitivity.run_generator_sensitivity(
+            num_blocks=10_000, operations=5
+        )
+
+    def test_all_families_measured(self, result):
+        assert {c.family for c in result.curves} == {
+            "splitmix64",
+            "xorshift64star",
+            "lcg48",
+            "pcg32",
+        }
+
+    def test_curves_full_length(self, result):
+        for curve in result.curves:
+            assert len(curve.cov_by_ops) == len(result.disk_counts) == 6
+
+    def test_no_family_departs_from_floor(self, result):
+        for curve in result.curves:
+            for cov, floor in zip(curve.cov_by_ops, result.floors):
+                assert cov < 3.0 * floor
+
+    def test_floor_grows_with_disks(self, result):
+        assert list(result.floors) == sorted(result.floors)
+
+    def test_report_renders(self, result):
+        assert "sampling floor" in generator_sensitivity.report(result)

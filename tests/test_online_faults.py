@@ -1,0 +1,165 @@
+"""Unit tests for online scaling and mirroring fault tolerance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.operations import ScalingOp
+from repro.core.scaddar import ScaddarMapper
+from repro.server.cmserver import CMServer
+from repro.server.faults import DataLossError, MirroredPlacement, mirror_offset
+from repro.server.online import OnlineScaler, StalledMigrationError
+from repro.server.scheduler import RoundScheduler
+from repro.server.streams import Stream
+from repro.storage.disk import DiskSpec
+from repro.workloads.generator import random_x0s, uniform_catalog
+
+
+def make_server(blocks=400, n0=4, bandwidth=8):
+    catalog = uniform_catalog(3, blocks, master_seed=0x0B5, bits=32)
+    spec = DiskSpec(capacity_blocks=100_000, bandwidth_blocks_per_round=bandwidth)
+    return CMServer(catalog, [spec] * n0, bits=32, default_spec=spec)
+
+
+class TestOnlineScaler:
+    def test_rejects_mismatched_scheduler(self):
+        server = make_server()
+        other = make_server()
+        with pytest.raises(ValueError):
+            OnlineScaler(server, RoundScheduler(other.array))
+
+    def test_idle_server_scales_fast(self):
+        server = make_server()
+        scheduler = RoundScheduler(server.array)
+        scaler = OnlineScaler(server, scheduler)
+        report = scaler.scale_online(ScalingOp.add(1))
+        assert report.hiccups == 0
+        assert report.blocks_moved > 0
+        assert server.num_disks == 5
+        assert sum(report.moves_per_round) == report.blocks_moved
+
+    def test_migration_only_uses_spare_bandwidth(self):
+        server = make_server(bandwidth=2)
+        scheduler = RoundScheduler(server.array)
+        media = server.catalog.get(0)
+        scheduler.admit(Stream(0, media))
+        scaler = OnlineScaler(server, scheduler)
+        report = scaler.scale_online(ScalingOp.add(1))
+        # With streams running and bandwidth 2, migration is throttled:
+        # strictly fewer moves per round than the unthrottled bound 4*2.
+        assert max(report.moves_per_round) <= 2 * server.num_disks
+
+    def test_streams_unharmed_at_moderate_load(self):
+        server = make_server(bandwidth=6)
+        scheduler = RoundScheduler(server.array)
+        for sid in range(6):
+            media = server.catalog.get(sid % 3)
+            scheduler.admit(Stream(sid, media, start_block=(sid * 53) % 100))
+        scaler = OnlineScaler(server, scheduler)
+        report = scaler.scale_online(ScalingOp.add(1))
+        assert report.hiccups == 0
+        assert server.num_disks == 5
+
+    def test_online_removal(self):
+        server = make_server()
+        scheduler = RoundScheduler(server.array)
+        scaler = OnlineScaler(server, scheduler)
+        report = scaler.scale_online(ScalingOp.remove([2]))
+        assert server.num_disks == 3
+        assert report.blocks_moved > 0
+
+    def test_stall_detection(self):
+        server = make_server(bandwidth=1)
+        scheduler = RoundScheduler(server.array)
+        # Saturate every disk: 4 disks x bandwidth 1 = 4 streams, each
+        # needing one block per round forever (long objects).
+        for sid in range(4):
+            scheduler.admit(Stream(sid, server.catalog.get(sid % 3)))
+        scaler = OnlineScaler(server, scheduler)
+        with pytest.raises(StalledMigrationError):
+            scaler.scale_online(ScalingOp.add(1), stall_rounds=5)
+
+
+class TestMirrorOffset:
+    def test_paper_function(self):
+        assert mirror_offset(8) == 4
+        assert mirror_offset(5) == 2
+        assert mirror_offset(2) == 1
+
+    def test_single_disk(self):
+        assert mirror_offset(1) == 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            mirror_offset(0)
+
+
+class TestMirroredPlacement:
+    def make(self, n0=6, ops=0):
+        mapper = ScaddarMapper(n0=n0, bits=32)
+        for __ in range(ops):
+            mapper.apply(ScalingOp.add(1))
+        return MirroredPlacement(mapper)
+
+    def test_replicas_distinct(self):
+        mirrored = self.make()
+        for x0 in random_x0s(2_000, bits=32, seed=1):
+            pair = mirrored.replica_pair(x0)
+            assert pair.primary != pair.mirror
+            assert 0 <= pair.mirror < 6
+
+    def test_mirror_is_fixed_offset(self):
+        mirrored = self.make(n0=8)
+        for x0 in random_x0s(500, bits=32, seed=2):
+            pair = mirrored.replica_pair(x0)
+            assert pair.mirror == (pair.primary + 4) % 8
+
+    def test_read_prefers_primary(self):
+        mirrored = self.make()
+        x0 = 12345
+        pair = mirrored.replica_pair(x0)
+        assert mirrored.read_disk(x0) == pair.primary
+
+    def test_failover_to_mirror(self):
+        mirrored = self.make()
+        x0 = 12345
+        pair = mirrored.replica_pair(x0)
+        assert mirrored.read_disk(x0, failed={pair.primary}) == pair.mirror
+
+    def test_double_failure_raises(self):
+        mirrored = self.make()
+        x0 = 12345
+        pair = mirrored.replica_pair(x0)
+        with pytest.raises(DataLossError):
+            mirrored.read_disk(x0, failed={pair.primary, pair.mirror})
+
+    def test_tolerates_any_single_failure(self):
+        mirrored = self.make()
+        for x0 in random_x0s(300, bits=32, seed=3):
+            for disk in range(6):
+                assert mirrored.tolerates_failure(x0, disk)
+
+    def test_mirroring_survives_scaling(self):
+        mirrored = self.make(n0=4, ops=3)  # now 7 disks
+        assert mirrored.num_disks == 7
+        for x0 in random_x0s(1_000, bits=32, seed=4):
+            pair = mirrored.replica_pair(x0)
+            assert pair.primary != pair.mirror
+            assert pair.mirror == (pair.primary + 3) % 7
+
+    def test_failover_load_concentrates_on_partner(self):
+        mirrored = self.make(n0=6)
+        x0s = random_x0s(12_000, bits=32, seed=5)
+        loads = mirrored.failover_load(x0s, failed_disk=0)
+        assert loads[0] == 0
+        partner = (0 + 3) % 6
+        mean_others = sum(
+            v for d, v in loads.items() if d not in (0, partner)
+        ) / 4
+        assert loads[partner] > 1.7 * mean_others
+
+    def test_failover_load_conserves_blocks(self):
+        mirrored = self.make(n0=6)
+        x0s = random_x0s(5_000, bits=32, seed=6)
+        loads = mirrored.failover_load(x0s, failed_disk=2)
+        assert sum(loads.values()) == len(x0s)

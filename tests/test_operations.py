@@ -1,0 +1,168 @@
+"""Unit tests for scaling operations and the operation log."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.operations import OperationLog, ScalingOp
+
+
+class TestScalingOp:
+    def test_add_constructor(self):
+        op = ScalingOp.add(3)
+        assert op.kind == "add"
+        assert op.count == 3
+        assert op.removed == ()
+
+    def test_remove_constructor_sorts(self):
+        op = ScalingOp.remove([5, 1, 3])
+        assert op.removed == (1, 3, 5)
+
+    @pytest.mark.parametrize("count", [0, -1])
+    def test_add_needs_positive_count(self, count):
+        with pytest.raises(ValueError):
+            ScalingOp.add(count)
+
+    def test_remove_needs_indices(self):
+        with pytest.raises(ValueError):
+            ScalingOp.remove([])
+
+    def test_remove_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            ScalingOp(kind="remove", removed=(1, 1))
+
+    def test_remove_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ScalingOp.remove([-1])
+
+    def test_remove_rejects_unsorted_direct_construction(self):
+        with pytest.raises(ValueError):
+            ScalingOp(kind="remove", removed=(3, 1))
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ScalingOp(kind="grow", count=1)
+
+    def test_add_with_removed_rejected(self):
+        with pytest.raises(ValueError):
+            ScalingOp(kind="add", count=1, removed=(0,))
+
+    def test_remove_with_count_rejected(self):
+        with pytest.raises(ValueError):
+            ScalingOp(kind="remove", count=1, removed=(0,))
+
+    def test_next_disk_count_add(self):
+        assert ScalingOp.add(3).next_disk_count(4) == 7
+
+    def test_next_disk_count_remove(self):
+        assert ScalingOp.remove([0, 2]).next_disk_count(5) == 3
+
+    def test_next_disk_count_remove_out_of_range(self):
+        with pytest.raises(ValueError):
+            ScalingOp.remove([5]).next_disk_count(5)
+
+    def test_next_disk_count_cannot_empty_array(self):
+        with pytest.raises(ValueError):
+            ScalingOp.remove([0, 1]).next_disk_count(2)
+
+    def test_roundtrip_add(self):
+        op = ScalingOp.add(4)
+        assert ScalingOp.from_dict(op.to_dict()) == op
+
+    def test_roundtrip_remove(self):
+        op = ScalingOp.remove([2, 7])
+        assert ScalingOp.from_dict(op.to_dict()) == op
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            ScalingOp.from_dict({"kind": "shrink"})
+
+
+class TestOperationLog:
+    def test_initial_state(self):
+        log = OperationLog(n0=4)
+        assert log.current_disks == 4
+        assert log.num_operations == 0
+        assert log.disk_counts() == [4]
+        assert len(log) == 0
+
+    def test_invalid_n0(self):
+        with pytest.raises(ValueError):
+            OperationLog(n0=0)
+
+    def test_append_tracks_counts(self):
+        log = OperationLog(n0=4)
+        assert log.append(ScalingOp.add(1)) == 5
+        assert log.append(ScalingOp.remove([2])) == 4
+        assert log.append(ScalingOp.add(3)) == 7
+        assert log.disk_counts() == [4, 5, 4, 7]
+        assert log.current_disks == 7
+        assert log.num_operations == 3
+
+    def test_disks_after(self):
+        log = OperationLog(n0=4)
+        log.append(ScalingOp.add(2))
+        log.append(ScalingOp.add(1))
+        assert log.disks_after(0) == 4
+        assert log.disks_after(1) == 6
+        assert log.disks_after(2) == 7
+        with pytest.raises(IndexError):
+            log.disks_after(3)
+
+    def test_append_validates_against_current_count(self):
+        log = OperationLog(n0=3)
+        with pytest.raises(ValueError):
+            log.append(ScalingOp.remove([3]))
+
+    def test_product_n_matches_definition(self):
+        log = OperationLog(n0=4)
+        log.append(ScalingOp.add(1))  # 5
+        log.append(ScalingOp.add(1))  # 6
+        assert log.product_n() == 4 * 5 * 6
+
+    def test_product_n_no_ops(self):
+        assert OperationLog(n0=7).product_n() == 7
+
+    def test_iteration_order(self):
+        ops = [ScalingOp.add(1), ScalingOp.remove([0]), ScalingOp.add(2)]
+        log = OperationLog(n0=4)
+        for op in ops:
+            log.append(op)
+        assert list(log) == ops
+        assert log.operations == tuple(ops)
+
+    def test_json_roundtrip(self):
+        log = OperationLog(n0=6)
+        log.append(ScalingOp.add(2))
+        log.append(ScalingOp.remove([1, 3]))
+        restored = OperationLog.from_json(log.to_json())
+        assert restored.n0 == 6
+        assert restored.operations == log.operations
+        assert restored.disk_counts() == log.disk_counts()
+
+    def test_from_operations_validates(self):
+        with pytest.raises(ValueError):
+            OperationLog.from_operations(2, [ScalingOp.remove([0, 1])])
+
+    def test_from_operations_builds_counts(self):
+        log = OperationLog.from_operations(4, [ScalingOp.add(1), ScalingOp.add(1)])
+        assert log.disk_counts() == [4, 5, 6]
+
+    @given(
+        n0=st.integers(1, 20),
+        adds=st.lists(st.integers(1, 5), max_size=10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_addition_trajectory_property(self, n0, adds):
+        log = OperationLog(n0=n0)
+        for count in adds:
+            log.append(ScalingOp.add(count))
+        assert log.current_disks == n0 + sum(adds)
+        expected_product = n0
+        running = n0
+        for count in adds:
+            running += count
+            expected_product *= running
+        assert log.product_n() == expected_product

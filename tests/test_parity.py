@@ -1,0 +1,125 @@
+"""Unit tests for parity-group fault tolerance (Section 6 future work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.operations import ScalingOp
+from repro.core.scaddar import ScaddarMapper
+from repro.experiments import parity_vs_mirror
+from repro.server.parity import (
+    ParityPlacement,
+    ParityPlacementError,
+    recovery_reads,
+    survives_single_failure,
+)
+from repro.workloads.generator import random_x0s
+
+
+def make_placement(n0=8, k=4, ops=0):
+    mapper = ScaddarMapper(n0=n0, bits=32)
+    for __ in range(ops):
+        mapper.apply(ScalingOp.add(1))
+    return ParityPlacement(mapper, k=k)
+
+
+class TestParityPlacement:
+    def test_k_validation(self):
+        mapper = ScaddarMapper(n0=8, bits=32)
+        with pytest.raises(ValueError):
+            ParityPlacement(mapper, k=1)
+
+    def test_too_few_disks_rejected(self):
+        placement = make_placement(n0=4, k=4)
+        with pytest.raises(ParityPlacementError):
+            placement.build_layout(random_x0s(100, bits=32, seed=1))
+
+    def test_groups_have_k_members(self):
+        placement = make_placement()
+        layout = placement.build_layout(random_x0s(5_000, bits=32, seed=2))
+        assert all(len(g.members) == 4 for g in layout.groups)
+
+    def test_distinct_disk_rule(self):
+        placement = make_placement()
+        layout = placement.build_layout(random_x0s(5_000, bits=32, seed=3))
+        assert survives_single_failure(layout)
+        for group in layout.groups:
+            disks = {*group.member_disks, group.parity_disk}
+            assert len(disks) == 5  # k members + parity, all distinct
+
+    def test_every_block_grouped_or_reported(self):
+        placement = make_placement()
+        population = random_x0s(5_003, bits=32, seed=4)
+        layout = placement.build_layout(population)
+        grouped = sum(len(g.members) for g in layout.groups)
+        assert grouped + len(layout.ungrouped) == len(population)
+        # The greedy tail is tiny relative to the population.
+        assert len(layout.ungrouped) < 2 * layout.k
+
+    def test_storage_overhead(self):
+        placement = make_placement(k=4)
+        layout = placement.build_layout(random_x0s(4_000, bits=32, seed=5))
+        assert layout.storage_overhead == pytest.approx(0.25, abs=0.01)
+
+    def test_parity_disk_is_deterministic(self):
+        placement = make_placement()
+        used = frozenset({0, 2, 4, 6})
+        assert placement.parity_disk_of(7, used) == placement.parity_disk_of(7, used)
+        assert placement.parity_disk_of(7, used) not in used
+
+    def test_parity_disk_full_group_rejected(self):
+        placement = make_placement(n0=4, k=2)
+        with pytest.raises(ParityPlacementError):
+            placement.parity_disk_of(0, frozenset({0, 1, 2, 3}))
+
+    def test_survives_after_scaling(self):
+        placement = make_placement(n0=6, k=4, ops=3)
+        layout = placement.build_layout(random_x0s(5_000, bits=32, seed=6))
+        assert survives_single_failure(layout)
+
+
+class TestRecoveryReads:
+    def test_spread_over_survivors(self):
+        placement = make_placement()
+        layout = placement.build_layout(random_x0s(8_000, bits=32, seed=7))
+        reads = recovery_reads(layout, failed_disk=0)
+        assert 0 not in reads
+        assert len(reads) == 7
+        mean = sum(reads.values()) / len(reads)
+        assert max(reads.values()) / mean < 1.25  # nearly even
+
+    def test_untouched_groups_cost_nothing(self):
+        placement = make_placement(n0=8, k=2)
+        layout = placement.build_layout(random_x0s(200, bits=32, seed=8))
+        total_groups_touching_0 = sum(
+            1
+            for g in layout.groups
+            if 0 in (*g.member_disks, g.parity_disk)
+        )
+        reads = recovery_reads(layout, failed_disk=0)
+        # Each touched group contributes exactly k(=2) survivor reads.
+        assert sum(reads.values()) == 2 * total_groups_touching_0
+
+
+class TestExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return parity_vs_mirror.run_parity_vs_mirror(num_blocks=8_000)
+
+    def test_both_schemes_safe(self, result):
+        assert all(r.survives_single_failure for r in result.rows)
+
+    def test_parity_cheaper_storage(self, result):
+        mirror, parity = result.rows
+        assert parity.storage_overhead < mirror.storage_overhead / 3
+
+    def test_parity_spreads_recovery(self, result):
+        mirror, parity = result.rows
+        assert parity.recovery_skew < mirror.recovery_skew
+
+    def test_mirror_cheaper_degraded_reads(self, result):
+        mirror, parity = result.rows
+        assert mirror.degraded_read_ios < parity.degraded_read_ios
+
+    def test_report_renders(self, result):
+        assert "parity" in parity_vs_mirror.report(result)

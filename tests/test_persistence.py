@@ -1,0 +1,120 @@
+"""Tests for server snapshot/restore (seeds + op log = whole layout)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.operations import ScalingOp
+from repro.server.cmserver import CMServer
+from repro.server.persistence import (
+    restore_server,
+    server_to_json,
+    snapshot_server,
+)
+from repro.storage.disk import DiskSpec
+from repro.workloads.generator import uniform_catalog
+
+
+def make_server(scaled=True):
+    catalog = uniform_catalog(4, 150, master_seed=0x9E57, bits=32)
+    spec = DiskSpec(capacity_blocks=100_000, bandwidth_blocks_per_round=6)
+    server = CMServer(catalog, [spec] * 4, bits=32, default_spec=spec)
+    if scaled:
+        server.scale(ScalingOp.add(2))
+        server.scale(ScalingOp.remove([1]))
+        server.scale(ScalingOp.add(1))
+    return server
+
+
+def logical_layout(server):
+    """Logical disk of every block (physical ids differ across restores)."""
+    layout = {}
+    for media in server.catalog:
+        for index in range(media.num_blocks):
+            pid = server.block_location(media.object_id, index)
+            layout[(media.object_id, index)] = server.array.logical_of(pid)
+    return layout
+
+
+class TestSnapshot:
+    def test_snapshot_is_block_count_independent(self):
+        small = snapshot_server(make_server(scaled=False))
+        big_catalog = uniform_catalog(4, 3_000, master_seed=0x9E57, bits=32)
+        spec = DiskSpec(capacity_blocks=100_000)
+        big = snapshot_server(CMServer(big_catalog, [spec] * 4, bits=32))
+        # Same number of JSON keys/entries modulo num_blocks scalars.
+        assert len(small["catalog"]["objects"]) == len(big["catalog"]["objects"])
+
+    def test_snapshot_is_json_serializable(self):
+        payload = server_to_json(make_server())
+        assert json.loads(payload)["version"] == 1
+
+    def test_disk_specs_recorded_in_logical_order(self):
+        server = make_server(scaled=False)
+        fancy = DiskSpec(capacity_blocks=1_000, bandwidth_blocks_per_round=99)
+        server.scale(ScalingOp.add(1), specs=[fancy])
+        snap = snapshot_server(server)
+        assert snap["disks"][-1]["bandwidth_blocks_per_round"] == 99
+
+
+class TestRestore:
+    def test_layout_identical_after_restore(self):
+        server = make_server()
+        restored = restore_server(server_to_json(server))
+        assert logical_layout(restored) == logical_layout(server)
+
+    def test_restore_preserves_counts(self):
+        server = make_server()
+        restored = restore_server(snapshot_server(server))
+        assert restored.num_disks == server.num_disks
+        assert restored.total_blocks == server.total_blocks
+        assert restored.mapper.num_operations == server.mapper.num_operations
+        assert restored.load_vector() == server.load_vector()
+
+    def test_restored_server_keeps_scaling(self):
+        server = make_server()
+        restored = restore_server(snapshot_server(server))
+        report = restored.scale(ScalingOp.add(1))
+        assert report.n_after == server.num_disks + 1
+        # The original and restored evolve identically on the same op.
+        server.scale(ScalingOp.add(1))
+        assert logical_layout(restored) == logical_layout(server)
+
+    def test_restore_preserves_budget_position(self):
+        server = make_server()
+        restored = restore_server(snapshot_server(server))
+        assert restored.mapper.remaining_operations(0.05) == (
+            server.mapper.remaining_operations(0.05)
+        )
+
+    def test_restore_after_reshuffle(self):
+        server = make_server()
+        server.reshuffle()
+        restored = restore_server(snapshot_server(server))
+        assert restored.reshuffles == 1
+        assert logical_layout(restored) == logical_layout(server)
+
+    def test_unknown_version_rejected(self):
+        snap = snapshot_server(make_server(scaled=False))
+        snap["version"] = 99
+        with pytest.raises(ValueError):
+            restore_server(snap)
+
+    def test_new_objects_after_restore_get_fresh_ids(self):
+        server = make_server(scaled=False)
+        restored = restore_server(snapshot_server(server))
+        media = restored.add_object("late", 10)
+        assert media.object_id == len(server.catalog)
+
+
+class TestFromState:
+    def test_spec_count_must_match_mapper(self):
+        server = make_server(scaled=False)
+        from repro.server.cmserver import CMServer as Cls
+
+        with pytest.raises(ValueError):
+            Cls.from_state(
+                server.catalog, server.mapper, [DiskSpec()] * 3
+            )

@@ -1,0 +1,120 @@
+"""Tests for the capacity planner — cross-validated against the mapper."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import RandomnessExhaustedError
+from repro.core.operations import ScalingOp
+from repro.core.scaddar import ScaddarMapper
+from repro.server.planner import (
+    CapacityPlan,
+    GrowthForecast,
+    minimum_bits,
+    plan_capacity,
+)
+
+
+class TestGrowthForecast:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GrowthForecast(n0=0, operations=1)
+        with pytest.raises(ValueError):
+            GrowthForecast(n0=4, operations=-1)
+        with pytest.raises(ValueError):
+            GrowthForecast(n0=4, operations=1, group_size=0)
+
+    def test_trajectory(self):
+        forecast = GrowthForecast(n0=4, operations=3, group_size=2)
+        assert forecast.disk_counts() == [4, 6, 8, 10]
+
+
+class TestPlanCapacity:
+    def test_section5_configuration(self):
+        """The paper's b=32 eps=5% case: 8 ops fit, the 9th reshuffles."""
+        fits = plan_capacity(GrowthForecast(n0=4, operations=8), bits=32)
+        assert fits.fits_without_reshuffle
+        overflow = plan_capacity(GrowthForecast(n0=4, operations=9), bits=32)
+        assert overflow.reshuffles_needed == 1
+        assert overflow.cycle_lengths[0] == 8
+
+    def test_matches_mapper_guard_exactly(self):
+        """The plan's first cycle length equals the number of operations
+        the live mapper accepts before raising."""
+        for n0 in (3, 4, 8):
+            plan = plan_capacity(
+                GrowthForecast(n0=n0, operations=30), bits=32
+            )
+            mapper = ScaddarMapper(n0=n0, bits=32)
+            accepted = 0
+            try:
+                for __ in range(30):
+                    mapper.apply(ScalingOp.add(1), eps=0.05)
+                    accepted += 1
+            except RandomnessExhaustedError:
+                pass
+            assert plan.cycle_lengths[0] == accepted
+
+    def test_traffic_accounts_reshuffles(self):
+        small = plan_capacity(GrowthForecast(n0=4, operations=8), bits=32)
+        large = plan_capacity(GrowthForecast(n0=4, operations=9), bits=32)
+        # The 9th op costs its z_j plus a full reshuffle (~(N-1)/N).
+        assert large.expected_traffic > small.expected_traffic + 0.9
+
+    def test_wider_bits_fewer_reshuffles(self):
+        forecast = GrowthForecast(n0=4, operations=30)
+        narrow = plan_capacity(forecast, bits=32)
+        wide = plan_capacity(forecast, bits=64)
+        assert wide.reshuffles_needed < narrow.reshuffles_needed
+
+    def test_cycles_sum_to_operations(self):
+        plan = plan_capacity(GrowthForecast(n0=4, operations=25), bits=32)
+        assert sum(plan.cycle_lengths) == 25
+
+    def test_impossible_width_raises(self):
+        with pytest.raises(ValueError):
+            plan_capacity(GrowthForecast(n0=100, operations=1), bits=4)
+
+    def test_parameter_validation(self):
+        forecast = GrowthForecast(n0=4, operations=1)
+        with pytest.raises(ValueError):
+            plan_capacity(forecast, bits=0)
+        with pytest.raises(ValueError):
+            plan_capacity(forecast, bits=32, eps=0)
+
+    @given(
+        n0=st.integers(2, 10),
+        operations=st.integers(0, 20),
+        group=st.integers(1, 3),
+        bits=st.integers(16, 64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_plan_well_formed_property(self, n0, operations, group, bits):
+        forecast = GrowthForecast(n0=n0, operations=operations, group_size=group)
+        try:
+            plan = plan_capacity(forecast, bits=bits)
+        except ValueError:
+            return  # width too small for even one op — allowed
+        assert sum(plan.cycle_lengths) == operations
+        assert plan.reshuffles_needed == len(plan.cycle_lengths) - 1
+        assert plan.expected_traffic >= 0.0
+
+
+class TestMinimumBits:
+    def test_paper_case(self):
+        """8 ops from 4 disks need ~32 bits at eps=5%."""
+        bits = minimum_bits(GrowthForecast(n0=4, operations=8))
+        assert 30 <= bits <= 32
+        plan = plan_capacity(GrowthForecast(n0=4, operations=8), bits=bits)
+        assert plan.fits_without_reshuffle
+
+    def test_minimality(self):
+        forecast = GrowthForecast(n0=4, operations=8)
+        bits = minimum_bits(forecast)
+        smaller = plan_capacity(forecast, bits=bits - 1)
+        assert not smaller.fits_without_reshuffle
+
+    def test_huge_forecast_overflows_64(self):
+        assert minimum_bits(GrowthForecast(n0=16, operations=60)) == 65

@@ -1,0 +1,178 @@
+"""Unit tests for the from-scratch pseudo-random generators."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import chi_square_uniform
+from repro.prng.generators import (
+    Lcg48,
+    Pcg32,
+    SplitMix64,
+    Xorshift64Star,
+    _mix64,
+)
+
+ALL_GENERATORS = [SplitMix64, Xorshift64Star, Lcg48, Pcg32]
+
+#: Generators whose output is narrower than 64 bits.
+NARROW = (Lcg48, Pcg32)
+
+
+def _make(cls, seed, bits=None):
+    if bits is None:
+        bits = 32 if cls in NARROW else 64
+    return cls(seed, bits)
+
+
+class TestInterface:
+    @pytest.mark.parametrize("cls", ALL_GENERATORS)
+    def test_same_seed_same_stream(self, cls):
+        a = _make(cls, 42)
+        b = _make(cls, 42)
+        assert [a.next() for _ in range(50)] == [b.next() for _ in range(50)]
+
+    @pytest.mark.parametrize("cls", ALL_GENERATORS)
+    def test_different_seeds_differ(self, cls):
+        a = _make(cls, 1)
+        b = _make(cls, 2)
+        assert [a.next() for _ in range(10)] != [b.next() for _ in range(10)]
+
+    @pytest.mark.parametrize("cls", ALL_GENERATORS)
+    def test_values_within_bits(self, cls):
+        bits = 16
+        gen = cls(7, bits=bits)
+        for _ in range(200):
+            assert 0 <= gen.next() < (1 << bits)
+
+    @pytest.mark.parametrize("cls", ALL_GENERATORS)
+    def test_r_max(self, cls):
+        gen = cls(1, bits=20)
+        assert gen.r_max == (1 << 20) - 1
+
+    @pytest.mark.parametrize("cls", ALL_GENERATORS)
+    def test_index_counts_draws(self, cls):
+        gen = _make(cls, 9)
+        assert gen.index == 0
+        for expected in range(1, 6):
+            gen.next()
+            assert gen.index == expected
+
+    @pytest.mark.parametrize("bits", [0, -1, 65])
+    def test_invalid_bits_rejected(self, bits):
+        with pytest.raises(ValueError):
+            SplitMix64(1, bits=bits)
+
+    def test_lcg48_rejects_wide_output(self):
+        with pytest.raises(ValueError):
+            Lcg48(1, bits=33)
+
+    def test_pcg32_rejects_wide_output(self):
+        with pytest.raises(ValueError):
+            Pcg32(1, bits=33)
+
+    @pytest.mark.parametrize("cls", ALL_GENERATORS)
+    def test_family_names_distinct(self, cls):
+        assert cls.family != "abstract"
+
+    def test_family_names_are_unique(self):
+        families = {cls.family for cls in ALL_GENERATORS}
+        assert len(families) == len(ALL_GENERATORS)
+
+
+class TestIndexedAccess:
+    @pytest.mark.parametrize("cls", ALL_GENERATORS)
+    def test_at_matches_iteration(self, cls):
+        gen = _make(cls, 1234)
+        stream = [gen.next() for _ in range(30)]
+        fresh = _make(cls, 1234)
+        assert [fresh.at(i) for i in range(30)] == stream
+
+    @pytest.mark.parametrize("cls", ALL_GENERATORS)
+    def test_at_does_not_disturb_iteration(self, cls):
+        gen = _make(cls, 55)
+        first = gen.next()
+        gen.at(10)
+        second_a = gen.next()
+        replay = _make(cls, 55)
+        assert replay.next() == first
+        assert replay.next() == second_a
+
+    @pytest.mark.parametrize("cls", ALL_GENERATORS)
+    def test_at_negative_rejected(self, cls):
+        with pytest.raises(ValueError):
+            _make(cls, 1).at(-1)
+
+    @given(seed=st.integers(0, 2**64 - 1), index=st.integers(0, 300))
+    @settings(max_examples=50, deadline=None)
+    def test_splitmix_random_access_property(self, seed, index):
+        gen = SplitMix64(seed)
+        for _ in range(index):
+            gen.next()
+        assert gen.next() == SplitMix64(seed).at(index)
+
+    @given(seed=st.integers(0, 2**48 - 1), index=st.integers(0, 500))
+    @settings(max_examples=50, deadline=None)
+    def test_lcg48_jump_ahead_property(self, seed, index):
+        gen = Lcg48(seed)
+        for _ in range(index):
+            gen.next()
+        assert gen.next() == Lcg48(seed).at(index)
+
+    def test_lcg48_affine_power_identity(self):
+        assert Lcg48._affine_power(0) == (1, 0)
+
+    def test_lcg48_affine_power_one(self):
+        assert Lcg48._affine_power(1) == (Lcg48._A, Lcg48._C)
+
+    def test_lcg48_affine_power_composes(self):
+        a2, c2 = Lcg48._affine_power(2)
+        m = Lcg48._M
+        x = 123456789
+        one = (Lcg48._A * x + Lcg48._C) % m
+        two = (Lcg48._A * one + Lcg48._C) % m
+        assert (a2 * x + c2) % m == two
+
+    @given(seed=st.integers(0, 2**64 - 1), index=st.integers(0, 500))
+    @settings(max_examples=50, deadline=None)
+    def test_pcg32_jump_ahead_property(self, seed, index):
+        gen = Pcg32(seed)
+        for _ in range(index):
+            gen.next()
+        assert gen.next() == Pcg32(seed).at(index)
+
+
+class TestStatisticalQuality:
+    @pytest.mark.parametrize("cls", ALL_GENERATORS)
+    def test_low_bits_roughly_uniform(self, cls):
+        gen = _make(cls, 99)
+        counts = [0] * 8
+        for _ in range(8_000):
+            counts[gen.next() % 8] += 1
+        __, pvalue = chi_square_uniform(counts)
+        assert pvalue > 1e-4
+
+    @pytest.mark.parametrize("cls", ALL_GENERATORS)
+    def test_mod_n_uniform_for_odd_n(self, cls):
+        gen = _make(cls, 7)
+        counts = [0] * 7
+        for _ in range(14_000):
+            counts[gen.next() % 7] += 1
+        __, pvalue = chi_square_uniform(counts)
+        assert pvalue > 1e-4
+
+    def test_mix64_is_bijective_on_samples(self):
+        seen = {_mix64(x) for x in range(10_000)}
+        assert len(seen) == 10_000
+
+    def test_mix64_avalanche(self):
+        # Flipping one input bit should flip roughly half the output bits.
+        flips = bin(_mix64(0) ^ _mix64(1)).count("1")
+        assert 16 <= flips <= 48
+
+    def test_xorshift_zero_seed_does_not_stick(self):
+        gen = Xorshift64Star(0)
+        values = {gen.next() for _ in range(10)}
+        assert len(values) == 10

@@ -1,0 +1,71 @@
+"""Unit tests for per-object sequences (``X0(i)``)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.prng.sequence import GENERATOR_FAMILIES, ObjectSequence, make_generator
+
+
+class TestMakeGenerator:
+    @pytest.mark.parametrize("family", sorted(GENERATOR_FAMILIES))
+    def test_known_families(self, family):
+        bits = 32 if family in ("lcg48", "pcg32") else 64
+        gen = make_generator(family, seed=3, bits=bits)
+        assert gen.family == family
+
+    def test_unknown_family_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="splitmix64"):
+            make_generator("md5", seed=1)
+
+
+class TestObjectSequence:
+    def test_x0_reproducible(self):
+        a = ObjectSequence(seed=42, bits=32)
+        b = ObjectSequence(seed=42, bits=32)
+        assert [a.x0(i) for i in range(20)] == [b.x0(i) for i in range(20)]
+
+    def test_prefix_matches_indexed_access(self):
+        seq = ObjectSequence(seed=11, bits=32)
+        assert seq.prefix(25) == [seq.x0(i) for i in range(25)]
+
+    def test_iteration_matches_prefix(self):
+        seq = ObjectSequence(seed=5, bits=48)
+        assert list(itertools.islice(iter(seq), 30)) == seq.prefix(30)
+
+    def test_different_seeds_different_streams(self):
+        assert ObjectSequence(seed=1).prefix(10) != ObjectSequence(seed=2).prefix(10)
+
+    def test_values_in_range(self):
+        seq = ObjectSequence(seed=9, bits=16)
+        assert all(0 <= v <= seq.r_max for v in seq.prefix(500))
+        assert seq.r_max == (1 << 16) - 1
+
+    def test_prefix_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ObjectSequence(seed=1).prefix(-1)
+
+    def test_prefix_zero_is_empty(self):
+        assert ObjectSequence(seed=1).prefix(0) == []
+
+    def test_bad_family_fails_at_construction(self):
+        with pytest.raises(KeyError):
+            ObjectSequence(seed=1, family="nope")
+
+    def test_lcg_family_supported(self):
+        seq = ObjectSequence(seed=17, bits=32, family="lcg48")
+        assert seq.prefix(5) == [seq.x0(i) for i in range(5)]
+
+    def test_repr_mentions_seed_and_family(self):
+        text = repr(ObjectSequence(seed=7, bits=32, family="splitmix64"))
+        assert "seed=7" in text
+        assert "splitmix64" in text
+
+    @given(seed=st.integers(0, 2**32), n=st.integers(0, 64))
+    @settings(max_examples=40, deadline=None)
+    def test_prefix_length_property(self, seed, n):
+        assert len(ObjectSequence(seed=seed, bits=32).prefix(n)) == n

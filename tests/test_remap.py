@@ -1,0 +1,195 @@
+"""Unit + property tests for the REMAP arithmetic (Section 4.2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.remap import remap_add, remap_remove, survivor_ranks
+
+
+class TestSurvivorRanks:
+    def test_paper_example(self):
+        # Removing disk 1 from {0,1,2,3}: disk 2 becomes the 1st disk.
+        assert survivor_ranks({1}, 4) == [0, -1, 1, 2]
+
+    def test_no_removal(self):
+        assert survivor_ranks(set(), 3) == [0, 1, 2]
+
+    def test_remove_first(self):
+        assert survivor_ranks({0}, 3) == [-1, 0, 1]
+
+    def test_remove_last(self):
+        assert survivor_ranks({2}, 3) == [0, 1, -1]
+
+    def test_group_removal(self):
+        assert survivor_ranks({0, 2, 4}, 6) == [-1, 0, -1, 1, -1, 2]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            survivor_ranks({4}, 4)
+
+    @given(
+        n=st.integers(2, 30),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_ranks_are_compact_permutation(self, n, data):
+        removed = data.draw(
+            st.sets(st.integers(0, n - 1), min_size=0, max_size=n - 1)
+        )
+        ranks = survivor_ranks(removed, n)
+        survivors = [r for r in ranks if r >= 0]
+        assert survivors == list(range(n - len(removed)))
+        assert all(ranks[d] == -1 for d in removed)
+
+
+class TestRemapAdd:
+    def test_rejects_non_growth(self):
+        with pytest.raises(ValueError):
+            remap_add(10, 5, 5)
+        with pytest.raises(ValueError):
+            remap_add(10, 5, 4)
+
+    def test_rejects_negative_x(self):
+        with pytest.raises(ValueError):
+            remap_add(-1, 4, 5)
+
+    def test_stay_case_keeps_disk(self):
+        # x=10, n_prev=4 -> q=2, r=2; q mod 5 = 2 < 4 -> stays on disk 2.
+        result = remap_add(10, 4, 5)
+        assert not result.moved
+        assert result.disk == 2
+        assert result.x_new % 5 == 2
+
+    def test_move_case_targets_added_disk(self):
+        # x = q * 4 + r with q mod 5 == 4 -> moves to disk 4.
+        x = 4 * 4 + 1  # q=4, r=1; 4 mod 5 == 4 >= n_prev
+        result = remap_add(x, 4, 5)
+        assert result.moved
+        assert result.disk == 4
+        assert result.x_new % 5 == 4
+
+    @given(x=st.integers(0, 2**32 - 1), n_prev=st.integers(1, 40), grow=st.integers(1, 10))
+    @settings(max_examples=200, deadline=None)
+    def test_disk_consistency_property(self, x, n_prev, grow):
+        n_new = n_prev + grow
+        result = remap_add(x, n_prev, n_new)
+        # The reported disk always equals X_j mod N_j.
+        assert result.disk == result.x_new % n_new
+        # RO1: a block moves iff its disk changed, and the disk changes
+        # exactly onto an added disk.
+        if result.moved:
+            assert n_prev <= result.disk < n_new
+        else:
+            assert result.disk == x % n_prev
+
+    @given(x=st.integers(0, 2**32 - 1), n_prev=st.integers(1, 40), grow=st.integers(1, 10))
+    @settings(max_examples=200, deadline=None)
+    def test_fresh_randomness_is_recoverable(self, x, n_prev, grow):
+        # Eq. 4: X_j div N_j must equal q_{j-1} div N_j so the next
+        # operation can keep drawing from the shrunken reserve.
+        n_new = n_prev + grow
+        q_prev = x // n_prev
+        result = remap_add(x, n_prev, n_new)
+        assert result.x_new // n_new == q_prev // n_new
+
+    def test_move_probability_matches_z(self):
+        n_prev, n_new = 4, 6
+        total = 120_000
+        moved = sum(
+            1 for x in range(total) if remap_add(x, n_prev, n_new).moved
+        )
+        expected = total * (n_new - n_prev) / n_new
+        assert abs(moved - expected) / expected < 0.01
+
+    def test_moved_destinations_cover_all_added_disks(self):
+        n_prev, n_new = 4, 8
+        destinations = {
+            remap_add(x, n_prev, n_new).disk
+            for x in range(50_000)
+            if remap_add(x, n_prev, n_new).moved
+        }
+        assert destinations == set(range(n_prev, n_new))
+
+
+class TestRemapRemove:
+    def test_paper_example_moved_block(self):
+        # Section 4.2.1: X=28 on 6 disks, disk 4 removed -> X_j = 4,
+        # landing on the 4th surviving disk.
+        result = remap_remove(28, 6, {4})
+        assert result.moved
+        assert result.x_new == 4
+        assert result.disk == 4
+
+    def test_paper_example_staying_block(self):
+        # X=41 on disk 5 stays; X_j = 34, disk index compacts to 4.
+        result = remap_remove(41, 6, {4})
+        assert not result.moved
+        assert result.x_new == 34
+        assert result.disk == 4
+
+    def test_rejects_negative_x(self):
+        with pytest.raises(ValueError):
+            remap_remove(-5, 4, {0})
+
+    def test_rejects_full_removal(self):
+        with pytest.raises(ValueError):
+            remap_remove(5, 2, {0, 1})
+
+    def test_rejects_bad_index(self):
+        with pytest.raises(ValueError):
+            remap_remove(5, 4, {4})
+
+    @given(
+        x=st.integers(0, 2**32 - 1),
+        n_prev=st.integers(2, 40),
+        data=st.data(),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_disk_consistency_property(self, x, n_prev, data):
+        removed = data.draw(
+            st.sets(st.integers(0, n_prev - 1), min_size=1, max_size=n_prev - 1)
+        )
+        n_new = n_prev - len(removed)
+        ranks = survivor_ranks(removed, n_prev)
+        result = remap_remove(x, n_prev, removed)
+        assert result.disk == result.x_new % n_new
+        assert 0 <= result.disk < n_new
+        if result.moved:
+            # RO1: only blocks on removed disks move.
+            assert x % n_prev in removed
+        else:
+            # Stayers keep their physical disk (compacted index).
+            assert result.disk == ranks[x % n_prev]
+
+    def test_moved_destinations_roughly_uniform(self):
+        n_prev = 6
+        removed = {2}
+        counts = [0] * 5
+        for x in range(60_000):
+            result = remap_remove(x, n_prev, removed)
+            if result.moved:
+                counts[result.disk] += 1
+        mean = sum(counts) / len(counts)
+        assert all(abs(c - mean) / mean < 0.05 for c in counts)
+
+    def test_group_removal_moves_all_their_blocks(self):
+        n_prev = 8
+        removed = {1, 4, 6}
+        for x in range(5_000):
+            result = remap_remove(x, n_prev, removed)
+            assert result.moved == (x % n_prev in removed)
+
+
+class TestAddRemoveInverse:
+    @given(x=st.integers(0, 2**40), n=st.integers(2, 20))
+    @settings(max_examples=100, deadline=None)
+    def test_add_then_remove_last_keeps_stayers_put(self, x, n):
+        """Adding one disk and removing it again must return every block
+        that never moved to its original disk."""
+        added = remap_add(x, n, n + 1)
+        back = remap_remove(added.x_new, n + 1, {n})
+        if not added.moved:
+            assert back.disk == x % n

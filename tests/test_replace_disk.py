@@ -1,0 +1,69 @@
+"""Tests for the disk-replacement convenience operation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import RandomnessExhaustedError
+from repro.server.cmserver import CMServer
+from repro.server.fsck import check_layout
+from repro.storage.disk import DiskSpec
+from repro.workloads.generator import uniform_catalog
+
+
+def make_server(n0=4, bits=32):
+    catalog = uniform_catalog(3, 150, master_seed=0x4E9, bits=bits)
+    spec = DiskSpec(capacity_blocks=100_000, bandwidth_blocks_per_round=8)
+    return CMServer(catalog, [spec] * n0, bits=bits, default_spec=spec)
+
+
+class TestReplaceDisk:
+    def test_same_disk_count_after(self):
+        server = make_server()
+        old_physical = server.array.physical_at(1)
+        add_report, remove_report = server.replace_disk(1)
+        assert server.num_disks == 4
+        assert old_physical not in server.array.physical_ids
+        assert add_report.n_after == 5
+        assert remove_report.n_after == 4
+        assert check_layout(server).clean
+
+    def test_new_spec_applied(self):
+        server = make_server()
+        fast = DiskSpec(capacity_blocks=100_000, bandwidth_blocks_per_round=32,
+                        model="gen3")
+        server.replace_disk(0, spec=fast)
+        # The replacement went in at the top logical index, then the old
+        # disk's removal compacted indices; the new disk is still there.
+        models = [
+            server.array.disk(pid).model for pid in server.array.physical_ids
+        ]
+        assert "gen3" in models
+
+    def test_costs_two_budget_operations(self):
+        server = make_server()
+        before = server.mapper.remaining_operations(0.05)
+        server.replace_disk(2)
+        assert server.mapper.num_operations == 2
+        assert server.mapper.remaining_operations(0.05) <= before - 1
+
+    def test_bounds_checked_before_mutation(self):
+        server = make_server()
+        with pytest.raises(IndexError):
+            server.replace_disk(9)
+        assert server.mapper.num_operations == 0
+        assert server.num_disks == 4
+
+    def test_eps_guard_propagates(self):
+        server = make_server(bits=16)
+        with pytest.raises(RandomnessExhaustedError):
+            for __ in range(10):
+                server.replace_disk(0, eps=0.05)
+
+    def test_movement_is_bounded(self):
+        """Replacement moves ~1/5 + ~1/5 of blocks, never everything."""
+        server = make_server()
+        moved_before = server.array.blocks_moved
+        server.replace_disk(1)
+        moved = server.array.blocks_moved - moved_before
+        assert moved < 0.6 * server.total_blocks

@@ -1,0 +1,259 @@
+"""Unit + property tests for ScaddarMapper (AF/RF, Section 4)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import RandomnessExhaustedError
+from repro.core.operations import ScalingOp
+from repro.core.scaddar import ScaddarMapper
+from repro.workloads.generator import random_x0s
+
+# Strategy: a short random schedule that never empties the array.
+def schedules(max_ops=6, n0_range=(2, 8)):
+    @st.composite
+    def build(draw):
+        n0 = draw(st.integers(*n0_range))
+        ops = []
+        n = n0
+        for __ in range(draw(st.integers(0, max_ops))):
+            if n > 2 and draw(st.booleans()):
+                count = draw(st.integers(1, min(2, n - 2)))
+                victims = draw(
+                    st.sets(st.integers(0, n - 1), min_size=count, max_size=count)
+                )
+                ops.append(ScalingOp.remove(victims))
+                n -= count
+            else:
+                count = draw(st.integers(1, 3))
+                ops.append(ScalingOp.add(count))
+                n += count
+        return n0, ops
+
+    return build()
+
+
+class TestBasics:
+    def test_initial_placement_is_mod_n0(self, mapper32):
+        for x0 in (0, 1, 7, 123456, 2**31):
+            assert mapper32.disk_of(x0) == x0 % 4
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            ScaddarMapper(n0=4, bits=0)
+        with pytest.raises(ValueError):
+            ScaddarMapper(n0=4, bits=65)
+
+    def test_range_size(self):
+        assert ScaddarMapper(n0=4, bits=32).range_size == 2**32
+
+    def test_negative_x0_rejected(self, mapper32):
+        with pytest.raises(ValueError):
+            mapper32.disk_of(-1)
+        with pytest.raises(ValueError):
+            mapper32.x_chain(-1)
+
+    def test_apply_returns_new_count(self, mapper32):
+        assert mapper32.apply(ScalingOp.add(2)) == 6
+        assert mapper32.apply(ScalingOp.remove([0])) == 5
+        assert mapper32.current_disks == 5
+        assert mapper32.num_operations == 2
+
+    def test_repr(self, mapper32):
+        assert "n0=4" in repr(mapper32)
+
+
+class TestXChain:
+    def test_chain_length(self, mapper32):
+        mapper32.apply(ScalingOp.add(1))
+        mapper32.apply(ScalingOp.add(1))
+        assert len(mapper32.x_chain(12345)) == 3
+
+    def test_chain_prefix_stability(self, mapper32):
+        """Applying another operation must not change earlier X values."""
+        x0 = 987654321
+        mapper32.apply(ScalingOp.add(1))
+        before = mapper32.x_chain(x0)
+        mapper32.apply(ScalingOp.remove([1]))
+        after = mapper32.x_chain(x0)
+        assert after[: len(before)] == before
+
+    def test_locate_matches_chain(self, mapper32):
+        mapper32.apply(ScalingOp.add(3))
+        mapper32.apply(ScalingOp.remove([2, 4]))
+        for x0 in random_x0s(200, bits=32, seed=3):
+            loc = mapper32.locate(x0)
+            chain = mapper32.x_chain(x0)
+            assert loc.x == chain[-1]
+            assert loc.disk == chain[-1] % mapper32.current_disks
+            assert loc.operations_applied == 2
+
+    def test_disk_history_tracks_epochs(self, mapper32):
+        mapper32.apply(ScalingOp.add(1))
+        mapper32.apply(ScalingOp.add(1))
+        history = mapper32.disk_history(20)
+        assert len(history) == 3
+        assert history[0] == 0  # 20 mod 4
+
+
+class TestRO1MovementMinimality:
+    def test_addition_only_moves_to_new_disks(self, mapper32):
+        x0s = random_x0s(5_000, bits=32, seed=11)
+        before = {x: mapper32.disk_of(x) for x in x0s}
+        mapper32.apply(ScalingOp.add(2))
+        for x in x0s:
+            disk = mapper32.disk_of(x)
+            if disk != before[x]:
+                assert disk in (4, 5)
+
+    def test_removal_moves_exactly_evicted_blocks(self, mapper32):
+        x0s = random_x0s(5_000, bits=32, seed=12)
+        before = {x: mapper32.disk_of(x) for x in x0s}
+        mapper32.apply(ScalingOp.remove([1]))
+        ranks = [0, -1, 1, 2]
+        for x in x0s:
+            disk = mapper32.disk_of(x)
+            if before[x] == 1:
+                assert 0 <= disk < 3
+            else:
+                assert disk == ranks[before[x]]
+
+    def test_addition_move_fraction_near_optimal(self, mapper32):
+        x0s = random_x0s(30_000, bits=32, seed=13)
+        before = {x: mapper32.disk_of(x) for x in x0s}
+        mapper32.apply(ScalingOp.add(1))
+        moved = sum(1 for x in x0s if mapper32.disk_of(x) != before[x])
+        assert abs(moved / len(x0s) - 1 / 5) < 0.01
+
+
+class TestRedistributionMoves:
+    def test_empty_without_operations(self, mapper32):
+        assert mapper32.redistribution_moves({"a": 5}) == []
+
+    def test_moves_match_disk_diff(self, mapper32):
+        x0s = {i: x for i, x in enumerate(random_x0s(3_000, bits=32, seed=14))}
+        before = {k: mapper32.disk_of(x) for k, x in x0s.items()}
+        mapper32.apply(ScalingOp.add(2))
+        moves = mapper32.redistribution_moves(x0s)
+        moved_keys = {m.block for m in moves}
+        for key, x in x0s.items():
+            disk = mapper32.disk_of(x)
+            assert (disk != before[key]) == (key in moved_keys)
+        for move in moves:
+            assert move.source_disk == before[move.block]
+            assert move.target_disk == mapper32.disk_of(x0s[move.block])
+
+    def test_moves_only_reflect_latest_operation(self, mapper32):
+        x0s = {i: x for i, x in enumerate(random_x0s(2_000, bits=32, seed=15))}
+        mapper32.apply(ScalingOp.add(1))
+        before = {k: mapper32.disk_of(x) for k, x in x0s.items()}
+        mapper32.apply(ScalingOp.remove([0]))
+        moves = mapper32.redistribution_moves(x0s)
+        for move in moves:
+            assert before[move.block] == 0  # only evicted blocks move
+
+    def test_accepts_iterable_of_pairs(self, mapper32):
+        mapper32.apply(ScalingOp.add(1))
+        pairs = [(i, x) for i, x in enumerate(random_x0s(100, bits=32, seed=16))]
+        moves_from_pairs = mapper32.redistribution_moves(pairs)
+        moves_from_mapping = mapper32.redistribution_moves(dict(pairs))
+        assert moves_from_pairs == moves_from_mapping
+
+
+class TestFairnessBookkeeping:
+    def test_product_tracks_lemma(self, mapper32):
+        mapper32.apply(ScalingOp.add(1))  # 5
+        mapper32.apply(ScalingOp.add(1))  # 6
+        assert mapper32.product_n() == 4 * 5 * 6
+
+    def test_unfairness_bound_monotone(self, mapper32):
+        bounds = [mapper32.unfairness_bound()]
+        for __ in range(10):
+            mapper32.apply(ScalingOp.add(1))
+            bounds.append(mapper32.unfairness_bound())
+        assert bounds == sorted(bounds)
+
+    def test_eps_guard_blocks_operation(self):
+        mapper = ScaddarMapper(n0=4, bits=16)
+        # 2^16 * 0.05/1.05 ~ 3120; Pi grows 4,20,120,840 -> the op to 5
+        # factors is blocked.
+        applied = 0
+        with pytest.raises(RandomnessExhaustedError):
+            for __ in range(10):
+                mapper.apply(ScalingOp.add(1), eps=0.05)
+                applied += 1
+        assert applied == 3
+        # Failed op must not be recorded.
+        assert mapper.num_operations == 3
+
+    def test_can_apply_is_pure(self, mapper32):
+        op = ScalingOp.add(1)
+        assert mapper32.can_apply(op, eps=0.05)
+        assert mapper32.num_operations == 0
+
+    def test_needs_reshuffle_flips(self):
+        mapper = ScaddarMapper(n0=4, bits=16)
+        assert not mapper.needs_reshuffle(0.05)
+        for __ in range(6):
+            mapper.apply(ScalingOp.add(1))
+        assert mapper.needs_reshuffle(0.05)
+
+    def test_remaining_operations_consistent_with_guard(self):
+        mapper = ScaddarMapper(n0=4, bits=32)
+        remaining = mapper.remaining_operations(eps=0.05)
+        for __ in range(remaining):
+            mapper.apply(ScalingOp.add(1), eps=0.05)
+        with pytest.raises(RandomnessExhaustedError):
+            mapper.apply(ScalingOp.add(1), eps=0.05)
+
+    def test_section5_budget_is_eight(self):
+        """The paper's b=32, eps=5% configuration supports 8 operations."""
+        mapper = ScaddarMapper(n0=4, bits=32)
+        assert mapper.remaining_operations(eps=0.05) == 8
+
+    def test_reshuffled_resets_budget(self):
+        mapper = ScaddarMapper(n0=4, bits=16)
+        for __ in range(6):
+            mapper.apply(ScalingOp.add(1))
+        fresh = mapper.reshuffled()
+        assert fresh.current_disks == 10
+        assert fresh.num_operations == 0
+        assert not fresh.needs_reshuffle(0.05)
+
+
+class TestScheduleProperties:
+    @given(spec=schedules(), x0=st.integers(0, 2**32 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_disk_always_in_range(self, spec, x0):
+        n0, ops = spec
+        mapper = ScaddarMapper(n0=n0, bits=32)
+        for op in ops:
+            mapper.apply(op)
+            assert 0 <= mapper.disk_of(x0) < mapper.current_disks
+
+    @given(spec=schedules())
+    @settings(max_examples=60, deadline=None)
+    def test_history_length_matches_operations(self, spec):
+        n0, ops = spec
+        mapper = ScaddarMapper(n0=n0, bits=32)
+        for op in ops:
+            mapper.apply(op)
+        assert len(mapper.disk_history(12345)) == len(ops) + 1
+
+    @given(spec=schedules(), x0=st.integers(0, 2**32 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_randomness_reserve_never_grows(self, spec, x0):
+        """The fresh-randomness reserve ``q_j = X_j div N_j`` can only
+        shrink (or stay) along the chain — the mechanism behind
+        Lemma 4.2's range bound."""
+        n0, ops = spec
+        mapper = ScaddarMapper(n0=n0, bits=32)
+        for op in ops:
+            mapper.apply(op)
+        chain = mapper.x_chain(x0)
+        assert chain[0] == x0
+        counts = mapper.log.disk_counts()
+        reserves = [x // n for x, n in zip(chain, counts)]
+        assert all(b <= a for a, b in zip(reserves, reserves[1:]))

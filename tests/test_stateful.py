@@ -1,0 +1,101 @@
+"""Stateful property tests: the CM server under adversarial operation
+sequences (hypothesis RuleBasedStateMachine).
+
+The machine interleaves scaling (both directions), object churn and full
+reshuffles, checking after every step that:
+
+* ``AF()`` (pure computation) agrees with the physical inventory for a
+  sample of blocks — the paper's central correctness claim;
+* the load vector sums to the block population;
+* the mapper's disk count matches the array's.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.operations import ScalingOp
+from repro.server.cmserver import CMServer
+from repro.server.objects import ObjectCatalog
+from repro.storage.block import BlockId
+from repro.storage.disk import DiskSpec
+
+MAX_DISKS = 12
+MIN_DISKS = 2
+
+
+class ServerMachine(RuleBasedStateMachine):
+    @initialize(seed=st.integers(0, 2**16))
+    def setup(self, seed):
+        catalog = ObjectCatalog(master_seed=seed, bits=32)
+        spec = DiskSpec(capacity_blocks=50_000, bandwidth_blocks_per_round=4)
+        self.server = CMServer(catalog, [spec] * 3, bits=32, default_spec=spec)
+        self.next_name = 0
+        self._add_object(40)
+
+    def _add_object(self, blocks):
+        self.server.add_object(f"obj-{self.next_name}", blocks)
+        self.next_name += 1
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+    @precondition(lambda self: self.server.num_disks < MAX_DISKS)
+    @rule(count=st.integers(1, 2))
+    def scale_up(self, count):
+        self.server.scale(ScalingOp.add(count))
+
+    @precondition(lambda self: self.server.num_disks > MIN_DISKS)
+    @rule(victim=st.integers(0, MAX_DISKS - 1))
+    def scale_down(self, victim):
+        n = self.server.num_disks
+        self.server.scale(ScalingOp.remove([victim % n]))
+
+    @rule(blocks=st.integers(5, 60))
+    def add_object(self, blocks):
+        self._add_object(blocks)
+
+    @precondition(lambda self: len(self.server.catalog) > 1)
+    @rule(pick=st.integers(0, 10**6))
+    def remove_object(self, pick):
+        ids = sorted(o.object_id for o in self.server.catalog)
+        self.server.remove_object(ids[pick % len(ids)])
+
+    @rule()
+    def reshuffle(self):
+        self.server.reshuffle()
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    @invariant()
+    def af_matches_inventory(self):
+        for media in self.server.catalog:
+            for index in (0, media.num_blocks // 2, media.num_blocks - 1):
+                block_id = BlockId(media.object_id, index)
+                assert self.server.block_location(media.object_id, index) == (
+                    self.server.array.home_of(block_id)
+                )
+
+    @invariant()
+    def loads_sum_to_population(self):
+        assert sum(self.server.load_vector()) == self.server.total_blocks
+        assert self.server.total_blocks == self.server.catalog.total_blocks
+
+    @invariant()
+    def topology_agrees(self):
+        assert self.server.mapper.current_disks == self.server.array.num_disks
+
+
+TestServerMachine = ServerMachine.TestCase
+TestServerMachine.settings = settings(
+    max_examples=25, stateful_step_count=15, deadline=None
+)

@@ -1,0 +1,77 @@
+"""Unit tests for Block/BlockId and the disk model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.block import Block, BlockId
+from repro.storage.disk import Disk, DiskSpec
+
+
+class TestBlockId:
+    def test_equality_and_hash(self):
+        assert BlockId(1, 2) == BlockId(1, 2)
+        assert hash(BlockId(1, 2)) == hash(BlockId(1, 2))
+        assert BlockId(1, 2) != BlockId(1, 3)
+
+    def test_ordering(self):
+        assert BlockId(1, 2) < BlockId(1, 3) < BlockId(2, 0)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            BlockId(0, -1)
+
+
+class TestBlock:
+    def test_block_id_property(self):
+        block = Block(object_id=3, index=7, x0=123)
+        assert block.block_id == BlockId(3, 7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Block(object_id=0, index=-1, x0=0)
+        with pytest.raises(ValueError):
+            Block(object_id=0, index=0, x0=-1)
+
+    def test_frozen(self):
+        block = Block(object_id=0, index=0, x0=1)
+        with pytest.raises(AttributeError):
+            block.x0 = 2
+
+    def test_usable_in_sets(self):
+        blocks = {Block(0, 0, 5), Block(0, 0, 5), Block(0, 1, 5)}
+        assert len(blocks) == 2
+
+
+class TestDiskSpec:
+    def test_defaults(self):
+        spec = DiskSpec()
+        assert spec.capacity_blocks > 0
+        assert spec.bandwidth_blocks_per_round > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiskSpec(capacity_blocks=0)
+        with pytest.raises(ValueError):
+            DiskSpec(bandwidth_blocks_per_round=0)
+
+    def test_frozen_and_reusable(self):
+        spec = DiskSpec(capacity_blocks=10, bandwidth_blocks_per_round=2)
+        a, b = Disk(spec=spec), Disk(spec=spec)
+        assert a.capacity_blocks == b.capacity_blocks == 10
+
+
+class TestDisk:
+    def test_physical_ids_are_unique(self):
+        ids = {Disk().physical_id for __ in range(100)}
+        assert len(ids) == 100
+
+    def test_spec_delegation(self):
+        disk = Disk(spec=DiskSpec(capacity_blocks=5, bandwidth_blocks_per_round=3, model="gen2"))
+        assert disk.capacity_blocks == 5
+        assert disk.bandwidth_blocks_per_round == 3
+        assert disk.model == "gen2"
+
+    def test_repr_mentions_id(self):
+        disk = Disk()
+        assert str(disk.physical_id) in repr(disk)

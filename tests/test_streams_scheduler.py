@@ -1,0 +1,201 @@
+"""Unit tests for streams and the round scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server.objects import MediaObject
+from repro.server.scheduler import RoundScheduler
+from repro.server.streams import Stream, StreamState
+from repro.storage.array import DiskArray
+from repro.storage.block import Block
+from repro.storage.disk import DiskSpec
+
+
+def media(num_blocks=20, rate=1, object_id=0):
+    return MediaObject(
+        object_id=object_id,
+        name=f"m{object_id}",
+        num_blocks=num_blocks,
+        seed=7 + object_id,
+        bits=32,
+        blocks_per_round=rate,
+    )
+
+
+class TestStream:
+    def test_initial_state(self):
+        s = Stream(1, media())
+        assert s.state is StreamState.PLAYING
+        assert s.is_active
+        assert s.position == 0
+
+    def test_bad_start_rejected(self):
+        with pytest.raises(ValueError):
+            Stream(1, media(num_blocks=5), start_block=5)
+
+    def test_blocks_needed(self):
+        s = Stream(1, media(rate=2))
+        needed = s.blocks_needed()
+        assert [(b.object_id, b.index) for b in needed] == [(0, 0), (0, 1)]
+
+    def test_blocks_needed_clamps_at_end(self):
+        s = Stream(1, media(num_blocks=3, rate=2), start_block=2)
+        assert len(s.blocks_needed()) == 1
+
+    def test_deliver_advances_and_finishes(self):
+        s = Stream(1, media(num_blocks=3))
+        s.deliver(1)
+        assert s.position == 1
+        s.deliver(2)
+        assert s.state is StreamState.DONE
+        assert not s.is_active
+        assert s.blocks_needed() == []
+
+    def test_deliver_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Stream(1, media()).deliver(-1)
+
+    def test_pause_resume(self):
+        s = Stream(1, media())
+        s.pause()
+        assert s.state is StreamState.PAUSED
+        assert s.blocks_needed() == []
+        s.resume()
+        assert s.state is StreamState.PLAYING
+
+    def test_pause_done_stream_is_noop(self):
+        s = Stream(1, media(num_blocks=1))
+        s.deliver(1)
+        s.pause()
+        assert s.state is StreamState.DONE
+
+    def test_seek(self):
+        s = Stream(1, media(num_blocks=10))
+        s.seek(7)
+        assert s.position == 7
+        with pytest.raises(ValueError):
+            s.seek(10)
+
+    def test_seek_revives_done_stream(self):
+        s = Stream(1, media(num_blocks=2))
+        s.deliver(2)
+        s.seek(0)
+        assert s.state is StreamState.PLAYING
+
+
+def build_served_array(objects, n_disks=4, bandwidth=2):
+    """Place all object blocks round-robin so demand is predictable."""
+    array = DiskArray(
+        [DiskSpec(capacity_blocks=1000, bandwidth_blocks_per_round=bandwidth)]
+        * n_disks
+    )
+    for obj in objects:
+        for i in range(obj.num_blocks):
+            array.place(Block(obj.object_id, i, x0=i), i % n_disks)
+    return array
+
+
+class TestScheduler:
+    def test_round_serves_within_bandwidth(self):
+        obj = media(num_blocks=12)
+        array = build_served_array([obj])
+        sched = RoundScheduler(array)
+        sched.admit(Stream(1, obj))
+        report = sched.run_round()
+        assert report.requested == 1
+        assert report.served == 1
+        assert report.hiccups == 0
+
+    def test_spare_budget_reported(self):
+        obj = media(num_blocks=12)
+        array = build_served_array([obj], bandwidth=3)
+        sched = RoundScheduler(array)
+        sched.admit(Stream(1, obj))
+        report = sched.run_round()
+        # One disk served one block (spare 2), others are idle (spare 3).
+        assert sorted(report.spare_by_physical.values()) == [2, 3, 3, 3]
+
+    def test_hiccup_when_one_disk_oversubscribed(self):
+        obj = media(num_blocks=12)
+        array = build_served_array([obj], bandwidth=1)
+        sched = RoundScheduler(array)
+        # Three streams all starting at block 0 -> same disk, bandwidth 1.
+        for sid in range(3):
+            sched.admit(Stream(sid, obj, start_block=0))
+        report = sched.run_round()
+        assert report.requested == 3
+        assert report.served == 1
+        assert report.hiccups == 2
+        assert sched.total_hiccups == 2
+
+    def test_unserved_stream_retries_same_block(self):
+        obj = media(num_blocks=12)
+        array = build_served_array([obj], bandwidth=1)
+        sched = RoundScheduler(array)
+        s1, s2 = Stream(1, obj), Stream(2, obj)
+        sched.admit(s1)
+        sched.admit(s2)
+        sched.run_round()
+        positions = sorted((s1.position, s2.position))
+        assert positions == [0, 1]  # one advanced, one retries
+
+    def test_admission_control(self):
+        obj = media(num_blocks=12, rate=1)
+        array = build_served_array([obj], n_disks=2, bandwidth=1)
+        sched = RoundScheduler(array)
+        sched.admit(Stream(1, obj))
+        sched.admit(Stream(2, obj))
+        with pytest.raises(ValueError):
+            sched.admit(Stream(3, obj))
+
+    def test_duplicate_stream_id_rejected(self):
+        obj = media()
+        array = build_served_array([obj])
+        sched = RoundScheduler(array)
+        sched.admit(Stream(1, obj))
+        with pytest.raises(ValueError):
+            sched.admit(Stream(1, obj))
+
+    def test_depart(self):
+        obj = media()
+        array = build_served_array([obj])
+        sched = RoundScheduler(array)
+        stream = Stream(1, obj)
+        sched.admit(stream)
+        assert sched.depart(1) is stream
+        with pytest.raises(KeyError):
+            sched.depart(1)
+
+    def test_run_rounds_and_active_count(self):
+        obj = media(num_blocks=3)
+        array = build_served_array([obj])
+        sched = RoundScheduler(array)
+        sched.admit(Stream(1, obj))
+        reports = sched.run_rounds(5)
+        assert len(reports) == 5
+        assert sched.active_streams == 0  # finished after 3 rounds
+        assert [r.round_index for r in reports] == list(range(5))
+
+    def test_run_rounds_negative(self):
+        obj = media()
+        sched = RoundScheduler(build_served_array([obj]))
+        with pytest.raises(ValueError):
+            sched.run_rounds(-1)
+
+    def test_custom_locator(self):
+        obj = media(num_blocks=4)
+        array = build_served_array([obj])
+        target = array.physical_at(0)
+        sched = RoundScheduler(array, locator=lambda block_id: target)
+        sched.admit(Stream(1, obj))
+        report = sched.run_round()
+        assert report.load_by_physical[target] == 1
+
+    def test_peak_queue_per_round(self):
+        obj = media(num_blocks=6)
+        array = build_served_array([obj])
+        sched = RoundScheduler(array)
+        sched.admit(Stream(1, obj))
+        reports = sched.run_rounds(2)
+        assert sched.peak_queue_per_round(reports) == [1, 1]

@@ -1,0 +1,117 @@
+"""Tests for workload trace recording and replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server.cmserver import CMServer
+from repro.server.simulation import ServerSimulation
+from repro.storage.disk import DiskSpec
+from repro.workloads.arrivals import ArrivalProcess
+from repro.workloads.generator import uniform_catalog
+from repro.workloads.traces import (
+    TraceEvent,
+    TracePlayer,
+    generate_trace,
+    load_trace,
+    save_trace,
+)
+
+
+def make_catalog():
+    return uniform_catalog(4, 60, master_seed=0x7AACE, bits=32)
+
+
+class TestTraceEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceEvent(round_index=-1, object_id=0, start_block=0)
+        with pytest.raises(ValueError):
+            TraceEvent(round_index=0, object_id=0, start_block=-1)
+
+
+class TestGenerateTrace:
+    def test_records_all_arrivals(self):
+        catalog = make_catalog()
+        process = ArrivalProcess(catalog, rate=1.5, seed=5)
+        events = generate_trace(process, rounds=100)
+        assert 100 < len(events) < 200
+        assert all(0 <= e.round_index < 100 for e in events)
+
+    def test_matches_direct_process(self):
+        catalog = make_catalog()
+        recorded = generate_trace(ArrivalProcess(catalog, 1.0, seed=9), 50)
+        fresh = ArrivalProcess(catalog, 1.0, seed=9)
+        replayed = []
+        for round_index in range(50):
+            for arrival in fresh.next_round():
+                replayed.append(
+                    (round_index, arrival.object_id, arrival.start_block)
+                )
+        assert [
+            (e.round_index, e.object_id, e.start_block) for e in recorded
+        ] == replayed
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            generate_trace(ArrivalProcess(make_catalog(), 1.0), -1)
+
+
+class TestTracePlayer:
+    def test_replay_in_order(self):
+        events = [
+            TraceEvent(0, 1, 10),
+            TraceEvent(0, 2, 20),
+            TraceEvent(2, 3, 30),
+        ]
+        player = TracePlayer(events)
+        first = player.next_round()
+        assert [(a.object_id, a.start_block) for a in first] == [(1, 10), (2, 20)]
+        assert player.next_round() == []
+        third = player.next_round()
+        assert [(a.object_id, a.start_block) for a in third] == [(3, 30)]
+        assert player.next_round() == []
+
+    def test_rewind(self):
+        player = TracePlayer([TraceEvent(0, 1, 0)])
+        assert len(player.next_round()) == 1
+        player.rewind()
+        assert player.current_round == 0
+        assert len(player.next_round()) == 1
+
+    def test_simulation_accepts_player(self):
+        """Same trace -> identical simulations on identical servers."""
+        catalog = make_catalog()
+        trace = generate_trace(ArrivalProcess(catalog, 0.4, seed=3), 200)
+
+        def run():
+            cat = make_catalog()
+            spec = DiskSpec(capacity_blocks=50_000, bandwidth_blocks_per_round=4)
+            server = CMServer(cat, [spec] * 3, bits=32, default_spec=spec)
+            sim = ServerSimulation(server, TracePlayer(trace))
+            return sim.run(200)
+
+        a, b = run(), run()
+        assert a.arrivals == b.arrivals == len(trace)
+        assert a.admitted == b.admitted
+        assert a.hiccups == b.hiccups
+        assert a.completed == b.completed
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        catalog = make_catalog()
+        events = generate_trace(ArrivalProcess(catalog, 1.2, seed=4), 30)
+        path = tmp_path / "trace.jsonl"
+        save_trace(events, path)
+        assert load_trace(path) == events
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"round": 0, "object_id": 1, "start_block": 2}\n\n'
+            '{"round": 1, "object_id": 3, "start_block": 4}\n'
+        )
+        events = load_trace(path)
+        assert len(events) == 2
+        assert events[1].object_id == 3

@@ -1,0 +1,125 @@
+"""Equivalence tests: vectorized REMAP vs the scalar reference."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.operations import OperationLog, ScalingOp
+from repro.core.remap import remap_add, remap_remove
+from repro.core.scaddar import ScaddarMapper
+from repro.core.vectorized import (
+    chain_x_array,
+    disks_array,
+    load_vector_array,
+    remap_add_array,
+    remap_remove_array,
+)
+from repro.workloads.generator import random_x0s
+
+
+class TestRemapAddArray:
+    @given(
+        n_prev=st.integers(1, 30),
+        grow=st.integers(1, 8),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_scalar(self, n_prev, grow, data):
+        xs = data.draw(
+            st.lists(st.integers(0, 2**64 - 1), min_size=1, max_size=50)
+        )
+        x_new, moved = remap_add_array(np.array(xs, dtype=np.uint64), n_prev, n_prev + grow)
+        for i, x in enumerate(xs):
+            ref = remap_add(x, n_prev, n_prev + grow)
+            assert int(x_new[i]) == ref.x_new
+            assert bool(moved[i]) == ref.moved
+
+    def test_rejects_non_growth(self):
+        with pytest.raises(ValueError):
+            remap_add_array(np.array([1], dtype=np.uint64), 5, 5)
+
+    def test_full_64bit_values(self):
+        xs = np.array([2**64 - 1, 2**63, 0], dtype=np.uint64)
+        x_new, __ = remap_add_array(xs, 7, 9)
+        for x, out in zip(xs.tolist(), x_new.tolist()):
+            assert out == remap_add(int(x), 7, 9).x_new
+
+
+class TestRemapRemoveArray:
+    @given(
+        n_prev=st.integers(2, 30),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_scalar(self, n_prev, data):
+        removed = data.draw(
+            st.sets(st.integers(0, n_prev - 1), min_size=1, max_size=n_prev - 1)
+        )
+        xs = data.draw(
+            st.lists(st.integers(0, 2**64 - 1), min_size=1, max_size=50)
+        )
+        x_new, moved = remap_remove_array(
+            np.array(xs, dtype=np.uint64), n_prev, removed
+        )
+        for i, x in enumerate(xs):
+            ref = remap_remove(x, n_prev, removed)
+            assert int(x_new[i]) == ref.x_new
+            assert bool(moved[i]) == ref.moved
+
+    def test_rejects_full_removal(self):
+        with pytest.raises(ValueError):
+            remap_remove_array(np.array([1], dtype=np.uint64), 2, {0, 1})
+
+
+class TestChains:
+    def _log(self):
+        log = OperationLog(n0=4)
+        for op in (
+            ScalingOp.add(2),
+            ScalingOp.remove([1, 4]),
+            ScalingOp.add(1),
+            ScalingOp.remove([0]),
+            ScalingOp.add(3),
+        ):
+            log.append(op)
+        return log
+
+    def test_chain_matches_mapper(self):
+        log = self._log()
+        mapper = ScaddarMapper(n0=4, bits=64)
+        for op in log:
+            mapper.apply(op)
+        x0s = random_x0s(2_000, bits=64, seed=42)
+        finals = chain_x_array(x0s, log)
+        disks = disks_array(x0s, log)
+        for i, x0 in enumerate(x0s[:500]):
+            loc = mapper.locate(x0)
+            assert int(finals[i]) == loc.x
+            assert int(disks[i]) == loc.disk
+
+    def test_load_vector_matches_scalar_counting(self):
+        log = self._log()
+        mapper = ScaddarMapper(n0=4, bits=32)
+        for op in log:
+            mapper.apply(op)
+        x0s = random_x0s(3_000, bits=32, seed=43)
+        loads = load_vector_array(x0s, log)
+        expected = [0] * log.current_disks
+        for x0 in x0s:
+            expected[mapper.disk_of(x0)] += 1
+        assert loads.tolist() == expected
+
+    def test_empty_log_is_mod_n0(self):
+        log = OperationLog(n0=5)
+        x0s = [0, 1, 2, 7, 12]
+        assert disks_array(x0s, log).tolist() == [x % 5 for x in x0s]
+
+    def test_load_vector_length(self):
+        log = OperationLog(n0=6)
+        # Even when no block lands on the last disks the vector is full-length.
+        loads = load_vector_array([0], log)
+        assert len(loads) == 6
+        assert loads.sum() == 1

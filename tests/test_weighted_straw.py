@@ -1,0 +1,88 @@
+"""Tests for the weighted straw2 pool and the hetero-approach comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.heterogeneous import run_hetero_comparison
+from repro.placement.weighted_straw import WeightedStrawPool
+from repro.workloads.generator import random_x0s
+
+
+class TestWeightedStrawPool:
+    def test_requires_members(self):
+        with pytest.raises(ValueError):
+            WeightedStrawPool([])
+
+    def test_rejects_bad_weight(self):
+        with pytest.raises(ValueError):
+            WeightedStrawPool([(0, 0.0)])
+
+    def test_rejects_duplicate(self):
+        with pytest.raises(ValueError):
+            WeightedStrawPool([(0, 1.0), (0, 2.0)])
+
+    def test_weight_lookup(self):
+        pool = WeightedStrawPool([(0, 1.0), (1, 2.5)])
+        assert pool.weight_of(1) == 2.5
+        with pytest.raises(KeyError):
+            pool.weight_of(7)
+
+    def test_load_proportional_to_weight(self):
+        pool = WeightedStrawPool([(0, 1.0), (1, 3.0)])
+        loads = pool.load_by_physical(random_x0s(40_000, bits=32, seed=1))
+        assert 2.7 < loads[1] / loads[0] < 3.3
+
+    def test_add_disk_moves_only_to_it(self):
+        pool = WeightedStrawPool([(0, 1.0), (1, 1.0)])
+        x0s = random_x0s(5_000, bits=32, seed=2)
+        before = {x0: pool.physical_of_block(x0) for x0 in x0s}
+        pool.add_disk(2, 2.0)
+        for x0 in x0s:
+            home = pool.physical_of_block(x0)
+            if home != before[x0]:
+                assert home == 2
+
+    def test_remove_disk_moves_only_its_blocks(self):
+        pool = WeightedStrawPool([(0, 1.0), (1, 1.0), (2, 2.0)])
+        x0s = random_x0s(5_000, bits=32, seed=3)
+        before = {x0: pool.physical_of_block(x0) for x0 in x0s}
+        pool.remove_disk(1)
+        moved = sum(1 for x0 in x0s if pool.physical_of_block(x0) != before[x0])
+        evicted = sum(1 for home in before.values() if home == 1)
+        assert moved == evicted
+
+    def test_cannot_remove_last(self):
+        pool = WeightedStrawPool([(0, 1.0)])
+        with pytest.raises(ValueError):
+            pool.remove_disk(0)
+
+    def test_remove_unknown(self):
+        pool = WeightedStrawPool([(0, 1.0), (1, 1.0)])
+        with pytest.raises(KeyError):
+            pool.remove_disk(9)
+
+    def test_operations_counter(self):
+        pool = WeightedStrawPool([(0, 1.0), (1, 1.0)])
+        pool.add_disk(2, 1.0)
+        pool.remove_disk(0)
+        assert pool.operations == 2
+
+
+class TestApproachComparison:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_hetero_comparison(num_blocks=15_000)
+
+    def test_both_approaches_present(self, rows):
+        assert len(rows) == 2
+
+    def test_both_proportional(self, rows):
+        for row in rows:
+            assert row.max_share_error_initial < 0.06
+            assert row.max_share_error_final < 0.06
+
+    def test_both_movement_optimal(self, rows):
+        for row in rows:
+            assert abs(row.add_moved_fraction - row.add_optimal) < 0.02
+            assert abs(row.remove_moved_fraction - row.remove_optimal) < 0.02

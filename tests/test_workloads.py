@@ -1,0 +1,137 @@
+"""Unit tests for workload and schedule generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.operations import ScalingOp
+from repro.workloads.generator import (
+    lognormal_catalog,
+    make_blocks,
+    random_x0s,
+    uniform_catalog,
+    zipf_popularity,
+)
+from repro.workloads.schedules import (
+    additions,
+    fig1_schedule,
+    mixed_schedule,
+    random_removals,
+    section5_schedule,
+)
+
+
+class TestCatalogs:
+    def test_uniform_catalog_shape(self):
+        catalog = uniform_catalog(5, 100, bits=32)
+        assert len(catalog) == 5
+        assert catalog.total_blocks == 500
+        assert all(o.num_blocks == 100 for o in catalog)
+
+    def test_uniform_catalog_validation(self):
+        with pytest.raises(ValueError):
+            uniform_catalog(0, 100)
+
+    def test_uniform_catalog_reproducible(self):
+        a = uniform_catalog(3, 10, master_seed=1, bits=32)
+        b = uniform_catalog(3, 10, master_seed=1, bits=32)
+        assert [blk.x0 for blk in a.all_blocks()] == [
+            blk.x0 for blk in b.all_blocks()
+        ]
+
+    def test_lognormal_catalog_sizes_vary(self):
+        catalog = lognormal_catalog(50, median_blocks=100, master_seed=2)
+        sizes = [o.num_blocks for o in catalog]
+        assert min(sizes) >= 1
+        assert len(set(sizes)) > 10
+
+    def test_lognormal_validation(self):
+        with pytest.raises(ValueError):
+            lognormal_catalog(0)
+        with pytest.raises(ValueError):
+            lognormal_catalog(5, median_blocks=0)
+
+    def test_make_blocks(self):
+        catalog = uniform_catalog(2, 5, bits=32)
+        assert len(make_blocks(catalog)) == 10
+
+
+class TestRandomX0s:
+    def test_in_range(self):
+        values = random_x0s(1_000, bits=16)
+        assert all(0 <= v < 2**16 for v in values)
+
+    def test_reproducible(self):
+        assert random_x0s(50, seed=7) == random_x0s(50, seed=7)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            random_x0s(-1)
+
+
+class TestZipf:
+    def test_sums_to_one(self):
+        probs = zipf_popularity(100)
+        assert sum(probs) == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        probs = zipf_popularity(20)
+        assert all(a >= b for a, b in zip(probs, probs[1:]))
+
+    def test_exponent_zero_is_uniform(self):
+        probs = zipf_popularity(4, exponent=0)
+        assert probs == pytest.approx([0.25] * 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_popularity(0)
+        with pytest.raises(ValueError):
+            zipf_popularity(5, exponent=-1)
+
+
+class TestSchedules:
+    def test_additions(self):
+        sched = additions(3, group_size=2)
+        assert len(sched) == 3
+        assert all(op == ScalingOp.add(2) for op in sched)
+
+    def test_additions_validation(self):
+        with pytest.raises(ValueError):
+            additions(-1)
+
+    def test_named_schedules(self):
+        assert fig1_schedule() == [ScalingOp.add(1)] * 2
+        assert section5_schedule() == [ScalingOp.add(1)] * 8
+
+    def test_random_removals_valid_indices(self):
+        n = 12
+        for op in random_removals(6, n0=n, seed=3):
+            assert all(0 <= d < n for d in op.removed)
+            n -= len(op.removed)
+        assert n == 6
+
+    def test_random_removals_floor(self):
+        with pytest.raises(ValueError):
+            random_removals(5, n0=6, min_disks=2)
+
+    def test_random_removals_reproducible(self):
+        assert random_removals(4, 10, seed=5) == random_removals(4, 10, seed=5)
+
+    def test_mixed_schedule_respects_floor(self):
+        sched = mixed_schedule(30, n0=4, seed=1, add_probability=0.3, min_disks=3)
+        n = 4
+        for op in sched:
+            if op.kind == "remove":
+                assert all(0 <= d < n for d in op.removed)
+            n = op.next_disk_count(n)
+            assert n >= 3
+
+    def test_mixed_schedule_validation(self):
+        with pytest.raises(ValueError):
+            mixed_schedule(5, n0=4, add_probability=1.5)
+        with pytest.raises(ValueError):
+            mixed_schedule(5, n0=1, min_disks=2)
+
+    def test_mixed_all_adds_when_probability_one(self):
+        sched = mixed_schedule(10, n0=4, add_probability=1.0)
+        assert all(op.kind == "add" for op in sched)
