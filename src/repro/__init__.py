@@ -41,6 +41,7 @@ from repro.core import (
     BlockLocation,
     NaiveMapper,
     OperationLog,
+    PlacementEngine,
     ScaddarMapper,
     ScalingOp,
     remap_add,
@@ -71,6 +72,7 @@ __all__ = [
     "ObjectCatalog",
     "ObjectSequence",
     "OperationLog",
+    "PlacementEngine",
     "RandomnessExhaustedError",
     "ScaddarError",
     "ScaddarMapper",

@@ -12,6 +12,10 @@ This package is the paper's primary contribution (Section 4):
   Section 4.1 (Eq. 2), kept as the paper's own negative baseline.
 * :mod:`repro.core.bounds` — unfairness coefficient, Lemma 4.2/4.3, and
   the rule-of-thumb operation budget (Section 4.3).
+* :mod:`repro.core.vectorized` / :mod:`repro.core.engine` — the batched
+  NumPy kernels and the :class:`~repro.core.engine.PlacementEngine`
+  (cached per-epoch state, reusable scratch buffers) that the server hot
+  paths run on; bit-exact with the scalar mapper.
 """
 
 from repro.core.bounds import (
@@ -20,6 +24,7 @@ from repro.core.bounds import (
     rule_of_thumb_max_operations,
     unfairness_coefficient,
 )
+from repro.core.engine import PlacementEngine
 from repro.core.naive import NaiveMapper, naive_disk, naive_remap_chain
 from repro.core.operations import OperationLog, ScalingOp
 from repro.core.remap import (
@@ -34,6 +39,7 @@ __all__ = [
     "BlockLocation",
     "NaiveMapper",
     "OperationLog",
+    "PlacementEngine",
     "RedistributionMove",
     "RemapResult",
     "ScaddarMapper",

@@ -1,0 +1,241 @@
+"""The batched placement engine: cached-epoch REMAP chains for hot paths.
+
+:class:`~repro.core.scaddar.ScaddarMapper` is the bit-exact reference —
+pure Python integers, one block at a time.  Server hot paths (initial
+load, RF() planning, reshuffle, whole-object AF() queries) push *whole
+populations* through the same chain, which the mapper re-derives from
+scratch per block.  :class:`PlacementEngine` closes that gap:
+
+* it owns (or wraps) an :class:`~repro.core.operations.OperationLog` and
+  keeps **per-epoch cached state** — the pre-operation disk count and,
+  for removals, the ``int64`` survivor-rank table — appended
+  incrementally as operations arrive (a new scaling op never recomputes
+  the chain, it only appends one cache entry);
+* batch queries run on the allocation-free kernels of
+  :mod:`repro.core.vectorized` over a **reusable ``uint64`` scratch
+  buffer** set, so chaining ``j`` operations over ``n`` blocks costs
+  ``j`` vector passes and zero per-call array allocations once warm.
+
+The engine is property-tested for bit-exact agreement with the scalar
+mapper (``tests/test_engine.py``); ``benchmarks/bench_engine.py``
+records the scalar-vs-engine throughput trajectory in
+``BENCH_engine.json``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.operations import OperationLog, ScalingOp
+from repro.core.remap import survivor_ranks
+from repro.core.vectorized import remap_add_inplace, remap_remove_inplace
+
+#: Scratch buffer names and dtypes (one full-length array each).
+_SCRATCH_SPEC = (
+    ("x", np.uint64),
+    ("q", np.uint64),
+    ("t", np.uint64),
+    ("u", np.uint64),
+    ("s", np.int64),
+    ("moved", np.bool_),
+)
+
+
+class PlacementEngine:
+    """Batched ``AF()`` / ``RF()`` over an operation log.
+
+    Parameters
+    ----------
+    log:
+        The operation log to serve.  The engine may *share* a mapper's
+        log (``PlacementEngine(mapper.log)``): operations appended
+        through the mapper are picked up lazily and incrementally by
+        :meth:`sync` — each new operation appends one cached epoch, the
+        existing prefix is never recomputed.
+
+    Examples
+    --------
+    >>> log = OperationLog(n0=4)
+    >>> engine = PlacementEngine(log)
+    >>> engine.apply(ScalingOp.add(2))
+    6
+    >>> list(engine.locate_batch([0, 1, 2])) == [0, 1, 2]
+    True
+    """
+
+    def __init__(self, log: OperationLog):
+        self.log = log
+        self._n_before: list[int] = []  # pre-op disk count per epoch
+        self._rank_tables: list[np.ndarray | None] = []  # int64, removals only
+        self._scratch: dict[str, np.ndarray] = {
+            name: np.empty(0, dtype=dtype) for name, dtype in _SCRATCH_SPEC
+        }
+        self.sync()
+
+    # ------------------------------------------------------------------
+    # Epoch cache
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Number of operations with cached per-epoch state."""
+        return len(self._n_before)
+
+    @property
+    def current_disks(self) -> int:
+        """``Nj`` — disk count after all logged operations."""
+        return self.log.current_disks
+
+    def sync(self) -> int:
+        """Cache state for any operations appended since the last call.
+
+        Strictly incremental: only the new suffix of the log is visited,
+        so a scaling operation costs ``O(N)`` cache work (the rank table
+        of a removal) regardless of how long the chain already is.
+        Returns the synced epoch count.
+        """
+        ops = self.log.operations
+        if len(ops) < len(self._n_before):
+            # The log shrank (it was swapped/reset under us): start over.
+            self._n_before.clear()
+            self._rank_tables.clear()
+        while len(self._n_before) < len(ops):
+            i = len(self._n_before)
+            n_prev = self.log.disks_after(i)
+            op = ops[i]
+            if op.kind == "remove":
+                table = np.asarray(
+                    survivor_ranks(op.removed, n_prev), dtype=np.int64
+                )
+            else:
+                table = None
+            self._n_before.append(n_prev)
+            self._rank_tables.append(table)
+        return len(self._n_before)
+
+    def apply(self, op: ScalingOp) -> int:
+        """Append a scaling operation to the log and cache its epoch;
+        returns the new disk count ``Nj``."""
+        n_after = self.log.append(op)
+        self.sync()
+        return n_after
+
+    # ------------------------------------------------------------------
+    # Batched AF()
+    # ------------------------------------------------------------------
+    def chain_batch(self, x0s: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Final ``X_j`` for every block, as a fresh ``uint64`` array."""
+        x = self._chain_scratch(x0s, stop=self.sync())
+        return x.copy()
+
+    def locate_batch(self, x0s: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Batched ``AF()``: current logical disk per block (``int64``).
+
+        Bit-exact with ``ScaddarMapper.locate(x0).disk`` per element.
+        """
+        x = self._chain_scratch(x0s, stop=self.sync())
+        return (x % np.uint64(self.log.current_disks)).astype(np.int64)
+
+    def load_vector(self, x0s: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Blocks per logical disk over the population (``int64``)."""
+        disks = self.locate_batch(x0s)
+        return np.bincount(disks, minlength=self.log.current_disks)
+
+    # ------------------------------------------------------------------
+    # Batched RF()
+    # ------------------------------------------------------------------
+    def redistribution_moves_batch(
+        self, x0s: Sequence[int] | np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched ``RF()`` for the *latest* logged operation.
+
+        Returns ``(indices, source_disks, target_disks)``: the positions
+        in ``x0s`` of the blocks the operation relocates, with their
+        pre-op and post-op logical disks — exactly the blocks for which
+        ``ScaddarMapper.redistribution_moves`` emits a move.
+        """
+        epochs = self.sync()
+        empty = np.empty(0, dtype=np.int64)
+        if epochs == 0:
+            return empty, empty.copy(), empty.copy()
+        x = self._chain_scratch(x0s, stop=epochs - 1)
+        n_before_last = self.log.disks_after(epochs - 1)
+        sources = (x % np.uint64(n_before_last)).astype(np.int64)
+        self._apply_epoch(x, epochs - 1)
+        moved = self._scratch["moved"][: len(x)]
+        n_after = self.log.disks_after(epochs)
+        targets = (x % np.uint64(n_after)).astype(np.int64)
+        indices = np.flatnonzero(moved)
+        return indices, sources[indices], targets[indices]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _chain_scratch(
+        self, x0s: Sequence[int] | np.ndarray, stop: int
+    ) -> np.ndarray:
+        """Run the first ``stop`` epochs over ``x0s`` in the scratch
+        buffer; returns a *view* into it (valid until the next call)."""
+        if isinstance(x0s, np.ndarray):
+            if x0s.dtype.kind == "i" and x0s.size and int(x0s.min()) < 0:
+                raise ValueError("random numbers must be >= 0")
+            src = x0s.astype(np.uint64, copy=False)
+        else:
+            try:
+                # The explicit dtype keeps >2**63 Python ints exact (a bare
+                # asarray would promote them to float64 and round).
+                src = np.asarray(x0s, dtype=np.uint64)
+            except OverflowError:
+                raise ValueError("random numbers must be >= 0")
+        x = self._borrow(len(src))
+        np.copyto(x, src)
+        for i in range(stop):
+            self._apply_epoch(x, i)
+        return x
+
+    def _apply_epoch(self, x: np.ndarray, i: int) -> None:
+        """One cached REMAP step, in place; fills the ``moved`` scratch."""
+        n = len(x)
+        sc = self._scratch
+        n_prev = self._n_before[i]
+        table = self._rank_tables[i]
+        if table is None:
+            op = self.log.operations[i]
+            remap_add_inplace(
+                x,
+                n_prev,
+                n_prev + op.count,
+                q=sc["q"][:n],
+                t=sc["t"][:n],
+                u=sc["u"][:n],
+                moved=sc["moved"][:n],
+            )
+        else:
+            remap_remove_inplace(
+                x,
+                n_prev,
+                table,
+                self.log.disks_after(i + 1),
+                q=sc["q"][:n],
+                t=sc["t"][:n],
+                u=sc["u"][:n],
+                s=sc["s"][:n],
+                moved=sc["moved"][:n],
+            )
+
+    def _borrow(self, n: int) -> np.ndarray:
+        """The ``x`` scratch view of length ``n``, growing the whole
+        buffer set geometrically when the population outgrows it."""
+        if self._scratch["x"].shape[0] < n:
+            size = max(n, 2 * self._scratch["x"].shape[0])
+            self._scratch = {
+                name: np.empty(size, dtype=dtype) for name, dtype in _SCRATCH_SPEC
+            }
+        return self._scratch["x"][:n]
+
+    def __repr__(self) -> str:
+        return (
+            f"PlacementEngine(n0={self.log.n0}, epochs={self.epoch}, "
+            f"disks={self.log.current_disks})"
+        )

@@ -92,7 +92,10 @@ def remap_add(x_prev: int, n_prev: int, n_new: int) -> RemapResult:
 
 
 def remap_remove(
-    x_prev: int, n_prev: int, removed: Collection[int]
+    x_prev: int,
+    n_prev: int,
+    removed: Collection[int],
+    ranks: list[int] | None = None,
 ) -> RemapResult:
     """REMAP for a disk-group removal (Eq. 3, generalized to groups).
 
@@ -104,12 +107,18 @@ def remap_remove(
     * if disk ``r`` was removed, the block's new home is drawn from the
       fresh randomness: ``X_j = q`` and ``D_j = q mod n_new``, uniform
       over the surviving disks (RO2).
+
+    ``ranks`` may carry a precomputed :func:`survivor_ranks` table for
+    ``(removed, n_prev)``; chained callers (the mapper walks the same
+    operation for every block of a population) memoize it so the scalar
+    path is not quadratic in population size.
     """
     if x_prev < 0:
         raise ValueError(f"random number must be >= 0, got {x_prev}")
     if n_prev <= 0:
         raise ValueError(f"n_prev must be >= 1, got {n_prev}")
-    ranks = survivor_ranks(removed, n_prev)
+    if ranks is None:
+        ranks = survivor_ranks(removed, n_prev)
     n_new = n_prev - len(frozenset(removed))
     if n_new <= 0:
         raise ValueError("removal would leave no disks")

@@ -25,7 +25,12 @@ from typing import Hashable, Optional
 from repro.core.bounds import lemma_43_allows, unfairness_upper_bound
 from repro.core.errors import RandomnessExhaustedError
 from repro.core.operations import OperationLog, ScalingOp
-from repro.core.remap import RemapResult, remap_add, remap_remove
+from repro.core.remap import (
+    RemapResult,
+    remap_add,
+    remap_remove,
+    survivor_ranks,
+)
 
 
 @dataclass(frozen=True)
@@ -89,6 +94,10 @@ class ScaddarMapper:
             raise ValueError(f"bits must be in 1..64, got {bits}")
         self.bits = bits
         self.log = OperationLog(n0=n0)
+        # Survivor-rank tables memoized per (n_prev, removed): walking a
+        # population re-derives the same table for every block otherwise,
+        # making the reference path quadratic in population size.
+        self._rank_cache: dict[tuple[int, tuple[int, ...]], list[int]] = {}
 
     # ------------------------------------------------------------------
     # State inspection
@@ -283,12 +292,22 @@ class ScaddarMapper:
             n_prev = op.next_disk_count(n_prev)
         return x
 
-    @staticmethod
-    def _remap_once(x_prev: int, n_prev: int, op: ScalingOp) -> RemapResult:
+    def _remap_once(self, x_prev: int, n_prev: int, op: ScalingOp) -> RemapResult:
         """Dispatch one REMAP step for an operation."""
         if op.kind == "add":
             return remap_add(x_prev, n_prev, n_prev + op.count)
-        return remap_remove(x_prev, n_prev, op.removed)
+        return remap_remove(
+            x_prev, n_prev, op.removed, ranks=self._ranks_for(n_prev, op.removed)
+        )
+
+    def _ranks_for(self, n_prev: int, removed: tuple[int, ...]) -> list[int]:
+        """The memoized ``new()`` table for one removal epoch."""
+        key = (n_prev, removed)
+        ranks = self._rank_cache.get(key)
+        if ranks is None:
+            ranks = survivor_ranks(removed, n_prev)
+            self._rank_cache[key] = ranks
+        return ranks
 
     def __repr__(self) -> str:
         return (

@@ -47,10 +47,19 @@ def remap_add_array(
 
 
 def remap_remove_array(
-    x_prev: np.ndarray, n_prev: int, removed: Collection[int]
+    x_prev: np.ndarray,
+    n_prev: int,
+    removed: Collection[int],
+    ranks: Sequence[int] | np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Vectorized Eq. 3: returns ``(x_new, moved)`` arrays."""
-    ranks = survivor_ranks(removed, n_prev)
+    """Vectorized Eq. 3: returns ``(x_new, moved)`` arrays.
+
+    ``ranks`` may carry a precomputed :func:`survivor_ranks` table for
+    ``(removed, n_prev)`` so repeated calls (one per epoch of a batch
+    chain) skip rebuilding it.
+    """
+    if ranks is None:
+        ranks = survivor_ranks(removed, n_prev)
     n_new = n_prev - len(frozenset(removed))
     if n_new <= 0:
         raise ValueError("removal would leave no disks")
@@ -74,6 +83,74 @@ def apply_operation_array(
     if op.kind == "add":
         return remap_add_array(x_prev, n_prev, n_prev + op.count)
     return remap_remove_array(x_prev, n_prev, op.removed)
+
+
+def remap_add_inplace(
+    x: np.ndarray,
+    n_prev: int,
+    n_new: int,
+    *,
+    q: np.ndarray,
+    t: np.ndarray,
+    u: np.ndarray,
+    moved: np.ndarray,
+) -> None:
+    """Allocation-free Eq. 4: rewrites ``x`` to ``X_j``, fills ``moved``.
+
+    ``q``, ``t`` and ``u`` are caller-owned ``uint64`` scratch arrays and
+    ``moved`` a ``bool`` scratch array, all the same length as ``x`` —
+    the :class:`~repro.core.engine.PlacementEngine` reuses one set across
+    every epoch of a batch so chaining ``j`` operations over ``n`` blocks
+    performs zero array allocations.
+    """
+    if not 0 < n_prev < n_new:
+        raise ValueError(f"addition needs 0 < n_prev < n_new, got {n_prev}, {n_new}")
+    n_prev_u = np.uint64(n_prev)
+    n_new_u = np.uint64(n_new)
+    np.floor_divide(x, n_prev_u, out=q)
+    np.multiply(q, n_prev_u, out=t)
+    np.subtract(x, t, out=t)  # t = r, the current disk
+    np.floor_divide(q, n_new_u, out=u)  # u = q_high
+    np.multiply(u, n_new_u, out=x)
+    np.subtract(q, x, out=q)  # q = target = q mod n_new
+    np.greater_equal(q, n_prev_u, out=moved)
+    np.copyto(t, q, where=moved)  # t = target where moved, else r
+    np.add(x, t, out=x)  # x = q_high * n_new + (target | r)
+
+
+def remap_remove_inplace(
+    x: np.ndarray,
+    n_prev: int,
+    rank_table: np.ndarray,
+    n_new: int,
+    *,
+    q: np.ndarray,
+    t: np.ndarray,
+    u: np.ndarray,
+    s: np.ndarray,
+    moved: np.ndarray,
+) -> None:
+    """Allocation-free Eq. 3: rewrites ``x`` to ``X_j``, fills ``moved``.
+
+    ``rank_table`` is the :func:`~repro.core.remap.survivor_ranks` table
+    for the operation as ``int64`` (cached per epoch by the engine);
+    ``s`` is an ``int64`` scratch array, the rest as in
+    :func:`remap_add_inplace`.
+    """
+    if n_new <= 0:
+        raise ValueError("removal would leave no disks")
+    n_prev_u = np.uint64(n_prev)
+    n_new_u = np.uint64(n_new)
+    np.floor_divide(x, n_prev_u, out=q)
+    np.multiply(q, n_prev_u, out=t)
+    np.subtract(x, t, out=t)  # t = r, the current disk
+    np.take(rank_table, t, out=s)  # s = new(r), -1 for removed disks
+    np.less(s, np.int64(0), out=moved)
+    np.copyto(s, np.int64(0), where=moved)
+    np.copyto(u, s, casting="unsafe")  # u = max(new(r), 0) as uint64
+    np.multiply(q, n_new_u, out=x)
+    np.add(x, u, out=x)  # survivors: q * n_new + new(r)
+    np.copyto(x, q, where=moved)  # evicted: x_new = q
 
 
 def chain_x_array(x0s: Sequence[int] | np.ndarray, log: OperationLog) -> np.ndarray:

@@ -23,7 +23,10 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Optional
 
+import numpy as np
+
 from repro.analysis.movement import optimal_move_fraction
+from repro.core.engine import PlacementEngine
 from repro.core.operations import ScalingOp
 from repro.core.scaddar import ScaddarMapper
 from repro.server.objects import MediaObject, ObjectCatalog
@@ -108,6 +111,7 @@ class CMServer:
         self.catalog = catalog
         self.array = DiskArray(initial_specs)
         self.mapper = ScaddarMapper(n0=len(initial_specs), bits=bits)
+        self.engine = PlacementEngine(self.mapper.log)
         self.default_spec = default_spec or initial_specs[0]
         self._x0: dict[BlockId, int] = {}
         self.reshuffles = 0
@@ -139,6 +143,7 @@ class CMServer:
         server.catalog = catalog
         server.array = DiskArray(current_specs)
         server.mapper = mapper
+        server.engine = PlacementEngine(mapper.log)
         server.default_spec = default_spec or current_specs[0]
         server._x0 = {}
         server.reshuffles = 0
@@ -184,6 +189,25 @@ class CMServer:
         """
         x0 = self._x0_of(object_id, index)
         return self.array.physical_at(self.mapper.disk_of(x0))
+
+    def block_locations(self, object_id: int) -> list[int]:
+        """Whole-object ``AF()``: physical disk of every block, in index
+        order, computed in one batched REMAP pass.
+
+        This is the bulk retrieval path for the scheduler/streams layer
+        (a stream touches an object's blocks in playback order) and the
+        audit path (``fsck`` checks objects wholesale): one
+        :meth:`PlacementEngine.locate_batch` call instead of ``num_blocks``
+        scalar chains.
+        """
+        media = self.catalog.get(object_id)
+        x0s = np.fromiter(
+            (self._x0_of(object_id, index) for index in range(media.num_blocks)),
+            dtype=np.uint64,
+            count=media.num_blocks,
+        )
+        table = self.array.physical_ids
+        return [table[disk] for disk in self.engine.locate_batch(x0s).tolist()]
 
     def load_vector(self) -> list[int]:
         """Blocks per disk in logical order (the evaluation's raw data)."""
@@ -301,15 +325,23 @@ class CMServer:
         """
         self.catalog.reseed_all()
         self.mapper = self.mapper.reshuffled()
-        moved = 0
+        self.engine = PlacementEngine(self.mapper.log)
         self._x0.clear()
-        for media in self.catalog:
-            for block in media.blocks():
-                self._x0[block.block_id] = block.x0
-                target_logical = self.mapper.disk_of(block.x0)
-                target_physical = self.array.physical_at(target_logical)
-                if self.array.move(block.block_id, target_physical):
-                    moved += 1
+        blocks = [
+            block for media in self.catalog for block in media.blocks()
+        ]
+        x0s = np.fromiter(
+            (block.x0 for block in blocks), dtype=np.uint64, count=len(blocks)
+        )
+        # One batched AF() pass over the whole population (the fresh log
+        # is empty, so this is a single vectorized mod).
+        disks = self.engine.locate_batch(x0s).tolist()
+        table = self.array.physical_ids
+        moved = 0
+        for block, disk in zip(blocks, disks):
+            self._x0[block.block_id] = block.x0
+            if self.array.move(block.block_id, table[disk]):
+                moved += 1
         self.reshuffles += 1
         return moved
 
@@ -321,9 +353,15 @@ class CMServer:
     # Internals
     # ------------------------------------------------------------------
     def _load_blocks(self, media: MediaObject) -> None:
-        for block in media.blocks():
+        """Place a whole object with one batched AF() pass."""
+        blocks = media.blocks()
+        x0s = np.fromiter(
+            (block.x0 for block in blocks), dtype=np.uint64, count=len(blocks)
+        )
+        disks = self.engine.locate_batch(x0s).tolist()
+        for block, disk in zip(blocks, disks):
             self._x0[block.block_id] = block.x0
-            self.array.place(block, self.mapper.disk_of(block.x0))
+            self.array.place(block, disk)
 
     def _x0_of(self, object_id: int, index: int) -> int:
         block_id = BlockId(object_id, index)
@@ -334,18 +372,28 @@ class CMServer:
             return self.catalog.get(object_id).block(index).x0
 
     def _plan_moves(self, target_table: list[int]) -> list[PhysicalMove]:
-        """RF(): physical moves for the mapper's latest operation."""
-        raw = self.mapper.redistribution_moves(
-            {block_id: x0 for block_id, x0 in self._x0.items()}
+        """RF(): physical moves for the mapper's latest operation.
+
+        One vectorized pass over the resident population (no per-block
+        re-chaining, no throwaway copy of the ``_x0`` dict): the engine
+        returns the indices of the blocks the operation relocates.
+        """
+        if not self._x0:
+            return []
+        block_ids = list(self._x0)
+        x0s = np.fromiter(
+            self._x0.values(), dtype=np.uint64, count=len(block_ids)
         )
+        indices, __, targets = self.engine.redistribution_moves_batch(x0s)
         moves = []
-        for entry in raw:
-            source_physical = self.array.home_of(entry.block)
-            target_physical = target_table[entry.target_disk]
+        for index, target_disk in zip(indices.tolist(), targets.tolist()):
+            block_id = block_ids[index]
+            source_physical = self.array.home_of(block_id)
+            target_physical = target_table[target_disk]
             if source_physical != target_physical:
                 moves.append(
                     PhysicalMove(
-                        block_id=entry.block,
+                        block_id=block_id,
                         source_physical=source_physical,
                         target_physical=target_physical,
                     )

@@ -53,7 +53,9 @@ def check_layout(server: CMServer) -> LayoutReport:
     report = LayoutReport()
     cataloged: set[BlockId] = set()
     for media in server.catalog:
-        for index in range(media.num_blocks):
+        # One batched AF() pass per object instead of a chain per block.
+        expected_homes = server.block_locations(media.object_id)
+        for index, expected in enumerate(expected_homes):
             block_id = BlockId(media.object_id, index)
             cataloged.add(block_id)
             report.blocks_checked += 1
@@ -62,7 +64,6 @@ def check_layout(server: CMServer) -> LayoutReport:
             except KeyError:
                 report.missing.append(block_id)
                 continue
-            expected = server.block_location(media.object_id, index)
             if actual != expected:
                 report.misplaced.append(
                     LayoutViolation(

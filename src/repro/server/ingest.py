@@ -15,6 +15,8 @@ from __future__ import annotations
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.server.cmserver import CMServer
 from repro.server.objects import MediaObject
 from repro.storage.block import Block
@@ -92,12 +94,20 @@ class IngestSession:
         spent: dict[int, int] = {}
         written = 0
         still_pending: list[Block] = []
-        for block in self._pending:
+        # Batch the AF() chains for every pending block up front — the
+        # targets may shift between rounds (mid-ingest scaling), so they
+        # are recomputed per round, but in one vectorized pass.
+        x0s = np.fromiter(
+            (block.x0 for block in self._pending),
+            dtype=np.uint64,
+            count=len(self._pending),
+        )
+        logicals = self.server.engine.locate_batch(x0s).tolist()
+        for block, target_logical in zip(self._pending, logicals):
             if still_pending:
                 # Keep playback order: once one block waits, later ones do.
                 still_pending.append(block)
                 continue
-            target_logical = self.server.mapper.disk_of(block.x0)
             target = self.server.array.physical_at(target_logical)
             allowance = (
                 budget if isinstance(budget, int) else budget.get(target, 0)

@@ -26,6 +26,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.core.engine import PlacementEngine
 from repro.core.scaddar import ScaddarMapper
 from repro.prng.generators import _mix64
 
@@ -83,6 +86,7 @@ class ParityPlacement:
             raise ValueError(f"parity groups need k >= 2 data blocks, got {k}")
         self.mapper = mapper
         self.k = k
+        self._engine = PlacementEngine(mapper.log)
 
     @property
     def num_disks(self) -> int:
@@ -100,7 +104,12 @@ class ParityPlacement:
             raise ParityPlacementError(
                 f"k + 1 = {self.k + 1} exceeds the {n} disks available"
             )
-        disks = [self.mapper.disk_of(x0) for x0 in x0s]
+        if self._engine.log is not self.mapper.log:
+            # The mapper was swapped (e.g. after a reshuffle): re-wrap.
+            self._engine = PlacementEngine(self.mapper.log)
+        disks = self._engine.locate_batch(
+            np.asarray(x0s, dtype=np.uint64)
+        ).tolist()
         open_groups: list[tuple[list[int], set[int]]] = []
         sealed: list[ParityGroup] = []
         for index, disk in enumerate(disks):

@@ -1,13 +1,24 @@
-"""Shared fixtures for the SCADDAR reproduction test suite."""
+"""Shared fixtures and Hypothesis profiles for the SCADDAR test suite."""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.core.scaddar import ScaddarMapper
 from repro.storage.block import Block
 from repro.storage.disk import DiskSpec
 from repro.workloads.generator import random_x0s, uniform_catalog
+
+# Property-test effort tiers: "ci" is the thorough profile the workflow
+# runs with (HYPOTHESIS_PROFILE=ci), "dev" keeps local iteration fast.
+# Tests that pin their own @settings(...) still inherit the profile's
+# defaults for anything they leave unset (notably deadline=None).
+settings.register_profile("ci", max_examples=100, deadline=None)
+settings.register_profile("dev", max_examples=20, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

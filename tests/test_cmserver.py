@@ -147,6 +147,45 @@ class TestScaling:
         assert sum(server.load_vector()) == server.total_blocks
 
 
+class TestBlockLocations:
+    """Whole-object AF() must agree with the per-block scalar path."""
+
+    def assert_matches_per_block(self, server):
+        for media in server.catalog:
+            homes = server.block_locations(media.object_id)
+            assert len(homes) == media.num_blocks
+            assert homes == [
+                server.block_location(media.object_id, index)
+                for index in range(media.num_blocks)
+            ]
+
+    def test_matches_block_location_initially(self):
+        server = make_server(num_objects=3, blocks=50)
+        self.assert_matches_per_block(server)
+
+    def test_matches_after_mixed_scaling(self):
+        server = make_server(num_objects=2, blocks=120)
+        for op in (ScalingOp.add(2), ScalingOp.remove([1]), ScalingOp.add(1)):
+            server.scale(op)
+            self.assert_matches_per_block(server)
+
+    def test_matches_after_reshuffle(self):
+        server = make_server(num_objects=2, blocks=60)
+        server.scale(ScalingOp.add(1))
+        server.reshuffle()
+        self.assert_matches_per_block(server)
+
+    def test_cold_cache_falls_back_to_seeds(self):
+        server = make_server(num_objects=1, blocks=30)
+        server._x0.clear()
+        self.assert_matches_per_block(server)
+
+    def test_unknown_object_raises(self):
+        server = make_server(num_objects=1, blocks=10)
+        with pytest.raises(KeyError):
+            server.block_locations(99)
+
+
 class TestReshuffle:
     def test_reshuffle_resets_budget_and_moves_blocks(self):
         server = make_server(blocks=500)

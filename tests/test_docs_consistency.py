@@ -77,6 +77,7 @@ class TestDesign:
             # telemetry, not paper artifacts; DESIGN indexes artifacts.
             if bench.stem in (
                 "bench_core_micro",
+                "bench_engine",
                 "bench_scale",
                 "bench_ops_tooling",
                 "bench_prng_quality",

@@ -1,0 +1,164 @@
+"""PlacementEngine ↔ ScaddarMapper bit-exact agreement (property tests).
+
+The engine is the batched hot-path implementation; the scalar mapper is
+the reference.  Over random operation logs mixing disk-group additions
+and removals (including the empty ``j = 0`` log), every batched answer —
+final ``X_j``, logical disk, RF() move set, load vector — must agree
+element-for-element with the scalar chain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.engine import PlacementEngine
+from repro.core.operations import OperationLog, ScalingOp
+from repro.core.scaddar import ScaddarMapper
+
+
+@st.composite
+def op_logs(draw, max_ops: int = 6):
+    """An initial disk count plus a random add/remove operation list."""
+    n0 = draw(st.integers(min_value=1, max_value=10))
+    num_ops = draw(st.integers(min_value=0, max_value=max_ops))
+    ops: list[ScalingOp] = []
+    n = n0
+    for _ in range(num_ops):
+        kinds = ["add", "remove"] if n > 1 else ["add"]
+        if draw(st.sampled_from(kinds)) == "add":
+            op = ScalingOp.add(draw(st.integers(min_value=1, max_value=4)))
+        else:
+            removed = draw(
+                st.sets(
+                    st.integers(min_value=0, max_value=n - 1),
+                    min_size=1,
+                    max_size=n - 1,
+                )
+            )
+            op = ScalingOp.remove(sorted(removed))
+        n = op.next_disk_count(n)
+        ops.append(op)
+    return n0, ops
+
+
+x0_lists = st.lists(
+    st.integers(min_value=0, max_value=2**64 - 1), min_size=0, max_size=48
+)
+
+
+def build_pair(n0: int, ops: list[ScalingOp]) -> tuple[ScaddarMapper, PlacementEngine]:
+    mapper = ScaddarMapper(n0=n0, bits=64)
+    engine = PlacementEngine(mapper.log)  # shared log: engine syncs lazily
+    for op in ops:
+        mapper.apply(op)
+    return mapper, engine
+
+
+class TestBatchedAgainstScalar:
+    @given(log=op_logs(), x0s=x0_lists)
+    def test_locate_batch_matches_locate(self, log, x0s):
+        mapper, engine = build_pair(*log)
+        scalar = [mapper.locate(x0) for x0 in x0s]
+        assert engine.locate_batch(x0s).tolist() == [loc.disk for loc in scalar]
+        assert engine.chain_batch(x0s).tolist() == [loc.x for loc in scalar]
+
+    @given(log=op_logs(), x0s=x0_lists)
+    def test_redistribution_moves_batch_matches_scalar(self, log, x0s):
+        mapper, engine = build_pair(*log)
+        scalar = mapper.redistribution_moves(list(enumerate(x0s)))
+        indices, sources, targets = engine.redistribution_moves_batch(x0s)
+        assert [
+            (move.block, move.source_disk, move.target_disk) for move in scalar
+        ] == list(zip(indices.tolist(), sources.tolist(), targets.tolist()))
+
+    @given(log=op_logs(), x0s=x0_lists)
+    def test_load_vector_matches_scalar_histogram(self, log, x0s):
+        mapper, engine = build_pair(*log)
+        expected = [0] * mapper.current_disks
+        for x0 in x0s:
+            expected[mapper.disk_of(x0)] += 1
+        assert engine.load_vector(x0s).tolist() == expected
+
+    @given(log=op_logs(max_ops=5), x0s=x0_lists)
+    def test_incremental_sync_agrees_at_every_epoch(self, log, x0s):
+        """Ops appended one at a time: the engine must answer correctly
+        at every intermediate epoch, only ever appending cached state."""
+        n0, ops = log
+        mapper = ScaddarMapper(n0=n0, bits=64)
+        engine = PlacementEngine(mapper.log)
+        for op in ops:
+            mapper.apply(op)
+            cached_before = engine.epoch
+            assert engine.locate_batch(x0s).tolist() == [
+                mapper.disk_of(x0) for x0 in x0s
+            ]
+            # sync() appended exactly the new epochs, never rebuilt.
+            assert engine.epoch == mapper.num_operations >= cached_before
+
+
+class TestEmptyLog:
+    """The ``j = 0`` edge case: no operations recorded."""
+
+    def test_locate_batch_is_mod_n0(self):
+        engine = PlacementEngine(OperationLog(n0=7))
+        x0s = [0, 1, 6, 7, 13, 2**64 - 1]
+        assert engine.locate_batch(x0s).tolist() == [x % 7 for x in x0s]
+        assert engine.chain_batch(x0s).tolist() == x0s
+
+    def test_redistribution_moves_batch_is_empty(self):
+        engine = PlacementEngine(OperationLog(n0=4))
+        indices, sources, targets = engine.redistribution_moves_batch([1, 2, 3])
+        assert indices.size == sources.size == targets.size == 0
+
+    def test_empty_population(self):
+        engine = PlacementEngine(OperationLog(n0=4))
+        assert engine.locate_batch([]).size == 0
+        assert engine.load_vector([]).tolist() == [0, 0, 0, 0]
+
+
+class TestEngineApi:
+    def test_apply_appends_to_log_and_caches(self):
+        log = OperationLog(n0=4)
+        engine = PlacementEngine(log)
+        assert engine.apply(ScalingOp.add(2)) == 6
+        assert log.num_operations == 1
+        assert engine.epoch == 1
+        assert engine.current_disks == 6
+
+    def test_accepts_numpy_input(self):
+        engine = PlacementEngine(OperationLog(n0=4))
+        engine.apply(ScalingOp.add(1))
+        x0s = np.arange(100, dtype=np.uint64)
+        mapper = ScaddarMapper(n0=4, bits=64)
+        mapper.apply(ScalingOp.add(1))
+        assert engine.locate_batch(x0s).tolist() == [
+            mapper.disk_of(int(x)) for x in x0s
+        ]
+
+    def test_rejects_negative_x0(self):
+        engine = PlacementEngine(OperationLog(n0=4))
+        with pytest.raises(ValueError):
+            engine.locate_batch([3, -1])
+        with pytest.raises(ValueError):
+            engine.locate_batch(np.array([-5], dtype=np.int64))
+
+    def test_scratch_buffers_are_reused(self):
+        """Same-size batches must not reallocate the scratch set."""
+        engine = PlacementEngine(OperationLog(n0=4))
+        engine.apply(ScalingOp.add(3))
+        engine.apply(ScalingOp.remove([1]))
+        engine.locate_batch(list(range(512)))
+        buffers = {name: arr for name, arr in engine._scratch.items()}
+        engine.locate_batch(list(range(512, 1024)))
+        for name, arr in engine._scratch.items():
+            assert arr is buffers[name], f"{name} buffer was reallocated"
+
+    def test_log_swap_resets_cache(self):
+        engine = PlacementEngine(OperationLog(n0=4))
+        engine.apply(ScalingOp.add(1))
+        engine.log = OperationLog(n0=3)
+        assert engine.sync() == 0
+        assert engine.locate_batch([5]).tolist() == [2]
