@@ -27,12 +27,14 @@ module                paper artifact
 ``reshuffle_cost``    amortized traffic incl. periodic reshuffles
 ``ingest_under_load`` Sec 2 [1]: writing new media on a busy server
 ``modern``            extension: vs consistent/jump hashing
+``chaos_scaling``     robustness: scaling under injected faults
 ====================  ==========================================
 """
 
 from repro.experiments import (
     access_cost,
     bound_tightness,
+    chaos_scaling,
     cov_curve,
     fault_tolerance,
     fig1,
@@ -71,6 +73,7 @@ EXPERIMENTS = {
     "ingest-under-load": ingest_under_load,
     "bound-tightness": bound_tightness,
     "modern": modern,
+    "chaos": chaos_scaling,
 }
 
 __all__ = ["EXPERIMENTS"]

@@ -11,18 +11,35 @@ from repro.server.admission import (
     StatisticalAdmission,
     UtilizationAdmission,
 )
-from repro.server.cmserver import CMServer, ScaleReport
-from repro.server.faults import MirroredPlacement, mirror_offset
+from repro.server.cmserver import CMServer, PendingScale, ScaleReport
+from repro.server.faults import (
+    DiskDeathError,
+    FaultInjector,
+    MirroredPlacement,
+    TransientTransferError,
+    mirror_offset,
+)
 from repro.server.fsck import LayoutReport, check_layout, repair_layout
 from repro.server.ingest import IngestReport, IngestSession
+from repro.server.journal import (
+    JournalError,
+    OpJournalRecord,
+    ScalingJournal,
+)
 from repro.server.metrics import MetricsCollector, MetricsSummary
 from repro.server.objects import MediaObject, ObjectCatalog
 from repro.server.parity import ParityLayout, ParityPlacement
 from repro.server.online import OnlineScaler, OnlineScaleReport
-from repro.server.recovery import RecoveryReport, simulate_failure_recovery
+from repro.server.recovery import (
+    DeathEscalationReport,
+    RecoveryReport,
+    escalate_disk_death,
+    simulate_failure_recovery,
+)
 from repro.server.planner import CapacityPlan, GrowthForecast, minimum_bits, plan_capacity
 from repro.server.persistence import (
     restore_server,
+    resume_server,
     server_to_json,
     snapshot_server,
 )
@@ -34,9 +51,13 @@ __all__ = [
     "AggregateAdmission",
     "CMServer",
     "CapacityPlan",
+    "DeathEscalationReport",
+    "DiskDeathError",
     "GrowthForecast",
     "DaySummary",
+    "FaultInjector",
     "IngestReport",
+    "JournalError",
     "LayoutReport",
     "MetricsCollector",
     "MetricsSummary",
@@ -46,23 +67,29 @@ __all__ = [
     "ObjectCatalog",
     "OnlineScaleReport",
     "OnlineScaler",
+    "OpJournalRecord",
     "ParityLayout",
     "ParityPlacement",
+    "PendingScale",
     "RecoveryReport",
     "RoundReport",
     "RoundScheduler",
     "ScaleReport",
+    "ScalingJournal",
     "ServerSimulation",
     "StatisticalAdmission",
     "Stream",
     "StreamState",
+    "TransientTransferError",
     "UtilizationAdmission",
     "check_layout",
+    "escalate_disk_death",
     "minimum_bits",
     "mirror_offset",
     "plan_capacity",
     "repair_layout",
     "restore_server",
+    "resume_server",
     "simulate_failure_recovery",
     "server_to_json",
     "snapshot_server",

@@ -29,6 +29,7 @@ from repro.analysis.movement import optimal_move_fraction
 from repro.core.engine import PlacementEngine
 from repro.core.operations import ScalingOp
 from repro.core.scaddar import ScaddarMapper
+from repro.server.journal import LogicalMove, ScalingJournal
 from repro.server.objects import MediaObject, ObjectCatalog
 from repro.storage.array import DiskArray
 from repro.storage.block import Block, BlockId
@@ -71,6 +72,9 @@ class PendingScale:
     n_after: int
     plan: MigrationPlan
     removed_physicals: tuple[int, ...] = ()
+    #: 1-based position of the operation in the mapper's log — the
+    #: correlation key between journal records and the operation.
+    op_seq: int = 0
     _finished: bool = field(default=False, repr=False)
 
 
@@ -102,6 +106,7 @@ class CMServer:
         initial_specs: list[DiskSpec],
         bits: int = 64,
         default_spec: Optional[DiskSpec] = None,
+        journal: Optional[ScalingJournal] = None,
     ):
         if catalog.bits != bits:
             raise ValueError(
@@ -113,6 +118,7 @@ class CMServer:
         self.mapper = ScaddarMapper(n0=len(initial_specs), bits=bits)
         self.engine = PlacementEngine(self.mapper.log)
         self.default_spec = default_spec or initial_specs[0]
+        self.journal = journal
         self._x0: dict[BlockId, int] = {}
         self.reshuffles = 0
         for media in catalog:
@@ -145,11 +151,16 @@ class CMServer:
         server.mapper = mapper
         server.engine = PlacementEngine(mapper.log)
         server.default_spec = default_spec or current_specs[0]
+        server.journal = None
         server._x0 = {}
         server.reshuffles = 0
         for media in catalog:
             server._load_blocks(media)
         return server
+
+    def attach_journal(self, journal: ScalingJournal) -> None:
+        """Route subsequent scaling operations through a journal."""
+        self.journal = journal
 
     # ------------------------------------------------------------------
     # Catalog / placement
@@ -229,7 +240,9 @@ class CMServer:
         instead of degrading fairness past the tolerance.
         """
         pending = self.begin_scale(op, specs=specs, eps=eps)
-        session = MigrationSession(self.array, pending.plan)
+        session = MigrationSession(
+            self.array, pending.plan, journal=self.journal, op_seq=pending.op_seq
+        )
         while not session.done:
             # Unthrottled execution: a budget covering every endpoint.
             session.step(len(pending.plan))
@@ -277,13 +290,33 @@ class CMServer:
             target_table = self.array.survivors_after_removal(op.removed)
 
         moves = self._plan_moves(target_table)
-        return PendingScale(
+        pending = PendingScale(
             op=op,
             n_before=n_before,
             n_after=self.mapper.current_disks,
             plan=MigrationPlan.from_moves(moves),
             removed_physicals=removed_physicals,
+            op_seq=self.mapper.num_operations,
         )
+        if self.journal is not None:
+            # Logical endpoints (pre-detach indexing) — physical ids are
+            # process-local and would not survive a restart.
+            logical = {pid: i for i, pid in enumerate(self.array.physical_ids)}
+            self.journal.record_begin(
+                seq=pending.op_seq,
+                op=op,
+                n_before=n_before,
+                n_after=pending.n_after,
+                moves=[
+                    LogicalMove(
+                        block_id=m.block_id,
+                        source_logical=logical[m.source_physical],
+                        target_logical=logical[m.target_physical],
+                    )
+                    for m in moves
+                ],
+            )
+        return pending
 
     def finish_scale(self, pending: PendingScale) -> None:
         """Complete a begun operation (detach drained disks, if any)."""
@@ -292,6 +325,53 @@ class CMServer:
         if pending.op.kind == "remove":
             self.array.remove_group(pending.op.removed)
         pending._finished = True
+        if self.journal is not None:
+            self.journal.record_commit(pending.op_seq)
+
+    def abort_scale(
+        self,
+        pending: PendingScale,
+        session: Optional[MigrationSession] = None,
+    ) -> int:
+        """Roll back a begun-but-unfinished scaling operation.
+
+        Moves already executed (tracked by the session) are reversed,
+        disks attached by an addition are detached, and the mapper is
+        rebuilt without the operation — afterwards the server is
+        bit-identical to its pre-``begin_scale`` state.  Returns the
+        number of moves rolled back.
+
+        Raises
+        ------
+        ValueError
+            If the operation was already finished, or the mapper's last
+            logged operation is not ``pending.op`` (something else ran in
+            between — rollback would corrupt the log).
+        """
+        if pending._finished:
+            raise ValueError("this scaling operation was already finished")
+        ops = self.mapper.log.operations
+        if pending.op_seq != len(ops) or ops[-1] != pending.op:
+            raise ValueError(
+                f"cannot abort operation seq={pending.op_seq}: the log has "
+                f"{len(ops)} operations and ends with {ops[-1] if ops else None}"
+            )
+        executed = list(session.executed) if session is not None else []
+        for move in reversed(executed):
+            self.array.move(move.block_id, move.source_physical)
+        if pending.op.kind == "add":
+            added = list(range(pending.n_before, self.array.num_disks))
+            self.array.remove_group(added)
+        truncated = self.mapper.log.truncated(len(ops) - 1)
+        mapper = ScaddarMapper(n0=truncated.n0, bits=self.mapper.bits)
+        for op in truncated:
+            mapper.apply(op)
+        self.mapper = mapper
+        self.engine = PlacementEngine(mapper.log)
+        pending._finished = True
+        if self.journal is not None:
+            self.journal.record_abort(pending.op_seq)
+        return len(executed)
 
     def replace_disk(
         self,

@@ -1,4 +1,4 @@
-"""Fault tolerance by mirroring (Section 6).
+"""Fault tolerance: mirroring (Section 6) and deterministic fault injection.
 
 The paper sketches a simple scheme: mirror every block "at a fixed offset
 determined by a function f(Nj)", suggesting ``f(Nj) = Nj / 2``.  The
@@ -6,17 +6,46 @@ mirror of a block on logical disk ``D`` lives on
 ``(D + f(Nj)) mod Nj`` — a pure function of the primary location, so the
 mirror needs no directory either, and the offset guarantees primary and
 mirror sit on different disks whenever ``Nj >= 2``.
+
+The second half of this module is the other side of the robustness coin:
+:class:`FaultInjector`, a seeded, fully deterministic source of the
+failures a real migration meets — transient transfer errors, disks that
+respond a round late, and whole-disk death mid-migration.
+:meth:`MigrationSession.step <repro.storage.migration.MigrationSession.step>`
+consults it before every transfer; the chaos experiment
+(``scaddar chaos``) drives scaling operations through it and checks that
+no block is ever lost.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import random
+from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.core.scaddar import ScaddarMapper
 
 
 class DataLossError(Exception):
     """Raised when both replicas of a block are on failed disks."""
+
+
+class TransientTransferError(Exception):
+    """A transfer attempt failed but may succeed on retry."""
+
+
+class TransferRetryExhaustedError(Exception):
+    """A move kept failing past the bounded retry budget."""
+
+
+class DiskDeathError(Exception):
+    """A disk died mid-migration; carries the physical id."""
+
+    def __init__(self, physical_id: int, message: str | None = None):
+        self.physical_id = physical_id
+        super().__init__(
+            message or f"physical disk {physical_id} died mid-migration"
+        )
 
 
 def mirror_offset(num_disks: int) -> int:
@@ -108,3 +137,127 @@ class MirroredPlacement:
         for x0 in x0s:
             loads[self.read_disk(x0, failed={failed_disk})] += 1
         return loads
+
+
+# ----------------------------------------------------------------------
+# Fault injection
+# ----------------------------------------------------------------------
+
+#: Transfer outcomes the injector can decide.
+OUTCOME_OK = "ok"
+OUTCOME_TRANSIENT = "transient"
+OUTCOME_SLOW = "slow"
+
+
+@dataclass
+class FaultStats:
+    """Everything the injector did, for deterministic chaos reports."""
+
+    attempts: int = 0
+    transient_faults: int = 0
+    slow_transfers: int = 0
+    mirror_reads: int = 0
+    deaths: list[int] = field(default_factory=list)
+
+
+class FaultInjector:
+    """Seeded, deterministic fault source for migration transfers.
+
+    Parameters
+    ----------
+    seed:
+        RNG seed; identical seeds produce identical fault schedules,
+        making every chaos run exactly reproducible.
+    transient_rate:
+        Per-attempt probability of a :class:`TransientTransferError`
+        (the transfer consumed bandwidth but the block did not land).
+    slow_rate:
+        Per-attempt probability the transfer stretches past the round
+        boundary: budget is consumed, the move retries next round at no
+        penalty (a slow disk, not a failure).
+    death_at_transfer:
+        When set, the N-th transfer attempt (1-based) kills one endpoint
+        of that move — ``death_victim`` picks which — modelling a disk
+        dying under migration load.
+    death_victim:
+        ``"source"`` or ``"target"``.
+
+    Notes
+    -----
+    Once a disk is dead, any move *targeting* it raises
+    :class:`DiskDeathError`.  Moves *sourced* from it also raise, unless
+    :meth:`enable_mirror_reads` was called — the failure-as-removal
+    escalation (:func:`repro.server.recovery.escalate_disk_death`) turns
+    that on after proving a surviving replica exists, and each such
+    transfer is counted in ``stats.mirror_reads``.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        transient_rate: float = 0.0,
+        slow_rate: float = 0.0,
+        death_at_transfer: Optional[int] = None,
+        death_victim: str = "source",
+    ):
+        if not 0.0 <= transient_rate < 1.0:
+            raise ValueError(f"transient_rate must be in [0, 1), got {transient_rate}")
+        if not 0.0 <= slow_rate < 1.0:
+            raise ValueError(f"slow_rate must be in [0, 1), got {slow_rate}")
+        if death_victim not in ("source", "target"):
+            raise ValueError(f"death_victim must be 'source' or 'target', got {death_victim!r}")
+        if death_at_transfer is not None and death_at_transfer <= 0:
+            raise ValueError(f"death_at_transfer must be >= 1, got {death_at_transfer}")
+        self._rng = random.Random(seed)
+        self.transient_rate = transient_rate
+        self.slow_rate = slow_rate
+        self.death_at_transfer = death_at_transfer
+        self.death_victim = death_victim
+        self.dead: set[int] = set()
+        self.stats = FaultStats()
+        self._mirror_reads_allowed = False
+
+    def enable_mirror_reads(self) -> None:
+        """Allow transfers sourced from dead disks (replica-served)."""
+        self._mirror_reads_allowed = True
+
+    def check_alive(self, source_physical: int, target_physical: int) -> None:
+        """Raise :class:`DiskDeathError` if the move touches a dead disk.
+
+        Called before budget is consumed, so a blocked move costs
+        nothing.  Mirror-read mode exempts dead *sources* only — nothing
+        can ever be written to a dead disk.
+        """
+        if target_physical in self.dead:
+            raise DiskDeathError(target_physical)
+        if source_physical in self.dead:
+            if self._mirror_reads_allowed:
+                self.stats.mirror_reads += 1
+                return
+            raise DiskDeathError(source_physical)
+
+    def attempt(self, source_physical: int, target_physical: int) -> str:
+        """Decide one transfer attempt's fate; may kill a disk.
+
+        Returns one of ``"ok"`` / ``"transient"`` / ``"slow"``, or raises
+        :class:`DiskDeathError` when this attempt is the scheduled death.
+        """
+        self.stats.attempts += 1
+        if (
+            self.death_at_transfer is not None
+            and self.stats.attempts == self.death_at_transfer
+        ):
+            victim = (
+                source_physical if self.death_victim == "source" else target_physical
+            )
+            self.dead.add(victim)
+            self.stats.deaths.append(victim)
+            raise DiskDeathError(victim)
+        draw = self._rng.random()
+        if draw < self.transient_rate:
+            self.stats.transient_faults += 1
+            return OUTCOME_TRANSIENT
+        if draw < self.transient_rate + self.slow_rate:
+            self.stats.slow_transfers += 1
+            return OUTCOME_SLOW
+        return OUTCOME_OK

@@ -10,10 +10,13 @@ they belong (computation wins — it is what retrieval will use).
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
+from typing import Optional
 
-from repro.server.cmserver import CMServer
+from repro.server.cmserver import CMServer, PendingScale
 from repro.storage.block import BlockId
+from repro.storage.migration import PhysicalMove
 
 
 @dataclass(frozen=True)
@@ -33,6 +36,10 @@ class LayoutReport:
     missing: list[BlockId] = field(default_factory=list)
     orphans: list[BlockId] = field(default_factory=list)
     misplaced: list[LayoutViolation] = field(default_factory=list)
+    #: Violations explained by a not-yet-executed migration move (the
+    #: block sits at the move's source, AF() already says the target).
+    #: Mid-migration state, not corruption; excluded from :attr:`clean`.
+    in_flight: list[LayoutViolation] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -40,7 +47,10 @@ class LayoutReport:
         return not (self.missing or self.orphans or self.misplaced)
 
 
-def check_layout(server: CMServer) -> LayoutReport:
+def check_layout(
+    server: CMServer,
+    pending: Optional[PendingScale | Iterable[PhysicalMove]] = None,
+) -> LayoutReport:
     """Audit the server: catalog vs inventory vs computed locations.
 
     Checks three invariants:
@@ -49,13 +59,43 @@ def check_layout(server: CMServer) -> LayoutReport:
     * every resident block belongs to a catalog object (**orphans**);
     * every resident block sits on the disk ``AF()`` computes
       (**misplaced**).
+
+    ``pending`` makes the audit migration-aware: a block at a pending
+    move's source whose expected home is that move's target is
+    **in-flight**, not misplaced — so a mid-migration server audits
+    clean unless genuinely corrupt.  Pass the whole
+    :class:`~repro.server.cmserver.PendingScale` when one is available
+    (required for mid-*removal* audits: the mapper already indexes the
+    survivors while the doomed disks are still attached, so expected
+    homes must be translated through the survivor table); a bare
+    iterable of moves suffices for additions.
     """
+    if isinstance(pending, PendingScale):
+        moves: tuple[PhysicalMove, ...] = pending.plan.moves
+        attached = list(server.array.physical_ids)
+        translate: dict[int, int] = {}
+        if pending.removed_physicals and set(pending.removed_physicals) <= set(
+            attached
+        ):
+            # Mid-removal: AF() yields post-removal logical indices, but
+            # ``block_locations`` resolves them against the pre-detach
+            # table.  Remap each raw expectation to the survivor the
+            # logical index actually denotes.
+            survivors = server.array.survivors_after_removal(pending.op.removed)
+            translate = {attached[i]: pid for i, pid in enumerate(survivors)}
+    else:
+        moves = tuple(pending or ())
+        translate = {}
+    expected_by_move = {
+        m.block_id: (m.source_physical, m.target_physical) for m in moves
+    }
     report = LayoutReport()
     cataloged: set[BlockId] = set()
     for media in server.catalog:
         # One batched AF() pass per object instead of a chain per block.
         expected_homes = server.block_locations(media.object_id)
         for index, expected in enumerate(expected_homes):
+            expected = translate.get(expected, expected)
             block_id = BlockId(media.object_id, index)
             cataloged.add(block_id)
             report.blocks_checked += 1
@@ -65,13 +105,15 @@ def check_layout(server: CMServer) -> LayoutReport:
                 report.missing.append(block_id)
                 continue
             if actual != expected:
-                report.misplaced.append(
-                    LayoutViolation(
-                        block_id=block_id,
-                        expected_physical=expected,
-                        actual_physical=actual,
-                    )
+                violation = LayoutViolation(
+                    block_id=block_id,
+                    expected_physical=expected,
+                    actual_physical=actual,
                 )
+                if expected_by_move.get(block_id) == (actual, expected):
+                    report.in_flight.append(violation)
+                else:
+                    report.misplaced.append(violation)
     for pid in server.array.physical_ids:
         for block in server.array.blocks_on_physical(pid):
             if block.block_id not in cataloged:

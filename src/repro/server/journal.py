@@ -1,0 +1,308 @@
+"""The durable scaling journal: crash consistency for online scaling.
+
+SCADDAR's snapshot (:mod:`repro.server.persistence`) captures a server at
+a quiescent point, but the paper's whole premise is that scaling runs
+*while the server serves* — and a crash mid-migration leaves the physical
+disks half-moved with nothing that says which moves landed.  The journal
+closes that gap with a classic intent/apply/commit record per scaling
+operation, append-only JSON lines, O(moved blocks) per operation:
+
+* ``begin`` — written by :meth:`CMServer.begin_scale` once the mapper has
+  the new epoch and the RF() plan is known: the operation, the disk
+  counts, and the full move list (block ids + *logical* endpoints —
+  physical ids are process-local and would not survive a restart);
+* ``apply`` — one O(1) record per executed :class:`PhysicalMove`, written
+  by :meth:`MigrationSession.step` after the transfer lands;
+* ``commit`` — written by :meth:`CMServer.finish_scale`;
+* ``abort`` — written by :meth:`CMServer.abort_scale` after rollback.
+
+``snapshot + journal`` is a complete recovery story:
+:func:`repro.server.persistence.resume_server` replays committed
+operations wholesale, skips aborted ones, and rebuilds the exact
+mid-migration state of an open one (tests/test_journal_resume.py proves
+bit-identical layouts for a kill after *every* move index).
+
+The journal can live in memory (``path=None``, for experiments and
+simulations) or on disk, where every record is flushed on write and
+optionally fsync'd (``fsync=True``) so the record survives power loss.
+A torn final line — the classic crash-while-appending artifact — is
+tolerated and dropped on replay; corruption anywhere else raises.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.core.operations import ScalingOp
+from repro.storage.block import BlockId
+
+
+class JournalError(Exception):
+    """Raised on journal corruption or protocol violations."""
+
+
+@dataclass(frozen=True)
+class LogicalMove:
+    """One planned move in logical-index space (stable across restarts).
+
+    ``source_logical``/``target_logical`` index the disk array *as it was
+    when the operation began* (doomed disks of a removal are still
+    attached then, so survivors keep their pre-removal indices).
+    """
+
+    block_id: BlockId
+    source_logical: int
+    target_logical: int
+
+
+@dataclass
+class OpJournalRecord:
+    """Everything the journal knows about one scaling operation.
+
+    Attributes
+    ----------
+    seq:
+        The operation's 1-based position in the operation log (``j``).
+    op:
+        The scaling operation itself.
+    n_before / n_after:
+        Disk counts around the operation.
+    plan:
+        The full move list recorded at ``begin`` time.
+    applied:
+        Block ids whose moves were journaled as executed, in order.
+    committed / aborted:
+        Terminal states; an open record has neither.
+    """
+
+    seq: int
+    op: ScalingOp
+    n_before: int
+    n_after: int
+    plan: tuple[LogicalMove, ...]
+    applied: list[BlockId] = field(default_factory=list)
+    committed: bool = False
+    aborted: bool = False
+
+    @property
+    def open(self) -> bool:
+        """Whether the operation is still in flight."""
+        return not (self.committed or self.aborted)
+
+    @property
+    def remaining(self) -> int:
+        """Planned moves without an apply record."""
+        return len(self.plan) - len(self.applied)
+
+
+class ScalingJournal:
+    """Append-only intent/apply/commit journal for scaling operations.
+
+    Parameters
+    ----------
+    path:
+        JSON-lines file to append to (created if missing).  ``None``
+        keeps records in memory — same semantics, no durability; useful
+        for simulations and the chaos experiment.
+    fsync:
+        When True, ``os.fsync`` after every record — the full durability
+        contract, at one syscall per record.  Off by default; records
+        are still flushed to the OS on every write.
+
+    Examples
+    --------
+    >>> journal = ScalingJournal()          # in-memory
+    >>> journal.replay()
+    []
+    """
+
+    def __init__(self, path: str | Path | None = None, fsync: bool = False):
+        self.path = Path(path) if path is not None else None
+        self.fsync = fsync
+        self._records: list[dict] = []
+        self._fh = None
+        if self.path is not None:
+            self._fh = open(self.path, "a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def record_begin(
+        self,
+        seq: int,
+        op: ScalingOp,
+        n_before: int,
+        n_after: int,
+        moves: Iterable[LogicalMove],
+    ) -> None:
+        """Journal the intent of one scaling operation (plan included).
+
+        Raises
+        ------
+        JournalError
+            If another operation is still open — one scaling operation
+            runs at a time, and overlapping intents would make replay
+            ambiguous.
+        """
+        last = self._last_record()
+        if last is not None and last.open:
+            raise JournalError(
+                f"operation seq={last.seq} is still open; commit or abort "
+                "it before beginning another"
+            )
+        self._append(
+            {
+                "type": "begin",
+                "seq": seq,
+                "op": op.to_dict(),
+                "n_before": n_before,
+                "n_after": n_after,
+                "plan": [
+                    [
+                        m.block_id.object_id,
+                        m.block_id.index,
+                        m.source_logical,
+                        m.target_logical,
+                    ]
+                    for m in moves
+                ],
+            }
+        )
+
+    def record_apply(self, seq: int, block_id: BlockId) -> None:
+        """Journal one executed move (after the transfer landed)."""
+        self._append(
+            {
+                "type": "apply",
+                "seq": seq,
+                "block": [block_id.object_id, block_id.index],
+            }
+        )
+
+    def record_commit(self, seq: int) -> None:
+        """Journal completion of an operation."""
+        self._append({"type": "commit", "seq": seq})
+
+    def record_abort(self, seq: int) -> None:
+        """Journal rollback of an operation."""
+        self._append({"type": "abort", "seq": seq})
+
+    def sync(self) -> None:
+        """Force the journal to stable storage (no-op in memory)."""
+        if self._fh is not None:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        """Close the backing file (in-memory journals are unaffected)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "ScalingJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def replay(self) -> list[OpJournalRecord]:
+        """Parse the journal into per-operation records, oldest first.
+
+        Raises
+        ------
+        JournalError
+            On corrupt records anywhere but the final line (a torn final
+            line is the expected crash artifact and is dropped).
+        """
+        raw = self._read_raw()
+        records: list[OpJournalRecord] = []
+        for lineno, entry in enumerate(raw, start=1):
+            kind = entry.get("type")
+            if kind == "begin":
+                records.append(
+                    OpJournalRecord(
+                        seq=entry["seq"],
+                        op=ScalingOp.from_dict(entry["op"]),
+                        n_before=entry["n_before"],
+                        n_after=entry["n_after"],
+                        plan=tuple(
+                            LogicalMove(BlockId(o, i), src, dst)
+                            for o, i, src, dst in entry["plan"]
+                        ),
+                    )
+                )
+                continue
+            if not records:
+                raise JournalError(
+                    f"record {lineno}: {kind!r} before any 'begin'"
+                )
+            current = records[-1]
+            if entry.get("seq") != current.seq:
+                raise JournalError(
+                    f"record {lineno}: seq {entry.get('seq')} does not "
+                    f"match open operation seq {current.seq}"
+                )
+            if kind == "apply":
+                if not current.open:
+                    raise JournalError(
+                        f"record {lineno}: apply after commit/abort"
+                    )
+                current.applied.append(BlockId(*entry["block"]))
+            elif kind == "commit":
+                current.committed = True
+            elif kind == "abort":
+                current.aborted = True
+            else:
+                raise JournalError(f"record {lineno}: unknown type {kind!r}")
+        return records
+
+    def open_record(self) -> Optional[OpJournalRecord]:
+        """The in-flight operation, if the journal ends mid-scale."""
+        records = self.replay()
+        if records and records[-1].open:
+            return records[-1]
+        return None
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _append(self, record: dict) -> None:
+        self._records.append(record)
+        if self._fh is not None:
+            self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+            self._fh.flush()
+            if self.fsync:
+                os.fsync(self._fh.fileno())
+
+    def _read_raw(self) -> list[dict]:
+        if self.path is None:
+            return list(self._records)
+        if not self.path.exists():
+            return []
+        entries: list[dict] = []
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        for lineno, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError:
+                if lineno == len(lines):
+                    break  # torn final line: the crash artifact
+                raise JournalError(f"corrupt journal line {lineno}")
+        return entries
+
+    def _last_record(self) -> Optional[OpJournalRecord]:
+        records = self.replay()
+        return records[-1] if records else None
+
+    def __repr__(self) -> str:
+        where = str(self.path) if self.path is not None else "memory"
+        return f"ScalingJournal({where}, records={len(self._read_raw())})"

@@ -15,6 +15,7 @@ from typing import Optional
 
 from repro.core.operations import ScalingOp
 from repro.server.cmserver import CMServer
+from repro.server.faults import DiskDeathError
 from repro.server.scheduler import RoundScheduler
 from repro.storage.disk import DiskSpec
 from repro.storage.migration import MigrationSession
@@ -44,6 +45,9 @@ class OnlineScaleReport:
     blocks_moved: int = 0
     hiccups: int = 0
     moves_per_round: list[int] = field(default_factory=list)
+    #: Injected transfer faults survived (0 without a fault injector).
+    transient_faults: int = 0
+    slow_transfers: int = 0
 
 
 class StalledMigrationError(Exception):
@@ -75,6 +79,7 @@ class OnlineScaler:
         eps: Optional[float] = None,
         max_rounds: int = 100_000,
         stall_rounds: int = 1_000,
+        injector=None,
     ) -> OnlineScaleReport:
         """Run one scaling operation to completion without stopping streams.
 
@@ -82,9 +87,23 @@ class OnlineScaler:
         leftover bandwidth on migration moves.  Raises
         :class:`StalledMigrationError` if ``stall_rounds`` consecutive
         rounds make no migration progress.
+
+        When the server has a journal attached, every move is journaled
+        (crash-resumable via ``resume_server``).  ``injector`` threads a
+        :class:`~repro.server.faults.FaultInjector` into the migration:
+        transient faults retry with backoff, slow disks stretch rounds,
+        and a disk death propagates as
+        :class:`~repro.server.faults.DiskDeathError` for the caller to
+        escalate (``repro.server.recovery.escalate_disk_death``).
         """
         pending = self.server.begin_scale(op, specs=specs, eps=eps)
-        session = MigrationSession(self.server.array, pending.plan)
+        session = MigrationSession(
+            self.server.array,
+            pending.plan,
+            journal=self.server.journal,
+            op_seq=pending.op_seq,
+            injector=injector,
+        )
         report = OnlineScaleReport(op=op)
         stalled = 0
         while not session.done:
@@ -94,7 +113,14 @@ class OnlineScaler:
                     f"{session.remaining} moves remain"
                 )
             round_report = self.scheduler.run_round()
-            executed = session.step(round_report.spare_by_physical)
+            try:
+                executed = session.step(round_report.spare_by_physical)
+            except DiskDeathError as death:
+                # Hand the caller everything escalation needs: the dead
+                # disk, the interrupted operation, and the live session.
+                death.pending = pending
+                death.session = session
+                raise
             report.rounds += 1
             report.hiccups += round_report.hiccups
             report.blocks_moved += len(executed)
@@ -110,4 +136,7 @@ class OnlineScaler:
                         "the endpoints)"
                     )
         self.server.finish_scale(pending)
+        if injector is not None:
+            report.transient_faults = injector.stats.transient_faults
+            report.slow_transfers = injector.stats.slow_transfers
         return report

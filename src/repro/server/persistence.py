@@ -1,4 +1,4 @@
-"""Server state persistence.
+"""Server state persistence and crash recovery.
 
 The paper's storage argument (Section 1): SCADDAR needs "only a storage
 structure for recording scaling operations" plus the per-object seeds.
@@ -6,20 +6,33 @@ This module makes that literal — a snapshot is a small JSON document
 (object seeds + operation log + disk specs), independent of the number
 of blocks, and restoring it reproduces every block location bit-exactly
 (``tests/test_persistence.py``).
+
+Snapshots capture *quiescent* state.  The mid-migration gap is covered
+by the scaling journal (:mod:`repro.server.journal`):
+:func:`resume_server` combines a snapshot with the journal written since
+it was taken and reconstructs the exact moment of the crash — committed
+operations are replayed wholesale, aborted ones skipped, and an open one
+is rebuilt into a live :class:`~repro.storage.migration.MigrationSession`
+holding precisely the moves that had not yet landed.
 """
 
 from __future__ import annotations
 
 import json
+from typing import Optional
 
 from repro.core.operations import OperationLog
 from repro.core.scaddar import ScaddarMapper
-from repro.server.cmserver import CMServer
+from repro.server.cmserver import CMServer, PendingScale
+from repro.server.journal import JournalError, OpJournalRecord, ScalingJournal
 from repro.server.objects import MediaObject, ObjectCatalog
 from repro.storage.disk import DiskSpec
+from repro.storage.migration import MigrationPlan, MigrationSession
 
 #: Snapshot format version, bumped on incompatible layout changes.
-SNAPSHOT_VERSION = 1
+#: Version 2 adds the explicit operation-count stamp and the journal
+#: pointer; version 1 snapshots are still read.
+SNAPSHOT_VERSION = 2
 
 
 def snapshot_server(server: CMServer) -> dict:
@@ -27,10 +40,20 @@ def snapshot_server(server: CMServer) -> dict:
 
     The snapshot is O(objects + operations + disks) — never O(blocks).
     """
+    journal = getattr(server, "journal", None)
     return {
         "version": SNAPSHOT_VERSION,
         "bits": server.mapper.bits,
         "reshuffles": server.reshuffles,
+        # v2: explicit op-count stamp (cross-checked on restore) and the
+        # journal pointer, so an operator can find the records written
+        # after this snapshot.
+        "snapshot_ops": server.mapper.num_operations,
+        "journal_path": (
+            str(journal.path)
+            if journal is not None and journal.path is not None
+            else None
+        ),
         "catalog": {
             "master_seed": server.catalog.master_seed,
             "bits": server.catalog.bits,
@@ -78,14 +101,17 @@ def restore_server(snapshot: dict | str) -> CMServer:
     Raises
     ------
     ValueError
-        On unknown snapshot versions.
+        On unknown snapshot versions, or when the snapshot is internally
+        inconsistent (the operation log's final disk count must equal
+        the number of recorded disk specs — a mismatch would silently
+        build a server whose AF() disagrees with its disks).
     """
     data = json.loads(snapshot) if isinstance(snapshot, str) else snapshot
     version = data.get("version")
-    if version != SNAPSHOT_VERSION:
+    if version not in (1, SNAPSHOT_VERSION):
         raise ValueError(
             f"unsupported snapshot version {version!r}; "
-            f"this build reads version {SNAPSHOT_VERSION}"
+            f"this build reads versions 1..{SNAPSHOT_VERSION}"
         )
 
     catalog_data = data["catalog"]
@@ -110,6 +136,17 @@ def restore_server(snapshot: dict | str) -> CMServer:
     )
 
     log = OperationLog.from_json(json.dumps(data["operation_log"]))
+    if len(data["disks"]) != log.current_disks:
+        raise ValueError(
+            f"snapshot inconsistent: operation log ends at "
+            f"{log.current_disks} disks but {len(data['disks'])} disk "
+            "specs are recorded"
+        )
+    if version >= 2 and data.get("snapshot_ops") != log.num_operations:
+        raise ValueError(
+            f"snapshot inconsistent: stamped with {data.get('snapshot_ops')} "
+            f"operations but the log holds {log.num_operations}"
+        )
     mapper = ScaddarMapper(n0=log.n0, bits=data["bits"])
     for op in log:
         mapper.apply(op)
@@ -135,3 +172,119 @@ def restore_server(snapshot: dict | str) -> CMServer:
     )
     server.reshuffles = data["reshuffles"]
     return server
+
+
+def resume_server(
+    snapshot: dict | str,
+    journal: ScalingJournal | str,
+) -> tuple[CMServer, Optional[PendingScale], Optional[MigrationSession]]:
+    """Rebuild the exact mid-migration state after a crash.
+
+    The snapshot provides the last quiescent state; the journal provides
+    every scaling record written since.  Replay walks the journal in
+    order:
+
+    * operations already in the snapshot's log are verified and skipped;
+    * **committed** operations are re-begun and their whole plan
+      executed (block moves are deterministic, so this lands every block
+      exactly where the crashed process had put it);
+    * **aborted** operations contributed nothing and are skipped;
+    * an **open** operation (crash mid-migration) is re-begun, its
+      journaled ``apply`` records re-executed, and the remainder handed
+      back as a live session.
+
+    Returns ``(server, pending, session)`` — ``pending``/``session`` are
+    ``None`` when the journal ends quiescent, otherwise the in-flight
+    operation and a session holding exactly the not-yet-landed moves
+    (execute it and call ``server.finish_scale(pending)`` to complete
+    the interrupted operation).  The journal is re-attached to the
+    returned server, so completion is journaled like any other scale.
+
+    Raises
+    ------
+    JournalError
+        When the journal disagrees with the snapshot (wrong op at a
+        sequence number, or a re-derived plan that does not match the
+        journaled one) — a sign of mixed-up files, not a crash artifact.
+    """
+    if isinstance(journal, str):
+        journal = ScalingJournal(journal)
+    server = restore_server(snapshot)
+    base_ops = server.mapper.num_operations
+    base_log = server.mapper.log.operations
+
+    open_state: tuple[PendingScale, MigrationSession] | None = None
+    for record in journal.replay():
+        if record.aborted:
+            continue  # begin + rollback = net nothing
+        if record.seq <= base_ops:
+            if base_log[record.seq - 1] != record.op:
+                raise JournalError(
+                    f"journal op seq={record.seq} is {record.op} but the "
+                    f"snapshot log holds {base_log[record.seq - 1]}"
+                )
+            continue  # already reflected in the snapshot
+        if open_state is not None:
+            raise JournalError(
+                "journal has records after an uncommitted operation"
+            )
+        if record.seq != server.mapper.num_operations + 1:
+            raise JournalError(
+                f"journal op seq={record.seq} does not follow the "
+                f"{server.mapper.num_operations} operations restored so far"
+            )
+        pending = server.begin_scale(record.op)
+        by_block = {m.block_id: m for m in pending.plan.moves}
+        _verify_replayed_plan(server, record, by_block)
+        if record.committed:
+            for move in pending.plan.moves:
+                server.array.move(move.block_id, move.target_physical)
+            server.finish_scale(pending)
+            continue
+        # Crash mid-migration: re-execute exactly the journaled moves.
+        applied = set()
+        for block_id in record.applied:
+            server.array.move(block_id, by_block[block_id].target_physical)
+            applied.add(block_id)
+        remaining = [
+            m for m in pending.plan.moves if m.block_id not in applied
+        ]
+        session = MigrationSession(
+            server.array,
+            MigrationPlan(moves=tuple(remaining)),
+            journal=journal,
+            op_seq=pending.op_seq,
+        )
+        open_state = (pending, session)
+
+    server.attach_journal(journal)
+    if open_state is None:
+        return server, None, None
+    return server, open_state[0], open_state[1]
+
+
+def _verify_replayed_plan(
+    server: CMServer,
+    record: OpJournalRecord,
+    by_block: dict,
+) -> None:
+    """Check the re-derived plan matches the journaled intent record."""
+    if {m.block_id for m in record.plan} != set(by_block):
+        raise JournalError(
+            f"op seq={record.seq}: re-derived plan moves "
+            f"{len(by_block)} blocks but the journal recorded "
+            f"{len(record.plan)} different ones"
+        )
+    logical = {
+        pid: i for i, pid in enumerate(server.array.physical_ids)
+    }
+    for journaled in record.plan:
+        move = by_block[journaled.block_id]
+        if (
+            logical[move.source_physical] != journaled.source_logical
+            or logical[move.target_physical] != journaled.target_logical
+        ):
+            raise JournalError(
+                f"op seq={record.seq}: move of {journaled.block_id} "
+                "re-derived with different endpoints than journaled"
+            )

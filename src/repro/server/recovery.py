@@ -17,10 +17,19 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.operations import ScalingOp
 from repro.core.scaddar import ScaddarMapper
-from repro.server.faults import DataLossError, MirroredPlacement
+from repro.server.faults import (
+    DataLossError,
+    FaultInjector,
+    MirroredPlacement,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.server.cmserver import CMServer, PendingScale
+    from repro.storage.migration import MigrationSession
 
 
 @dataclass
@@ -126,3 +135,140 @@ def simulate_failure_recovery(
     )
     report.rebuild_rounds = math.ceil(busiest / bandwidth_per_disk)
     return after_mapper, report
+
+
+@dataclass
+class DeathEscalationReport:
+    """Outcome of escalating a mid-migration disk death.
+
+    Attributes
+    ----------
+    dead_physical:
+        Physical id of the disk that died.
+    interrupted_op:
+        The scaling operation that was running when the disk died.
+    superseded_moves:
+        Moves of the interrupted plan that *targeted* the dead disk —
+        dropped, because the follow-up failure-removal re-routes those
+        blocks from wherever they actually sit.
+    drain_moves:
+        Moves executed while completing the interrupted operation.
+    removal_moves:
+        Moves of the failure-removal that drained the dead disk.
+    mirror_reads:
+        Transfers whose source was the dead disk, served by the
+        surviving replica (the Section 6 mirroring contract).
+    """
+
+    dead_physical: int
+    interrupted_op: ScalingOp
+    superseded_moves: int = 0
+    drain_moves: int = 0
+    removal_moves: int = 0
+    mirror_reads: int = 0
+
+
+def escalate_disk_death(
+    server: "CMServer",
+    pending: "PendingScale",
+    session: "MigrationSession",
+    dead_physical: int,
+    injector: Optional[FaultInjector] = None,
+) -> DeathEscalationReport:
+    """Turn a disk death during scaling into a failure-as-removal.
+
+    The composition the paper's Sections 1 and 6 add up to: the
+    interrupted add/remove is *completed* (reads from the dead disk are
+    served by the offset mirror; writes to it are dropped — the blocks
+    are re-routed by the removal), then the death becomes one more
+    SCADDAR removal on the same operation log.  Both operations are
+    journaled if the server has a journal, so a crash during the
+    escalation is itself resumable.
+
+    Raises
+    ------
+    DataLossError
+        If some block that must be read off the dead disk has its mirror
+        there too (impossible under the offset scheme while ``Nj >= 2``).
+    ValueError
+        If the dead disk is one the interrupted removal was already
+        draining — finishing that removal IS the recovery then, and no
+        second operation may be appended.
+    """
+    from repro.storage.migration import MigrationSession
+
+    report = DeathEscalationReport(
+        dead_physical=dead_physical, interrupted_op=pending.op
+    )
+    if dead_physical in pending.removed_physicals:
+        raise ValueError(
+            f"disk {dead_physical} is already being removed by the "
+            "interrupted operation; finish that migration instead"
+        )
+
+    # Writes to the dead disk are superseded: the failure-removal's RF()
+    # plan recomputes each block's route from its actual current home.
+    report.superseded_moves = len(
+        session.discard_pending(lambda m: m.target_physical == dead_physical)
+    )
+
+    # Reads from the dead disk come from the surviving replica; prove one
+    # exists before allowing them.
+    mirrored = MirroredPlacement(server.mapper)
+    dead_logical = server.array.logical_of(dead_physical)
+    sourced = [
+        m for m in session.pending_moves if m.source_physical == dead_physical
+    ]
+    for move in sourced:
+        x0 = server._x0_of(move.block_id.object_id, move.block_id.index)
+        pair = mirrored.replica_pair(x0)
+        if pair.primary == pair.mirror == dead_logical:
+            raise DataLossError(
+                f"block {move.block_id} has both replicas on dead disk "
+                f"{dead_physical}"
+            )
+    if injector is not None:
+        injector.enable_mirror_reads()
+
+    # Complete the interrupted operation (unthrottled: recovery outranks
+    # politeness; callers that need pacing can drive the session first).
+    _drain(session)
+    report.drain_moves = len(session.executed)
+    server.finish_scale(pending)
+
+    # The failure, as one more removal on the same operation log.
+    dead_logical = server.array.logical_of(dead_physical)
+    removal = server.begin_scale(ScalingOp.remove([dead_logical]))
+    drain = MigrationSession(
+        server.array,
+        removal.plan,
+        journal=server.journal,
+        op_seq=removal.op_seq,
+        injector=injector,
+    )
+    _drain(drain)
+    report.removal_moves = len(drain.executed)
+    server.finish_scale(removal)
+    if injector is not None:
+        report.mirror_reads = injector.stats.mirror_reads
+    return report
+
+
+def _drain(session: "MigrationSession", stall_rounds: int = 1_000) -> None:
+    """Step a session to completion with effectively unlimited budget.
+
+    Zero-move rounds are tolerated up to ``stall_rounds`` in a row —
+    fault-injector backoff legitimately idles rounds — but a session
+    that stops progressing for good raises ``RuntimeError``.
+    """
+    idle = 0
+    while not session.done:
+        if session.step(2 * len(session.pending_moves) + 2):
+            idle = 0
+        else:
+            idle += 1
+            if idle >= stall_rounds:
+                raise RuntimeError(
+                    f"recovery drain stalled: {session.remaining} moves "
+                    f"made no progress for {stall_rounds} rounds"
+                )

@@ -13,9 +13,14 @@ from __future__ import annotations
 from collections import defaultdict
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
 
 from repro.storage.array import DiskArray, PlacementConflictError
 from repro.storage.block import BlockId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.server.faults import FaultInjector
+    from repro.server.journal import ScalingJournal
 
 
 @dataclass(frozen=True)
@@ -133,11 +138,56 @@ class MigrationSession:
     only if both its source and target disk still have transfer budget in
     that round (each transfer costs one unit on each endpoint, per the
     paper's both-ends bandwidth observation).
+
+    Parameters
+    ----------
+    array:
+        The live disk array the moves run against.
+    plan:
+        The RF() plan to execute.
+    journal:
+        Optional :class:`~repro.server.journal.ScalingJournal`: every
+        landed transfer is journaled (``apply`` record) *after* the move,
+        so a crash between the move and the record merely re-executes an
+        idempotent move on resume.
+    op_seq:
+        The journal sequence number of the owning scaling operation
+        (required when ``journal`` is given).
+    injector:
+        Optional :class:`~repro.server.faults.FaultInjector`; consulted
+        before every transfer.  Transient faults consume the round's
+        bandwidth and trigger bounded exponential backoff (the move
+        retries after 1, 2, 4, ... rounds); slow transfers consume the
+        round and retry next round at no penalty; disk death propagates
+        as :class:`~repro.server.faults.DiskDeathError`.
+    max_retries:
+        Transient failures tolerated per move before
+        :class:`~repro.server.faults.TransferRetryExhaustedError`.
     """
 
-    def __init__(self, array: DiskArray, plan: MigrationPlan):
+    def __init__(
+        self,
+        array: DiskArray,
+        plan: MigrationPlan,
+        journal: Optional["ScalingJournal"] = None,
+        op_seq: Optional[int] = None,
+        injector: Optional["FaultInjector"] = None,
+        max_retries: int = 8,
+    ):
+        if journal is not None and op_seq is None:
+            raise ValueError("a journaled session needs the operation's op_seq")
+        if max_retries < 1:
+            raise ValueError(f"max_retries must be >= 1, got {max_retries}")
         self.array = array
+        self.journal = journal
+        self.op_seq = op_seq
+        self.injector = injector
+        self.max_retries = max_retries
         self._pending: list[PhysicalMove] = list(plan.moves)
+        self.executed: list[PhysicalMove] = []
+        self._round = 0
+        self._retries: dict[BlockId, int] = {}
+        self._deferred_until: dict[BlockId, int] = {}
 
     @property
     def remaining(self) -> int:
@@ -149,7 +199,27 @@ class MigrationSession:
         """Whether the plan has fully executed."""
         return not self._pending
 
-    def step(self, budget: Mapping[int, int] | int) -> list[PhysicalMove]:
+    @property
+    def pending_moves(self) -> tuple[PhysicalMove, ...]:
+        """Moves still awaiting execution, in plan order."""
+        return tuple(self._pending)
+
+    def discard_pending(self, predicate) -> list[PhysicalMove]:
+        """Drop (and return) pending moves matching ``predicate``.
+
+        Used by the disk-death escalation: moves *targeting* a dead disk
+        are superseded by the follow-up failure-removal, whose own RF()
+        plan re-routes those blocks from wherever they actually sit.
+        """
+        dropped = [m for m in self._pending if predicate(m)]
+        self._pending = [m for m in self._pending if not predicate(m)]
+        return dropped
+
+    def step(
+        self,
+        budget: Mapping[int, int] | int,
+        max_moves: Optional[int] = None,
+    ) -> list[PhysicalMove]:
         """Execute one round under the given per-disk transfer budget.
 
         Parameters
@@ -158,6 +228,9 @@ class MigrationSession:
             Either a single integer budget applied to every disk, or a
             mapping from physical id to that disk's budget this round.
             Disks missing from the mapping have budget 0.
+        max_moves:
+            Optional hard cap on transfers this round regardless of
+            budget (the kill-point tests and fine-grained pacing use it).
 
         Returns the moves executed this round (possibly empty when the
         budget allows no progress — the caller decides whether that is
@@ -166,37 +239,72 @@ class MigrationSession:
         remaining_budget = self._budget_lookup(budget)
         executed: list[PhysicalMove] = []
         still_pending: list[PhysicalMove] = []
-        for move in self._pending:
-            src_ok = remaining_budget(move.source_physical) > 0
-            dst_ok = remaining_budget(move.target_physical) > 0
-            if not (src_ok and dst_ok):
-                still_pending.append(move)
-                continue
-            try:
-                self.array.move(move.block_id, move.target_physical)
-            except PlacementConflictError:
-                # Target currently full; an earlier-pending move may free
-                # it in a later round (see order_capacity_safe).
-                still_pending.append(move)
-                continue
-            self._consume(move.source_physical)
-            self._consume(move.target_physical)
-            executed.append(move)
-        self._pending = still_pending
+        try:
+            for move in self._pending:
+                if max_moves is not None and len(executed) >= max_moves:
+                    still_pending.append(move)
+                    continue
+                if self._round < self._deferred_until.get(move.block_id, 0):
+                    still_pending.append(move)  # backing off after a fault
+                    continue
+                src_ok = remaining_budget(move.source_physical) > 0
+                dst_ok = remaining_budget(move.target_physical) > 0
+                if not (src_ok and dst_ok):
+                    still_pending.append(move)
+                    continue
+                if self.injector is not None and not self._attempt(move):
+                    still_pending.append(move)
+                    continue
+                try:
+                    self.array.move(move.block_id, move.target_physical)
+                except PlacementConflictError:
+                    # Target currently full; an earlier-pending move may free
+                    # it in a later round (see order_capacity_safe).
+                    still_pending.append(move)
+                    continue
+                self._consume(move.source_physical)
+                self._consume(move.target_physical)
+                if self.journal is not None:
+                    self.journal.record_apply(self.op_seq, move.block_id)
+                self.executed.append(move)
+                executed.append(move)
+        finally:
+            # Keep the session consistent even when a disk death (or
+            # retry exhaustion) aborts the round partway: every move not
+            # yet visited stays pending.
+            visited = len(executed) + len(still_pending)
+            self._pending = still_pending + self._pending[visited:]
+            self._round += 1
         return executed
 
     def run(
-        self, budget: Mapping[int, int] | int, max_rounds: int = 1_000_000
+        self,
+        budget: Mapping[int, int] | int,
+        max_rounds: int = 1_000_000,
+        stall_rounds: int = 1,
     ) -> MigrationReport:
         """Run rounds until the plan completes.
+
+        Parameters
+        ----------
+        stall_rounds:
+            Consecutive zero-move rounds tolerated before giving up
+            (mirroring :meth:`OnlineScaler.scale_online`'s tolerance).
+            The default of 1 fails on the first idle round — right for a
+            fixed budget, where an idle round proves the budget can never
+            progress; raise it when budgets vary round to round or a
+            fault injector's backoff can idle a round legitimately.
 
         Raises
         ------
         InfeasibleBudgetError
-            If a round makes no progress (budget of zero on a disk every
-            remaining move needs).
+            If ``stall_rounds`` consecutive rounds make no progress, or
+            the migration exceeds ``max_rounds``.
         """
+        if stall_rounds < 1:
+            raise ValueError(f"stall_rounds must be >= 1, got {stall_rounds}")
         report = MigrationReport()
+        idle = 0
         while self._pending:
             if report.rounds_used >= max_rounds:
                 raise InfeasibleBudgetError(
@@ -204,15 +312,56 @@ class MigrationSession:
                     f"{len(self._pending)} moves remain"
                 )
             executed = self.step(budget)
-            if not executed:
-                raise InfeasibleBudgetError(
-                    "round executed zero moves; some disk on every remaining "
-                    "move has no budget"
-                )
             report.rounds_used += 1
             report.moves_executed += len(executed)
             report.moves_per_round.append(len(executed))
+            if executed:
+                idle = 0
+            else:
+                idle += 1
+                if idle >= stall_rounds:
+                    raise InfeasibleBudgetError(
+                        f"no progress for {idle} consecutive rounds; some "
+                        "disk on every remaining move has no budget"
+                    )
         return report
+
+    def _attempt(self, move: PhysicalMove) -> bool:
+        """Consult the fault injector for one transfer; True = proceed.
+
+        Transient and slow outcomes consume both endpoints' budget (the
+        bandwidth was genuinely spent) and leave the move pending.
+        """
+        from repro.server.faults import (
+            OUTCOME_SLOW,
+            OUTCOME_TRANSIENT,
+            TransferRetryExhaustedError,
+        )
+
+        self.injector.check_alive(move.source_physical, move.target_physical)
+        outcome = self.injector.attempt(
+            move.source_physical, move.target_physical
+        )
+        if outcome == OUTCOME_TRANSIENT:
+            self._consume(move.source_physical)
+            self._consume(move.target_physical)
+            retries = self._retries.get(move.block_id, 0) + 1
+            self._retries[move.block_id] = retries
+            if retries > self.max_retries:
+                raise TransferRetryExhaustedError(
+                    f"move of {move.block_id} failed {retries} times "
+                    f"(max_retries={self.max_retries})"
+                )
+            # Exponential backoff: 1, 2, 4, ... rounds before retrying.
+            self._deferred_until[move.block_id] = (
+                self._round + 1 + (1 << (retries - 1))
+            )
+            return False
+        if outcome == OUTCOME_SLOW:
+            self._consume(move.source_physical)
+            self._consume(move.target_physical)
+            return False
+        return True
 
     # ------------------------------------------------------------------
     # Internals

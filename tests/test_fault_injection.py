@@ -1,0 +1,292 @@
+"""Deterministic fault injection and the disk-death escalation path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.operations import ScalingOp
+from repro.experiments.chaos_scaling import run_chaos_scaling
+from repro.server.cmserver import CMServer
+from repro.server.faults import (
+    OUTCOME_OK,
+    DiskDeathError,
+    FaultInjector,
+    TransferRetryExhaustedError,
+)
+from repro.server.fsck import check_layout
+from repro.server.journal import ScalingJournal
+from repro.server.online import OnlineScaler
+from repro.server.recovery import escalate_disk_death
+from repro.server.scheduler import RoundScheduler
+from repro.storage.disk import DiskSpec
+from repro.storage.migration import MigrationSession
+from repro.workloads.generator import uniform_catalog
+
+
+def make_server(n0=4, blocks=120, journal=None):
+    catalog = uniform_catalog(3, blocks, master_seed=0xFA17, bits=32)
+    spec = DiskSpec(capacity_blocks=100_000, bandwidth_blocks_per_round=8)
+    return CMServer(
+        catalog, [spec] * n0, bits=32, default_spec=spec, journal=journal
+    )
+
+
+class _AlwaysFire:
+    """RNG stub whose draws always land below any positive rate."""
+
+    def random(self):
+        return 0.0
+
+
+class TestFaultInjector:
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            FaultInjector(transient_rate=1.0)
+        with pytest.raises(ValueError):
+            FaultInjector(slow_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultInjector(death_victim="bystander")
+        with pytest.raises(ValueError):
+            FaultInjector(death_at_transfer=0)
+
+    def test_zero_rates_always_ok(self):
+        injector = FaultInjector(seed=7)
+        assert all(
+            injector.attempt(0, 1) == OUTCOME_OK for _ in range(200)
+        )
+        assert injector.stats.attempts == 200
+        assert injector.stats.transient_faults == 0
+
+    def test_same_seed_same_schedule(self):
+        a = FaultInjector(seed=42, transient_rate=0.3, slow_rate=0.2)
+        b = FaultInjector(seed=42, transient_rate=0.3, slow_rate=0.2)
+        outcomes_a = [a.attempt(0, 1) for _ in range(300)]
+        outcomes_b = [b.attempt(0, 1) for _ in range(300)]
+        assert outcomes_a == outcomes_b
+        assert len(set(outcomes_a)) == 3  # all three outcomes occur
+
+    def test_different_seed_different_schedule(self):
+        a = FaultInjector(seed=1, transient_rate=0.4)
+        b = FaultInjector(seed=2, transient_rate=0.4)
+        assert [a.attempt(0, 1) for _ in range(100)] != [
+            b.attempt(0, 1) for _ in range(100)
+        ]
+
+    def test_scheduled_death_kills_victim(self):
+        injector = FaultInjector(death_at_transfer=3, death_victim="target")
+        injector.attempt(10, 20)
+        injector.attempt(10, 20)
+        with pytest.raises(DiskDeathError) as exc:
+            injector.attempt(10, 20)
+        assert exc.value.physical_id == 20
+        assert injector.dead == {20}
+        assert injector.stats.deaths == [20]
+
+    def test_dead_target_always_blocked(self):
+        injector = FaultInjector()
+        injector.dead.add(5)
+        injector.enable_mirror_reads()
+        with pytest.raises(DiskDeathError):
+            injector.check_alive(0, 5)
+
+    def test_dead_source_blocked_until_mirror_reads(self):
+        injector = FaultInjector()
+        injector.dead.add(5)
+        with pytest.raises(DiskDeathError):
+            injector.check_alive(5, 0)
+        injector.enable_mirror_reads()
+        injector.check_alive(5, 0)  # replica-served, no raise
+        assert injector.stats.mirror_reads == 1
+
+
+class TestFaultySession:
+    def make_session(self, injector, **kwargs):
+        server = make_server()
+        pending = server.begin_scale(ScalingOp.add(1))
+        return server, pending, MigrationSession(
+            server.array, pending.plan, injector=injector, **kwargs
+        )
+
+    def test_transient_faults_delay_but_complete(self):
+        injector = FaultInjector(seed=3, transient_rate=0.3)
+        server, pending, session = self.make_session(injector)
+        report = session.run(1_000, stall_rounds=64)
+        server.finish_scale(pending)
+        assert session.done
+        assert injector.stats.transient_faults > 0
+        # Backoff stretches the migration past the one-round faultless run.
+        assert report.rounds_used > 1
+        assert check_layout(server).clean
+
+    def test_transient_consumes_both_budgets(self):
+        injector = FaultInjector(transient_rate=0.5)
+        injector._rng = _AlwaysFire()  # every attempt is transient
+        server, pending, session = self.make_session(injector)
+        move = session.pending_moves[0]
+        executed = session.step({move.source_physical: 1, move.target_physical: 1})
+        assert executed == []
+        # Budget was spent on the fault, so nothing else could run either.
+        assert session._spent[move.source_physical] == 1
+        assert session._spent[move.target_physical] == 1
+
+    def test_backoff_is_exponential(self):
+        injector = FaultInjector(transient_rate=0.5)
+        injector._rng = _AlwaysFire()
+        server, pending, session = self.make_session(injector)
+        block = session.pending_moves[0].block_id
+        deferrals = []
+        for round_no in range(40):
+            before = session._deferred_until.get(block, 0)
+            session.step({
+                session.pending_moves[0].source_physical: 1,
+                session.pending_moves[0].target_physical: 1,
+            })
+            after = session._deferred_until.get(block, 0)
+            if after != before:
+                deferrals.append(after - round_no - 1)
+        # Gaps double: 1, 2, 4, ... (first entry is the first backoff).
+        assert deferrals[:4] == [1, 2, 4, 8]
+
+    def test_retry_exhaustion_raises(self):
+        injector = FaultInjector(transient_rate=0.5)
+        injector._rng = _AlwaysFire()
+        server, pending, session = self.make_session(injector, max_retries=3)
+        with pytest.raises(TransferRetryExhaustedError):
+            for _ in range(200):
+                session.step(1_000)
+
+    def test_slow_transfers_cost_rounds_not_retries(self):
+        injector = FaultInjector(seed=9, slow_rate=0.4)
+        server, pending, session = self.make_session(injector)
+        report = session.run(1_000, stall_rounds=8)
+        server.finish_scale(pending)
+        assert injector.stats.slow_transfers > 0
+        assert session._retries == {}  # slow is not a failure
+        assert report.moves_executed == len(pending.plan)
+
+    def test_death_mid_round_keeps_unvisited_moves_pending(self):
+        injector = FaultInjector(death_at_transfer=4, death_victim="source")
+        server, pending, session = self.make_session(injector)
+        total = len(pending.plan)
+        with pytest.raises(DiskDeathError):
+            while not session.done:
+                session.step(1_000)
+        assert len(session.executed) + session.remaining == total
+
+    def test_stall_rounds_tolerates_backoff_idle_rounds(self):
+        injector = FaultInjector(seed=11, transient_rate=0.6)
+        server, pending, session = self.make_session(injector)
+        # stall_rounds=1 would abort on the first all-deferred round;
+        # a tolerant setting rides out the backoff and completes.
+        report = session.run(1_000, stall_rounds=64)
+        assert session.done
+        assert 0 in report.moves_per_round  # an idle round really happened
+
+
+class TestDeathEscalation:
+    def run_death(self, death_at=6):
+        journal = ScalingJournal()
+        server = make_server(journal=journal)
+        before = server.total_blocks
+        injector = FaultInjector(
+            seed=5, transient_rate=0.1, death_at_transfer=death_at,
+            death_victim="source",
+        )
+        pending = server.begin_scale(ScalingOp.add(1))
+        session = MigrationSession(
+            server.array, pending.plan,
+            journal=journal, op_seq=pending.op_seq, injector=injector,
+        )
+        try:
+            while not session.done:
+                session.step(1_000)
+            raise AssertionError("death never fired")
+        except DiskDeathError as death:
+            report = escalate_disk_death(
+                server, pending, session, death.physical_id, injector=injector
+            )
+        return server, journal, before, report
+
+    def test_zero_loss_and_clean_layout(self):
+        server, journal, before, report = self.run_death()
+        assert server.total_blocks == before
+        assert check_layout(server).clean
+        assert report.dead_physical not in server.array.physical_ids
+
+    def test_one_operation_log_two_committed_ops(self):
+        server, journal, _, report = self.run_death()
+        records = journal.replay()
+        assert [r.committed for r in records] == [True, True]
+        assert records[0].op == report.interrupted_op
+        assert records[1].op.kind == "remove"
+        assert server.mapper.num_operations == 2
+
+    def test_mirror_reads_served_dead_sources(self):
+        server, journal, _, report = self.run_death()
+        # The dead disk held blocks, so draining it needed replica reads.
+        assert report.mirror_reads > 0
+        assert report.removal_moves > 0
+
+    def test_escalation_refuses_already_doomed_disk(self):
+        server = make_server(journal=ScalingJournal())
+        pending = server.begin_scale(ScalingOp.remove([1]))
+        session = MigrationSession(
+            server.array, pending.plan,
+            journal=server.journal, op_seq=pending.op_seq,
+        )
+        doomed = pending.removed_physicals[0]
+        with pytest.raises(ValueError):
+            escalate_disk_death(server, pending, session, doomed)
+
+
+class TestOnlineChaos:
+    def test_report_carries_fault_counters(self):
+        server = make_server(journal=ScalingJournal())
+        scheduler = RoundScheduler(server.array)
+        injector = FaultInjector(seed=2, transient_rate=0.2, slow_rate=0.1)
+        report = OnlineScaler(server, scheduler).scale_online(
+            ScalingOp.add(1), injector=injector
+        )
+        assert report.transient_faults == injector.stats.transient_faults
+        assert report.slow_transfers == injector.stats.slow_transfers
+        assert report.transient_faults > 0
+        assert check_layout(server).clean
+
+    def test_death_error_carries_resume_context(self):
+        server = make_server(journal=ScalingJournal())
+        scheduler = RoundScheduler(server.array)
+        injector = FaultInjector(death_at_transfer=3, death_victim="source")
+        with pytest.raises(DiskDeathError) as exc:
+            OnlineScaler(server, scheduler).scale_online(
+                ScalingOp.add(1), injector=injector
+            )
+        death = exc.value
+        assert death.pending is not None and death.session is not None
+        # The carried context is exactly what escalation needs.
+        escalate_disk_death(
+            server, death.pending, death.session, death.physical_id,
+            injector=injector,
+        )
+        assert check_layout(server).clean
+
+
+class TestChaosExperiment:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_chaos_scaling(num_objects=3, blocks_per_object=120)
+
+    def test_all_scenarios_survive(self, results):
+        assert [r.scenario for r in results] == [
+            "scale-up", "scale-down", "disk-death"
+        ]
+        for r in results:
+            assert r.survived, f"{r.scenario} lost {r.blocks_lost} blocks"
+
+    def test_faults_actually_fired(self, results):
+        for r in results:
+            assert r.transient_faults > 0, r.scenario
+        assert results[-1].mirror_reads > 0
+
+    def test_deterministic_across_runs(self, results):
+        again = run_chaos_scaling(num_objects=3, blocks_per_object=120)
+        assert again == results

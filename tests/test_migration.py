@@ -8,10 +8,12 @@ from repro.storage.array import DiskArray
 from repro.storage.block import Block, BlockId
 from repro.storage.disk import DiskSpec
 from repro.storage.migration import (
+    CapacityDeadlockError,
     InfeasibleBudgetError,
     MigrationPlan,
     MigrationSession,
     PhysicalMove,
+    order_capacity_safe,
 )
 
 
@@ -126,3 +128,103 @@ class TestSession:
         assert session.done
         report = session.run(budget=1)
         assert report.rounds_used == 0
+
+    def test_stall_rounds_must_be_positive(self):
+        array = setup_array()
+        session = MigrationSession(array, plan_spread(array, 2))
+        with pytest.raises(ValueError):
+            session.run(budget=1, stall_rounds=0)
+
+    def test_stall_rounds_extends_patience(self):
+        array = setup_array()
+        session = MigrationSession(array, plan_spread(array, 2))
+        with pytest.raises(InfeasibleBudgetError, match="3 consecutive"):
+            session.run(budget=0, stall_rounds=3)
+        assert session._round == 3  # waited the full allowance
+
+    def test_max_moves_caps_a_round(self):
+        array = setup_array()
+        session = MigrationSession(array, plan_spread(array, 6))
+        assert len(session.step(100, max_moves=2)) == 2
+        assert session.remaining == 4
+
+
+def tight_array():
+    """Three nearly-full disks: 0 and 1 at capacity, 2 with one free slot."""
+    array = DiskArray([DiskSpec(capacity_blocks=2)] * 3)
+    array.place(Block(object_id=0, index=0, x0=0), 0)
+    array.place(Block(object_id=0, index=1, x0=1), 0)
+    array.place(Block(object_id=1, index=0, x0=2), 1)
+    array.place(Block(object_id=1, index=1, x0=3), 1)
+    array.place(Block(object_id=2, index=0, x0=4), 2)
+    return array
+
+
+class TestOrderCapacitySafe:
+    def wedging_plan(self, array):
+        """Naive order wedges: the 0->1 move needs 1 drained first."""
+        p0, p1, p2 = (array.physical_at(i) for i in range(3))
+        return MigrationPlan.from_moves(
+            [
+                PhysicalMove(BlockId(0, 0), p0, p1),  # target full
+                PhysicalMove(BlockId(1, 0), p1, p2),  # frees a slot on 1
+            ]
+        )
+
+    def test_naive_order_wedges_in_one_round(self):
+        array = tight_array()
+        session = MigrationSession(array, self.wedging_plan(array))
+        # Unlimited budget, yet only the second move lands this round.
+        assert len(session.step(100)) == 1
+        assert session.remaining == 1
+
+    def test_reordered_plan_completes_in_one_round(self):
+        array = tight_array()
+        plan = self.wedging_plan(array)
+        safe = order_capacity_safe(array, plan)
+        assert [m.block_id for m in safe.moves] == [BlockId(1, 0), BlockId(0, 0)]
+        session = MigrationSession(array, safe)
+        assert len(session.step(100)) == 2
+        assert session.done
+
+    def test_reorder_preserves_move_set(self):
+        array = tight_array()
+        plan = self.wedging_plan(array)
+        safe = order_capacity_safe(array, plan)
+        key = lambda m: (m.block_id.object_id, m.block_id.index)
+        assert sorted(safe.moves, key=key) == sorted(plan.moves, key=key)
+
+    def test_every_prefix_respects_capacity(self):
+        array = tight_array()
+        safe = order_capacity_safe(array, self.wedging_plan(array))
+        free = {
+            pid: array.disk(pid).capacity_blocks
+            - len(array.blocks_on_physical(pid))
+            for pid in array.physical_ids
+        }
+        for move in safe.moves:
+            assert free[move.target_physical] > 0, "prefix overflows a disk"
+            free[move.target_physical] -= 1
+            free[move.source_physical] += 1
+
+    def test_already_safe_plan_unchanged(self):
+        array = tight_array()
+        p1, p2 = array.physical_at(1), array.physical_at(2)
+        plan = MigrationPlan.from_moves([PhysicalMove(BlockId(1, 0), p1, p2)])
+        assert order_capacity_safe(array, plan).moves == plan.moves
+
+    def test_zero_free_slot_cycle_deadlocks(self):
+        # Two full one-block disks swapping their blocks: physically
+        # unschedulable without scratch space.
+        array = DiskArray([DiskSpec(capacity_blocks=1)] * 2)
+        array.place(Block(object_id=0, index=0, x0=0), 0)
+        array.place(Block(object_id=1, index=0, x0=1), 1)
+        p0, p1 = array.physical_at(0), array.physical_at(1)
+        plan = MigrationPlan.from_moves(
+            [
+                PhysicalMove(BlockId(0, 0), p0, p1),
+                PhysicalMove(BlockId(1, 0), p1, p0),
+            ]
+        )
+        with pytest.raises(CapacityDeadlockError, match="scratch"):
+            order_capacity_safe(array, plan)

@@ -163,3 +163,57 @@ class TestMirroredPlacement:
         x0s = random_x0s(5_000, bits=32, seed=6)
         loads = mirrored.failover_load(x0s, failed_disk=2)
         assert sum(loads.values()) == len(x0s)
+
+
+class TestDegeneratePaths:
+    """The edge cases the scheme's guarantees quietly exclude."""
+
+    def make(self, n0):
+        return MirroredPlacement(ScaddarMapper(n0=n0, bits=32))
+
+    def test_single_disk_pair_collapses_to_primary(self):
+        # f(1) = 0: with one disk there is nowhere else to mirror, so
+        # the "pair" degenerates to the primary disk itself.
+        mirrored = self.make(n0=1)
+        for x0 in random_x0s(50, bits=32, seed=7):
+            pair = mirrored.replica_pair(x0)
+            assert pair.primary == pair.mirror == 0
+
+    def test_single_disk_failure_is_data_loss(self):
+        mirrored = self.make(n0=1)
+        assert not mirrored.tolerates_failure(123, disk=0)
+        with pytest.raises(DataLossError):
+            mirrored.read_disk(123, failed={0})
+
+    def test_two_disks_regain_tolerance(self):
+        # Nj = 2 is the smallest array where f(Nj) >= 1 separates the
+        # replicas, restoring single-failure tolerance.
+        mirrored = self.make(n0=2)
+        for x0 in random_x0s(200, bits=32, seed=8):
+            pair = mirrored.replica_pair(x0)
+            assert pair.mirror == 1 - pair.primary
+            for disk in (0, 1):
+                assert mirrored.tolerates_failure(x0, disk)
+
+    def test_mirror_offset_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            mirror_offset(0)
+        with pytest.raises(ValueError):
+            mirror_offset(-3)
+
+    def test_failover_load_lands_on_single_partner(self):
+        # The fixed-offset trade-off at its starkest: every block of the
+        # failed disk fails over to exactly one partner — no other
+        # surviving disk absorbs any of it.
+        mirrored = self.make(n0=6)
+        x0s = random_x0s(6_000, bits=32, seed=9)
+        healthy = {d: 0 for d in range(6)}
+        for x0 in x0s:
+            healthy[mirrored.replica_pair(x0).primary] += 1
+        failed = 0
+        partner = (failed + mirror_offset(6)) % 6
+        loads = mirrored.failover_load(x0s, failed_disk=failed)
+        assert loads[partner] == healthy[partner] + healthy[failed]
+        for disk in range(6):
+            if disk not in (failed, partner):
+                assert loads[disk] == healthy[disk]

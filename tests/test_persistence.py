@@ -9,6 +9,7 @@ import pytest
 from repro.core.operations import ScalingOp
 from repro.server.cmserver import CMServer
 from repro.server.persistence import (
+    SNAPSHOT_VERSION,
     restore_server,
     server_to_json,
     snapshot_server,
@@ -49,7 +50,7 @@ class TestSnapshot:
 
     def test_snapshot_is_json_serializable(self):
         payload = server_to_json(make_server())
-        assert json.loads(payload)["version"] == 1
+        assert json.loads(payload)["version"] == SNAPSHOT_VERSION
 
     def test_disk_specs_recorded_in_logical_order(self):
         server = make_server(scaled=False)
