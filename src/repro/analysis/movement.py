@@ -14,6 +14,8 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 from fractions import Fraction
 
+import numpy as np
+
 from repro.core.operations import ScalingOp
 from repro.placement.base import PlacementPolicy
 from repro.storage.block import Block
@@ -103,24 +105,24 @@ def run_schedule(
     """
     if policy.num_operations != 0:
         raise ValueError("policy must be fresh (no operations applied yet)")
+    blocks = list(blocks)
     policy.register(blocks)
     tracker = PhysicalTracker(policy.current_disks)
     results: list[OpMovement] = []
-    before = {
-        block.block_id: tracker.physical(policy.disk_of(block))
-        for block in blocks
-    }
+
+    def physical_homes() -> np.ndarray:
+        # One batched lookup over the population, translated to stable
+        # physical ids through the tracker table.
+        table = np.asarray(tracker.table, dtype=np.int64)
+        return table[policy.disks_of(blocks)]
+
+    before = physical_homes()
     for op_index, op in enumerate(schedule):
         n_before = policy.current_disks
         n_after = policy.apply(op)
         tracker.apply(op)
-        after = {
-            block.block_id: tracker.physical(policy.disk_of(block))
-            for block in blocks
-        }
-        moved = sum(
-            1 for block_id, home in after.items() if before[block_id] != home
-        )
+        after = physical_homes()
+        moved = int(np.count_nonzero(before != after))
         results.append(
             OpMovement(
                 op_index=op_index,

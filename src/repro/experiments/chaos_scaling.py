@@ -25,9 +25,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.analysis.movement import optimal_move_fraction
 from repro.core.operations import ScalingOp
 from repro.experiments.tables import format_table
-from repro.server.cmserver import CMServer
+from repro.server.cmserver import CMServer, ScaleReport
 from repro.server.faults import DiskDeathError, FaultInjector
 from repro.server.fsck import check_layout
 from repro.server.journal import ScalingJournal
@@ -53,6 +54,10 @@ class ChaosScenarioResult:
     hiccups: int
     blocks_lost: int
     layout_clean: bool
+    #: Movement efficiency of the scenario's scaling operation (RO1
+    #: optimum over the observed moved fraction; faults cost retries and
+    #: rounds, never extra block movement).
+    efficiency: float = 0.0
 
     @property
     def survived(self) -> bool:
@@ -86,8 +91,18 @@ def _finish(
     rounds: int,
     hiccups: int,
     injector: FaultInjector,
+    op: ScalingOp,
+    n_before: int,
 ) -> ChaosScenarioResult:
     audit = check_layout(server)
+    report = ScaleReport(
+        op=op,
+        n_before=n_before,
+        n_after=op.next_disk_count(n_before),
+        blocks_moved=plan_moves,
+        total_blocks=server.total_blocks,
+        optimal_fraction=optimal_move_fraction(op, n_before),
+    )
     return ChaosScenarioResult(
         scenario=scenario,
         plan_moves=plan_moves,
@@ -98,6 +113,7 @@ def _finish(
         hiccups=hiccups,
         blocks_lost=blocks_before - server.total_blocks,
         layout_clean=audit.clean,
+        efficiency=report.efficiency,
     )
 
 
@@ -124,7 +140,8 @@ def run_chaos_scaling(
     )
     results.append(
         _finish("scale-up", server, before, report.blocks_moved,
-                report.rounds, report.hiccups, injector)
+                report.rounds, report.hiccups, injector,
+                ScalingOp.add(2), n0)
     )
 
     # Scenario 2: online scale-down under the same fault load.
@@ -138,7 +155,8 @@ def run_chaos_scaling(
     )
     results.append(
         _finish("scale-down", server, before, report.blocks_moved,
-                report.rounds, report.hiccups, injector)
+                report.rounds, report.hiccups, injector,
+                ScalingOp.remove([1]), n0)
     )
 
     # Scenario 3: a disk dies mid-addition; escalate failure-as-removal.
@@ -170,7 +188,8 @@ def run_chaos_scaling(
         )
     results.append(
         _finish("disk-death", server, before, len(pending.plan),
-                rounds, hiccups, injector)
+                rounds, hiccups, injector,
+                ScalingOp.add(1), n0)
     )
     return results
 
@@ -187,6 +206,7 @@ def report(results: list[ChaosScenarioResult] | None = None) -> str:
             "slow transfers",
             "mirror reads",
             "hiccups",
+            "efficiency",
             "blocks lost",
             "fsck clean",
         ),
@@ -199,6 +219,7 @@ def report(results: list[ChaosScenarioResult] | None = None) -> str:
                 r.slow_transfers,
                 r.mirror_reads,
                 r.hiccups,
+                r.efficiency,
                 r.blocks_lost,
                 "yes" if r.layout_clean else "NO",
             )

@@ -24,8 +24,20 @@ Modern comparators (extensions, not in the paper):
 * :class:`ConsistentHashPolicy` — a vnode ring (Karger et al.).
 * :class:`JumpHashPolicy` — jump consistent hash (Lamping & Veach).
 * :class:`StrawPolicy` — CRUSH-style straw2 selection (Weil et al.).
+
+Server backends (:mod:`repro.placement.backends`): the subset of
+policies implementing the full backend API (batched lookups, move
+planning, persistence identity) that the server stack can run on —
+see :data:`BACKENDS`, :func:`make_backend`, :class:`ScaddarBackend`.
 """
 
+from repro.placement.backends import (
+    BACKENDS,
+    ScaddarBackend,
+    UnknownBackendError,
+    backend_from_payload,
+    make_backend,
+)
 from repro.placement.base import PlacementPolicy
 from repro.placement.complete import CompleteRedistribution
 from repro.placement.consistent_hash import ConsistentHashPolicy
@@ -55,6 +67,7 @@ ALL_POLICIES: dict[str, type[PlacementPolicy]] = {
 
 __all__ = [
     "ALL_POLICIES",
+    "BACKENDS",
     "CompleteRedistribution",
     "ConsistentHashPolicy",
     "DirectoryPolicy",
@@ -63,9 +76,13 @@ __all__ = [
     "NaivePolicy",
     "PlacementPolicy",
     "RoundRobinPolicy",
+    "ScaddarBackend",
     "ScaddarPolicy",
     "StrawPolicy",
+    "UnknownBackendError",
     "WeightedStrawPool",
+    "backend_from_payload",
     "jump_hash",
+    "make_backend",
     "straw_length",
 ]

@@ -55,6 +55,7 @@ class ConsistentHashPolicy(PlacementPolicy):
             raise ValueError(f"vnodes must be >= 1, got {vnodes}")
         self._vnodes = vnodes
         self._nodes: list[int] = []  # logical order: position -> node id
+        self._rank: dict[int, int] = {}  # node id -> logical index
         self._next_node_id = 0
         self._ring: list[tuple[int, int]] = []  # sorted (position, node id)
         super().__init__(n0)
@@ -62,12 +63,34 @@ class ConsistentHashPolicy(PlacementPolicy):
             self._add_node()
 
     def disk_of(self, block: Block) -> int:
-        owner = self._owner_node(_key_position(block.x0))
-        return self._nodes.index(owner)
+        return self.locate_one(block.block_id, block.x0)
+
+    def locate_one(self, block_id, x0: int) -> int:
+        owner = self._owner_node(_key_position(x0))
+        return self._rank[owner]
 
     def state_entries(self) -> int:
         """The ring: one entry per virtual node."""
         return len(self._ring)
+
+    def state_payload(self) -> dict:
+        """Operation log plus the vnode count.
+
+        Node identities are assigned deterministically (sequential ids,
+        rank-compacted removals), so replaying the log with the same
+        ``vnodes`` rebuilds the exact ring.
+        """
+        return {"operation_log": self._log_payload(), "vnodes": self._vnodes}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ConsistentHashPolicy":
+        from repro.placement.base import _restore_log
+
+        log = _restore_log(payload)
+        policy = cls(log.n0, vnodes=payload["vnodes"])
+        for op in log:
+            policy.apply(op)
+        return policy
 
     def _on_apply(self, op: ScalingOp, n_before: int, n_after: int) -> None:
         if op.kind == "add":
@@ -77,6 +100,7 @@ class ConsistentHashPolicy(PlacementPolicy):
         ranks = survivor_ranks(op.removed, n_before)
         doomed = {self._nodes[d] for d, rank in enumerate(ranks) if rank < 0}
         self._nodes = [node for node in self._nodes if node not in doomed]
+        self._rank = {node: i for i, node in enumerate(self._nodes)}
         self._ring = [(pos, node) for pos, node in self._ring if node not in doomed]
 
     # ------------------------------------------------------------------
@@ -85,6 +109,7 @@ class ConsistentHashPolicy(PlacementPolicy):
     def _add_node(self) -> None:
         node_id = self._next_node_id
         self._next_node_id += 1
+        self._rank[node_id] = len(self._nodes)
         self._nodes.append(node_id)
         self._ring.extend(
             (_vnode_position(node_id, replica), node_id)

@@ -17,7 +17,7 @@ from collections.abc import Iterable
 
 from repro.core.operations import ScalingOp
 from repro.core.remap import survivor_ranks
-from repro.placement.base import PlacementPolicy
+from repro.placement.base import PlacementPolicy, _restore_log
 from repro.storage.block import Block, BlockId
 
 
@@ -34,6 +34,8 @@ class DirectoryPolicy(PlacementPolicy):
     """
 
     name = "directory"
+    #: Placement is keyed by block identity, not ``X0``.
+    requires_ids = True
 
     def __init__(self, n0: int, seed: int = 0x5CADDA):
         super().__init__(n0)
@@ -47,6 +49,11 @@ class DirectoryPolicy(PlacementPolicy):
             if block.block_id not in self._directory:
                 self._directory[block.block_id] = self._rng.randrange(n)
 
+    def unregister(self, block_ids: Iterable[BlockId]) -> None:
+        """Drop directory entries for removed blocks."""
+        for block_id in block_ids:
+            self._directory.pop(block_id, None)
+
     def disk_of(self, block: Block) -> int:
         try:
             return self._directory[block.block_id]
@@ -55,9 +62,50 @@ class DirectoryPolicy(PlacementPolicy):
                 f"block {block.block_id} was never registered with the directory"
             )
 
+    def locate_one(self, block_id: BlockId, x0: int) -> int:
+        try:
+            return self._directory[block_id]
+        except KeyError:
+            raise KeyError(
+                f"block {block_id} was never registered with the directory"
+            )
+
     def state_entries(self) -> int:
         """One directory entry per block — the Appendix A complaint."""
         return len(self._directory)
+
+    def state_payload(self) -> dict:
+        """The full directory plus the RNG state.
+
+        O(blocks) — exactly the Appendix A storage complaint made
+        literal: the snapshot grows with the population, where SCADDAR's
+        is the operation log.  The RNG state rides along so resumed
+        relocation draws continue the crashed process's sequence.
+        """
+        version, internal, gauss = self._rng.getstate()
+        return {
+            "operation_log": self._log_payload(),
+            "rng_state": [version, list(internal), gauss],
+            "entries": [
+                [block_id.object_id, block_id.index, disk]
+                for block_id, disk in self._directory.items()
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "DirectoryPolicy":
+        log = _restore_log(payload)
+        policy = cls(log.n0)
+        # Adopt the recorded history wholesale: relocations already
+        # happened in the recorded entries, so the log must not replay.
+        policy.log = log
+        version, internal, gauss = payload["rng_state"]
+        policy._rng.setstate((version, tuple(internal), gauss))
+        policy._directory = {
+            BlockId(object_id, index): disk
+            for object_id, index, disk in payload["entries"]
+        }
+        return policy
 
     def _on_apply(self, op: ScalingOp, n_before: int, n_after: int) -> None:
         if op.kind == "add":

@@ -36,12 +36,20 @@ def jump_hash(key: int, buckets: int) -> int:
 
 
 class JumpHashPolicy(PlacementPolicy):
-    """Stateless jump-hash placement: ``disk = jump_hash(X0, N)``."""
+    """Stateless jump-hash placement: ``disk = jump_hash(X0, N)``.
+
+    As a server backend its persistence identity is the operation log
+    alone (the base payload): placement is a pure function of
+    ``(X0, N)``, so replaying the log restores it bit-exactly.
+    """
 
     name = "jump_hash"
 
     def disk_of(self, block: Block) -> int:
         return jump_hash(block.x0, self.current_disks)
+
+    def locate_one(self, block_id, x0: int) -> int:
+        return jump_hash(x0, self.current_disks)
 
     def state_entries(self) -> int:
         # Placement is a pure function of (X0, N).

@@ -2,23 +2,34 @@
 
 These are thin adapters: the actual REMAP logic lives in
 :mod:`repro.core`; the adapters bind it to the :class:`Block` currency and
-the uniform policy interface the benches sweep.
+the uniform policy interface the benches sweep.  Batched lookups run on a
+lazily built :class:`~repro.core.engine.PlacementEngine` sharing the
+mapper's operation log, so ``disks_of``/``placement_snapshot`` over large
+populations cost vector passes instead of per-block Python chains.
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+from typing import Optional
+
+import numpy as np
+
+from repro.core.engine import PlacementEngine
+from repro.core.errors import RandomnessExhaustedError
 from repro.core.naive import NaiveMapper
 from repro.core.operations import ScalingOp
 from repro.core.scaddar import ScaddarMapper
-from repro.placement.base import PlacementPolicy
-from repro.storage.block import Block
+from repro.placement.base import PlacementPolicy, _restore_log
+from repro.storage.block import Block, BlockId
 
 
 class ScaddarPolicy(PlacementPolicy):
     """SCADDAR behind the generic policy interface.
 
     Persistent state is the operation log only (AO1's storage argument);
-    lookups chain ``j`` REMAP steps over the block's ``X0``.
+    scalar lookups chain ``j`` REMAP steps over the block's ``X0``,
+    batched lookups run the same chain vectorized.
     """
 
     name = "scaddar"
@@ -26,9 +37,47 @@ class ScaddarPolicy(PlacementPolicy):
     def __init__(self, n0: int, bits: int = 64):
         super().__init__(n0)
         self.mapper = ScaddarMapper(n0=n0, bits=bits)
+        self._engine: Optional[PlacementEngine] = None
+
+    @classmethod
+    def create(cls, n0: int, bits: int = 64) -> "ScaddarPolicy":
+        return cls(n0, bits=bits)
+
+    @property
+    def engine(self) -> PlacementEngine:
+        """The batched engine over the mapper's log (built on demand)."""
+        if self._engine is None or self._engine.log is not self.mapper.log:
+            self._engine = PlacementEngine(self.mapper.log)
+        return self._engine
 
     def disk_of(self, block: Block) -> int:
         return self.mapper.disk_of(block.x0)
+
+    def locate_one(self, block_id: BlockId, x0: int) -> int:
+        return self.mapper.disk_of(x0)
+
+    def locate_batch(
+        self, block_ids: Optional[Sequence[BlockId]], x0s: np.ndarray
+    ) -> np.ndarray:
+        return self.engine.locate_batch(x0s)
+
+    def check_budget(self, op: ScalingOp, eps: float) -> None:
+        if not self.mapper.can_apply(op, eps):
+            raise RandomnessExhaustedError(
+                f"operation {op} would push Pi_k past R0 * eps / (1 + eps) "
+                f"for eps={eps}; a full reshuffle is required"
+            )
+
+    def state_payload(self) -> dict:
+        return {"bits": self.mapper.bits, "operation_log": self._log_payload()}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ScaddarPolicy":
+        log = _restore_log(payload)
+        policy = cls(log.n0, bits=payload["bits"])
+        for op in log:
+            policy.apply(op)
+        return policy
 
     def _on_apply(self, op: ScalingOp, n_before: int, n_after: int) -> None:
         self.mapper.apply(op)

@@ -1,17 +1,24 @@
-"""The CM server facade: catalog + SCADDAR mapper + disk array.
+"""The CM server facade: catalog + placement backend + disk array.
 
 Ties the pieces together the way the paper's system would run:
 
-* loading an object places its blocks by ``X0 mod N0`` (plus any recorded
-  REMAPs);
-* ``scale()`` performs one scaling operation — mapper first (the log is
+* loading an object places its blocks where the placement backend says
+  (for SCADDAR: ``X0 mod N0`` plus any recorded REMAPs);
+* ``scale()`` performs one scaling operation — backend first (its log is
   the source of truth), then the RF() plan, then the physical moves, then
   the topology change;
-* lookups go through ``AF()`` only; the array's inventory is the
-  simulated "ground truth" the integration tests check AF against;
+* lookups go through the backend only; the array's inventory is the
+  simulated "ground truth" the integration tests check lookups against;
 * when the Lemma 4.3 budget is spent, ``reshuffle()`` performs the full
   redistribution the paper prescribes: fresh seeds, fresh mapper, blocks
-  moved to their new homes.
+  moved to their new homes (SCADDAR backend only).
+
+The placement layer is pluggable: any policy implementing the backend
+API of :class:`~repro.placement.base.PlacementPolicy` (see
+:mod:`repro.placement.backends`) drives the same scaling, migration,
+journaling, and recovery machinery.  The default backend is
+:class:`~repro.placement.backends.ScaddarBackend`, bit-identical to the
+engine-direct code it replaced (``tests/test_backend_parity.py``).
 
 Scaling can also be *begun* (plan computed, topology prepared) and
 executed lazily by the online scaler (:mod:`repro.server.online`).
@@ -21,7 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
@@ -29,6 +36,8 @@ from repro.analysis.movement import optimal_move_fraction
 from repro.core.engine import PlacementEngine
 from repro.core.operations import ScalingOp
 from repro.core.scaddar import ScaddarMapper
+from repro.placement.backends import ScaddarBackend, make_backend
+from repro.placement.base import PlacementPolicy
 from repro.server.journal import LogicalMove, ScalingJournal
 from repro.server.objects import MediaObject, ObjectCatalog
 from repro.storage.array import DiskArray
@@ -37,7 +46,7 @@ from repro.storage.disk import DiskSpec
 from repro.storage.migration import (
     MigrationPlan,
     MigrationSession,
-    PhysicalMove,
+    plan_physical_moves,
 )
 
 
@@ -57,14 +66,27 @@ class ScaleReport:
         """Observed fraction of all blocks moved."""
         return self.blocks_moved / self.total_blocks if self.total_blocks else 0.0
 
+    @property
+    def efficiency(self) -> float:
+        """Movement efficiency: optimal over observed moved fraction.
+
+        1.0 means RO1-optimal; below 1.0 the operation moved more blocks
+        than the minimum.  Zero-move operations score 1.0 when nothing
+        needed to move and 0.0 when the optimum says something did.
+        """
+        moved = self.moved_fraction
+        if moved == 0.0:
+            return 1.0 if self.optimal_fraction == 0 else 0.0
+        return float(self.optimal_fraction) / moved
+
 
 @dataclass
 class PendingScale:
     """A begun-but-not-finished scaling operation.
 
-    The mapper already reflects the new epoch and added disks are already
-    attached; the caller owns executing ``plan`` (at whatever pace) and
-    then calling :meth:`CMServer.finish_scale`.
+    The backend already reflects the new epoch and added disks are
+    already attached; the caller owns executing ``plan`` (at whatever
+    pace) and then calling :meth:`CMServer.finish_scale`.
     """
 
     op: ScalingOp
@@ -72,14 +94,16 @@ class PendingScale:
     n_after: int
     plan: MigrationPlan
     removed_physicals: tuple[int, ...] = ()
-    #: 1-based position of the operation in the mapper's log — the
+    #: 1-based position of the operation in the backend's log — the
     #: correlation key between journal records and the operation.
     op_seq: int = 0
+    #: Backend state captured before the operation (abort restores it).
+    rollback_payload: Optional[dict] = field(default=None, repr=False)
     _finished: bool = field(default=False, repr=False)
 
 
 class CMServer:
-    """A scalable continuous-media server with SCADDAR placement.
+    """A scalable continuous-media server with pluggable placement.
 
     Parameters
     ----------
@@ -88,10 +112,15 @@ class CMServer:
     initial_specs:
         Disk specs of the initial group.
     bits:
-        Random-number width ``b`` (bounds the operation budget).
+        Random-number width ``b`` (bounds SCADDAR's operation budget).
     default_spec:
         Spec used for added disks when ``scale`` is not given explicit
         specs.
+    backend:
+        Placement backend: a registry name (``"scaddar"``,
+        ``"jump_hash"``, ``"consistent_hash"``, ``"directory"``) or a
+        ready :class:`~repro.placement.base.PlacementPolicy` instance
+        whose disk count matches ``initial_specs``.
 
     Examples
     --------
@@ -107,22 +136,62 @@ class CMServer:
         bits: int = 64,
         default_spec: Optional[DiskSpec] = None,
         journal: Optional[ScalingJournal] = None,
+        backend: Union[str, PlacementPolicy] = "scaddar",
     ):
         if catalog.bits != bits:
             raise ValueError(
                 f"catalog bit width {catalog.bits} != server bit width {bits}; "
-                "the mapper and the sequences must agree on R"
+                "the backend and the sequences must agree on R"
+            )
+        if isinstance(backend, str):
+            backend = make_backend(backend, n0=len(initial_specs), bits=bits)
+        if backend.current_disks != len(initial_specs):
+            raise ValueError(
+                f"backend expects {backend.current_disks} disks but "
+                f"{len(initial_specs)} specs were given"
             )
         self.catalog = catalog
         self.array = DiskArray(initial_specs)
-        self.mapper = ScaddarMapper(n0=len(initial_specs), bits=bits)
-        self.engine = PlacementEngine(self.mapper.log)
+        self.backend = backend
         self.default_spec = default_spec or initial_specs[0]
         self.journal = journal
         self._x0: dict[BlockId, int] = {}
         self.reshuffles = 0
         for media in catalog:
             self._load_blocks(media)
+
+    @classmethod
+    def from_backend(
+        cls,
+        catalog: ObjectCatalog,
+        backend: PlacementPolicy,
+        current_specs: list[DiskSpec],
+        default_spec: Optional[DiskSpec] = None,
+    ) -> "CMServer":
+        """Rebuild a server from a restored backend.
+
+        ``current_specs`` describes the disks of the *current* epoch (one
+        per logical index, ``len == backend.current_disks``); blocks are
+        placed where the backend's restored state says they belong — the
+        paper's claim that the persistent placement state fully
+        determines the layout, generalized to every backend.
+        """
+        if len(current_specs) != backend.current_disks:
+            raise ValueError(
+                f"backend expects {backend.current_disks} disks but "
+                f"{len(current_specs)} specs were given"
+            )
+        server = cls.__new__(cls)
+        server.catalog = catalog
+        server.array = DiskArray(current_specs)
+        server.backend = backend
+        server.default_spec = default_spec or current_specs[0]
+        server.journal = None
+        server._x0 = {}
+        server.reshuffles = 0
+        for media in catalog:
+            server._load_blocks(media)
+        return server
 
     @classmethod
     def from_state(
@@ -132,35 +201,41 @@ class CMServer:
         current_specs: list[DiskSpec],
         default_spec: Optional[DiskSpec] = None,
     ) -> "CMServer":
-        """Rebuild a server from restored state (seeds + operation log).
-
-        ``current_specs`` describes the disks of the *current* epoch (one
-        per logical index, ``len == mapper.current_disks``); blocks are
-        placed where the replayed REMAP chain says they belong — the
-        paper's claim that seeds plus the op log fully determine the
-        layout.
-        """
-        if len(current_specs) != mapper.current_disks:
-            raise ValueError(
-                f"mapper expects {mapper.current_disks} disks but "
-                f"{len(current_specs)} specs were given"
-            )
-        server = cls.__new__(cls)
-        server.catalog = catalog
-        server.array = DiskArray(current_specs)
-        server.mapper = mapper
-        server.engine = PlacementEngine(mapper.log)
-        server.default_spec = default_spec or current_specs[0]
-        server.journal = None
-        server._x0 = {}
-        server.reshuffles = 0
-        for media in catalog:
-            server._load_blocks(media)
-        return server
+        """Rebuild a SCADDAR server from restored state (seeds + op log)."""
+        return cls.from_backend(
+            catalog,
+            ScaddarBackend.from_mapper(mapper),
+            current_specs,
+            default_spec=default_spec,
+        )
 
     def attach_journal(self, journal: ScalingJournal) -> None:
         """Route subsequent scaling operations through a journal."""
         self.journal = journal
+
+    # ------------------------------------------------------------------
+    # SCADDAR-specific views (raise for other backends)
+    # ------------------------------------------------------------------
+    @property
+    def mapper(self) -> ScaddarMapper:
+        """The SCADDAR mapper (budget queries, mirroring, bit-exact
+        scalar reference).  Raises for backends without one."""
+        mapper = getattr(self.backend, "mapper", None)
+        if not isinstance(mapper, ScaddarMapper):
+            raise AttributeError(
+                f"backend {self.backend.name!r} has no SCADDAR mapper"
+            )
+        return mapper
+
+    @property
+    def engine(self) -> PlacementEngine:
+        """The SCADDAR batched engine.  Raises for other backends."""
+        engine = getattr(self.backend, "engine", None)
+        if engine is None:
+            raise AttributeError(
+                f"backend {self.backend.name!r} has no placement engine"
+            )
+        return engine
 
     # ------------------------------------------------------------------
     # Catalog / placement
@@ -186,30 +261,34 @@ class CMServer:
     def remove_object(self, object_id: int) -> None:
         """Drop an object and free its blocks."""
         media = self.catalog.remove_object(object_id)
+        dropped = []
         for index in range(media.num_blocks):
             block_id = BlockId(object_id, index)
             self.array.drop(block_id)
             del self._x0[block_id]
+            dropped.append(block_id)
+        self.backend.unregister(dropped)
 
     def block_location(self, object_id: int, index: int) -> int:
-        """``AF()``: physical disk of a block, computed (not looked up).
+        """Physical disk of a block, computed (not looked up).
 
-        This is the retrieval path — a chain of mod/div steps over the
-        block's ``X0`` plus one logical->physical translation; the block
-        inventory is never consulted.
+        This is the retrieval path — for SCADDAR a chain of mod/div steps
+        over the block's ``X0`` plus one logical->physical translation;
+        the block inventory is never consulted.
         """
+        block_id = BlockId(object_id, index)
         x0 = self._x0_of(object_id, index)
-        return self.array.physical_at(self.mapper.disk_of(x0))
+        return self.array.physical_at(self.backend.locate_one(block_id, x0))
 
     def block_locations(self, object_id: int) -> list[int]:
-        """Whole-object ``AF()``: physical disk of every block, in index
-        order, computed in one batched REMAP pass.
+        """Whole-object lookup: physical disk of every block, in index
+        order, computed in one batched pass.
 
         This is the bulk retrieval path for the scheduler/streams layer
         (a stream touches an object's blocks in playback order) and the
         audit path (``fsck`` checks objects wholesale): one
-        :meth:`PlacementEngine.locate_batch` call instead of ``num_blocks``
-        scalar chains.
+        :meth:`~repro.placement.base.PlacementPolicy.locate_batch` call
+        instead of ``num_blocks`` scalar chains.
         """
         media = self.catalog.get(object_id)
         x0s = np.fromiter(
@@ -217,8 +296,35 @@ class CMServer:
             dtype=np.uint64,
             count=media.num_blocks,
         )
+        ids = (
+            [BlockId(object_id, index) for index in range(media.num_blocks)]
+            if self.backend.requires_ids
+            else None
+        )
         table = self.array.physical_ids
-        return [table[disk] for disk in self.engine.locate_batch(x0s).tolist()]
+        return [table[disk] for disk in self.backend.locate_batch(ids, x0s).tolist()]
+
+    def locate_blocks(self, blocks: list[Block]) -> list[int]:
+        """Current *logical* disk of each block, batched.
+
+        The write path's lookup (ingest writes blocks to wherever the
+        backend currently places them); blocks must already be
+        registered with the backend (:meth:`register_media`).
+        """
+        x0s = np.fromiter(
+            (block.x0 for block in blocks), dtype=np.uint64, count=len(blocks)
+        )
+        ids = (
+            [block.block_id for block in blocks]
+            if self.backend.requires_ids
+            else None
+        )
+        return self.backend.locate_batch(ids, x0s).tolist()
+
+    def register_media(self, media: MediaObject) -> None:
+        """Introduce an object's blocks to the backend without placing
+        them (the incremental-ingest path writes them over rounds)."""
+        self.backend.register(media.blocks())
 
     def load_vector(self) -> list[int]:
         """Blocks per disk in logical order (the evaluation's raw data)."""
@@ -235,9 +341,10 @@ class CMServer:
     ) -> ScaleReport:
         """Perform one scaling operation, moving blocks immediately.
 
-        ``eps`` (when given) enforces the Lemma 4.3 budget: the operation
-        raises :class:`~repro.core.errors.RandomnessExhaustedError`
-        instead of degrading fairness past the tolerance.
+        ``eps`` (when given) enforces the backend's fairness budget
+        (SCADDAR's Lemma 4.3): the operation raises
+        :class:`~repro.core.errors.RandomnessExhaustedError` instead of
+        degrading fairness past the tolerance.
         """
         pending = self.begin_scale(op, specs=specs, eps=eps)
         session = MigrationSession(
@@ -262,7 +369,7 @@ class CMServer:
         specs: Optional[list[DiskSpec]] = None,
         eps: Optional[float] = None,
     ) -> PendingScale:
-        """Start a scaling operation: update the mapper, attach any new
+        """Start a scaling operation: update the backend, attach any new
         disks, and compute the RF() migration plan — without moving data.
 
         For removals the doomed disks stay attached (and readable) until
@@ -276,27 +383,42 @@ class CMServer:
                     f"operation adds {op.count} disks but {len(group)} specs given"
                 )
             removed_physicals: tuple[int, ...] = ()
-            target_table = None  # resolved after attach
-            self.mapper.apply(op, eps=eps)
-            self.array.add_group(group)
-            target_table = list(self.array.physical_ids)
         else:
             if specs is not None:
                 raise ValueError("specs are only meaningful for additions")
             removed_physicals = tuple(
                 self.array.physical_at(logical) for logical in op.removed
             )
-            self.mapper.apply(op, eps=eps)
+
+        rollback_payload = self.backend.state_payload()
+        block_ids = list(self._x0)
+        x0s = np.fromiter(
+            self._x0.values(), dtype=np.uint64, count=len(block_ids)
+        )
+        indices, targets = self.backend.plan_moves(op, block_ids, x0s, eps=eps)
+
+        if op.kind == "add":
+            self.array.add_group(group)
+            target_table = list(self.array.physical_ids)
+        else:
             target_table = self.array.survivors_after_removal(op.removed)
 
-        moves = self._plan_moves(target_table)
+        plan = plan_physical_moves(
+            self.array,
+            (
+                (block_ids[i], target)
+                for i, target in zip(indices.tolist(), targets.tolist())
+            ),
+            target_table,
+        )
         pending = PendingScale(
             op=op,
             n_before=n_before,
-            n_after=self.mapper.current_disks,
-            plan=MigrationPlan.from_moves(moves),
+            n_after=self.backend.current_disks,
+            plan=plan,
             removed_physicals=removed_physicals,
-            op_seq=self.mapper.num_operations,
+            op_seq=self.backend.num_operations,
+            rollback_payload=rollback_payload,
         )
         if self.journal is not None:
             # Logical endpoints (pre-detach indexing) — physical ids are
@@ -313,7 +435,7 @@ class CMServer:
                         source_logical=logical[m.source_physical],
                         target_logical=logical[m.target_physical],
                     )
-                    for m in moves
+                    for m in plan.moves
                 ],
             )
         return pending
@@ -336,25 +458,30 @@ class CMServer:
         """Roll back a begun-but-unfinished scaling operation.
 
         Moves already executed (tracked by the session) are reversed,
-        disks attached by an addition are detached, and the mapper is
-        rebuilt without the operation — afterwards the server is
+        disks attached by an addition are detached, and the backend is
+        restored to its pre-operation state — afterwards the server is
         bit-identical to its pre-``begin_scale`` state.  Returns the
         number of moves rolled back.
 
         Raises
         ------
         ValueError
-            If the operation was already finished, or the mapper's last
+            If the operation was already finished, or the backend's last
             logged operation is not ``pending.op`` (something else ran in
             between — rollback would corrupt the log).
         """
         if pending._finished:
             raise ValueError("this scaling operation was already finished")
-        ops = self.mapper.log.operations
+        ops = self.backend.log.operations
         if pending.op_seq != len(ops) or ops[-1] != pending.op:
             raise ValueError(
                 f"cannot abort operation seq={pending.op_seq}: the log has "
                 f"{len(ops)} operations and ends with {ops[-1] if ops else None}"
+            )
+        if pending.rollback_payload is None:
+            raise ValueError(
+                "pending operation carries no rollback state (was it "
+                "rebuilt by hand?)"
             )
         executed = list(session.executed) if session is not None else []
         for move in reversed(executed):
@@ -362,12 +489,7 @@ class CMServer:
         if pending.op.kind == "add":
             added = list(range(pending.n_before, self.array.num_disks))
             self.array.remove_group(added)
-        truncated = self.mapper.log.truncated(len(ops) - 1)
-        mapper = ScaddarMapper(n0=truncated.n0, bits=self.mapper.bits)
-        for op in truncated:
-            mapper.apply(op)
-        self.mapper = mapper
-        self.engine = PlacementEngine(mapper.log)
+        self.backend = type(self.backend).from_payload(pending.rollback_payload)
         pending._finished = True
         if self.journal is not None:
             self.journal.record_abort(pending.op_seq)
@@ -397,25 +519,30 @@ class CMServer:
         return add_report, remove_report
 
     def reshuffle(self) -> int:
-        """Full redistribution: fresh seeds, fresh mapper, all blocks
-        replaced by their new placement.  Returns blocks moved.
+        """Full redistribution: fresh seeds, fresh backend state, all
+        blocks replaced by their new placement.  Returns blocks moved.
 
         This is the paper's recommended action once Lemma 4.3's budget is
-        exhausted; afterwards the operation budget is reset.
+        exhausted; afterwards the operation budget is reset.  Raises
+        :class:`~repro.core.errors.UnsupportedOperationError` for
+        backends without a reshuffle lifecycle.
         """
+        self.backend.reshuffle()
         self.catalog.reseed_all()
-        self.mapper = self.mapper.reshuffled()
-        self.engine = PlacementEngine(self.mapper.log)
         self._x0.clear()
         blocks = [
             block for media in self.catalog for block in media.blocks()
         ]
+        self.backend.register(blocks)
         x0s = np.fromiter(
             (block.x0 for block in blocks), dtype=np.uint64, count=len(blocks)
         )
-        # One batched AF() pass over the whole population (the fresh log
-        # is empty, so this is a single vectorized mod).
-        disks = self.engine.locate_batch(x0s).tolist()
+        ids = (
+            [block.block_id for block in blocks]
+            if self.backend.requires_ids
+            else None
+        )
+        disks = self.backend.locate_batch(ids, x0s).tolist()
         table = self.array.physical_ids
         moved = 0
         for block, disk in zip(blocks, disks):
@@ -427,18 +554,24 @@ class CMServer:
 
     def needs_reshuffle(self, eps: float) -> bool:
         """Whether the recorded operations already exceed tolerance."""
-        return self.mapper.needs_reshuffle(eps)
+        return self.backend.needs_reshuffle(eps)
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _load_blocks(self, media: MediaObject) -> None:
-        """Place a whole object with one batched AF() pass."""
+        """Place a whole object with one batched placement pass."""
         blocks = media.blocks()
+        self.backend.register(blocks)
         x0s = np.fromiter(
             (block.x0 for block in blocks), dtype=np.uint64, count=len(blocks)
         )
-        disks = self.engine.locate_batch(x0s).tolist()
+        ids = (
+            [block.block_id for block in blocks]
+            if self.backend.requires_ids
+            else None
+        )
+        disks = self.backend.locate_batch(ids, x0s).tolist()
         for block, disk in zip(blocks, disks):
             self._x0[block.block_id] = block.x0
             self.array.place(block, disk)
@@ -451,37 +584,9 @@ class CMServer:
             # Not cached (e.g. after external churn): recompute from seed.
             return self.catalog.get(object_id).block(index).x0
 
-    def _plan_moves(self, target_table: list[int]) -> list[PhysicalMove]:
-        """RF(): physical moves for the mapper's latest operation.
-
-        One vectorized pass over the resident population (no per-block
-        re-chaining, no throwaway copy of the ``_x0`` dict): the engine
-        returns the indices of the blocks the operation relocates.
-        """
-        if not self._x0:
-            return []
-        block_ids = list(self._x0)
-        x0s = np.fromiter(
-            self._x0.values(), dtype=np.uint64, count=len(block_ids)
-        )
-        indices, __, targets = self.engine.redistribution_moves_batch(x0s)
-        moves = []
-        for index, target_disk in zip(indices.tolist(), targets.tolist()):
-            block_id = block_ids[index]
-            source_physical = self.array.home_of(block_id)
-            target_physical = target_table[target_disk]
-            if source_physical != target_physical:
-                moves.append(
-                    PhysicalMove(
-                        block_id=block_id,
-                        source_physical=source_physical,
-                        target_physical=target_physical,
-                    )
-                )
-        return moves
-
     def __repr__(self) -> str:
         return (
-            f"CMServer(disks={self.num_disks}, objects={len(self.catalog)}, "
-            f"blocks={self.total_blocks}, operations={self.mapper.num_operations})"
+            f"CMServer(backend={self.backend.name!r}, disks={self.num_disks}, "
+            f"objects={len(self.catalog)}, blocks={self.total_blocks}, "
+            f"operations={self.backend.num_operations})"
         )

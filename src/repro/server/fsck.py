@@ -1,11 +1,14 @@
 """Layout consistency checking (an ``fsck`` for the CM server).
 
-SCADDAR's correctness rests on one identity: the *computed* location of
-every block (``AF()`` over seeds + op log) equals where its bytes
-physically sit.  Crashes mid-migration, operator surgery or software
-bugs can break it; :func:`check_layout` audits a server and
-:func:`repair_layout` moves stray blocks back where the arithmetic says
-they belong (computation wins — it is what retrieval will use).
+The server's correctness rests on one identity: the location of every
+block *computed by the placement backend* (for SCADDAR, ``AF()`` over
+seeds + op log) equals where its bytes physically sit.  Crashes
+mid-migration, operator surgery or software bugs can break it;
+:func:`check_layout` audits a server and :func:`repair_layout` moves
+stray blocks back where the backend says they belong (the backend wins —
+it is what retrieval will use).  The audit runs through
+``server.block_locations``, so it works unchanged for every registered
+backend.
 """
 
 from __future__ import annotations
@@ -65,7 +68,7 @@ def check_layout(
     **in-flight**, not misplaced — so a mid-migration server audits
     clean unless genuinely corrupt.  Pass the whole
     :class:`~repro.server.cmserver.PendingScale` when one is available
-    (required for mid-*removal* audits: the mapper already indexes the
+    (required for mid-*removal* audits: the backend already indexes the
     survivors while the doomed disks are still attached, so expected
     homes must be translated through the survivor table); a bare
     iterable of moves suffices for additions.

@@ -15,8 +15,6 @@ from __future__ import annotations
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.server.cmserver import CMServer
 from repro.server.objects import MediaObject
 from repro.storage.block import Block
@@ -65,6 +63,9 @@ class IngestSession:
         self.media: MediaObject = server.catalog.add_object(
             name, num_blocks, blocks_per_round
         )
+        # The backend learns the whole object up front (stateful backends
+        # assign placements at registration); bytes still arrive per round.
+        server.register_media(self.media)
         self._pending: list[Block] = self.media.blocks()
         self._written = 0
 
@@ -94,15 +95,10 @@ class IngestSession:
         spent: dict[int, int] = {}
         written = 0
         still_pending: list[Block] = []
-        # Batch the AF() chains for every pending block up front — the
-        # targets may shift between rounds (mid-ingest scaling), so they
-        # are recomputed per round, but in one vectorized pass.
-        x0s = np.fromiter(
-            (block.x0 for block in self._pending),
-            dtype=np.uint64,
-            count=len(self._pending),
-        )
-        logicals = self.server.engine.locate_batch(x0s).tolist()
+        # Batch the placement lookups for every pending block up front —
+        # the targets may shift between rounds (mid-ingest scaling), so
+        # they are recomputed per round, but in one vectorized pass.
+        logicals = self.server.locate_blocks(self._pending)
         for block, target_logical in zip(self._pending, logicals):
             if still_pending:
                 # Keep playback order: once one block waits, later ones do.

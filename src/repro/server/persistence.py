@@ -3,9 +3,18 @@
 The paper's storage argument (Section 1): SCADDAR needs "only a storage
 structure for recording scaling operations" plus the per-object seeds.
 This module makes that literal — a snapshot is a small JSON document
-(object seeds + operation log + disk specs), independent of the number
-of blocks, and restoring it reproduces every block location bit-exactly
+(object seeds + placement-backend state + disk specs) and restoring it
+reproduces every block location bit-exactly
 (``tests/test_persistence.py``).
+
+Since version 3 a snapshot records its placement backend explicitly —
+``{"backend": {"name": ..., "payload": ...}}`` — so any registered
+backend (:data:`repro.placement.backends.BACKENDS`) round-trips through
+the same machinery.  For SCADDAR the payload is the operation log plus
+the bit width, keeping the snapshot O(objects + operations + disks); the
+directory baseline's payload is O(blocks), which is exactly the Appendix
+A storage complaint made measurable.  Version 1/2 snapshots predate the
+backend field and are still read (always as SCADDAR).
 
 Snapshots capture *quiescent* state.  The mid-migration gap is covered
 by the scaling journal (:mod:`repro.server.journal`):
@@ -23,6 +32,11 @@ from typing import Optional
 
 from repro.core.operations import OperationLog
 from repro.core.scaddar import ScaddarMapper
+from repro.placement.backends import (
+    ScaddarBackend,
+    UnknownBackendError,
+    backend_from_payload,
+)
 from repro.server.cmserver import CMServer, PendingScale
 from repro.server.journal import JournalError, OpJournalRecord, ScalingJournal
 from repro.server.objects import MediaObject, ObjectCatalog
@@ -30,30 +44,49 @@ from repro.storage.disk import DiskSpec
 from repro.storage.migration import MigrationPlan, MigrationSession
 
 #: Snapshot format version, bumped on incompatible layout changes.
-#: Version 2 adds the explicit operation-count stamp and the journal
-#: pointer; version 1 snapshots are still read.
-SNAPSHOT_VERSION = 2
+#: Version 3 records the placement backend (name + payload); version 2
+#: added the explicit operation-count stamp and the journal pointer.
+#: Versions 1 and 2 are still read, always as SCADDAR.
+SNAPSHOT_VERSION = 3
+
+
+class SnapshotError(ValueError):
+    """Raised when a snapshot cannot be restored.
+
+    Unknown versions, unregistered backends, internal inconsistencies —
+    anything that means "this document does not describe a server this
+    build can rebuild" (as opposed to a crash artifact, which is the
+    journal's domain and raises :class:`JournalError`).
+    """
 
 
 def snapshot_server(server: CMServer) -> dict:
     """Serialize a server to a JSON-compatible dict.
 
-    The snapshot is O(objects + operations + disks) — never O(blocks).
+    O(backend payload): for SCADDAR that is O(objects + operations +
+    disks) — never O(blocks); the directory backend's payload is the
+    directory itself.
     """
     journal = getattr(server, "journal", None)
     return {
         "version": SNAPSHOT_VERSION,
-        "bits": server.mapper.bits,
+        "bits": server.catalog.bits,
         "reshuffles": server.reshuffles,
-        # v2: explicit op-count stamp (cross-checked on restore) and the
+        # Explicit op-count stamp (cross-checked on restore) and the
         # journal pointer, so an operator can find the records written
         # after this snapshot.
-        "snapshot_ops": server.mapper.num_operations,
+        "snapshot_ops": server.backend.num_operations,
         "journal_path": (
             str(journal.path)
             if journal is not None and journal.path is not None
             else None
         ),
+        # v3: the placement backend's identity — name keys the registry,
+        # payload is whatever that backend needs to restore bit-exactly.
+        "backend": {
+            "name": server.backend.name,
+            "payload": server.backend.state_payload(),
+        },
         "catalog": {
             "master_seed": server.catalog.master_seed,
             "bits": server.catalog.bits,
@@ -69,7 +102,7 @@ def snapshot_server(server: CMServer) -> dict:
                 for media in server.catalog
             ],
         },
-        "operation_log": json.loads(server.mapper.log.to_json()),
+        "operation_log": json.loads(server.backend.log.to_json()),
         "disks": [
             {
                 "capacity_blocks": disk.capacity_blocks,
@@ -100,16 +133,17 @@ def restore_server(snapshot: dict | str) -> CMServer:
 
     Raises
     ------
-    ValueError
-        On unknown snapshot versions, or when the snapshot is internally
-        inconsistent (the operation log's final disk count must equal
-        the number of recorded disk specs — a mismatch would silently
-        build a server whose AF() disagrees with its disks).
+    SnapshotError
+        On unknown snapshot versions, backends this build does not
+        register, or an internally inconsistent snapshot (the backend's
+        final disk count must equal the number of recorded disk specs —
+        a mismatch would silently build a server whose lookups disagree
+        with its disks).
     """
     data = json.loads(snapshot) if isinstance(snapshot, str) else snapshot
     version = data.get("version")
-    if version not in (1, SNAPSHOT_VERSION):
-        raise ValueError(
+    if version not in (1, 2, SNAPSHOT_VERSION):
+        raise SnapshotError(
             f"unsupported snapshot version {version!r}; "
             f"this build reads versions 1..{SNAPSHOT_VERSION}"
         )
@@ -135,21 +169,18 @@ def restore_server(snapshot: dict | str) -> CMServer:
         _next_id=max(objects, default=-1) + 1,
     )
 
-    log = OperationLog.from_json(json.dumps(data["operation_log"]))
-    if len(data["disks"]) != log.current_disks:
-        raise ValueError(
-            f"snapshot inconsistent: operation log ends at "
-            f"{log.current_disks} disks but {len(data['disks'])} disk "
+    backend = _restore_backend(data, version)
+    if len(data["disks"]) != backend.current_disks:
+        raise SnapshotError(
+            "snapshot inconsistent: backend state ends at "
+            f"{backend.current_disks} disks but {len(data['disks'])} disk "
             "specs are recorded"
         )
-    if version >= 2 and data.get("snapshot_ops") != log.num_operations:
-        raise ValueError(
+    if version >= 2 and data.get("snapshot_ops") != backend.num_operations:
+        raise SnapshotError(
             f"snapshot inconsistent: stamped with {data.get('snapshot_ops')} "
-            f"operations but the log holds {log.num_operations}"
+            f"operations but the backend state holds {backend.num_operations}"
         )
-    mapper = ScaddarMapper(n0=log.n0, bits=data["bits"])
-    for op in log:
-        mapper.apply(op)
 
     specs = [
         DiskSpec(
@@ -160,9 +191,9 @@ def restore_server(snapshot: dict | str) -> CMServer:
         for entry in data["disks"]
     ]
     default = data["default_spec"]
-    server = CMServer.from_state(
+    server = CMServer.from_backend(
         catalog,
-        mapper,
+        backend,
         specs,
         default_spec=DiskSpec(
             capacity_blocks=default["capacity_blocks"],
@@ -172,6 +203,28 @@ def restore_server(snapshot: dict | str) -> CMServer:
     )
     server.reshuffles = data["reshuffles"]
     return server
+
+
+def _restore_backend(data: dict, version: int):
+    """Build the placement backend a snapshot describes.
+
+    Version 1/2 snapshots predate the backend field: they are SCADDAR by
+    construction, restored by replaying the recorded operation log.
+    """
+    if version < 3:
+        log = OperationLog.from_json(json.dumps(data["operation_log"]))
+        mapper = ScaddarMapper(n0=log.n0, bits=data["bits"])
+        for op in log:
+            mapper.apply(op)
+        return ScaddarBackend.from_mapper(mapper)
+    entry = data["backend"]
+    try:
+        return backend_from_payload(entry["name"], entry["payload"])
+    except UnknownBackendError as exc:
+        raise SnapshotError(
+            f"snapshot needs placement backend {entry['name']!r}, which "
+            "this build does not register"
+        ) from exc
 
 
 def resume_server(
@@ -186,8 +239,9 @@ def resume_server(
 
     * operations already in the snapshot's log are verified and skipped;
     * **committed** operations are re-begun and their whole plan
-      executed (block moves are deterministic, so this lands every block
-      exactly where the crashed process had put it);
+      executed (block moves are deterministic per backend — the directory
+      baseline's RNG state rides in its payload — so this lands every
+      block exactly where the crashed process had put it);
     * **aborted** operations contributed nothing and are skipped;
     * an **open** operation (crash mid-migration) is re-begun, its
       journaled ``apply`` records re-executed, and the remainder handed
@@ -210,8 +264,8 @@ def resume_server(
     if isinstance(journal, str):
         journal = ScalingJournal(journal)
     server = restore_server(snapshot)
-    base_ops = server.mapper.num_operations
-    base_log = server.mapper.log.operations
+    base_ops = server.backend.num_operations
+    base_log = server.backend.log.operations
 
     open_state: tuple[PendingScale, MigrationSession] | None = None
     for record in journal.replay():
@@ -228,10 +282,10 @@ def resume_server(
             raise JournalError(
                 "journal has records after an uncommitted operation"
             )
-        if record.seq != server.mapper.num_operations + 1:
+        if record.seq != server.backend.num_operations + 1:
             raise JournalError(
                 f"journal op seq={record.seq} does not follow the "
-                f"{server.mapper.num_operations} operations restored so far"
+                f"{server.backend.num_operations} operations restored so far"
             )
         pending = server.begin_scale(record.op)
         by_block = {m.block_id: m for m in pending.plan.moves}

@@ -185,6 +185,11 @@ def escalate_disk_death(
     journaled if the server has a journal, so a crash during the
     escalation is itself resumable.
 
+    Mirroring is the SCADDAR backend's contract (the offset scheme needs
+    the mapper), so this escalation requires ``server.backend`` to be the
+    SCADDAR backend; other backends raise ``AttributeError`` via
+    ``server.mapper``.
+
     Raises
     ------
     DataLossError

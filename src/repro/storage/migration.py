@@ -11,7 +11,7 @@ zero downtime.
 from __future__ import annotations
 
 from collections import defaultdict
-from collections.abc import Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
@@ -62,6 +62,37 @@ class MigrationPlan:
             traffic[move.source_physical] += 1
             traffic[move.target_physical] += 1
         return dict(traffic)
+
+
+def plan_physical_moves(
+    array: DiskArray,
+    candidates: Iterable[tuple[BlockId, int]],
+    target_table: Sequence[int],
+) -> MigrationPlan:
+    """Build the physical migration plan from a backend's move candidates.
+
+    ``candidates`` pairs each candidate block with its post-operation
+    *logical* disk (as reported by
+    :meth:`~repro.placement.base.PlacementPolicy.plan_moves`);
+    ``target_table`` translates post-operation logical indices to
+    physical ids.  Candidates whose translated target equals their
+    current physical home are dropped — backends may over-report (e.g.
+    removal re-compaction shifts logical indices without moving bytes),
+    and only genuine transfers belong in the plan.
+    """
+    moves: list[PhysicalMove] = []
+    for block_id, target_logical in candidates:
+        source_physical = array.home_of(block_id)
+        target_physical = target_table[target_logical]
+        if source_physical != target_physical:
+            moves.append(
+                PhysicalMove(
+                    block_id=block_id,
+                    source_physical=source_physical,
+                    target_physical=target_physical,
+                )
+            )
+    return MigrationPlan.from_moves(moves)
 
 
 @dataclass

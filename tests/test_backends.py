@@ -1,0 +1,262 @@
+"""The pluggable-backend layer: registry, snapshots, full server loop.
+
+Covers the backend abstraction end to end for every registered backend:
+snapshot round-trips restore bit-identical layouts, unknown backends
+fail with a clear :class:`SnapshotError`, aborts roll stateful backends
+back via their payloads, and the whole
+load -> scale -> crash -> resume -> fsck loop works uniformly.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.errors import UnsupportedOperationError
+from repro.core.operations import ScalingOp
+from repro.placement import (
+    BACKENDS,
+    ScaddarBackend,
+    UnknownBackendError,
+    make_backend,
+)
+from repro.server.cmserver import CMServer, ScaleReport
+from repro.server.fsck import check_layout
+from repro.server.journal import ScalingJournal
+from repro.server.persistence import (
+    SnapshotError,
+    resume_server,
+    restore_server,
+    snapshot_server,
+)
+from repro.storage.disk import DiskSpec
+from repro.storage.migration import MigrationSession
+from repro.workloads.generator import uniform_catalog
+
+BITS = 32
+
+#: Tail removal at 6 disks so every backend (jump hash included) can run.
+SCHEDULE = [ScalingOp.add(2), ScalingOp.remove([5]), ScalingOp.add(2)]
+
+
+def _server(backend: str, journal: ScalingJournal | None = None) -> CMServer:
+    catalog = uniform_catalog(3, 60, master_seed=0xBE, bits=BITS)
+    spec = DiskSpec(capacity_blocks=10_000, bandwidth_blocks_per_round=8)
+    return CMServer(
+        catalog, [spec] * 4, bits=BITS, default_spec=spec,
+        journal=journal, backend=backend,
+    )
+
+
+def _layout(server: CMServer) -> dict:
+    """Block locations in *logical* indices (physical ids are
+    process-local and legitimately differ across a restore)."""
+    logical = {pid: i for i, pid in enumerate(server.array.physical_ids)}
+    return {
+        media.object_id: [
+            logical[pid] for pid in server.block_locations(media.object_id)
+        ]
+        for media in server.catalog
+    }
+
+
+class TestRegistry:
+    def test_all_expected_backends_registered(self):
+        assert set(BACKENDS) == {
+            "scaddar", "jump_hash", "consistent_hash", "directory",
+        }
+
+    def test_make_backend_unknown_name(self):
+        with pytest.raises(UnknownBackendError, match="registered backends"):
+            make_backend("btrfs", n0=4)
+
+    def test_make_backend_instances_carry_names(self):
+        for name in BACKENDS:
+            backend = make_backend(name, n0=4, bits=BITS)
+            assert backend.name == name
+            assert backend.current_disks == 4
+
+    def test_server_accepts_backend_instance(self):
+        backend = make_backend("scaddar", n0=4, bits=BITS)
+        catalog = uniform_catalog(1, 10, bits=BITS)
+        server = CMServer(catalog, [DiskSpec()] * 4, bits=BITS, backend=backend)
+        assert server.backend is backend
+
+    def test_server_rejects_disk_count_mismatch(self):
+        backend = make_backend("scaddar", n0=3, bits=BITS)
+        catalog = uniform_catalog(1, 10, bits=BITS)
+        with pytest.raises(ValueError, match="expects 3 disks"):
+            CMServer(catalog, [DiskSpec()] * 4, bits=BITS, backend=backend)
+
+    def test_mapper_property_raises_for_non_scaddar(self):
+        server = _server("jump_hash")
+        with pytest.raises(AttributeError, match="no SCADDAR mapper"):
+            server.mapper
+        with pytest.raises(AttributeError, match="no placement engine"):
+            server.engine
+
+    def test_mapper_property_works_for_scaddar(self):
+        server = _server("scaddar")
+        assert server.mapper.current_disks == 4
+        assert server.engine is not None
+
+
+@pytest.mark.parametrize("name", sorted(BACKENDS))
+class TestPerBackendLoop:
+    def test_snapshot_round_trip(self, name):
+        server = _server(name)
+        for op in SCHEDULE:
+            server.scale(op)
+        before = _layout(server)
+        restored = restore_server(snapshot_server(server))
+        assert restored.backend.name == name
+        assert _layout(restored) == before
+        assert check_layout(restored).clean
+
+    def test_scale_moves_blocks_and_stays_clean(self, name):
+        server = _server(name)
+        for op in SCHEDULE:
+            report = server.scale(op)
+            assert report.blocks_moved > 0
+            assert check_layout(server).clean
+        assert server.num_disks == 7
+        assert server.backend.num_operations == len(SCHEDULE)
+
+    def test_crash_resume_full_loop(self, name):
+        journal = ScalingJournal()
+        server = _server(name, journal=journal)
+        blocks = server.total_blocks
+        server.scale(SCHEDULE[0])
+        snapshot = snapshot_server(server)
+        pending = server.begin_scale(SCHEDULE[1])
+        session = MigrationSession(
+            server.array, pending.plan, journal=journal, op_seq=pending.op_seq
+        )
+        session.step(len(pending.plan), max_moves=max(1, len(pending.plan) // 2))
+        del server  # crash mid-migration
+
+        server, pending, session = resume_server(snapshot, journal)
+        assert pending is not None and session is not None
+        while not session.done:
+            session.step(len(pending.plan) + 1)
+        server.finish_scale(pending)
+        assert server.total_blocks == blocks
+        assert check_layout(server).clean
+
+    def test_placement_snapshot_matches_locations(self, name):
+        server = _server(name)
+        server.scale(ScalingOp.add(1))
+        for media in server.catalog:
+            snapshot = server.backend.placement_snapshot(media.blocks())
+            table = server.array.physical_ids
+            locations = server.block_locations(media.object_id)
+            for index in range(media.num_blocks):
+                block_id = media.block(index).block_id
+                assert table[snapshot[block_id]] == locations[index]
+
+
+class TestSnapshotErrors:
+    def test_unknown_backend_raises_snapshot_error(self):
+        server = _server("scaddar")
+        snapshot = snapshot_server(server)
+        snapshot["backend"]["name"] = "btrfs"
+        with pytest.raises(SnapshotError, match="btrfs"):
+            restore_server(snapshot)
+
+    def test_unknown_backend_on_resume_raises_snapshot_error(self):
+        journal = ScalingJournal()
+        server = _server("scaddar", journal=journal)
+        server.scale(ScalingOp.add(1))
+        snapshot = snapshot_server(server)
+        snapshot["backend"]["name"] = "btrfs"
+        with pytest.raises(SnapshotError, match="does not register"):
+            resume_server(snapshot, journal)
+
+    def test_snapshot_error_is_a_value_error(self):
+        # Callers catching the old ValueError contract keep working.
+        assert issubclass(SnapshotError, ValueError)
+
+    def test_legacy_v2_snapshot_restores_as_scaddar(self):
+        server = _server("scaddar")
+        server.scale(ScalingOp.add(2))
+        snapshot = snapshot_server(server)
+        before = _layout(server)
+        # Strip the v3 field and stamp the old version: what a snapshot
+        # written by the previous build looks like.
+        del snapshot["backend"]
+        snapshot["version"] = 2
+        snapshot["bits"] = BITS
+        restored = restore_server(snapshot)
+        assert isinstance(restored.backend, ScaddarBackend)
+        assert _layout(restored) == before
+
+
+class TestBackendSemantics:
+    def test_jump_hash_rejects_interior_removal(self):
+        server = _server("jump_hash")
+        with pytest.raises(UnsupportedOperationError, match="end"):
+            server.scale(ScalingOp.remove([0]))
+        # The refused operation must not have mutated anything.
+        assert server.num_disks == 4
+        assert server.backend.num_operations == 0
+        assert check_layout(server).clean
+
+    def test_only_scaddar_reshuffles(self):
+        for name in BACKENDS:
+            server = _server(name)
+            if name == "scaddar":
+                server.reshuffle()
+                assert server.reshuffles == 1
+                assert check_layout(server).clean
+            else:
+                with pytest.raises(UnsupportedOperationError):
+                    server.reshuffle()
+
+    @pytest.mark.parametrize("name", ["directory", "consistent_hash"])
+    def test_abort_restores_stateful_backend(self, name):
+        server = _server(name)
+        before = _layout(server)
+        payload_before = server.backend.state_payload()
+        pending = server.begin_scale(ScalingOp.add(2))
+        session = MigrationSession(server.array, pending.plan)
+        session.step(len(pending.plan), max_moves=3)
+        server.abort_scale(pending, session)
+        assert server.num_disks == 4
+        assert server.backend.state_payload() == payload_before
+        assert _layout(server) == before
+        assert check_layout(server).clean
+
+    def test_directory_forgets_removed_objects(self):
+        server = _server("directory")
+        victim = next(iter(server.catalog)).object_id
+        entries_before = server.backend.state_entries()
+        server.remove_object(victim)
+        assert server.backend.state_entries() < entries_before
+
+
+class TestScaleReportEfficiency:
+    def _report(self, moved: int, total: int, optimal: Fraction) -> ScaleReport:
+        return ScaleReport(
+            op=ScalingOp.add(1),
+            n_before=4,
+            n_after=5,
+            blocks_moved=moved,
+            total_blocks=total,
+            optimal_fraction=optimal,
+        )
+
+    def test_optimal_scores_one(self):
+        assert self._report(20, 100, Fraction(1, 5)).efficiency == 1.0
+
+    def test_overshoot_scores_below_one(self):
+        assert self._report(40, 100, Fraction(1, 5)).efficiency == 0.5
+
+    def test_zero_moves_zero_optimal_scores_one(self):
+        assert self._report(0, 100, Fraction(0)).efficiency == 1.0
+
+    def test_zero_moves_nonzero_optimal_scores_zero(self):
+        assert self._report(0, 100, Fraction(1, 5)).efficiency == 0.0
+
+    def test_empty_server_scores_one_when_nothing_due(self):
+        assert self._report(0, 0, Fraction(0)).efficiency == 1.0

@@ -308,29 +308,41 @@ class TestOnlineScaling:
 class TestModern:
     @pytest.fixture(scope="class")
     def rows(self):
-        return modern.run_modern(num_blocks=8_000)
+        return modern.run_modern(num_blocks=4_000)
 
-    def test_all_comparators_present(self, rows):
-        assert {r.policy for r in rows} == {
+    def test_all_registered_backends_present(self, rows):
+        assert {r.backend for r in rows} == {
             "scaddar",
             "consistent_hash",
             "jump_hash",
-            "straw",
+            "directory",
         }
 
-    def test_straw_supports_arbitrary_removal(self, rows):
-        straw = next(r for r in rows if r.policy == "straw")
-        assert straw.supports_arbitrary_removal
+    def test_full_loop_covers_at_least_three_backends(self, rows):
+        assert len(rows) >= 3
 
-    def test_all_near_movement_optimal(self, rows):
+    def test_every_backend_survives_crash_resume(self, rows):
         for row in rows:
-            assert row.mean_overhead < 1.5
+            assert row.resumed_clean, f"{row.backend} resumed dirty"
+            assert row.blocks_lost == 0, f"{row.backend} lost blocks"
+            assert row.survived
+
+    def test_all_reasonably_movement_efficient(self, rows):
+        for row in rows:
+            assert row.mean_efficiency > 0.5, row
+
+    def test_scaddar_and_directory_near_optimal(self, rows):
+        by_name = {r.backend: r for r in rows}
+        assert by_name["scaddar"].mean_efficiency > 0.8
+        assert by_name["directory"].mean_efficiency > 0.8
 
     def test_scaddar_state_smallest_nonzero_class(self, rows):
-        by_name = {r.policy: r for r in rows}
-        assert by_name["scaddar"].state_entries < by_name[
-            "consistent_hash"
-        ].state_entries
+        by_name = {r.backend: r for r in rows}
+        assert (
+            by_name["scaddar"].state_entries
+            < by_name["consistent_hash"].state_entries
+            < by_name["directory"].state_entries
+        )
 
     def test_report_renders(self, rows):
-        assert "arbitrary removal" in modern.report(rows)
+        assert "crash-resume clean" in modern.report(rows)

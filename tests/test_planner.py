@@ -10,7 +10,6 @@ from repro.core.errors import RandomnessExhaustedError
 from repro.core.operations import ScalingOp
 from repro.core.scaddar import ScaddarMapper
 from repro.server.planner import (
-    CapacityPlan,
     GrowthForecast,
     minimum_bits,
     plan_capacity,
