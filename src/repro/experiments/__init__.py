@@ -28,11 +28,13 @@ module                paper artifact
 ``ingest_under_load`` Sec 2 [1]: writing new media on a busy server
 ``modern``            extension: vs consistent/jump hashing
 ``chaos_scaling``     robustness: scaling under injected faults
+``availability``      robustness: serving through disk death
 ====================  ==========================================
 """
 
 from repro.experiments import (
     access_cost,
+    availability,
     bound_tightness,
     chaos_scaling,
     cov_curve,
@@ -74,6 +76,7 @@ EXPERIMENTS = {
     "bound-tightness": bound_tightness,
     "modern": modern,
     "chaos": chaos_scaling,
+    "availability": availability,
 }
 
 __all__ = ["EXPERIMENTS"]

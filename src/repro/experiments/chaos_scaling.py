@@ -29,7 +29,7 @@ from repro.analysis.movement import optimal_move_fraction
 from repro.core.operations import ScalingOp
 from repro.experiments.tables import format_table
 from repro.server.cmserver import CMServer, ScaleReport
-from repro.server.faults import DiskDeathError, FaultInjector
+from repro.server.faults import DiskDeathError, FaultInjector, derive_seed
 from repro.server.fsck import check_layout
 from repro.server.journal import ScalingJournal
 from repro.server.online import OnlineScaler
@@ -133,7 +133,7 @@ def run_chaos_scaling(
     server, scheduler = _build(num_objects, blocks_per_object, n0, bits, seed)
     before = server.total_blocks
     injector = FaultInjector(
-        seed=seed, transient_rate=fault_rate, slow_rate=slow_rate
+        seed=derive_seed(seed, 0), transient_rate=fault_rate, slow_rate=slow_rate
     )
     report = OnlineScaler(server, scheduler).scale_online(
         ScalingOp.add(2), injector=injector
@@ -148,7 +148,7 @@ def run_chaos_scaling(
     server, scheduler = _build(num_objects, blocks_per_object, n0, bits, seed)
     before = server.total_blocks
     injector = FaultInjector(
-        seed=seed + 1, transient_rate=fault_rate, slow_rate=slow_rate
+        seed=derive_seed(seed, 1), transient_rate=fault_rate, slow_rate=slow_rate
     )
     report = OnlineScaler(server, scheduler).scale_online(
         ScalingOp.remove([1]), injector=injector
@@ -163,7 +163,7 @@ def run_chaos_scaling(
     server, scheduler = _build(num_objects, blocks_per_object, n0, bits, seed)
     before = server.total_blocks
     injector = FaultInjector(
-        seed=seed + 2,
+        seed=derive_seed(seed, 2),
         transient_rate=fault_rate,
         slow_rate=slow_rate,
         death_at_transfer=max(2, before // (n0 * 4)),

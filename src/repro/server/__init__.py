@@ -13,11 +13,29 @@ from repro.server.admission import (
 )
 from repro.server.cmserver import CMServer, PendingScale, ScaleReport
 from repro.server.faults import (
+    DataLossError,
     DiskDeathError,
     FaultInjector,
+    MirrorDegenerateError,
     MirroredPlacement,
     TransientTransferError,
+    derive_seed,
     mirror_offset,
+)
+from repro.server.health import (
+    CircuitBreaker,
+    DiskHealth,
+    DiskHealthMonitor,
+    ScrubReport,
+    Scrubber,
+)
+from repro.server.reads import (
+    DegradedStack,
+    FailoverReadPlanner,
+    MirrorProtection,
+    ParityProtection,
+    ReadStats,
+    build_degraded_stack,
 )
 from repro.server.fsck import LayoutReport, check_layout, repair_layout
 from repro.server.ingest import IngestReport, IngestSession
@@ -51,8 +69,22 @@ __all__ = [
     "AggregateAdmission",
     "CMServer",
     "CapacityPlan",
+    "CircuitBreaker",
+    "DataLossError",
     "DeathEscalationReport",
+    "DegradedStack",
     "DiskDeathError",
+    "DiskHealth",
+    "DiskHealthMonitor",
+    "FailoverReadPlanner",
+    "MirrorDegenerateError",
+    "MirrorProtection",
+    "ParityProtection",
+    "ReadStats",
+    "ScrubReport",
+    "Scrubber",
+    "build_degraded_stack",
+    "derive_seed",
     "GrowthForecast",
     "DaySummary",
     "FaultInjector",

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Optional, Union
 
 import numpy as np
 
@@ -48,6 +48,9 @@ from repro.storage.migration import (
     MigrationSession,
     plan_physical_moves,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.server.faults import MirroredPlacement
 
 
 @dataclass
@@ -236,6 +239,17 @@ class CMServer:
                 f"backend {self.backend.name!r} has no placement engine"
             )
         return engine
+
+    def mirrored(self) -> "MirroredPlacement":
+        """Section 6 offset mirroring over the live mapper.
+
+        The degraded-serving stack's failover source; raises
+        ``AttributeError`` for backends without a SCADDAR mapper (the
+        offset scheme is a function of the mapper's arithmetic).
+        """
+        from repro.server.faults import MirroredPlacement
+
+        return MirroredPlacement(self.mapper)
 
     # ------------------------------------------------------------------
     # Catalog / placement
@@ -575,6 +589,15 @@ class CMServer:
         for block, disk in zip(blocks, disks):
             self._x0[block.block_id] = block.x0
             self.array.place(block, disk)
+
+    def block_x0(self, object_id: int, index: int) -> int:
+        """A block's placement number ``X0`` (public read-path accessor).
+
+        The degraded read planner computes mirror/parity locations from
+        it; cached placements are preferred, falling back to the
+        catalog's seeded sequence.
+        """
+        return self._x0_of(object_id, index)
 
     def _x0_of(self, object_id: int, index: int) -> int:
         block_id = BlockId(object_id, index)

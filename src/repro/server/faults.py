@@ -24,10 +24,21 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.scaddar import ScaddarMapper
+from repro.prng.generators import _mix64
 
 
 class DataLossError(Exception):
     """Raised when both replicas of a block are on failed disks."""
+
+
+class MirrorDegenerateError(DataLossError):
+    """Raised when a mirror read would land on the primary's own disk.
+
+    With ``Nj == 1`` the offset ``f(1) = 0`` collapses the replica pair
+    onto a single disk; a "mirror read" would silently re-read the very
+    disk being failed over.  Helpers raise this instead, so callers can
+    tell *no redundancy exists* apart from *both replicas failed*.
+    """
 
 
 class TransientTransferError(Exception):
@@ -98,17 +109,44 @@ class MirroredPlacement:
             primary=primary, mirror=(primary + mirror_offset(n)) % n
         )
 
+    def mirror_disk(self, x0: int) -> int:
+        """The mirror's logical disk, for a failover read.
+
+        Raises
+        ------
+        MirrorDegenerateError
+            When the pair is degenerate (``Nj == 1``): there is no second
+            copy, and "reading the mirror" would silently re-read the
+            primary's own disk.
+        """
+        pair = self.replica_pair(x0)
+        if pair.mirror == pair.primary:
+            raise MirrorDegenerateError(
+                f"block (x0={x0}) has no distinct mirror: f({self.num_disks})"
+                f" = {mirror_offset(self.num_disks)} lands the mirror on the"
+                f" primary disk {pair.primary}"
+            )
+        return pair.mirror
+
     def read_disk(self, x0: int, failed: frozenset[int] | set[int] = frozenset()) -> int:
         """Disk to read the block from, failing over to the mirror.
 
         Raises
         ------
+        MirrorDegenerateError
+            If the primary failed and the "mirror" is the primary's own
+            disk (``Nj == 1`` — no redundancy ever existed).
         DataLossError
             If both replicas are on failed disks.
         """
         pair = self.replica_pair(x0)
         if pair.primary not in failed:
             return pair.primary
+        if pair.mirror == pair.primary:
+            raise MirrorDegenerateError(
+                f"block (x0={x0}) lost disk {pair.primary} and has no "
+                f"distinct mirror (single-disk array)"
+            )
         if pair.mirror not in failed:
             return pair.mirror
         raise DataLossError(
@@ -143,10 +181,26 @@ class MirroredPlacement:
 # Fault injection
 # ----------------------------------------------------------------------
 
-#: Transfer outcomes the injector can decide.
+#: Transfer/read outcomes the injector can decide.
 OUTCOME_OK = "ok"
 OUTCOME_TRANSIENT = "transient"
 OUTCOME_SLOW = "slow"
+OUTCOME_DEAD = "dead"
+
+
+def derive_seed(master: int, salt: int) -> int:
+    """Derive an independent child seed from one master seed.
+
+    Every injector (and every independent RNG stream inside one) in an
+    experiment should be seeded through this, so a single ``--seed`` flag
+    reproduces the whole run bit-for-bit while the streams stay
+    decorrelated (adding read faults never perturbs the transfer-fault
+    schedule, and vice versa).
+    """
+    return _mix64((master & _MASK64) ^ _mix64((salt & _MASK64) ^ 0x5EED_CAB1E))
+
+
+_MASK64 = (1 << 64) - 1
 
 
 @dataclass
@@ -158,6 +212,12 @@ class FaultStats:
     slow_transfers: int = 0
     mirror_reads: int = 0
     deaths: list[int] = field(default_factory=list)
+    #: Read-path counters (serve-time faults; transfers count above).
+    read_attempts: int = 0
+    read_faults: int = 0
+    slow_reads: int = 0
+    dead_reads: int = 0
+    scrub_divergences: int = 0
 
 
 class FaultInjector:
@@ -181,6 +241,25 @@ class FaultInjector:
         dying under migration load.
     death_victim:
         ``"source"`` or ``"target"``.
+    read_error_rate:
+        Per-read probability of a transient read error at *serve* time
+        (the read consumed bandwidth but returned garbage; the failover
+        planner retries or falls back to a replica).
+    read_slow_rate:
+        Per-read probability the read stretches past the round boundary:
+        bandwidth is consumed, the data arrives next round, and the
+        scheduler counts the read as *queued* (deferred, not a hiccup).
+    death_at_read:
+        When set, the N-th read attempt (1-based) kills the disk being
+        read — a disk dying under serving load.
+    scrub_divergence_rate:
+        Per-scrub-check probability that a block's primary and mirror
+        copies disagree (bit rot); the scrubber read-repairs it.
+
+    The read path and the scrub path draw from RNG streams derived from
+    the seed via :func:`derive_seed`, independent of the transfer stream
+    — turning read faults on never perturbs a migration's fault
+    schedule, so chaos runs stay bit-reproducible as features compose.
 
     Notes
     -----
@@ -199,6 +278,10 @@ class FaultInjector:
         slow_rate: float = 0.0,
         death_at_transfer: Optional[int] = None,
         death_victim: str = "source",
+        read_error_rate: float = 0.0,
+        read_slow_rate: float = 0.0,
+        death_at_read: Optional[int] = None,
+        scrub_divergence_rate: float = 0.0,
     ):
         if not 0.0 <= transient_rate < 1.0:
             raise ValueError(f"transient_rate must be in [0, 1), got {transient_rate}")
@@ -208,11 +291,27 @@ class FaultInjector:
             raise ValueError(f"death_victim must be 'source' or 'target', got {death_victim!r}")
         if death_at_transfer is not None and death_at_transfer <= 0:
             raise ValueError(f"death_at_transfer must be >= 1, got {death_at_transfer}")
+        if not 0.0 <= read_error_rate < 1.0:
+            raise ValueError(f"read_error_rate must be in [0, 1), got {read_error_rate}")
+        if not 0.0 <= read_slow_rate < 1.0:
+            raise ValueError(f"read_slow_rate must be in [0, 1), got {read_slow_rate}")
+        if death_at_read is not None and death_at_read <= 0:
+            raise ValueError(f"death_at_read must be >= 1, got {death_at_read}")
+        if not 0.0 <= scrub_divergence_rate < 1.0:
+            raise ValueError(
+                f"scrub_divergence_rate must be in [0, 1), got {scrub_divergence_rate}"
+            )
         self._rng = random.Random(seed)
+        self._read_rng = random.Random(derive_seed(seed, 1))
+        self._scrub_rng = random.Random(derive_seed(seed, 2))
         self.transient_rate = transient_rate
         self.slow_rate = slow_rate
         self.death_at_transfer = death_at_transfer
         self.death_victim = death_victim
+        self.read_error_rate = read_error_rate
+        self.read_slow_rate = read_slow_rate
+        self.death_at_read = death_at_read
+        self.scrub_divergence_rate = scrub_divergence_rate
         self.dead: set[int] = set()
         self.stats = FaultStats()
         self._mirror_reads_allowed = False
@@ -220,6 +319,55 @@ class FaultInjector:
     def enable_mirror_reads(self) -> None:
         """Allow transfers sourced from dead disks (replica-served)."""
         self._mirror_reads_allowed = True
+
+    def kill(self, physical_id: int) -> None:
+        """Kill a disk outright (scheduled serve-time death)."""
+        if physical_id not in self.dead:
+            self.dead.add(physical_id)
+            self.stats.deaths.append(physical_id)
+
+    def revive(self, physical_id: int) -> None:
+        """Install a replacement drive in a dead disk's slot.
+
+        The slot answers reads again, but callers must keep routing
+        around it until the scrubber has re-verified its contents
+        (``rebuilding`` -> ``healthy`` in the health monitor).
+        """
+        self.dead.discard(physical_id)
+
+    def read_attempt(self, physical_id: int) -> str:
+        """Decide one serve-time read attempt's fate.
+
+        Returns ``"ok"`` / ``"transient"`` / ``"slow"`` / ``"dead"``; may
+        kill the disk when this attempt is the scheduled read death.
+        Unlike :meth:`attempt`, a dead disk is reported as an outcome,
+        not an exception — the serving path degrades, it does not abort.
+        """
+        self.stats.read_attempts += 1
+        if (
+            self.death_at_read is not None
+            and self.stats.read_attempts == self.death_at_read
+            and physical_id not in self.dead
+        ):
+            self.kill(physical_id)
+        if physical_id in self.dead:
+            self.stats.dead_reads += 1
+            return OUTCOME_DEAD
+        draw = self._read_rng.random()
+        if draw < self.read_error_rate:
+            self.stats.read_faults += 1
+            return OUTCOME_TRANSIENT
+        if draw < self.read_error_rate + self.read_slow_rate:
+            self.stats.slow_reads += 1
+            return OUTCOME_SLOW
+        return OUTCOME_OK
+
+    def scrub_check(self) -> bool:
+        """One scrub verification: True = the replicas diverged."""
+        if self._scrub_rng.random() < self.scrub_divergence_rate:
+            self.stats.scrub_divergences += 1
+            return True
+        return False
 
     def check_alive(self, source_physical: int, target_physical: int) -> None:
         """Raise :class:`DiskDeathError` if the move touches a dead disk.

@@ -1,0 +1,392 @@
+"""Per-disk health: state machine, circuit breakers, and the scrubber.
+
+The serving path's view of the array's disks.  Each physical disk walks
+a four-state machine::
+
+    healthy --breaker trips--> suspect --probe succeeds--> healthy
+    healthy/suspect --death--> dead --replacement installed--> rebuilding
+    rebuilding --scrub completes--> healthy
+
+*Suspect* is reversible (a flaky cable, a firmware stall): a per-disk
+circuit breaker trips after ``trip_after`` consecutive read failures,
+blocks further reads for a cooldown that doubles on every re-trip
+(capped exponential backoff), then lets exactly one *half-open* probe
+through; success closes the breaker, failure re-opens it.  *Dead* is
+not: only installing a replacement (``begin_rebuild``) leaves it, and
+the replacement serves no reads until the :class:`Scrubber` has
+re-verified every resident block and promoted it back to *healthy*.
+
+The scrubber also runs in steady state: it walks the whole block
+population at a bounded rate per round, verifies primary/mirror
+agreement (divergence is injected by
+:meth:`~repro.server.faults.FaultInjector.scrub_check`), and
+read-repairs what it finds — the background repair loop that keeps
+"degraded" a transient condition instead of a ratchet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.storage.array import DiskArray
+from repro.storage.block import BlockId
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.server.faults import FaultInjector
+
+
+class DiskHealth(Enum):
+    """Serving-path health of one physical disk."""
+
+    HEALTHY = "healthy"
+    SUSPECT = "suspect"
+    DEAD = "dead"
+    REBUILDING = "rebuilding"
+
+
+class CircuitBreaker:
+    """Trip-after-K breaker with capped exponential cooldown.
+
+    Parameters
+    ----------
+    trip_after:
+        Consecutive failures that open the breaker.
+    cooldown_rounds:
+        Rounds the breaker stays open before allowing one half-open
+        probe.  Doubles on every consecutive re-trip, capped at
+        ``max_cooldown_rounds`` — the read path's exponential backoff.
+    max_cooldown_rounds:
+        Cooldown growth cap.
+    """
+
+    def __init__(
+        self,
+        trip_after: int = 3,
+        cooldown_rounds: int = 4,
+        max_cooldown_rounds: int = 64,
+    ):
+        if trip_after < 1:
+            raise ValueError(f"trip_after must be >= 1, got {trip_after}")
+        if cooldown_rounds < 1:
+            raise ValueError(
+                f"cooldown_rounds must be >= 1, got {cooldown_rounds}"
+            )
+        if max_cooldown_rounds < cooldown_rounds:
+            raise ValueError(
+                f"max_cooldown_rounds {max_cooldown_rounds} < "
+                f"cooldown_rounds {cooldown_rounds}"
+            )
+        self.trip_after = trip_after
+        self.base_cooldown = cooldown_rounds
+        self.max_cooldown = max_cooldown_rounds
+        self.consecutive_failures = 0
+        self.trips = 0
+        self._open_since: Optional[int] = None
+        self._cooldown = cooldown_rounds
+        self._probing = False
+
+    @property
+    def is_open(self) -> bool:
+        """Whether the breaker currently blocks reads."""
+        return self._open_since is not None
+
+    def allows(self, round_index: int) -> bool:
+        """Whether a read may be attempted this round.
+
+        Open breakers admit exactly one probe per round once the
+        cooldown has elapsed (the half-open state).
+        """
+        if self._open_since is None:
+            return True
+        if round_index - self._open_since < self._cooldown:
+            return False
+        if self._probing:
+            return False
+        self._probing = True
+        return True
+
+    def record_success(self) -> None:
+        """A read succeeded: close the breaker, reset the backoff."""
+        self.consecutive_failures = 0
+        self._open_since = None
+        self._cooldown = self.base_cooldown
+        self._probing = False
+
+    def record_failure(self, round_index: int) -> bool:
+        """A read failed; returns True when this failure trips the
+        breaker (closed -> open, or a half-open probe re-opening it)."""
+        self.consecutive_failures += 1
+        if self._open_since is not None:
+            # A failed half-open probe: re-open with doubled cooldown.
+            self.trips += 1
+            self._open_since = round_index
+            self._cooldown = min(self._cooldown * 2, self.max_cooldown)
+            self._probing = False
+            return True
+        if self.consecutive_failures >= self.trip_after:
+            self.trips += 1
+            self._open_since = round_index
+            self._probing = False
+            return True
+        return False
+
+    def new_round(self) -> None:
+        """Reset the one-probe-per-round latch."""
+        self._probing = False
+
+
+class HealthTransitionError(Exception):
+    """Raised on an illegal health-state transition."""
+
+
+class DiskHealthMonitor:
+    """Tracks every disk's health state and circuit breaker.
+
+    Parameters
+    ----------
+    array:
+        The disk array being monitored (new disks are picked up lazily).
+    trip_after / cooldown_rounds / max_cooldown_rounds:
+        Breaker tuning, applied to every disk.
+    """
+
+    def __init__(
+        self,
+        array: DiskArray,
+        trip_after: int = 3,
+        cooldown_rounds: int = 4,
+        max_cooldown_rounds: int = 64,
+    ):
+        self.array = array
+        self._trip_after = trip_after
+        self._cooldown = cooldown_rounds
+        self._max_cooldown = max_cooldown_rounds
+        self._states: dict[int, DiskHealth] = {}
+        self._breakers: dict[int, CircuitBreaker] = {}
+        #: Cumulative state-transition log: (physical, from, to).
+        self.transitions: list[tuple[int, DiskHealth, DiskHealth]] = []
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def state(self, physical_id: int) -> DiskHealth:
+        """Current health state of a disk (healthy until told otherwise)."""
+        return self._states.get(physical_id, DiskHealth.HEALTHY)
+
+    def breaker(self, physical_id: int) -> CircuitBreaker:
+        """The disk's circuit breaker (created on first touch)."""
+        breaker = self._breakers.get(physical_id)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self._trip_after, self._cooldown, self._max_cooldown
+            )
+            self._breakers[physical_id] = breaker
+        return breaker
+
+    def is_readable(self, physical_id: int, round_index: int) -> bool:
+        """Whether the serving path may read this disk this round.
+
+        Dead and rebuilding disks never serve; suspect disks serve only
+        the breaker's half-open probe.
+        """
+        state = self.state(physical_id)
+        if state in (DiskHealth.DEAD, DiskHealth.REBUILDING):
+            return False
+        return self.breaker(physical_id).allows(round_index)
+
+    def snapshot(self) -> dict[int, str]:
+        """Health state of every disk currently in the array."""
+        return {
+            pid: self.state(pid).value for pid in self.array.physical_ids
+        }
+
+    def disks_in(self, state: DiskHealth) -> list[int]:
+        """Physical ids currently in the given state, sorted."""
+        return sorted(
+            pid
+            for pid in self.array.physical_ids
+            if self.state(pid) is state
+        )
+
+    # ------------------------------------------------------------------
+    # Observations / transitions
+    # ------------------------------------------------------------------
+    def observe_success(self, physical_id: int) -> None:
+        """A read from the disk succeeded (closes the breaker; a suspect
+        disk whose probe succeeded returns to healthy)."""
+        self.breaker(physical_id).record_success()
+        if self.state(physical_id) is DiskHealth.SUSPECT:
+            self._transition(physical_id, DiskHealth.HEALTHY)
+
+    def observe_failure(self, physical_id: int, round_index: int) -> None:
+        """A read from the disk failed; trips the breaker after K in a
+        row, demoting the disk to suspect."""
+        tripped = self.breaker(physical_id).record_failure(round_index)
+        if tripped and self.state(physical_id) is DiskHealth.HEALTHY:
+            self._transition(physical_id, DiskHealth.SUSPECT)
+
+    def mark_dead(self, physical_id: int) -> None:
+        """The disk died (whole-disk failure at serve time)."""
+        if self.state(physical_id) is not DiskHealth.DEAD:
+            self._transition(physical_id, DiskHealth.DEAD)
+
+    def begin_rebuild(self, physical_id: int) -> None:
+        """A replacement drive was installed in a dead disk's slot; the
+        scrubber now owns driving it back to healthy."""
+        if self.state(physical_id) is not DiskHealth.DEAD:
+            raise HealthTransitionError(
+                f"disk {physical_id} is {self.state(physical_id).value}, "
+                "not dead; only dead disks can begin rebuilding"
+            )
+        self._transition(physical_id, DiskHealth.REBUILDING)
+
+    def mark_healthy(self, physical_id: int) -> None:
+        """Scrub complete: the rebuilding (or suspect) disk is whole."""
+        state = self.state(physical_id)
+        if state is DiskHealth.DEAD:
+            raise HealthTransitionError(
+                f"disk {physical_id} is dead; install a replacement "
+                "(begin_rebuild) before marking it healthy"
+            )
+        breaker = self.breaker(physical_id)
+        breaker.record_success()
+        if state is not DiskHealth.HEALTHY:
+            self._transition(physical_id, DiskHealth.HEALTHY)
+
+    def new_round(self) -> None:
+        """Advance per-round breaker state (one half-open probe each)."""
+        for breaker in self._breakers.values():
+            breaker.new_round()
+
+    def _transition(self, physical_id: int, to: DiskHealth) -> None:
+        self.transitions.append((physical_id, self.state(physical_id), to))
+        self._states[physical_id] = to
+
+
+@dataclass
+class ScrubReport:
+    """What one scrub round did."""
+
+    round_index: int
+    #: Background verifications performed (primary/mirror comparisons).
+    checked: int = 0
+    #: Divergent blocks read-repaired.
+    repaired: int = 0
+    #: Blocks copied onto rebuilding disks this round.
+    rebuilt_blocks: int = 0
+    #: Disks promoted rebuilding -> healthy this round.
+    completed_disks: list[int] = field(default_factory=list)
+
+
+class Scrubber:
+    """Background verify/repair loop, bounded blocks per round.
+
+    Two jobs, rebuild first:
+
+    1. **Rebuild** — for every ``rebuilding`` disk, re-copy up to the
+       round's budget of its resident blocks from their surviving
+       replicas; when the whole inventory is re-verified the disk is
+       promoted to ``healthy``.
+    2. **Patrol** — spend any leftover budget walking the global block
+       population in block-id order, comparing primary and mirror copies
+       (the injector decides divergence) and read-repairing mismatches.
+
+    Parameters
+    ----------
+    array:
+        The disk array being scrubbed.
+    monitor:
+        The health monitor (the scrubber drives its
+        ``rebuilding -> healthy`` edge).
+    rate_per_round:
+        Max blocks touched per round (rebuild copies + patrol checks) —
+        the knob that keeps scrubbing from starving stream service.
+    injector:
+        Optional fault injector supplying deterministic divergence.
+    on_repair:
+        Optional callback ``(block_id) -> None`` invoked per repair
+        (metrics hooks).
+    """
+
+    def __init__(
+        self,
+        array: DiskArray,
+        monitor: DiskHealthMonitor,
+        rate_per_round: int = 8,
+        injector: Optional["FaultInjector"] = None,
+        on_repair: Optional[Callable[[BlockId], None]] = None,
+    ):
+        if rate_per_round < 1:
+            raise ValueError(
+                f"rate_per_round must be >= 1, got {rate_per_round}"
+            )
+        self.array = array
+        self.monitor = monitor
+        self.rate_per_round = rate_per_round
+        self.injector = injector
+        self.on_repair = on_repair
+        self.total_checked = 0
+        self.total_repaired = 0
+        self.total_rebuilt = 0
+        self._rebuild_done: dict[int, int] = {}
+        self._patrol_cursor = 0
+
+    def rebuild_progress(self, physical_id: int) -> float:
+        """Fraction of a rebuilding disk's inventory re-verified so far
+        (1.0 for any disk not currently rebuilding)."""
+        if self.monitor.state(physical_id) is not DiskHealth.REBUILDING:
+            return 1.0
+        resident = len(self.array.blocks_on_physical(physical_id))
+        if resident == 0:
+            return 1.0
+        return min(1.0, self._rebuild_done.get(physical_id, 0) / resident)
+
+    def run_round(self, round_index: int) -> ScrubReport:
+        """One scrub round under the configured rate budget."""
+        report = ScrubReport(round_index=round_index)
+        budget = self.rate_per_round
+
+        for pid in self.monitor.disks_in(DiskHealth.REBUILDING):
+            if budget <= 0:
+                break
+            resident = len(self.array.blocks_on_physical(pid))
+            done = self._rebuild_done.get(pid, 0)
+            step = min(budget, resident - done)
+            if step > 0:
+                done += step
+                budget -= step
+                self._rebuild_done[pid] = done
+                report.rebuilt_blocks += step
+                self.total_rebuilt += step
+            if done >= resident:
+                self.monitor.mark_healthy(pid)
+                self._rebuild_done.pop(pid, None)
+                report.completed_disks.append(pid)
+
+        if budget > 0:
+            population = self._population()
+            while budget > 0 and population:
+                self._patrol_cursor %= len(population)
+                block_id = population[self._patrol_cursor]
+                self._patrol_cursor += 1
+                budget -= 1
+                report.checked += 1
+                self.total_checked += 1
+                if self.injector is not None and self.injector.scrub_check():
+                    report.repaired += 1
+                    self.total_repaired += 1
+                    if self.on_repair is not None:
+                        self.on_repair(block_id)
+        return report
+
+    def _population(self) -> list[BlockId]:
+        """All resident blocks in deterministic (block-id) order."""
+        blocks: list[BlockId] = []
+        for pid in self.array.physical_ids:
+            blocks.extend(
+                b.block_id for b in self.array.blocks_on_physical(pid)
+            )
+        blocks.sort(key=lambda b: (b.object_id, b.index))
+        return blocks

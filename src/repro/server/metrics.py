@@ -1,10 +1,12 @@
 """Round-level metrics collection for server simulations.
 
 Long-horizon runs need observability: per-round demand, hiccups, disk
-load balance and utilization, with summaries and a CSV export so results
-can leave Python.  The collector is pull-based — feed it each
-:class:`~repro.server.scheduler.RoundReport` (and optionally the load
-vector) as the simulation produces them.
+load balance and utilization — and, in degraded mode, the availability
+ledger: failover reads, reconstruction reads, queued (slow) reads,
+per-disk health, and scrubber activity — with summaries and a CSV
+export so results can leave Python.  The collector is pull-based — feed
+it each :class:`~repro.server.scheduler.RoundReport` (and optionally
+the load vector) as the simulation produces them.
 """
 
 from __future__ import annotations
@@ -29,6 +31,11 @@ class RoundSample:
     requested: int
     served: int
     hiccups: int
+    queued: int
+    failover_reads: int
+    reconstructed_reads: int
+    scrub_repaired: int
+    degraded_disks: int
     peak_disk_queue: int
     spare_bandwidth: int
     load_cov: Optional[float]
@@ -42,10 +49,20 @@ class MetricsSummary:
     total_requested: int
     total_served: int
     total_hiccups: int
+    total_queued: int
+    total_failover_reads: int
+    total_reconstructed_reads: int
+    total_scrub_repaired: int
     hiccup_rate: float
+    #: Served / requested over the horizon — the availability SLO metric.
+    availability: float
     mean_peak_queue: float
     p99_peak_queue: float
     mean_spare_bandwidth: float
+
+    def meets_slo(self, target: float = 0.999) -> bool:
+        """Whether availability met the target over the horizon."""
+        return self.availability >= target
 
 
 class MetricsCollector:
@@ -72,6 +89,15 @@ class MetricsCollector:
                 requested=report.requested,
                 served=report.served,
                 hiccups=report.hiccups,
+                queued=report.queued,
+                failover_reads=report.failover_reads,
+                reconstructed_reads=report.reconstructed_reads,
+                scrub_repaired=report.scrub_repaired,
+                degraded_disks=sum(
+                    1
+                    for state in report.health_by_physical.values()
+                    if state != "healthy"
+                ),
                 peak_disk_queue=max(report.load_by_physical.values(), default=0),
                 spare_bandwidth=sum(report.spare_by_physical.values()),
                 load_cov=(
@@ -95,7 +121,14 @@ class MetricsCollector:
             total_requested=requested,
             total_served=served,
             total_hiccups=hiccups,
+            total_queued=sum(s.queued for s in self._samples),
+            total_failover_reads=sum(s.failover_reads for s in self._samples),
+            total_reconstructed_reads=sum(
+                s.reconstructed_reads for s in self._samples
+            ),
+            total_scrub_repaired=sum(s.scrub_repaired for s in self._samples),
             hiccup_rate=hiccups / requested if requested else 0.0,
+            availability=served / requested if requested else 1.0,
             mean_peak_queue=float(peaks.mean()),
             p99_peak_queue=float(np.percentile(peaks, 99)),
             mean_spare_bandwidth=float(
@@ -114,6 +147,11 @@ class MetricsCollector:
                 "requested",
                 "served",
                 "hiccups",
+                "queued",
+                "failover_reads",
+                "reconstructed_reads",
+                "scrub_repaired",
+                "degraded_disks",
                 "peak_disk_queue",
                 "spare_bandwidth",
                 "load_cov",
@@ -126,6 +164,11 @@ class MetricsCollector:
                     s.requested,
                     s.served,
                     s.hiccups,
+                    s.queued,
+                    s.failover_reads,
+                    s.reconstructed_reads,
+                    s.scrub_repaired,
+                    s.degraded_disks,
                     s.peak_disk_queue,
                     s.spare_bandwidth,
                     "" if s.load_cov is None else f"{s.load_cov:.6f}",

@@ -68,6 +68,19 @@ class ParityLayout:
             return 0.0
         return len(self.groups) / data_blocks
 
+    def membership(self) -> dict[int, int]:
+        """Map each grouped member index to its group id.
+
+        Ungrouped indices (the population tail) are absent — callers
+        (e.g. the degraded read planner) give those blocks a different
+        recovery path, typically mirroring.
+        """
+        return {
+            member: group.group_id
+            for group in self.groups
+            for member in group.members
+        }
+
 
 class ParityPlacement:
     """Greedy parity grouping over SCADDAR-placed blocks.

@@ -6,6 +6,18 @@ Each disk can serve a bounded number of block reads per round (its
 bandwidth); randomized placement keeps per-round disk queues balanced by
 the law of large numbers (Section 1), which is exactly what the
 round-level statistics here expose.
+
+The scheduler has two serving paths:
+
+* the **simple path** (no ``read_planner``): every read either fits its
+  primary disk's bandwidth or hiccups — the paper's baseline model;
+* the **degraded path** (with a
+  :class:`~repro.server.reads.FailoverReadPlanner`): each read runs the
+  full retry / failover / reconstruction chain against the per-disk
+  health state (:mod:`repro.server.health`), slow reads defer to the
+  next round as *queued*, and an attached scrubber spends a bounded
+  budget per round on verify/repair.  Every round then satisfies the
+  conservation invariant ``requested == served + hiccups + queued``.
 """
 
 from __future__ import annotations
@@ -13,10 +25,16 @@ from __future__ import annotations
 from collections import defaultdict
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
 
 from repro.server.streams import Stream
 from repro.storage.array import DiskArray
 from repro.storage.block import BlockId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.server.admission import AdmissionPolicy
+    from repro.server.health import Scrubber
+    from repro.server.reads import FailoverReadPlanner
 
 
 @dataclass
@@ -30,22 +48,48 @@ class RoundReport:
     requested:
         Block reads demanded by active streams.
     served:
-        Reads that fit in their disk's bandwidth.
+        Reads delivered this round (any path: primary, failover or
+        reconstruction).
     hiccups:
-        Reads that did not fit (missed deadlines).
+        Reads that missed their deadline with every recovery path
+        exhausted.
+    queued:
+        Reads deferred to the next round (slow disk: bandwidth spent,
+        data late).  ``requested == served + hiccups + queued`` holds
+        every round.
+    failover_reads:
+        Reads served from the Section 6 mirror location.
+    reconstructed_reads:
+        Reads served by XOR reconstruction from a parity group.
+    scrub_checked / scrub_repaired / scrub_rebuilt:
+        The round's scrubber activity (0 without a scrubber).
     load_by_physical:
-        Reads demanded per physical disk.
+        Reads demanded per physical disk (charged to the primary).
     spare_by_physical:
         Leftover bandwidth per physical disk after stream service —
         the budget the online scaler hands to migration.
+    health_by_physical:
+        Health state name per physical disk (empty on the simple path).
     """
 
     round_index: int
     requested: int = 0
     served: int = 0
     hiccups: int = 0
+    queued: int = 0
+    failover_reads: int = 0
+    reconstructed_reads: int = 0
+    scrub_checked: int = 0
+    scrub_repaired: int = 0
+    scrub_rebuilt: int = 0
     load_by_physical: dict[int, int] = field(default_factory=dict)
     spare_by_physical: dict[int, int] = field(default_factory=dict)
+    health_by_physical: dict[int, str] = field(default_factory=dict)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of the round's demand served on time (1.0 idle)."""
+        return self.served / self.requested if self.requested else 1.0
 
 
 class RoundScheduler:
@@ -60,6 +104,14 @@ class RoundScheduler:
     locator:
         Optional override mapping a :class:`BlockId` to a physical disk;
         defaults to the array's inventory.
+    admission:
+        Optional admission policy (default: aggregate-bandwidth).
+    read_planner:
+        Optional :class:`~repro.server.reads.FailoverReadPlanner`;
+        switches the scheduler to the degraded serving path.
+    scrubber:
+        Optional :class:`~repro.server.health.Scrubber` run at the end
+        of each degraded round (rate-bounded verify/repair).
     """
 
     def __init__(
@@ -67,12 +119,16 @@ class RoundScheduler:
         array: DiskArray,
         locator: Callable[[BlockId], int] | None = None,
         admission: "AdmissionPolicy | None" = None,
+        read_planner: Optional["FailoverReadPlanner"] = None,
+        scrubber: Optional["Scrubber"] = None,
     ):
         from repro.server.admission import AggregateAdmission
 
         self.array = array
         self._locate = locator or array.home_of
         self.admission = admission or AggregateAdmission()
+        self.read_planner = read_planner
+        self.scrubber = scrubber
         self._streams: dict[int, Stream] = {}
         self._round_index = 0
         self.total_hiccups = 0
@@ -127,6 +183,11 @@ class RoundScheduler:
     # ------------------------------------------------------------------
     def run_round(self) -> RoundReport:
         """Serve one round: collect demands, enforce per-disk bandwidth."""
+        if self.read_planner is not None:
+            return self._run_round_degraded()
+        return self._run_round_simple()
+
+    def _run_round_simple(self) -> RoundReport:
         report = RoundReport(round_index=self._round_index)
         self._round_index += 1
 
@@ -152,6 +213,72 @@ class RoundScheduler:
 
         for stream in self._streams.values():
             stream.deliver(served_by_stream.get(stream.stream_id, 0))
+
+        self.total_hiccups += report.hiccups
+        return report
+
+    def _run_round_degraded(self) -> RoundReport:
+        """One round through the failover read planner.
+
+        Reads are planned in stream-admission order (deterministic);
+        each consumes bandwidth wherever its serving path actually read
+        — primary, mirror, or every member of a parity group.
+        """
+        from repro.server.reads import (
+            PATH_MIRROR,
+            PATH_PARITY,
+            READ_QUEUED,
+            SERVED_PATHS,
+        )
+
+        planner = self.read_planner
+        assert planner is not None
+        report = RoundReport(round_index=self._round_index)
+        self._round_index += 1
+        planner.monitor.new_round()
+
+        bandwidth = {
+            pid: self.array.disk(pid).bandwidth_blocks_per_round
+            for pid in self.array.physical_ids
+        }
+        report.load_by_physical = {pid: 0 for pid in bandwidth}
+        served_by_stream: dict[int, int] = defaultdict(int)
+        demanded_by_stream: dict[int, int] = defaultdict(int)
+
+        for stream in self._streams.values():
+            for block_id in stream.blocks_needed():
+                report.requested += 1
+                demanded_by_stream[stream.stream_id] += 1
+                report.load_by_physical[self._locate(block_id)] += 1
+                outcome = planner.serve(block_id, report.round_index, bandwidth)
+                if outcome in SERVED_PATHS:
+                    report.served += 1
+                    served_by_stream[stream.stream_id] += 1
+                    if outcome == PATH_MIRROR:
+                        report.failover_reads += 1
+                    elif outcome == PATH_PARITY:
+                        report.reconstructed_reads += 1
+                elif outcome == READ_QUEUED:
+                    report.queued += 1
+                else:
+                    report.hiccups += 1
+                    self.hiccups_by_stream[stream.stream_id] += 1
+
+        report.spare_by_physical = dict(bandwidth)
+
+        if self.scrubber is not None:
+            scrub = self.scrubber.run_round(report.round_index)
+            report.scrub_checked = scrub.checked
+            report.scrub_repaired = scrub.repaired
+            report.scrub_rebuilt = scrub.rebuilt_blocks
+
+        report.health_by_physical = planner.monitor.snapshot()
+
+        for stream in self._streams.values():
+            stream.deliver(
+                served_by_stream.get(stream.stream_id, 0),
+                demanded=demanded_by_stream.get(stream.stream_id, 0),
+            )
 
         self.total_hiccups += report.hiccups
         return report

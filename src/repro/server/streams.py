@@ -46,6 +46,9 @@ class Stream:
         self.position = start_block
         self.state = StreamState.PLAYING
         self.blocks_consumed = 0
+        #: Rounds in which this client received less than it demanded —
+        #: the client-side rebuffering signal degraded-mode metrics track.
+        self.stall_rounds = 0
 
     @property
     def is_active(self) -> bool:
@@ -62,10 +65,17 @@ class Stream:
             for index in range(self.position, end)
         ]
 
-    def deliver(self, count: int) -> None:
-        """Acknowledge ``count`` delivered blocks and advance playback."""
+    def deliver(self, count: int, demanded: int | None = None) -> None:
+        """Acknowledge ``count`` delivered blocks and advance playback.
+
+        ``demanded`` (when given) is what the round asked for on the
+        stream's behalf; shortfalls — whether hiccups or queued reads —
+        count one stall round for the client.
+        """
         if count < 0:
             raise ValueError(f"delivered count must be >= 0, got {count}")
+        if demanded is not None and count < demanded:
+            self.stall_rounds += 1
         self.position = min(self.position + count, self.media.num_blocks)
         self.blocks_consumed += count
         if self.position >= self.media.num_blocks:

@@ -26,6 +26,12 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_seed_flag_accepts_decimal_and_hex(self):
+        parser = build_parser()
+        assert parser.parse_args(["chaos", "--seed", "42"]).seed == 42
+        assert parser.parse_args(["chaos", "--seed", "0xBEEF"]).seed == 0xBEEF
+        assert parser.parse_args(["chaos"]).seed is None
+
 
 class TestMain:
     def test_runs_fig1(self, capsys):
@@ -51,3 +57,14 @@ class TestMain:
         for module in EXPERIMENTS.values():
             assert callable(module.run)
             assert callable(module.report)
+
+    def test_seed_threads_into_seed_aware_experiments(self, capsys):
+        assert main(["availability", "--quick", "--seed", "0xD1FF"]) == 0
+        first = capsys.readouterr().out
+        assert main(["availability", "--quick", "--seed", "0xD1FF"]) == 0
+        assert capsys.readouterr().out == first  # bit-reproducible
+        assert "dead-disk hiccups" in first
+
+    def test_seed_is_ignored_by_seedless_experiments(self, capsys):
+        assert main(["rule-of-thumb", "--seed", "7"]) == 0
+        assert "paper k" in capsys.readouterr().out
