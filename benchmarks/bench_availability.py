@@ -12,12 +12,14 @@ robustness claim as hard assertions:
   compare results exactly).
 
 Results are persisted to ``BENCH_availability.json`` at the repo root so
-the availability trajectory is recorded PR over PR.
+the availability trajectory is recorded PR over PR.  ``--trace FILE``
+attaches a live :class:`~repro.obs.Obs` handle and writes the run's
+structured event log as JSON lines — the artifact CI uploads.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_availability.py [--quick]
-        [--seed N] [--output PATH]
+        [--seed N] [--output PATH] [--trace FILE]
 """
 
 from __future__ import annotations
@@ -61,13 +63,30 @@ def main(argv: list[str] | None = None) -> int:
         default=REPO_ROOT / "BENCH_availability.json",
         help="where to write the JSON results",
     )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="also write the run's structured event log as JSON lines",
+    )
     args = parser.parse_args(argv)
 
     kwargs = dict(QUICK) if args.quick else {}
     kwargs["seed"] = args.seed
+    obs = None
+    if args.trace is not None:
+        from repro.obs import Obs
+
+        obs = Obs()
+        kwargs["obs"] = obs
     results = run_availability(**kwargs)
     print(report(results))
+    if obs is not None and args.trace is not None:
+        obs.write_events(args.trace)
+        print(f"wrote {obs.log.total_emitted} events to {args.trace}")
 
+    kwargs.pop("obs", None)
     again = run_availability(**kwargs)
     reproducible = results == again
     print(f"\nbit-reproducible from seed {args.seed:#x}: {reproducible}")
@@ -87,7 +106,9 @@ def main(argv: list[str] | None = None) -> int:
             for r in results
         ],
     }
-    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    args.output.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
     print(f"wrote {args.output}")
 
     assert reproducible, "sweep is not bit-reproducible from its seed"

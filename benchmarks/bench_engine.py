@@ -155,7 +155,9 @@ def main(argv: list[str] | None = None) -> int:
         "bits": BITS,
         "results": results,
     }
-    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    args.output.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
     print(f"\nwrote {args.output}")
 
     hot = [

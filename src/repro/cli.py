@@ -11,6 +11,18 @@ reader can regenerate any paper artifact with one command::
 ``--quick`` trades statistical resolution for speed (smaller block
 populations, fewer seeds) — useful for smoke runs; headline shapes
 still hold, only the noise floor rises.
+
+Two observability views complement the experiments (``repro.obs``):
+
+* ``scaddar trace`` runs the availability experiment with a live
+  :class:`~repro.obs.Obs` handle attached and prints the tail of its
+  structured event log (``--last N``; ``--out FILE`` writes the full
+  JSONL artifact, ``--events FILE`` views a previously written one);
+* ``scaddar metrics`` runs the same and dumps the metric registry in
+  Prometheus text format (or ``--format json``).
+
+Both honor ``--quick`` and ``--seed``; with a fixed seed the event
+*sequence* is bit-reproducible (wall-clock durations aside).
 """
 
 from __future__ import annotations
@@ -79,11 +91,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=[*EXPERIMENTS, "all", "report", "backends"],
+        choices=[*EXPERIMENTS, "all", "report", "backends", "trace", "metrics"],
         help=(
             "which experiment to run; 'all' runs every one, 'report' "
             "emits a markdown results document to stdout, 'backends' "
-            "lists the registered placement backends"
+            "lists the registered placement backends, 'trace' runs the "
+            "availability experiment with structured tracing and prints "
+            "the event log, 'metrics' dumps its metric registry"
         ),
     )
     parser.add_argument(
@@ -101,6 +115,34 @@ def build_parser() -> argparse.ArgumentParser:
             "from this one value.  Ignored by experiments without a seed "
             "parameter."
         ),
+    )
+    parser.add_argument(
+        "--last",
+        type=int,
+        default=30,
+        metavar="N",
+        help="('trace' only) print the last N events (default 30)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="('trace' only) also write the full event log as JSON lines",
+    )
+    parser.add_argument(
+        "--events",
+        default=None,
+        metavar="FILE",
+        help=(
+            "('trace' only) view a previously written JSONL event log "
+            "instead of running the experiment"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("prom", "json"),
+        default="prom",
+        help="('metrics' only) output format (default: Prometheus text)",
     )
     return parser
 
@@ -121,6 +163,70 @@ def render_backends() -> str:
             for name, cls in BACKENDS.items()
         ],
     )
+
+
+def run_observed(quick: bool = False, seed: int | None = None):
+    """Run the availability experiment with a live obs handle attached.
+
+    Returns the :class:`~repro.obs.Obs` carrying the run's event log and
+    metric registry — the data source for ``trace`` and ``metrics``.
+    """
+    from repro.experiments.availability import run_availability
+    from repro.obs import Obs
+
+    obs = Obs()
+    kwargs = dict(QUICK_KWARGS["availability"]) if quick else {}
+    if seed is not None:
+        kwargs["seed"] = seed
+    run_availability(obs=obs, **kwargs)
+    return obs
+
+
+def render_trace(
+    quick: bool = False,
+    seed: int | None = None,
+    last: int = 30,
+    out: str | None = None,
+    events: str | None = None,
+) -> str:
+    """The ``scaddar trace`` view: event-kind profile + the log's tail."""
+    from repro.obs import EventLog
+
+    if events is not None:
+        log_events = EventLog.read_jsonl(events)
+        source = f"event log {events}"
+    else:
+        obs = run_observed(quick=quick, seed=seed)
+        if out is not None:
+            obs.write_events(out)
+        log_events = list(obs.log.events)
+        source = "availability experiment"
+    kinds: dict[str, int] = {}
+    for event in log_events:
+        kinds[event.kind] = kinds.get(event.kind, 0) + 1
+    lines = [f"{len(log_events)} events from the {source}", ""]
+    for kind in sorted(kinds):
+        lines.append(f"  {kind:24s} {kinds[kind]}")
+    lines.append("")
+    tail = log_events[-last:] if last > 0 else []
+    lines.append(f"last {len(tail)} events:")
+    lines.extend(event.to_json().rstrip() for event in tail)
+    if out is not None and events is None:
+        lines.append("")
+        lines.append(f"full event log written to {out}")
+    return "\n".join(lines)
+
+
+def render_metrics(
+    quick: bool = False, seed: int | None = None, fmt: str = "prom"
+) -> str:
+    """The ``scaddar metrics`` view: the run's metric registry."""
+    import json as _json
+
+    obs = run_observed(quick=quick, seed=seed)
+    if fmt == "json":
+        return _json.dumps(obs.json_snapshot(), indent=2)
+    return obs.prometheus().rstrip("\n")
 
 
 def _run_one(name: str, quick: bool, seed: int | None = None) -> str:
@@ -166,6 +272,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if args.experiment == "backends":
         print(render_backends())
+        return 0
+    if args.experiment == "trace":
+        print(
+            render_trace(
+                quick=args.quick,
+                seed=args.seed,
+                last=args.last,
+                out=args.out,
+                events=args.events,
+            )
+        )
+        return 0
+    if args.experiment == "metrics":
+        print(render_metrics(quick=args.quick, seed=args.seed, fmt=args.format))
         return 0
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -31,6 +31,7 @@ import numpy as np
 from repro.core.operations import OperationLog, ScalingOp
 from repro.core.remap import survivor_ranks
 from repro.core.vectorized import remap_add_inplace, remap_remove_inplace
+from repro.obs import NULL_OBS
 
 #: Scratch buffer names and dtypes (one full-length array each).
 _SCRATCH_SPEC = (
@@ -67,12 +68,20 @@ class PlacementEngine:
 
     def __init__(self, log: OperationLog):
         self.log = log
+        self.obs = NULL_OBS
         self._n_before: list[int] = []  # pre-op disk count per epoch
         self._rank_tables: list[np.ndarray | None] = []  # int64, removals only
         self._scratch: dict[str, np.ndarray] = {
             name: np.empty(0, dtype=dtype) for name, dtype in _SCRATCH_SPEC
         }
         self.sync()
+
+    def attach_obs(self, obs) -> None:
+        """Attach an observability handle: :meth:`sync` then counts
+        ``engine.cache_hits`` (epoch cache already current),
+        ``engine.cache_misses`` (one per newly cached epoch) and
+        ``engine.epoch_rebuilds`` (log swapped, cache discarded)."""
+        self.obs = obs
 
     # ------------------------------------------------------------------
     # Epoch cache
@@ -100,6 +109,14 @@ class PlacementEngine:
             # The log shrank (it was swapped/reset under us): start over.
             self._n_before.clear()
             self._rank_tables.clear()
+            if self.obs.enabled:
+                self.obs.inc("engine.epoch_rebuilds")
+        if self.obs.enabled:
+            stale = len(ops) - len(self._n_before)
+            if stale > 0:
+                self.obs.inc("engine.cache_misses", stale)
+            else:
+                self.obs.inc("engine.cache_hits")
         while len(self._n_before) < len(ops):
             i = len(self._n_before)
             n_prev = self.log.disks_after(i)

@@ -59,16 +59,32 @@ class AvailabilityResult:
     rebuild_rounds: int
     #: The killed disk's health state at the end of the run.
     victim_final_state: str
+    #: Re-requests of previously-queued reads (counted in ``requested``
+    #: again but representing demand already counted once).
+    retried: int = 0
+
+    @property
+    def unique_requested(self) -> int:
+        """Demand with queued-read re-requests counted once."""
+        return self.requested - self.retried
 
     @property
     def availability(self) -> float:
-        """Served / requested over the horizon (the SLO number)."""
-        return self.served / self.requested if self.requested else 1.0
+        """Served / unique demand over the horizon (the SLO number).
+
+        Dividing by raw ``requested`` would count a queued read's demand
+        twice (its original round and its retry round) while crediting
+        its serve once — understating availability exactly when the
+        system is degraded.
+        """
+        unique = self.unique_requested
+        return self.served / unique if unique else 1.0
 
     @property
     def hiccup_rate(self) -> float:
-        """Hiccups / requested over the horizon."""
-        return self.hiccups / self.requested if self.requested else 0.0
+        """Hiccups / unique demand over the horizon."""
+        unique = self.unique_requested
+        return self.hiccups / unique if unique else 0.0
 
     @property
     def survived(self) -> bool:
@@ -93,6 +109,7 @@ def _run_cell(
     replace_round: int,
     parity_k: int,
     scrub_rate: int,
+    obs=None,
 ) -> AvailabilityResult:
     catalog = uniform_catalog(
         num_objects, blocks_per_object, master_seed=cell_seed, bits=bits
@@ -105,12 +122,16 @@ def _run_cell(
         read_slow_rate=rate / 2,
         scrub_divergence_rate=rate / 4,
     )
+    if obs is not None:
+        server.attach_obs(obs)
+        obs.event("cell.begin", scheme=scheme, rate=rate)
     stack = build_degraded_stack(
         server,
         injector=injector,
         protection=scheme,
         parity_k=parity_k,
         scrub_rate=scrub_rate,
+        obs=obs,
     )
     for sid in range(num_objects):
         media = server.catalog.get(sid)
@@ -146,6 +167,7 @@ def _run_cell(
         served=summary.total_served,
         hiccups=summary.total_hiccups,
         queued=summary.total_queued,
+        retried=summary.total_retried,
         failover_reads=summary.total_failover_reads,
         reconstructed_reads=summary.total_reconstructed_reads,
         dead_disk_hiccups=stats.hiccups_by_primary.get(victim, 0),
@@ -172,12 +194,22 @@ def run_availability(
     parity_k: int = 4,
     scrub_rate: int = 32,
     seed: int = 0xA7A11,
+    obs=None,
 ) -> list[AvailabilityResult]:
     """Sweep fault rates x protection schemes, one disk death per cell.
 
     Every cell's injector is seeded via :func:`derive_seed` from the one
     ``seed``, so the whole sweep is reproducible end-to-end from a
     single value (and the CLI's ``--seed`` flag reaches it).
+
+    ``obs`` (an :class:`repro.obs.Obs`) threads one observability handle
+    through every cell's server, health monitor, and scheduler: the
+    event log carries the full trace (``cell.begin`` marks cell
+    boundaries) and the metrics registry the serve/failover/scrub
+    counters — the artifact ``scaddar trace`` / ``scaddar metrics``
+    expose.  Same seed, same event sequence (wall-clock durations
+    aside): the log's :meth:`~repro.obs.EventLog.deterministic_view` is
+    bit-stable.
     """
     if not 0 <= kill_round < replace_round < rounds:
         raise ValueError(
@@ -202,6 +234,7 @@ def run_availability(
                     replace_round=replace_round,
                     parity_k=parity_k,
                     scrub_rate=scrub_rate,
+                    obs=obs,
                 )
             )
     return results
@@ -215,12 +248,13 @@ def report(results: list[AvailabilityResult] | None = None) -> str:
             "scheme",
             "fault rate",
             "requested",
+            "retried",
             "served",
             "failover",
             "reconstructed",
             "queued",
             "hiccups",
-            "hiccup rate",
+            "availability",
             "dead-disk hiccups",
             "scrub repairs",
             "rebuild rounds",
@@ -231,12 +265,13 @@ def report(results: list[AvailabilityResult] | None = None) -> str:
                 r.scheme,
                 f"{r.read_fault_rate:.2f}",
                 r.requested,
+                r.retried,
                 r.served,
                 r.failover_reads,
                 r.reconstructed_reads,
                 r.queued,
                 r.hiccups,
-                f"{r.hiccup_rate:.4f}",
+                f"{r.availability:.4f}",
                 r.dead_disk_hiccups,
                 r.scrub_repairs,
                 r.rebuild_rounds,
@@ -248,10 +283,11 @@ def report(results: list[AvailabilityResult] | None = None) -> str:
     survived = all(r.survived for r in results)
     return (
         table
-        + "\none disk is killed mid-playback in every cell; dead-disk "
-        "hiccups = 0 means every read it owed was served by failover or "
-        "reconstruction, and 'healthy' means the scrubber finished the "
-        "replacement's rebuild"
+        + "\none disk is killed mid-playback in every cell; availability "
+        "is served / (requested - retried), counting each queued read's "
+        "re-request once; dead-disk hiccups = 0 means every read the "
+        "victim owed was served by failover or reconstruction, and "
+        "'healthy' means the scrubber finished the replacement's rebuild"
         + ("" if survived else "\n*** AVAILABILITY VIOLATED: the disk death "
            "leaked hiccups or the rebuild never completed ***")
     )

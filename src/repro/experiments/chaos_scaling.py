@@ -66,7 +66,8 @@ class ChaosScenarioResult:
 
 
 def _build(
-    num_objects: int, blocks_per_object: int, n0: int, bits: int, seed: int
+    num_objects: int, blocks_per_object: int, n0: int, bits: int, seed: int,
+    obs=None,
 ) -> tuple[CMServer, RoundScheduler]:
     catalog = uniform_catalog(
         num_objects, blocks_per_object, master_seed=seed, bits=bits
@@ -75,8 +76,9 @@ def _build(
     server = CMServer(
         catalog, [spec] * n0, bits=bits, default_spec=spec,
         journal=ScalingJournal(),
+        obs=obs,
     )
-    scheduler = RoundScheduler(server.array)
+    scheduler = RoundScheduler(server.array, obs=obs)
     for sid in range(num_objects):
         media = server.catalog.get(sid)
         scheduler.admit(Stream(sid, media, start_block=(sid * 131) % media.num_blocks))
@@ -125,12 +127,21 @@ def run_chaos_scaling(
     fault_rate: float = 0.15,
     slow_rate: float = 0.05,
     seed: int = 0xC4A05,
+    obs=None,
 ) -> list[ChaosScenarioResult]:
-    """Run the three chaos scenarios; every one must lose zero blocks."""
+    """Run the three chaos scenarios; every one must lose zero blocks.
+
+    ``obs`` (an :class:`repro.obs.Obs`) threads one observability handle
+    through every scenario's server, journal, and migration session —
+    scale spans, journal record counters, and ``migrate.retry`` /
+    ``migrate.slow`` events all land on it.
+    """
     results = []
 
     # Scenario 1: online scale-up under transient + slow faults.
-    server, scheduler = _build(num_objects, blocks_per_object, n0, bits, seed)
+    server, scheduler = _build(
+        num_objects, blocks_per_object, n0, bits, seed, obs=obs
+    )
     before = server.total_blocks
     injector = FaultInjector(
         seed=derive_seed(seed, 0), transient_rate=fault_rate, slow_rate=slow_rate
@@ -145,7 +156,9 @@ def run_chaos_scaling(
     )
 
     # Scenario 2: online scale-down under the same fault load.
-    server, scheduler = _build(num_objects, blocks_per_object, n0, bits, seed)
+    server, scheduler = _build(
+        num_objects, blocks_per_object, n0, bits, seed, obs=obs
+    )
     before = server.total_blocks
     injector = FaultInjector(
         seed=derive_seed(seed, 1), transient_rate=fault_rate, slow_rate=slow_rate
@@ -160,7 +173,9 @@ def run_chaos_scaling(
     )
 
     # Scenario 3: a disk dies mid-addition; escalate failure-as-removal.
-    server, scheduler = _build(num_objects, blocks_per_object, n0, bits, seed)
+    server, scheduler = _build(
+        num_objects, blocks_per_object, n0, bits, seed, obs=obs
+    )
     before = server.total_blocks
     injector = FaultInjector(
         seed=derive_seed(seed, 2),
@@ -173,6 +188,7 @@ def run_chaos_scaling(
     session = MigrationSession(
         server.array, pending.plan,
         journal=server.journal, op_seq=pending.op_seq, injector=injector,
+        obs=server.obs,
     )
     hiccups = rounds = 0
     try:

@@ -1,0 +1,48 @@
+"""Structured observability for the server stack (zero dependencies).
+
+The package the long-run story hangs on: a typed, ring-buffered,
+JSON-lines event log with seeded-run determinism
+(:class:`~repro.obs.events.EventLog`), nested tracing spans with
+``perf_counter`` timing (:class:`~repro.obs.trace.Tracer`),
+counter/histogram registries
+(:class:`~repro.obs.registry.MetricsRegistry`), and Prometheus-text /
+JSON exporters (:mod:`repro.obs.export`) — bundled behind one handle
+(:class:`~repro.obs.facade.Obs`) that every server constructor accepts
+as ``obs=`` and defaults to the near-zero-overhead
+:data:`~repro.obs.facade.NULL_OBS`.
+
+See ``docs/OPERATIONS.md`` for the event schema and span naming
+convention, and ``scaddar trace`` / ``scaddar metrics`` for the CLI
+views of a run.
+"""
+
+from repro.obs.events import Event, EventLog
+from repro.obs.export import sanitize_name, to_json, to_json_text, to_prometheus
+from repro.obs.facade import NULL_OBS, NullObs, Obs, ObsHandle
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import SPAN_HISTOGRAM, Span, Tracer
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "NULL_OBS",
+    "SPAN_HISTOGRAM",
+    "Counter",
+    "Event",
+    "EventLog",
+    "Histogram",
+    "MetricsRegistry",
+    "NullObs",
+    "Obs",
+    "ObsHandle",
+    "Span",
+    "Tracer",
+    "sanitize_name",
+    "to_json",
+    "to_json_text",
+    "to_prometheus",
+]

@@ -1,0 +1,132 @@
+"""Exporters: Prometheus text format and JSON.
+
+The registry's counters and histograms rendered two ways:
+
+* :func:`to_prometheus` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` headers, ``name{label="v"} value`` samples,
+  cumulative ``_bucket``/``_sum``/``_count`` histogram series), so a run
+  can be scraped or diffed with standard tooling.  Internal metric names
+  use dots (``reads.served``); Prometheus names cannot, so the exporter
+  sanitizes them to underscores (``reads_served``);
+* :func:`to_json` — a nested dict for programmatic consumption (the
+  ``scaddar metrics --format json`` path and the bench artifacts).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any
+
+from repro.obs.registry import Counter, Histogram, LabelKey, MetricsRegistry
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_name(name: str) -> str:
+    """Map an internal dotted metric name to a legal Prometheus name."""
+    sanitized = _NAME_RE.sub("_", name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _format_labels(key: LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = key + extra
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def _counter_lines(counter: Counter) -> list[str]:
+    name = sanitize_name(counter.name)
+    lines = []
+    if counter.help:
+        lines.append(f"# HELP {name} {counter.help}")
+    lines.append(f"# TYPE {name} counter")
+    series = counter.series or {(): 0.0}
+    for key in sorted(series):
+        lines.append(f"{name}{_format_labels(key)} {_format_value(series[key])}")
+    return lines
+
+
+def _histogram_lines(hist: Histogram) -> list[str]:
+    name = sanitize_name(hist.name)
+    lines = []
+    if hist.help:
+        lines.append(f"# HELP {name} {hist.help}")
+    lines.append(f"# TYPE {name} histogram")
+    for key in sorted(hist.series):
+        series = hist.series[key]
+        cumulative = 0
+        for bound, count in zip(hist.buckets, series.bucket_counts):
+            cumulative += count
+            le = _format_labels(key, (("le", _format_value(bound)),))
+            lines.append(f"{name}_bucket{le} {cumulative}")
+        cumulative += series.bucket_counts[-1]
+        le = _format_labels(key, (("le", "+Inf"),))
+        lines.append(f"{name}_bucket{le} {cumulative}")
+        lines.append(f"{name}_sum{_format_labels(key)} {repr(series.sum)}")
+        lines.append(f"{name}_count{_format_labels(key)} {series.count}")
+    return lines
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """The whole registry in Prometheus text exposition format."""
+    lines: list[str] = []
+    for counter in registry.counters:
+        lines.extend(_counter_lines(counter))
+    for hist in registry.histograms:
+        lines.extend(_histogram_lines(hist))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _labels_dict(key: LabelKey) -> dict[str, str]:
+    return {k: v for k, v in key}
+
+
+def to_json(registry: MetricsRegistry) -> dict[str, Any]:
+    """The whole registry as a JSON-compatible dict."""
+    counters = [
+        {
+            "name": counter.name,
+            "help": counter.help,
+            "series": [
+                {"labels": _labels_dict(key), "value": value}
+                for key, value in sorted(counter.series.items())
+            ],
+        }
+        for counter in registry.counters
+    ]
+    histograms = [
+        {
+            "name": hist.name,
+            "help": hist.help,
+            "buckets": list(hist.buckets),
+            "series": [
+                {
+                    "labels": _labels_dict(key),
+                    "bucket_counts": list(series.bucket_counts),
+                    "count": series.count,
+                    "sum": series.sum,
+                    "min": None if series.count == 0 else series.min,
+                    "max": None if series.count == 0 else series.max,
+                }
+                for key, series in sorted(hist.series.items())
+            ],
+        }
+        for hist in registry.histograms
+    ]
+    return {"counters": counters, "histograms": histograms}
+
+
+def to_json_text(registry: MetricsRegistry, indent: int = 2) -> str:
+    """:func:`to_json` serialized as text."""
+    return json.dumps(to_json(registry), indent=indent) + "\n"

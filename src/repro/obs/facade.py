@@ -1,0 +1,198 @@
+"""The observability handle servers carry: :class:`Obs` and its no-op twin.
+
+Every instrumented constructor takes ``obs=`` and defaults to
+:data:`NULL_OBS` — a stateless singleton whose every method is a pass
+(``span``/``timer`` return one shared, reusable null context manager),
+so an uninstrumented server pays one attribute load and a truthiness
+check per *batched* operation and nothing per block.  The overhead
+budget is enforced by ``benchmarks/bench_obs_overhead.py`` (< 3 % on the
+engine hot path).
+
+Hot-path convention: guard per-item event emission with ``if
+obs.enabled:`` so the null case never builds a kwargs dict in a loop;
+batched counters and spans may call unconditionally.
+
+One :class:`Obs` bundles the three instruments:
+
+* :class:`~repro.obs.events.EventLog` — the structured event stream;
+* :class:`~repro.obs.trace.Tracer` — nested timing spans over that log;
+* :class:`~repro.obs.registry.MetricsRegistry` — counters + histograms,
+  exported via :meth:`Obs.prometheus` / :meth:`Obs.json_snapshot`.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any, Callable, Optional, Union
+
+from repro.obs.events import EventLog
+from repro.obs.export import to_json, to_prometheus
+from repro.obs.registry import Histogram, MetricsRegistry
+from repro.obs.trace import Span, Tracer
+
+
+class _NullSpan:
+    """Shared no-op context manager (also stands in for timers)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def annotate(self, **fields: Any) -> None:
+        """No-op twin of :meth:`repro.obs.trace.Span.annotate`."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullObs:
+    """The do-nothing observability handle (default for every server).
+
+    API-compatible with :class:`Obs` (asserted by ``tests/test_obs.py``)
+    so instrumentation sites never branch on the handle type; ``enabled``
+    is the one flag hot loops may check to skip building event payloads.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def event(self, kind: str, /, **fields: Any) -> None:
+        return None
+
+    def span(self, name: str, /, **fields: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def timer(self, name: str, /, **labels: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def inc(self, name: str, amount: float = 1, /, **labels: Any) -> None:
+        return None
+
+    def observe(self, name: str, value: float, /, **labels: Any) -> None:
+        return None
+
+    def prometheus(self) -> str:
+        return ""
+
+    def json_snapshot(self) -> dict[str, Any]:
+        return {"counters": [], "histograms": []}
+
+    def write_events(self, path: Union[str, Path, None] = None) -> str:
+        return ""
+
+    def __repr__(self) -> str:
+        return "NullObs()"
+
+
+#: The process-wide no-op handle; never holds state, safe to share.
+NULL_OBS = NullObs()
+
+
+class _Timer:
+    """Times a ``with`` body into one histogram series."""
+
+    __slots__ = ("_hist", "_labels", "_clock", "_start")
+
+    def __init__(
+        self, hist: Histogram, labels: dict[str, Any],
+        clock: Callable[[], float],
+    ):
+        self._hist = hist
+        self._labels = labels
+        self._clock = clock
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = self._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._hist.observe(self._clock() - self._start, **self._labels)
+        return False
+
+
+class Obs:
+    """A live observability handle: event log + tracer + metrics.
+
+    Parameters
+    ----------
+    capacity:
+        Event-log ring size (oldest events evicted past it).
+    clock:
+        Time source for stamps and span durations (default
+        :func:`time.perf_counter`); injectable for tests.
+
+    Examples
+    --------
+    >>> obs = Obs()
+    >>> with obs.span("scale.plan"):
+    ...     obs.inc("reads.served", 3)
+    >>> [e.kind for e in obs.log.events]
+    ['span.start', 'span.end']
+    >>> obs.registry.counter("reads.served").total
+    3
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        capacity: int = 65536,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        self._clock = clock if clock is not None else time.perf_counter
+        self.log = EventLog(capacity=capacity, clock=self._clock)
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(self.log, self.registry, clock=self._clock)
+
+    # ------------------------------------------------------------------
+    # Instruments
+    # ------------------------------------------------------------------
+    def event(self, kind: str, /, **fields: Any):
+        """Emit one structured event."""
+        return self.log.emit(kind, **fields)
+
+    def span(self, name: str, /, **fields: Any) -> Span:
+        """A nested timing span (context manager)."""
+        return self.tracer.span(name, **fields)
+
+    def timer(self, name: str, /, **labels: Any) -> _Timer:
+        """Time a ``with`` body into the named histogram — the quiet op
+        timer: no events, one observation."""
+        return _Timer(self.registry.histogram(name), labels, self._clock)
+
+    def inc(self, name: str, amount: float = 1, /, **labels: Any) -> None:
+        """Increment the named counter."""
+        self.registry.counter(name).inc(amount, **labels)
+
+    def observe(self, name: str, value: float, /, **labels: Any) -> None:
+        """Record one observation into the named histogram."""
+        self.registry.histogram(name).observe(value, **labels)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def prometheus(self) -> str:
+        """Metrics in Prometheus text exposition format."""
+        return to_prometheus(self.registry)
+
+    def json_snapshot(self) -> dict[str, Any]:
+        """Metrics as a JSON-compatible dict."""
+        return to_json(self.registry)
+
+    def write_events(self, path: Union[str, Path, None] = None) -> str:
+        """Dump the event log as JSON lines (optionally to ``path``)."""
+        return self.log.to_jsonl(path)
+
+    def __repr__(self) -> str:
+        return f"Obs(events={len(self.log)}, {self.registry!r})"
+
+
+#: Anything an instrumented constructor accepts as its ``obs=``.
+ObsHandle = Union[Obs, NullObs]

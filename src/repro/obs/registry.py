@@ -1,0 +1,207 @@
+"""Counter and histogram registries (the numeric half of observability).
+
+Counters accumulate monotonically (serves, failovers, cache hits);
+histograms accumulate distributions (fsync latency, span durations,
+per-backend lookup times) into fixed log-spaced buckets plus running
+sum/count/min/max, so percentile-ish questions cost O(buckets) memory no
+matter how long the run is.  Both support Prometheus-style labels — a
+metric name owns a family of series keyed by sorted ``(key, value)``
+label pairs — which is exactly what the exporter
+(:mod:`repro.obs.export`) renders.
+
+Everything here is plain Python and allocation-light: one dict lookup
+and an integer add per observation, so instruments can sit on warm
+paths (they are still kept off the innermost vector kernels — the
+engine counts per *batch*, never per block).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+#: Label set -> series key: sorted tuple of (key, value) pairs.
+LabelKey = tuple[tuple[str, str], ...]
+
+#: Default histogram buckets: log-spaced seconds from 1µs to 10s, the
+#: range spanning a no-op span to a full experiment cell.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0,
+)
+
+
+def _label_key(labels: dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing metric family.
+
+    One ``Counter`` owns every label combination of its name; ``inc``
+    with no labels addresses the unlabelled series.
+    """
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._values: dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1, /, **labels: Any) -> None:
+        """Add ``amount`` (default 1) to the labelled series."""
+        if amount < 0:
+            raise ValueError(f"counters only go up; got {amount}")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels: Any) -> float:
+        """Current value of one labelled series (0 if never incremented)."""
+        return self._values.get(_label_key(labels), 0)
+
+    @property
+    def total(self) -> float:
+        """Sum over every label combination."""
+        return sum(self._values.values())
+
+    @property
+    def series(self) -> dict[LabelKey, float]:
+        """Every labelled series, keyed by sorted label pairs."""
+        return dict(self._values)
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, total={self.total})"
+
+
+class _HistogramSeries:
+    """Accumulated distribution of one label combination."""
+
+    __slots__ = ("bucket_counts", "count", "sum", "min", "max")
+
+    def __init__(self, num_buckets: int):
+        # One slot per finite bucket plus the +Inf overflow slot.
+        self.bucket_counts = [0] * (num_buckets + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+
+class Histogram:
+    """A fixed-bucket distribution metric family.
+
+    Parameters
+    ----------
+    name / help:
+        Metric identity (see :class:`MetricsRegistry`).
+    buckets:
+        Finite upper bounds, ascending; an implicit ``+Inf`` bucket
+        catches the overflow.  Defaults to :data:`DEFAULT_BUCKETS`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Iterable[float]] = None,
+    ):
+        self.name = name
+        self.help = help
+        self.buckets = tuple(
+            sorted(buckets if buckets is not None else DEFAULT_BUCKETS)
+        )
+        if not self.buckets:
+            raise ValueError("a histogram needs at least one bucket bound")
+        self._series: dict[LabelKey, _HistogramSeries] = {}
+
+    def observe(self, value: float, /, **labels: Any) -> None:
+        """Record one observation into the labelled series."""
+        key = _label_key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = _HistogramSeries(len(self.buckets))
+            self._series[key] = series
+        slot = len(self.buckets)  # +Inf by default
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                slot = i
+                break
+        series.bucket_counts[slot] += 1
+        series.count += 1
+        series.sum += value
+        if value < series.min:
+            series.min = value
+        if value > series.max:
+            series.max = value
+
+    def count(self, **labels: Any) -> int:
+        """Observations recorded in one labelled series."""
+        series = self._series.get(_label_key(labels))
+        return series.count if series is not None else 0
+
+    def sum(self, **labels: Any) -> float:
+        """Sum of observations in one labelled series."""
+        series = self._series.get(_label_key(labels))
+        return series.sum if series is not None else 0.0
+
+    def mean(self, **labels: Any) -> float:
+        """Mean observation of one labelled series (0.0 when empty)."""
+        series = self._series.get(_label_key(labels))
+        if series is None or series.count == 0:
+            return 0.0
+        return series.sum / series.count
+
+    @property
+    def series(self) -> dict[LabelKey, _HistogramSeries]:
+        """Every labelled series, keyed by sorted label pairs."""
+        return dict(self._series)
+
+    def __repr__(self) -> str:
+        total = sum(s.count for s in self._series.values())
+        return f"Histogram({self.name!r}, observations={total})"
+
+
+class MetricsRegistry:
+    """Registry of every counter and histogram of one observability
+    handle — get-or-create semantics, so instrumentation sites never
+    coordinate:  ``registry.counter("reads.served").inc()`` works from
+    anywhere and always addresses the same metric.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """The counter of that name (created on first touch)."""
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = Counter(name, help)
+            self._counters[name] = metric
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Iterable[float]] = None,
+    ) -> Histogram:
+        """The histogram of that name (created on first touch)."""
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = Histogram(name, help, buckets=buckets)
+            self._histograms[name] = metric
+        return metric
+
+    @property
+    def counters(self) -> list[Counter]:
+        """All counters, sorted by name."""
+        return [self._counters[k] for k in sorted(self._counters)]
+
+    @property
+    def histograms(self) -> list[Histogram]:
+        """All histograms, sorted by name."""
+        return [self._histograms[k] for k in sorted(self._histograms)]
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"histograms={len(self._histograms)})"
+        )

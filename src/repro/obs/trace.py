@@ -1,0 +1,125 @@
+"""Lightweight tracing spans with parent/child nesting.
+
+A span brackets one operation — ``tracer.span("scale.plan")`` — and
+records its ``perf_counter`` duration.  Spans nest: entering a span
+pushes it on the tracer's stack, so a ``scale.apply`` span opened while
+``scale.plan``'s parent operation is live records that parentage, and a
+trace viewer can reconstruct the call tree from the event log alone.
+
+Each span emits two events into the tracer's :class:`~repro.obs.events.
+EventLog` (``span.start`` / ``span.end``) and one observation into the
+``span.seconds`` histogram labelled by span name.  Span ids are plain
+monotonic integers, so seeded runs produce identical trace structure
+(the ``duration_s`` field is the only wall-clock part, and deterministic
+views strip it — see :meth:`~repro.obs.events.EventLog.deterministic_view`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Optional
+
+from repro.obs.events import EventLog
+from repro.obs.registry import MetricsRegistry
+
+#: Histogram every span duration lands in (labelled ``name=<span name>``).
+SPAN_HISTOGRAM = "span.seconds"
+
+
+class Span:
+    """One timed, nested operation (use via ``with tracer.span(...)``)."""
+
+    __slots__ = (
+        "_tracer", "name", "fields", "span_id", "parent_id",
+        "_start", "duration",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, fields: dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.fields = fields
+        self.span_id: Optional[int] = None
+        self.parent_id: Optional[int] = None
+        self._start = 0.0
+        #: Wall-clock seconds, set when the span closes.
+        self.duration: Optional[float] = None
+
+    def annotate(self, **fields: Any) -> None:
+        """Attach fields reported on the span's ``span.end`` event."""
+        self.fields.update(fields)
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        self.span_id = tracer._next_id
+        tracer._next_id += 1
+        self.parent_id = tracer._stack[-1] if tracer._stack else None
+        tracer._stack.append(self.span_id)
+        if tracer.log is not None:
+            # User fields merge under the reserved keys (which win), so a
+            # span annotated with e.g. name= or kind= can never collide.
+            payload = dict(self.fields)
+            payload.update(
+                span=self.span_id, parent=self.parent_id, name=self.name
+            )
+            tracer.log.emit("span.start", **payload)
+        self._start = tracer._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tracer = self._tracer
+        self.duration = tracer._clock() - self._start
+        if tracer._stack and tracer._stack[-1] == self.span_id:
+            tracer._stack.pop()
+        if tracer.log is not None:
+            payload = dict(self.fields)
+            payload.update(
+                span=self.span_id,
+                name=self.name,
+                ok=exc_type is None,
+                duration_s=self.duration,
+            )
+            tracer.log.emit("span.end", **payload)
+        if tracer.registry is not None:
+            tracer.registry.histogram(
+                SPAN_HISTOGRAM, help="span durations by name"
+            ).observe(self.duration, name=self.name)
+        return False
+
+
+class Tracer:
+    """Creates nested :class:`Span` instances over one event log.
+
+    Parameters
+    ----------
+    log:
+        Event log receiving ``span.start``/``span.end`` records
+        (``None`` keeps timing without events).
+    registry:
+        Metrics registry receiving span durations (``None`` skips).
+    clock:
+        Time source (default :func:`time.perf_counter`).
+    """
+
+    def __init__(
+        self,
+        log: Optional[EventLog] = None,
+        registry: Optional[MetricsRegistry] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        self.log = log
+        self.registry = registry
+        self._clock = clock if clock is not None else time.perf_counter
+        self._next_id = 0
+        self._stack: list[int] = []
+
+    @property
+    def depth(self) -> int:
+        """Currently open spans (0 outside any span)."""
+        return len(self._stack)
+
+    def span(self, name: str, /, **fields: Any) -> Span:
+        """A context manager timing one named operation."""
+        return Span(self, name, fields)
+
+    def __repr__(self) -> str:
+        return f"Tracer(spans={self._next_id}, depth={self.depth})"

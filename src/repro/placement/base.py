@@ -40,6 +40,7 @@ import numpy as np
 
 from repro.core.errors import UnsupportedOperationError
 from repro.core.operations import OperationLog, ScalingOp
+from repro.obs import NULL_OBS
 from repro.storage.block import Block, BlockId
 
 
@@ -59,6 +60,9 @@ class PlacementPolicy(ABC):
     #: its state by :class:`BlockId`); pure ``X0`` policies leave this
     #: False so hot paths can skip materializing id lists.
     requires_ids: bool = False
+
+    #: Observability handle (instance-level after :meth:`attach_obs`).
+    obs = NULL_OBS
 
     def __init__(self, n0: int):
         self.log = OperationLog(n0=n0)
@@ -108,6 +112,14 @@ class PlacementPolicy(ABC):
 
         Default: policies without a budget accept every operation.
         """
+
+    def attach_obs(self, obs) -> None:
+        """Attach an observability handle (:class:`repro.obs.Obs`).
+
+        The default stores it; policies with internal machinery worth
+        instrumenting (the SCADDAR engine's epoch cache) forward it.
+        """
+        self.obs = obs
 
     @abstractmethod
     def disk_of(self, block: Block) -> int:

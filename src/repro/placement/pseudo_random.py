@@ -48,7 +48,13 @@ class ScaddarPolicy(PlacementPolicy):
         """The batched engine over the mapper's log (built on demand)."""
         if self._engine is None or self._engine.log is not self.mapper.log:
             self._engine = PlacementEngine(self.mapper.log)
+            self._engine.attach_obs(self.obs)
         return self._engine
+
+    def attach_obs(self, obs) -> None:
+        super().attach_obs(obs)
+        if self._engine is not None:
+            self._engine.attach_obs(obs)
 
     def disk_of(self, block: Block) -> int:
         return self.mapper.disk_of(block.x0)

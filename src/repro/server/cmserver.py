@@ -50,6 +50,7 @@ from repro.storage.migration import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.obs import ObsHandle
     from repro.server.faults import MirroredPlacement
 
 
@@ -124,6 +125,13 @@ class CMServer:
         ``"jump_hash"``, ``"consistent_hash"``, ``"directory"``) or a
         ready :class:`~repro.placement.base.PlacementPolicy` instance
         whose disk count matches ``initial_specs``.
+    obs:
+        Optional observability handle (:class:`repro.obs.Obs`; default
+        no-op).  Scaling operations run under ``scale.plan`` /
+        ``scale.apply`` / ``scale.commit`` spans with ``scale.begin`` /
+        ``scale.commit`` / ``scale.abort`` events, bulk lookups are
+        timed into ``backend.locate.seconds`` (labelled by backend), and
+        the handle is forwarded to the backend (engine cache counters).
 
     Examples
     --------
@@ -140,7 +148,10 @@ class CMServer:
         default_spec: Optional[DiskSpec] = None,
         journal: Optional[ScalingJournal] = None,
         backend: Union[str, PlacementPolicy] = "scaddar",
+        obs: Optional["ObsHandle"] = None,
     ):
+        from repro.obs import NULL_OBS
+
         if catalog.bits != bits:
             raise ValueError(
                 f"catalog bit width {catalog.bits} != server bit width {bits}; "
@@ -158,6 +169,10 @@ class CMServer:
         self.backend = backend
         self.default_spec = default_spec or initial_specs[0]
         self.journal = journal
+        self.obs = obs if obs is not None else NULL_OBS
+        self.backend.attach_obs(self.obs)
+        if journal is not None:
+            journal.attach_obs(self.obs)
         self._x0: dict[BlockId, int] = {}
         self.reshuffles = 0
         for media in catalog:
@@ -184,12 +199,15 @@ class CMServer:
                 f"backend expects {backend.current_disks} disks but "
                 f"{len(current_specs)} specs were given"
             )
+        from repro.obs import NULL_OBS
+
         server = cls.__new__(cls)
         server.catalog = catalog
         server.array = DiskArray(current_specs)
         server.backend = backend
         server.default_spec = default_spec or current_specs[0]
         server.journal = None
+        server.obs = NULL_OBS
         server._x0 = {}
         server.reshuffles = 0
         for media in catalog:
@@ -215,6 +233,18 @@ class CMServer:
     def attach_journal(self, journal: ScalingJournal) -> None:
         """Route subsequent scaling operations through a journal."""
         self.journal = journal
+        journal.attach_obs(self.obs)
+
+    def attach_obs(self, obs: "ObsHandle") -> None:
+        """Attach an observability handle after construction.
+
+        Forwards it to the backend (engine counters) and any attached
+        journal, so one handle sees the whole server.
+        """
+        self.obs = obs
+        self.backend.attach_obs(obs)
+        if self.journal is not None:
+            self.journal.attach_obs(obs)
 
     # ------------------------------------------------------------------
     # SCADDAR-specific views (raise for other backends)
@@ -316,7 +346,9 @@ class CMServer:
             else None
         )
         table = self.array.physical_ids
-        return [table[disk] for disk in self.backend.locate_batch(ids, x0s).tolist()]
+        with self.obs.timer("backend.locate.seconds", backend=self.backend.name):
+            disks = self.backend.locate_batch(ids, x0s).tolist()
+        return [table[disk] for disk in disks]
 
     def locate_blocks(self, blocks: list[Block]) -> list[int]:
         """Current *logical* disk of each block, batched.
@@ -333,7 +365,8 @@ class CMServer:
             if self.backend.requires_ids
             else None
         )
-        return self.backend.locate_batch(ids, x0s).tolist()
+        with self.obs.timer("backend.locate.seconds", backend=self.backend.name):
+            return self.backend.locate_batch(ids, x0s).tolist()
 
     def register_media(self, media: MediaObject) -> None:
         """Introduce an object's blocks to the backend without placing
@@ -362,11 +395,18 @@ class CMServer:
         """
         pending = self.begin_scale(op, specs=specs, eps=eps)
         session = MigrationSession(
-            self.array, pending.plan, journal=self.journal, op_seq=pending.op_seq
+            self.array,
+            pending.plan,
+            journal=self.journal,
+            op_seq=pending.op_seq,
+            obs=self.obs,
         )
-        while not session.done:
-            # Unthrottled execution: a budget covering every endpoint.
-            session.step(len(pending.plan))
+        with self.obs.span(
+            "scale.apply", seq=pending.op_seq, moves=len(pending.plan)
+        ):
+            while not session.done:
+                # Unthrottled execution: a budget covering every endpoint.
+                session.step(len(pending.plan))
         self.finish_scale(pending)
         return ScaleReport(
             op=op,
@@ -389,6 +429,26 @@ class CMServer:
         For removals the doomed disks stay attached (and readable) until
         :meth:`finish_scale`; their blocks drain via the plan.
         """
+        with self.obs.span("scale.plan", kind=op.kind, count=op.count):
+            pending = self._begin_scale(op, specs, eps)
+        if self.obs.enabled:
+            self.obs.event(
+                "scale.begin",
+                seq=pending.op_seq,
+                kind=op.kind,
+                count=op.count,
+                n_before=pending.n_before,
+                n_after=pending.n_after,
+                moves=len(pending.plan),
+            )
+        return pending
+
+    def _begin_scale(
+        self,
+        op: ScalingOp,
+        specs: Optional[list[DiskSpec]],
+        eps: Optional[float],
+    ) -> PendingScale:
         n_before = self.num_disks
         if op.kind == "add":
             group = specs if specs is not None else [self.default_spec] * op.count
@@ -458,11 +518,16 @@ class CMServer:
         """Complete a begun operation (detach drained disks, if any)."""
         if pending._finished:
             raise ValueError("this scaling operation was already finished")
-        if pending.op.kind == "remove":
-            self.array.remove_group(pending.op.removed)
-        pending._finished = True
-        if self.journal is not None:
-            self.journal.record_commit(pending.op_seq)
+        with self.obs.span("scale.commit", seq=pending.op_seq):
+            if pending.op.kind == "remove":
+                self.array.remove_group(pending.op.removed)
+            pending._finished = True
+            if self.journal is not None:
+                self.journal.record_commit(pending.op_seq)
+        if self.obs.enabled:
+            self.obs.event(
+                "scale.commit", seq=pending.op_seq, n_after=pending.n_after
+            )
 
     def abort_scale(
         self,
@@ -497,16 +562,24 @@ class CMServer:
                 "pending operation carries no rollback state (was it "
                 "rebuilt by hand?)"
             )
-        executed = list(session.executed) if session is not None else []
-        for move in reversed(executed):
-            self.array.move(move.block_id, move.source_physical)
-        if pending.op.kind == "add":
-            added = list(range(pending.n_before, self.array.num_disks))
-            self.array.remove_group(added)
-        self.backend = type(self.backend).from_payload(pending.rollback_payload)
-        pending._finished = True
-        if self.journal is not None:
-            self.journal.record_abort(pending.op_seq)
+        with self.obs.span("scale.abort", seq=pending.op_seq):
+            executed = list(session.executed) if session is not None else []
+            for move in reversed(executed):
+                self.array.move(move.block_id, move.source_physical)
+            if pending.op.kind == "add":
+                added = list(range(pending.n_before, self.array.num_disks))
+                self.array.remove_group(added)
+            self.backend = type(self.backend).from_payload(
+                pending.rollback_payload
+            )
+            self.backend.attach_obs(self.obs)
+            pending._finished = True
+            if self.journal is not None:
+                self.journal.record_abort(pending.op_seq)
+        if self.obs.enabled:
+            self.obs.event(
+                "scale.abort", seq=pending.op_seq, rolled_back=len(executed)
+            )
         return len(executed)
 
     def replace_disk(

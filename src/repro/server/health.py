@@ -34,6 +34,7 @@ from repro.storage.array import DiskArray
 from repro.storage.block import BlockId
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import ObsHandle
     from repro.server.faults import FaultInjector
 
 
@@ -91,6 +92,16 @@ class CircuitBreaker:
     def is_open(self) -> bool:
         """Whether the breaker currently blocks reads."""
         return self._open_since is not None
+
+    @property
+    def current_cooldown(self) -> int:
+        """Rounds the breaker waits before its next half-open probe.
+
+        Starts at ``base_cooldown``, doubles on every failed half-open
+        probe, caps at ``max_cooldown``, and resets to the base on any
+        success — the property the backoff Hypothesis test pins.
+        """
+        return self._cooldown
 
     def allows(self, round_index: int) -> bool:
         """Whether a read may be attempted this round.
@@ -150,6 +161,11 @@ class DiskHealthMonitor:
         The disk array being monitored (new disks are picked up lazily).
     trip_after / cooldown_rounds / max_cooldown_rounds:
         Breaker tuning, applied to every disk.
+    obs:
+        Optional observability handle; state transitions emit
+        ``health.transition`` events, breaker trips ``breaker.trip``
+        (with the post-trip cooldown) and closing probes
+        ``breaker.probe``.
     """
 
     def __init__(
@@ -158,11 +174,15 @@ class DiskHealthMonitor:
         trip_after: int = 3,
         cooldown_rounds: int = 4,
         max_cooldown_rounds: int = 64,
+        obs: Optional["ObsHandle"] = None,
     ):
+        from repro.obs import NULL_OBS
+
         self.array = array
         self._trip_after = trip_after
         self._cooldown = cooldown_rounds
         self._max_cooldown = max_cooldown_rounds
+        self.obs = obs if obs is not None else NULL_OBS
         self._states: dict[int, DiskHealth] = {}
         self._breakers: dict[int, CircuitBreaker] = {}
         #: Cumulative state-transition log: (physical, from, to).
@@ -216,14 +236,29 @@ class DiskHealthMonitor:
     def observe_success(self, physical_id: int) -> None:
         """A read from the disk succeeded (closes the breaker; a suspect
         disk whose probe succeeded returns to healthy)."""
-        self.breaker(physical_id).record_success()
+        breaker = self.breaker(physical_id)
+        was_open = breaker.is_open
+        breaker.record_success()
+        if was_open and self.obs.enabled:
+            self.obs.event(
+                "breaker.probe", disk=self._disk_label(physical_id), ok=True
+            )
         if self.state(physical_id) is DiskHealth.SUSPECT:
             self._transition(physical_id, DiskHealth.HEALTHY)
 
     def observe_failure(self, physical_id: int, round_index: int) -> None:
         """A read from the disk failed; trips the breaker after K in a
         row, demoting the disk to suspect."""
-        tripped = self.breaker(physical_id).record_failure(round_index)
+        breaker = self.breaker(physical_id)
+        tripped = breaker.record_failure(round_index)
+        if tripped and self.obs.enabled:
+            self.obs.event(
+                "breaker.trip",
+                disk=self._disk_label(physical_id),
+                round=round_index,
+                trips=breaker.trips,
+                cooldown=breaker.current_cooldown,
+            )
         if tripped and self.state(physical_id) is DiskHealth.HEALTHY:
             self._transition(physical_id, DiskHealth.SUSPECT)
 
@@ -260,9 +295,30 @@ class DiskHealthMonitor:
         for breaker in self._breakers.values():
             breaker.new_round()
 
+    def _disk_label(self, physical_id: int) -> int:
+        """The disk's logical position, for event payloads.
+
+        Physical ids come from a process-global counter, so two seeded
+        runs in one process get different raw ids; the logical position
+        is seed-stable, keeping ``deterministic_view`` comparisons exact.
+        Falls back to -1 for a disk no longer in the array.
+        """
+        try:
+            return self.array.logical_of(physical_id)
+        except KeyError:
+            return -1
+
     def _transition(self, physical_id: int, to: DiskHealth) -> None:
-        self.transitions.append((physical_id, self.state(physical_id), to))
+        state = self.state(physical_id)
+        self.transitions.append((physical_id, state, to))
         self._states[physical_id] = to
+        if self.obs.enabled:
+            self.obs.event(
+                "health.transition",
+                disk=self._disk_label(physical_id),
+                old=state.value,
+                new=to.value,
+            )
 
 
 @dataclass

@@ -121,12 +121,21 @@ class ScalingJournal:
     """
 
     def __init__(self, path: str | Path | None = None, fsync: bool = False):
+        from repro.obs import NULL_OBS
+
         self.path = Path(path) if path is not None else None
         self.fsync = fsync
+        self.obs = NULL_OBS
         self._records: list[dict] = []
         self._fh = None
         if self.path is not None:
             self._fh = open(self.path, "a", encoding="utf-8")
+
+    def attach_obs(self, obs) -> None:
+        """Attach an observability handle (:class:`repro.obs.Obs`):
+        records count into ``journal.records`` (labelled by type) and
+        every fsync is timed into ``journal.fsync.seconds``."""
+        self.obs = obs
 
     # ------------------------------------------------------------------
     # Writing
@@ -195,7 +204,8 @@ class ScalingJournal:
         """Force the journal to stable storage (no-op in memory)."""
         if self._fh is not None:
             self._fh.flush()
-            os.fsync(self._fh.fileno())
+            with self.obs.timer("journal.fsync.seconds"):
+                os.fsync(self._fh.fileno())
 
     def close(self) -> None:
         """Close the backing file (in-memory journals are unaffected)."""
@@ -275,11 +285,14 @@ class ScalingJournal:
     # ------------------------------------------------------------------
     def _append(self, record: dict) -> None:
         self._records.append(record)
+        if self.obs.enabled:
+            self.obs.inc("journal.records", type=record["type"])
         if self._fh is not None:
             self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
             self._fh.flush()
             if self.fsync:
-                os.fsync(self._fh.fileno())
+                with self.obs.timer("journal.fsync.seconds"):
+                    os.fsync(self._fh.fileno())
 
     def _read_raw(self) -> list[dict]:
         if self.path is None:

@@ -7,6 +7,14 @@ per-disk health, and scrubber activity — with summaries and a CSV
 export so results can leave Python.  The collector is pull-based — feed
 it each :class:`~repro.server.scheduler.RoundReport` (and optionally
 the load vector) as the simulation produces them.
+
+Availability is computed over **unique demand**: a read queued in round
+*r* is re-requested (and counted in ``requested`` again) in round
+*r+1*, so dividing served by raw requested double-counts every queued
+read's demand while crediting its serve only once — understating the
+SLO precisely when the system is degraded.  The scheduler reports those
+re-requests in :attr:`~repro.server.scheduler.RoundReport.retried`;
+``availability = served / (requested - retried)``.
 """
 
 from __future__ import annotations
@@ -39,6 +47,8 @@ class RoundSample:
     peak_disk_queue: int
     spare_bandwidth: int
     load_cov: Optional[float]
+    #: Re-requests of reads queued the previous round (0 on old reports).
+    retried: int = 0
 
 
 @dataclass(frozen=True)
@@ -54,11 +64,21 @@ class MetricsSummary:
     total_reconstructed_reads: int
     total_scrub_repaired: int
     hiccup_rate: float
-    #: Served / requested over the horizon — the availability SLO metric.
+    #: Served / unique demand over the horizon — the availability SLO
+    #: metric.  Unique demand is ``total_requested - total_retried``: a
+    #: queued read's re-request the next round is the *same* demand, not
+    #: new demand, so counting it twice would understate availability.
     availability: float
     mean_peak_queue: float
     p99_peak_queue: float
     mean_spare_bandwidth: float
+    #: Re-requests of previously-queued reads over the horizon.
+    total_retried: int = 0
+
+    @property
+    def unique_requested(self) -> int:
+        """Demand with queued-read re-requests counted once."""
+        return self.total_requested - self.total_retried
 
     def meets_slo(self, target: float = 0.999) -> bool:
         """Whether availability met the target over the horizon."""
@@ -90,6 +110,7 @@ class MetricsCollector:
                 served=report.served,
                 hiccups=report.hiccups,
                 queued=report.queued,
+                retried=report.retried,
                 failover_reads=report.failover_reads,
                 reconstructed_reads=report.reconstructed_reads,
                 scrub_repaired=report.scrub_repaired,
@@ -115,6 +136,8 @@ class MetricsCollector:
         requested = sum(s.requested for s in self._samples)
         served = sum(s.served for s in self._samples)
         hiccups = sum(s.hiccups for s in self._samples)
+        retried = sum(s.retried for s in self._samples)
+        unique = requested - retried
         peaks = np.asarray([s.peak_disk_queue for s in self._samples], dtype=float)
         return MetricsSummary(
             rounds=len(self._samples),
@@ -122,13 +145,14 @@ class MetricsCollector:
             total_served=served,
             total_hiccups=hiccups,
             total_queued=sum(s.queued for s in self._samples),
+            total_retried=retried,
             total_failover_reads=sum(s.failover_reads for s in self._samples),
             total_reconstructed_reads=sum(
                 s.reconstructed_reads for s in self._samples
             ),
             total_scrub_repaired=sum(s.scrub_repaired for s in self._samples),
-            hiccup_rate=hiccups / requested if requested else 0.0,
-            availability=served / requested if requested else 1.0,
+            hiccup_rate=hiccups / unique if unique else 0.0,
+            availability=served / unique if unique else 1.0,
             mean_peak_queue=float(peaks.mean()),
             p99_peak_queue=float(np.percentile(peaks, 99)),
             mean_spare_bandwidth=float(
@@ -148,6 +172,7 @@ class MetricsCollector:
                 "served",
                 "hiccups",
                 "queued",
+                "retried",
                 "failover_reads",
                 "reconstructed_reads",
                 "scrub_repaired",
@@ -165,6 +190,7 @@ class MetricsCollector:
                     s.served,
                     s.hiccups,
                     s.queued,
+                    s.retried,
                     s.failover_reads,
                     s.reconstructed_reads,
                     s.scrub_repaired,
@@ -176,5 +202,5 @@ class MetricsCollector:
             )
         text = buffer.getvalue()
         if path is not None:
-            Path(path).write_text(text)
+            Path(path).write_text(text, encoding="utf-8")
         return text

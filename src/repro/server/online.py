@@ -103,6 +103,7 @@ class OnlineScaler:
             journal=self.server.journal,
             op_seq=pending.op_seq,
             injector=injector,
+            obs=self.server.obs,
         )
         report = OnlineScaleReport(op=op)
         stalled = 0

@@ -228,16 +228,24 @@ class FailoverReadPlanner:
         block_id: BlockId,
         round_index: int,
         bandwidth: dict[int, int],
+        loads: Optional[dict[int, int]] = None,
     ) -> str:
         """Serve (or fail) one block read, consuming ``bandwidth``.
 
         Returns one of :data:`PATH_PRIMARY` / :data:`PATH_MIRROR` /
         :data:`PATH_PARITY` (served), :data:`READ_QUEUED` (arrives next
         round), or :data:`READ_HICCUP` (missed its deadline outright).
+
+        ``loads`` (optional) is incremented once per bandwidth unit a
+        disk actually spends on this read — retries charge the primary
+        per attempt, failover charges the mirror or every parity-group
+        member, and a dead disk is never charged.  This is the *actual*
+        per-disk load the scheduler reports, not the nominal primary
+        assignment.
         """
         self.stats.requested += 1
         primary = self._locate(block_id)
-        result = self._try_disk(primary, round_index, bandwidth)
+        result = self._try_disk(primary, round_index, bandwidth, loads)
         if result == _SERVED:
             self.stats.served_primary += 1
             return PATH_PRIMARY
@@ -251,7 +259,7 @@ class FailoverReadPlanner:
             else []
         )
         for name, disks in paths:
-            outcome = self._try_path(disks, round_index, bandwidth)
+            outcome = self._try_path(disks, round_index, bandwidth, loads)
             if outcome == _SERVED:
                 if name == PATH_MIRROR:
                     self.stats.served_mirror += 1
@@ -275,7 +283,11 @@ class FailoverReadPlanner:
     # Internals
     # ------------------------------------------------------------------
     def _try_disk(
-        self, physical: int, round_index: int, bandwidth: dict[int, int]
+        self,
+        physical: int,
+        round_index: int,
+        bandwidth: dict[int, int],
+        loads: Optional[dict[int, int]] = None,
     ) -> str:
         """Attempt (with retries) one read from one disk."""
         if not self.monitor.is_readable(physical, round_index):
@@ -285,6 +297,8 @@ class FailoverReadPlanner:
             if bandwidth.get(physical, 0) <= 0:
                 return _FAILED
             bandwidth[physical] -= 1
+            if loads is not None:
+                loads[physical] = loads.get(physical, 0) + 1
             outcome = (
                 self.injector.read_attempt(physical)
                 if self.injector is not None
@@ -307,7 +321,11 @@ class FailoverReadPlanner:
         return _FAILED
 
     def _try_path(
-        self, disks: list[int], round_index: int, bandwidth: dict[int, int]
+        self,
+        disks: list[int],
+        round_index: int,
+        bandwidth: dict[int, int],
+        loads: Optional[dict[int, int]] = None,
     ) -> str:
         """Attempt a whole recovery path (every disk must deliver)."""
         for pid in disks:
@@ -320,7 +338,7 @@ class FailoverReadPlanner:
             return _FAILED
         slow = False
         for pid in disks:
-            result = self._try_disk(pid, round_index, bandwidth)
+            result = self._try_disk(pid, round_index, bandwidth, loads)
             if result == _SLOW:
                 slow = True  # the whole reconstruction waits a round
             elif result != _SERVED:
@@ -349,6 +367,7 @@ def build_degraded_stack(
     cooldown_rounds: int = 4,
     scrub_rate: int = 8,
     admission=None,
+    obs=None,
 ) -> DegradedStack:
     """Wire the full degraded serving stack around a server.
 
@@ -356,11 +375,19 @@ def build_degraded_stack(
     only), or a ready :class:`ReadProtection` instance.  Mirror and
     parity need the SCADDAR backend (the offset scheme and the group
     arithmetic both live on the mapper); other backends pass ``None``.
+
+    ``obs`` (an :class:`repro.obs.Obs`, default no-op) is shared by the
+    health monitor (state-transition and breaker events) and the
+    scheduler (round spans, failover events, serve counters); pass the
+    server's own handle to get one unified trace.
     """
     from repro.server.scheduler import RoundScheduler
 
     monitor = DiskHealthMonitor(
-        server.array, trip_after=trip_after, cooldown_rounds=cooldown_rounds
+        server.array,
+        trip_after=trip_after,
+        cooldown_rounds=cooldown_rounds,
+        obs=obs,
     )
     if protection == "mirror":
         protection = MirrorProtection(server)
@@ -386,6 +413,7 @@ def build_degraded_stack(
         admission=admission,
         read_planner=planner,
         scrubber=scrubber,
+        obs=obs,
     )
     return DegradedStack(
         server=server,

@@ -18,6 +18,20 @@ The scheduler has two serving paths:
   next round as *queued*, and an attached scrubber spends a bounded
   budget per round on verify/repair.  Every round then satisfies the
   conservation invariant ``requested == served + hiccups + queued``.
+
+Degraded-path accounting is *actual*, not nominal: ``load_by_physical``
+charges each read to the disk(s) that really spent bandwidth on it
+(mirror and parity members on failover, the primary per retry attempt)
+— never to a dead primary — and a read queued in round *r* that is
+re-requested in round *r+1* is counted in ``retried``, so availability
+can be computed over unique demand instead of double-counting the same
+block (see :class:`~repro.server.metrics.MetricsSummary`).
+
+With an ``obs=`` handle attached (:mod:`repro.obs`) every round runs
+inside a ``round.serve`` span (scrubbing under a nested ``round.scrub``
+span), failover serves emit ``read.failover`` events, and the
+serve/failover/scrub ledger lands in counters (``reads.*``,
+``scrub.*``).
 """
 
 from __future__ import annotations
@@ -32,6 +46,7 @@ from repro.storage.array import DiskArray
 from repro.storage.block import BlockId
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.obs import ObsHandle
     from repro.server.admission import AdmissionPolicy
     from repro.server.health import Scrubber
     from repro.server.reads import FailoverReadPlanner
@@ -57,6 +72,13 @@ class RoundReport:
         Reads deferred to the next round (slow disk: bandwidth spent,
         data late).  ``requested == served + hiccups + queued`` holds
         every round.
+    retried:
+        Re-requests of reads queued in the *previous* round (the same
+        block demanded again by the same stream).  A retried read is
+        counted in ``requested`` both rounds but represents one unit of
+        unique demand; availability over the horizon divides by
+        ``requested - retried`` (always 0 on the simple path, which
+        never queues).
     failover_reads:
         Reads served from the Section 6 mirror location.
     reconstructed_reads:
@@ -64,10 +86,16 @@ class RoundReport:
     scrub_checked / scrub_repaired / scrub_rebuilt:
         The round's scrubber activity (0 without a scrubber).
     load_by_physical:
-        Reads demanded per physical disk (charged to the primary).
+        Per-disk read load.  Simple path: reads demanded per primary
+        disk (queue length, may exceed bandwidth).  Degraded path: reads
+        each disk *actually performed* — failover charges the mirror or
+        the parity-group members, retries charge the primary per
+        attempt, and a dead disk is charged nothing.
     spare_by_physical:
-        Leftover bandwidth per physical disk after stream service —
-        the budget the online scaler hands to migration.
+        Leftover bandwidth per physical disk after stream service — the
+        budget the online scaler hands to migration.  Dead and
+        rebuilding disks report 0 spare (they cannot carry migration
+        transfers).
     health_by_physical:
         Health state name per physical disk (empty on the simple path).
     """
@@ -77,6 +105,7 @@ class RoundReport:
     served: int = 0
     hiccups: int = 0
     queued: int = 0
+    retried: int = 0
     failover_reads: int = 0
     reconstructed_reads: int = 0
     scrub_checked: int = 0
@@ -112,6 +141,9 @@ class RoundScheduler:
     scrubber:
         Optional :class:`~repro.server.health.Scrubber` run at the end
         of each degraded round (rate-bounded verify/repair).
+    obs:
+        Optional observability handle (:class:`repro.obs.Obs`); defaults
+        to the no-op :data:`~repro.obs.NULL_OBS`.
     """
 
     def __init__(
@@ -121,7 +153,9 @@ class RoundScheduler:
         admission: "AdmissionPolicy | None" = None,
         read_planner: Optional["FailoverReadPlanner"] = None,
         scrubber: Optional["Scrubber"] = None,
+        obs: Optional["ObsHandle"] = None,
     ):
+        from repro.obs import NULL_OBS
         from repro.server.admission import AggregateAdmission
 
         self.array = array
@@ -129,11 +163,16 @@ class RoundScheduler:
         self.admission = admission or AggregateAdmission()
         self.read_planner = read_planner
         self.scrubber = scrubber
+        self.obs = obs if obs is not None else NULL_OBS
         self._streams: dict[int, Stream] = {}
         self._round_index = 0
         self.total_hiccups = 0
         #: Cumulative hiccups charged to each stream id (fairness data).
         self.hiccups_by_stream: dict[int, int] = defaultdict(int)
+        #: (stream id, block id) pairs queued last round: the next
+        #: round's demand for one of these is a re-request, not new
+        #: unique demand (see :attr:`RoundReport.retried`).
+        self._queued_last_round: set[tuple[int, BlockId]] = set()
 
     # ------------------------------------------------------------------
     # Stream management
@@ -191,30 +230,36 @@ class RoundScheduler:
         report = RoundReport(round_index=self._round_index)
         self._round_index += 1
 
-        demand_by_disk: dict[int, list[tuple[Stream, BlockId]]] = defaultdict(list)
-        for stream in self._streams.values():
-            for block_id in stream.blocks_needed():
-                demand_by_disk[self._locate(block_id)].append((stream, block_id))
+        with self.obs.span("round.serve", round=report.round_index):
+            demand_by_disk: dict[int, list[tuple[Stream, BlockId]]] = defaultdict(
+                list
+            )
+            for stream in self._streams.values():
+                for block_id in stream.blocks_needed():
+                    demand_by_disk[self._locate(block_id)].append(
+                        (stream, block_id)
+                    )
 
-        served_by_stream: dict[int, int] = defaultdict(int)
-        for pid in self.array.physical_ids:
-            bandwidth = self.array.disk(pid).bandwidth_blocks_per_round
-            queue = demand_by_disk.get(pid, [])
-            report.load_by_physical[pid] = len(queue)
-            served_here = min(len(queue), bandwidth)
-            for stream, __ in queue[:served_here]:
-                served_by_stream[stream.stream_id] += 1
-            for stream, __ in queue[served_here:]:
-                self.hiccups_by_stream[stream.stream_id] += 1
-            report.requested += len(queue)
-            report.served += served_here
-            report.hiccups += len(queue) - served_here
-            report.spare_by_physical[pid] = bandwidth - served_here
+            served_by_stream: dict[int, int] = defaultdict(int)
+            for pid in self.array.physical_ids:
+                bandwidth = self.array.disk(pid).bandwidth_blocks_per_round
+                queue = demand_by_disk.get(pid, [])
+                report.load_by_physical[pid] = len(queue)
+                served_here = min(len(queue), bandwidth)
+                for stream, __ in queue[:served_here]:
+                    served_by_stream[stream.stream_id] += 1
+                for stream, __ in queue[served_here:]:
+                    self.hiccups_by_stream[stream.stream_id] += 1
+                report.requested += len(queue)
+                report.served += served_here
+                report.hiccups += len(queue) - served_here
+                report.spare_by_physical[pid] = bandwidth - served_here
 
-        for stream in self._streams.values():
-            stream.deliver(served_by_stream.get(stream.stream_id, 0))
+            for stream in self._streams.values():
+                stream.deliver(served_by_stream.get(stream.stream_id, 0))
 
         self.total_hiccups += report.hiccups
+        self._count_round(report)
         return report
 
     def _run_round_degraded(self) -> RoundReport:
@@ -227,9 +272,12 @@ class RoundScheduler:
         from repro.server.reads import (
             PATH_MIRROR,
             PATH_PARITY,
+            PATH_PRIMARY,
             READ_QUEUED,
             SERVED_PATHS,
         )
+
+        from repro.server.health import DiskHealth
 
         planner = self.read_planner
         assert planner is not None
@@ -244,30 +292,59 @@ class RoundScheduler:
         report.load_by_physical = {pid: 0 for pid in bandwidth}
         served_by_stream: dict[int, int] = defaultdict(int)
         demanded_by_stream: dict[int, int] = defaultdict(int)
+        queued_now: set[tuple[int, BlockId]] = set()
+        obs = self.obs
 
-        for stream in self._streams.values():
-            for block_id in stream.blocks_needed():
-                report.requested += 1
-                demanded_by_stream[stream.stream_id] += 1
-                report.load_by_physical[self._locate(block_id)] += 1
-                outcome = planner.serve(block_id, report.round_index, bandwidth)
-                if outcome in SERVED_PATHS:
-                    report.served += 1
-                    served_by_stream[stream.stream_id] += 1
-                    if outcome == PATH_MIRROR:
-                        report.failover_reads += 1
-                    elif outcome == PATH_PARITY:
-                        report.reconstructed_reads += 1
-                elif outcome == READ_QUEUED:
-                    report.queued += 1
-                else:
-                    report.hiccups += 1
-                    self.hiccups_by_stream[stream.stream_id] += 1
+        with obs.span("round.serve", round=report.round_index):
+            for stream in self._streams.values():
+                for block_id in stream.blocks_needed():
+                    report.requested += 1
+                    demanded_by_stream[stream.stream_id] += 1
+                    if (stream.stream_id, block_id) in self._queued_last_round:
+                        report.retried += 1
+                    outcome = planner.serve(
+                        block_id,
+                        report.round_index,
+                        bandwidth,
+                        loads=report.load_by_physical,
+                    )
+                    if outcome in SERVED_PATHS:
+                        report.served += 1
+                        served_by_stream[stream.stream_id] += 1
+                        if outcome == PATH_MIRROR:
+                            report.failover_reads += 1
+                        elif outcome == PATH_PARITY:
+                            report.reconstructed_reads += 1
+                        if outcome != PATH_PRIMARY and obs.enabled:
+                            obs.event(
+                                "read.failover",
+                                block=[block_id.object_id, block_id.index],
+                                path=outcome,
+                                round=report.round_index,
+                            )
+                    elif outcome == READ_QUEUED:
+                        report.queued += 1
+                        queued_now.add((stream.stream_id, block_id))
+                    else:
+                        report.hiccups += 1
+                        self.hiccups_by_stream[stream.stream_id] += 1
+        self._queued_last_round = queued_now
 
-        report.spare_by_physical = dict(bandwidth)
+        # Dead and rebuilding disks have no usable spare bandwidth: the
+        # online scaler must not schedule migration transfers on them.
+        report.spare_by_physical = {
+            pid: (
+                0
+                if planner.monitor.state(pid)
+                in (DiskHealth.DEAD, DiskHealth.REBUILDING)
+                else left
+            )
+            for pid, left in bandwidth.items()
+        }
 
         if self.scrubber is not None:
-            scrub = self.scrubber.run_round(report.round_index)
+            with obs.span("round.scrub", round=report.round_index):
+                scrub = self.scrubber.run_round(report.round_index)
             report.scrub_checked = scrub.checked
             report.scrub_repaired = scrub.repaired
             report.scrub_rebuilt = scrub.rebuilt_blocks
@@ -281,7 +358,24 @@ class RoundScheduler:
             )
 
         self.total_hiccups += report.hiccups
+        self._count_round(report)
         return report
+
+    def _count_round(self, report: RoundReport) -> None:
+        """Fold one round's totals into the obs counters (batched)."""
+        obs = self.obs
+        if not obs.enabled:
+            return
+        obs.inc("reads.requested", report.requested)
+        obs.inc("reads.served", report.served)
+        obs.inc("reads.hiccups", report.hiccups)
+        obs.inc("reads.queued", report.queued)
+        obs.inc("reads.retried", report.retried)
+        obs.inc("reads.failover", report.failover_reads)
+        obs.inc("reads.reconstructed", report.reconstructed_reads)
+        obs.inc("scrub.checked", report.scrub_checked)
+        obs.inc("scrub.repaired", report.scrub_repaired)
+        obs.inc("scrub.rebuilt", report.scrub_rebuilt)
 
     def run_rounds(self, count: int) -> list[RoundReport]:
         """Run ``count`` rounds and return their reports."""

@@ -19,6 +19,7 @@ from repro.storage.array import DiskArray, PlacementConflictError
 from repro.storage.block import BlockId
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.obs import ObsHandle
     from repro.server.faults import FaultInjector
     from repro.server.journal import ScalingJournal
 
@@ -194,6 +195,11 @@ class MigrationSession:
     max_retries:
         Transient failures tolerated per move before
         :class:`~repro.server.faults.TransferRetryExhaustedError`.
+    obs:
+        Optional observability handle (:class:`repro.obs.Obs`): executed
+        transfers count into ``migrate.moves``, transient faults emit
+        ``migrate.retry`` events (with the backoff horizon) and slow
+        transfers ``migrate.slow``.
     """
 
     def __init__(
@@ -204,7 +210,10 @@ class MigrationSession:
         op_seq: Optional[int] = None,
         injector: Optional["FaultInjector"] = None,
         max_retries: int = 8,
+        obs: Optional["ObsHandle"] = None,
     ):
+        from repro.obs import NULL_OBS
+
         if journal is not None and op_seq is None:
             raise ValueError("a journaled session needs the operation's op_seq")
         if max_retries < 1:
@@ -214,6 +223,7 @@ class MigrationSession:
         self.op_seq = op_seq
         self.injector = injector
         self.max_retries = max_retries
+        self.obs = obs if obs is not None else NULL_OBS
         self._pending: list[PhysicalMove] = list(plan.moves)
         self.executed: list[PhysicalMove] = []
         self._round = 0
@@ -299,6 +309,8 @@ class MigrationSession:
                     self.journal.record_apply(self.op_seq, move.block_id)
                 self.executed.append(move)
                 executed.append(move)
+            if executed and self.obs.enabled:
+                self.obs.inc("migrate.moves", len(executed))
         finally:
             # Keep the session consistent even when a disk death (or
             # retry exhaustion) aborts the round partway: every move not
@@ -384,13 +396,28 @@ class MigrationSession:
                     f"(max_retries={self.max_retries})"
                 )
             # Exponential backoff: 1, 2, 4, ... rounds before retrying.
-            self._deferred_until[move.block_id] = (
-                self._round + 1 + (1 << (retries - 1))
-            )
+            backoff = 1 << (retries - 1)
+            self._deferred_until[move.block_id] = self._round + 1 + backoff
+            if self.obs.enabled:
+                self.obs.event(
+                    "migrate.retry",
+                    block=[move.block_id.object_id, move.block_id.index],
+                    source=move.source_physical,
+                    target=move.target_physical,
+                    retries=retries,
+                    backoff_rounds=backoff,
+                )
             return False
         if outcome == OUTCOME_SLOW:
             self._consume(move.source_physical)
             self._consume(move.target_physical)
+            if self.obs.enabled:
+                self.obs.event(
+                    "migrate.slow",
+                    block=[move.block_id.object_id, move.block_id.index],
+                    source=move.source_physical,
+                    target=move.target_physical,
+                )
             return False
         return True
 

@@ -92,7 +92,7 @@ class TracePlayer:
 
 def save_trace(events: list[TraceEvent], path: str | Path) -> None:
     """Write a trace as JSON Lines (one event per line)."""
-    with open(path, "w") as handle:
+    with open(path, "w", encoding="utf-8") as handle:
         for event in events:
             handle.write(
                 json.dumps(
@@ -109,7 +109,7 @@ def save_trace(events: list[TraceEvent], path: str | Path) -> None:
 def load_trace(path: str | Path) -> list[TraceEvent]:
     """Read a trace written by :func:`save_trace`."""
     events = []
-    with open(path) as handle:
+    with open(path, encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
             if not line:

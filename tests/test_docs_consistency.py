@@ -78,6 +78,7 @@ class TestDesign:
             if bench.stem in (
                 "bench_core_micro",
                 "bench_engine",
+                "bench_obs_overhead",
                 "bench_scale",
                 "bench_ops_tooling",
                 "bench_prng_quality",

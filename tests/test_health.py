@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.server.cmserver import CMServer
 from repro.server.faults import FaultInjector
@@ -88,6 +90,51 @@ class TestCircuitBreaker:
             CircuitBreaker(cooldown_rounds=0)
         with pytest.raises(ValueError):
             CircuitBreaker(cooldown_rounds=8, max_cooldown_rounds=4)
+
+
+class TestCircuitBreakerBackoffProperty:
+    """Satellite: the capped-exponential cooldown law, under any probe
+    outcome sequence — doubles per failed half-open probe, caps at
+    ``max_cooldown_rounds``, resets to base on success."""
+
+    @given(
+        base=st.integers(1, 8),
+        doublings=st.integers(0, 4),
+        outcomes=st.lists(st.booleans(), min_size=1, max_size=24),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_cooldown_doubles_caps_and_resets(self, base, doublings, outcomes):
+        max_cooldown = base * 2**doublings
+        breaker = CircuitBreaker(
+            trip_after=1,
+            cooldown_rounds=base,
+            max_cooldown_rounds=max_cooldown,
+        )
+        breaker.record_failure(0)
+        assert breaker.current_cooldown == base
+        expected = base
+        round_index = 0
+        for ok in outcomes:
+            # The breaker blocks the whole cooldown, then admits exactly
+            # one half-open probe.
+            assert not breaker.allows(round_index + expected - 1)
+            round_index += expected
+            breaker.new_round()
+            assert breaker.allows(round_index)
+            if ok:
+                breaker.record_success()
+                assert not breaker.is_open
+                assert breaker.current_cooldown == base
+                # Re-trip so the next iteration starts from an open
+                # breaker with the backoff freshly reset.
+                breaker.record_failure(round_index)
+                expected = base
+            else:
+                assert breaker.record_failure(round_index)
+                expected = min(expected * 2, max_cooldown)
+            assert breaker.is_open
+            assert breaker.current_cooldown == expected
+            assert breaker.current_cooldown <= max_cooldown
 
 
 class TestDiskHealthMonitor:

@@ -1,0 +1,323 @@
+"""The observability layer: events, spans, metrics, exporters, facade."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.availability import run_availability
+from repro.obs import (
+    NULL_OBS,
+    SPAN_HISTOGRAM,
+    Counter,
+    EventLog,
+    Histogram,
+    MetricsRegistry,
+    NullObs,
+    Obs,
+    Tracer,
+    sanitize_name,
+    to_json,
+    to_prometheus,
+)
+
+QUICK = dict(
+    num_objects=2,
+    blocks_per_object=60,
+    rounds=60,
+    kill_round=15,
+    replace_round=30,
+    read_fault_rates=(0.05,),
+    schemes=("mirror",),
+    scrub_rate=16,
+)
+
+
+class TestEventLog:
+    def test_emit_sequences_monotonically(self):
+        log = EventLog()
+        for i in range(5):
+            event = log.emit("tick", i=i)
+            assert event.seq == i
+        assert [e.seq for e in log.events] == list(range(5))
+        assert log.total_emitted == 5
+
+    def test_ring_drops_oldest_and_counts(self):
+        log = EventLog(capacity=3)
+        for i in range(7):
+            log.emit("tick", i=i)
+        assert len(log) == 3
+        assert log.dropped == 4
+        assert log.total_emitted == 7
+        assert [e.fields["i"] for e in log.events] == [4, 5, 6]
+        # Sequence numbers keep counting past evictions.
+        assert [e.seq for e in log.events] == [4, 5, 6]
+
+    def test_tail_and_kinds(self):
+        log = EventLog()
+        log.emit("a")
+        log.emit("b")
+        log.emit("a")
+        assert [e.kind for e in log.tail(2)] == ["b", "a"]
+        assert log.tail(0) == ()
+        assert log.tail(99) == log.events
+        assert log.kinds() == {"a": 2, "b": 1}
+        with pytest.raises(ValueError):
+            log.tail(-1)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+    def test_deterministic_view_strips_wall_clock_fields(self):
+        log = EventLog(clock=lambda: 123.456)
+        log.emit("span.end", name="x", duration_s=0.5, ok=True)
+        ((seq, kind, fields),) = log.deterministic_view()
+        assert (seq, kind) == (0, "span.end")
+        assert fields == {"name": "x", "ok": True}  # duration_s stripped
+
+    def test_jsonl_round_trip(self, tmp_path):
+        log = EventLog()
+        log.emit("health.transition", disk=3, old="healthy", new="dead")
+        log.emit("breaker.trip", disk=3, cooldown=4)
+        path = tmp_path / "events.jsonl"
+        text = log.to_jsonl(path)
+        assert path.read_text(encoding="utf-8") == text
+        back = EventLog.read_jsonl(path)
+        assert [(e.seq, e.kind, e.fields) for e in back] == [
+            (e.seq, e.kind, e.fields) for e in log.events
+        ]
+
+    def test_read_jsonl_tolerates_torn_final_line(self, tmp_path):
+        log = EventLog()
+        log.emit("a", i=1)
+        log.emit("b", i=2)
+        path = tmp_path / "torn.jsonl"
+        path.write_text(
+            log.to_jsonl() + '{"seq": 2, "ts": 0.0, "ki',  # crash mid-append
+            encoding="utf-8",
+        )
+        back = EventLog.read_jsonl(path)
+        assert [e.kind for e in back] == ["a", "b"]
+
+    def test_read_jsonl_rejects_interior_corruption(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            'not json\n{"seq": 0, "ts": 0.0, "kind": "a", "fields": {}}\n',
+            encoding="utf-8",
+        )
+        with pytest.raises(ValueError):
+            EventLog.read_jsonl(path)
+
+
+class TestMetricsRegistry:
+    def test_counter_accumulates_per_label_set(self):
+        counter = Counter("reads.served")
+        counter.inc()
+        counter.inc(2, path="mirror")
+        counter.inc(3, path="mirror")
+        assert counter.value() == 1
+        assert counter.value(path="mirror") == 5
+        assert counter.total == 6
+
+    def test_counters_only_go_up(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_histogram_buckets_sum_count_min_max(self):
+        hist = Histogram("lat", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            hist.observe(v)
+        ((key, series),) = hist.series.items()
+        assert key == ()
+        assert series.bucket_counts == [1, 2, 1]  # <=0.1, <=1.0, +Inf
+        assert series.count == 4
+        assert series.sum == pytest.approx(6.05)
+        assert series.min == 0.05 and series.max == 5.0
+        assert hist.mean() == pytest.approx(6.05 / 4)
+
+    def test_registry_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("b") is registry.histogram("b")
+        assert [c.name for c in registry.counters] == ["a"]
+        assert [h.name for h in registry.histograms] == ["b"]
+
+
+class TestTracer:
+    def test_spans_nest_and_record_parentage(self):
+        log = EventLog(clock=lambda: 0.0)
+        tracer = Tracer(log, clock=lambda: 0.0)
+        with tracer.span("outer") as outer:
+            assert tracer.depth == 1
+            with tracer.span("inner") as inner:
+                assert tracer.depth == 2
+                assert inner.parent_id == outer.span_id
+        assert tracer.depth == 0
+        assert outer.parent_id is None
+        kinds = [e.kind for e in log.events]
+        assert kinds == ["span.start", "span.start", "span.end", "span.end"]
+        starts = {e.fields["name"]: e.fields for e in log.events[:2]}
+        assert starts["inner"]["parent"] == starts["outer"]["span"]
+
+    def test_span_duration_lands_in_the_histogram(self):
+        ticks = iter([1.0, 3.5])
+        registry = MetricsRegistry()
+        tracer = Tracer(EventLog(), registry, clock=lambda: next(ticks, 9.0))
+        with tracer.span("scale.plan") as span:
+            pass
+        assert span.duration == pytest.approx(2.5)
+        hist = registry.histogram(SPAN_HISTOGRAM)
+        assert hist.count(name="scale.plan") == 1
+        assert hist.sum(name="scale.plan") == pytest.approx(2.5)
+
+    def test_span_end_reports_failure_and_annotations(self):
+        log = EventLog()
+        tracer = Tracer(log)
+        with pytest.raises(RuntimeError):
+            with tracer.span("scale.apply") as span:
+                span.annotate(moves=7)
+                raise RuntimeError("boom")
+        end = log.events[-1]
+        assert end.kind == "span.end"
+        assert end.fields["ok"] is False
+        assert end.fields["moves"] == 7
+
+
+class TestExporters:
+    def test_sanitize_name(self):
+        assert sanitize_name("reads.served") == "reads_served"
+        assert sanitize_name("span.seconds") == "span_seconds"
+        assert sanitize_name("9lives") == "_9lives"
+
+    def test_prometheus_counter_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("reads.served", help="served reads").inc(
+            3, path="mirror"
+        )
+        text = to_prometheus(registry)
+        assert "# HELP reads_served served reads" in text
+        assert "# TYPE reads_served counter" in text
+        assert 'reads_served{path="mirror"} 3' in text
+
+    def test_prometheus_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            hist.observe(v)
+        lines = to_prometheus(registry).splitlines()
+        assert 'lat_bucket{le="0.1"} 1' in lines
+        assert 'lat_bucket{le="1"} 2' in lines
+        assert 'lat_bucket{le="+Inf"} 3' in lines
+        assert "lat_count 3" in lines
+
+    def test_json_snapshot_is_json_serializable(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.histogram("b").observe(0.2, backend="scaddar")
+        snapshot = to_json(registry)
+        round_tripped = json.loads(json.dumps(snapshot))
+        assert round_tripped["counters"][0]["name"] == "a"
+        series = round_tripped["histograms"][0]["series"][0]
+        assert series["labels"] == {"backend": "scaddar"}
+        assert series["count"] == 1
+
+
+class TestFacade:
+    def test_obs_bundles_the_three_instruments(self):
+        obs = Obs()
+        with obs.span("scale.plan", kind="add"):
+            obs.event("cell.begin", scheme="mirror")
+            obs.inc("reads.served", 2)
+        with obs.timer("journal.fsync.seconds"):
+            pass
+        kinds = [e.kind for e in obs.log.events]
+        assert kinds == ["span.start", "cell.begin", "span.end"]
+        assert obs.registry.counter("reads.served").total == 2
+        assert obs.registry.histogram("journal.fsync.seconds").count() == 1
+        assert "reads_served 2" in obs.prometheus()
+
+    def test_null_obs_mirrors_the_obs_api(self):
+        public = [
+            name
+            for name in dir(Obs)
+            if not name.startswith("_") and callable(getattr(Obs, name))
+        ]
+        for name in public:
+            assert callable(getattr(NullObs, name, None)), (
+                f"NullObs is missing Obs.{name}"
+            )
+        assert Obs.enabled is True
+        assert NullObs.enabled is False
+
+    def test_null_obs_is_inert(self):
+        NULL_OBS.event("anything", x=1)
+        NULL_OBS.inc("reads.served", 5)
+        NULL_OBS.observe("lat", 1.0)
+        with NULL_OBS.span("scale.plan") as span:
+            span.annotate(moves=1)
+        with NULL_OBS.timer("lat"):
+            pass
+        assert NULL_OBS.prometheus() == ""
+        assert NULL_OBS.json_snapshot() == {"counters": [], "histograms": []}
+        assert NULL_OBS.write_events() == ""
+
+
+class TestSeededTraceDeterminism:
+    """Tentpole acceptance: same seed, same event sequence."""
+
+    def observed_run(self, seed):
+        obs = Obs()
+        run_availability(obs=obs, seed=seed, **QUICK)
+        return obs
+
+    def test_same_seed_same_deterministic_view(self):
+        first = self.observed_run(0xD1CE)
+        second = self.observed_run(0xD1CE)
+        assert first.log.total_emitted == second.log.total_emitted
+        assert first.log.deterministic_view() == second.log.deterministic_view()
+        # Counters are seed-determined too; histograms hold wall-clock
+        # durations, so they (and the full Prometheus text) may differ.
+        def counters(obs):
+            return [
+                (c.name, sorted(c.series.items()))
+                for c in obs.registry.counters
+            ]
+
+        assert counters(first) == counters(second)
+
+    def test_different_seed_different_trace(self):
+        assert (
+            self.observed_run(1).log.deterministic_view()
+            != self.observed_run(2).log.deterministic_view()
+        )
+
+    def test_trace_carries_the_expected_kinds(self):
+        obs = self.observed_run(0xD1CE)
+        kinds = obs.log.kinds()
+        assert kinds["cell.begin"] == 1
+        assert kinds["span.start"] == kinds["span.end"]
+        assert "health.transition" in kinds
+        served = obs.registry.counter("reads.requested").total
+        assert served > 0
+
+
+class TestPropertyEventLog:
+    @given(
+        capacity=st.integers(1, 16),
+        n=st.integers(0, 60),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_ring_invariants(self, capacity, n):
+        log = EventLog(capacity=capacity)
+        for i in range(n):
+            log.emit("tick", i=i)
+        assert len(log) == min(n, capacity)
+        assert log.dropped == max(0, n - capacity)
+        assert log.total_emitted == n
+        assert [e.seq for e in log.events] == list(
+            range(max(0, n - capacity), n)
+        )
