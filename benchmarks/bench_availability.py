@@ -16,6 +16,13 @@ the availability trajectory is recorded PR over PR.  ``--trace FILE``
 attaches a live :class:`~repro.obs.Obs` handle and writes the run's
 structured event log as JSON lines — the artifact CI uploads.
 
+The payload also carries a **throughput phase**: degraded-path serving
+speed (scalar vs vectorized round loop, all disks healthy) on a small
+probe workload, so the availability record tracks not just *whether*
+degraded mode survives faults but *how fast* it serves.  The speedup
+floors themselves are enforced by ``bench_serving.py``; here the
+numbers are recorded, not asserted.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_availability.py [--quick]
@@ -33,6 +40,19 @@ from pathlib import Path
 from repro.experiments.availability import report, run_availability
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Throughput-phase probe: small enough to add seconds, big enough for
+#: the per-round numpy overhead to amortize (see bench_serving.py for
+#: the full-size, floor-gated measurement).
+THROUGHPUT_PROBE = {
+    "streams": 1_000,
+    "disks": 8,
+    "bandwidth": 1_300,
+    "objects": 8,
+    "blocks_per_object": 400,
+    "rate": 8,
+    "rounds": 3,
+}
 
 #: Reduced sweep for CI smoke runs (matches the CLI's --quick cell).
 QUICK = {
@@ -91,11 +111,32 @@ def main(argv: list[str] | None = None) -> int:
     reproducible = results == again
     print(f"\nbit-reproducible from seed {args.seed:#x}: {reproducible}")
 
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from bench_serving import run_degraded
+
+    throughput = {
+        "config": THROUGHPUT_PROBE,
+        "degraded_scalar": run_degraded(THROUGHPUT_PROBE, vectorized=False),
+        "degraded_vectorized": run_degraded(THROUGHPUT_PROBE, vectorized=True),
+    }
+    throughput["speedup"] = round(
+        throughput["degraded_vectorized"]["reads_per_sec"]
+        / throughput["degraded_scalar"]["reads_per_sec"],
+        2,
+    )
+    print(
+        f"degraded serving throughput: "
+        f"{throughput['degraded_scalar']['reads_per_sec']:,} reads/s scalar, "
+        f"{throughput['degraded_vectorized']['reads_per_sec']:,} reads/s "
+        f"vectorized ({throughput['speedup']}x)"
+    )
+
     payload = {
         "benchmark": "bench_availability",
         "quick": args.quick,
         "seed": args.seed,
         "reproducible": reproducible,
+        "throughput": throughput,
         "results": [
             {
                 **asdict(r),

@@ -1,0 +1,240 @@
+"""Serving hot-path throughput: scalar vs vectorized round loop.
+
+The round scheduler has two implementations of each serving path — the
+scalar reference loop (the semantic oracle) and the batched numpy
+planner (:mod:`repro.server.scheduler`, bit-identical by the parity
+suite in ``tests/test_scheduler_parity.py``).  This benchmark measures
+both on a full-size workload and enforces the speedup floors that make
+the vectorized path worth its complexity:
+
+* **simple path** (bandwidth-capped serving, backend batch locator):
+  vectorized must clear ``MIN_SIMPLE_SPEEDUP`` over scalar;
+* **degraded path** (failover planner attached, all disks healthy, no
+  injector — the vectorized fast lane): vectorized must clear
+  ``MIN_DEGRADED_SPEEDUP`` over scalar.
+
+The simple path is also timed with the inventory (sequential) batch
+locator, reported for scale: it shows how much of the win comes from
+the batched serve arithmetic alone versus the backend locate kernel.
+
+Every variant gets a fresh server and fresh identical streams, so no
+state leaks between timings.  One warm-up round runs untimed per
+variant (it also primes the backend locator's per-object X0 caches).
+
+Results are persisted to ``BENCH_serving.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py [--quick]
+        [--rounds N] [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from repro.server.cmserver import CMServer
+from repro.server.reads import build_degraded_stack
+from repro.server.scheduler import RoundScheduler
+from repro.server.streams import Stream
+from repro.storage.disk import DiskSpec
+from repro.workloads.generator import uniform_catalog
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SEED = 0xBE9C
+BITS = 64
+
+#: Full-size workload: 10k concurrent streams over 16 disks, 8 blocks
+#: per stream per round (80k reads/round, within per-disk bandwidth).
+FULL = {
+    "streams": 10_000,
+    "disks": 16,
+    "bandwidth": 6_400,
+    "objects": 64,
+    "blocks_per_object": 2_000,
+    "rate": 8,
+    "rounds": 5,
+    "min_simple_speedup": 10.0,
+    "min_degraded_speedup": 5.0,
+}
+
+#: CI smoke sizing: same shape, small enough to finish in seconds.  The
+#: floors are lower because the fixed numpy overhead per round is a
+#: larger share of a small batch.
+QUICK = {
+    "streams": 2_000,
+    "disks": 8,
+    "bandwidth": 2_600,
+    "objects": 16,
+    "blocks_per_object": 500,
+    "rate": 8,
+    "rounds": 4,
+    "min_simple_speedup": 3.0,
+    "min_degraded_speedup": 2.0,
+}
+
+
+def build_server(cfg: dict) -> CMServer:
+    catalog = uniform_catalog(
+        cfg["objects"],
+        cfg["blocks_per_object"],
+        master_seed=SEED,
+        bits=BITS,
+    )
+    specs = [
+        DiskSpec(
+            capacity_blocks=cfg["objects"] * cfg["blocks_per_object"],
+            bandwidth_blocks_per_round=cfg["bandwidth"],
+        )
+    ] * cfg["disks"]
+    return CMServer(catalog, specs, bits=BITS, backend="scaddar")
+
+
+def admit_streams(scheduler: RoundScheduler, server: CMServer, cfg: dict) -> None:
+    """Identical stream population for every variant: round-robin over
+    the catalog, staggered start positions, fixed per-stream rate."""
+    window = cfg["blocks_per_object"] // 2
+    for sid in range(cfg["streams"]):
+        media = server.catalog.get(sid % cfg["objects"])
+        scheduler.admit(
+            Stream(
+                sid,
+                replace(media, blocks_per_round=cfg["rate"]),
+                start_block=(sid * 37) % window,
+            )
+        )
+
+
+def measure(scheduler: RoundScheduler, rounds: int) -> dict:
+    """Reads/sec over ``rounds`` timed rounds (one untimed warm-up)."""
+    scheduler.run_round()
+    requested = served = hiccups = 0
+    start = time.perf_counter()
+    for _ in range(rounds):
+        report = scheduler.run_round()
+        requested += report.requested
+        served += report.served
+        hiccups += report.hiccups
+    seconds = time.perf_counter() - start
+    return {
+        "rounds": rounds,
+        "requested": requested,
+        "served": served,
+        "hiccups": hiccups,
+        "seconds": round(seconds, 4),
+        "reads_per_sec": round(requested / seconds),
+    }
+
+
+def run_simple(cfg: dict, vectorized: bool, locator: str) -> dict:
+    server = build_server(cfg)
+    kwargs = {}
+    if locator == "backend":
+        kwargs = {
+            "locator": server.computed_locator(),
+            "batch_locator": server.computed_batch_locator(),
+        }
+    scheduler = RoundScheduler(server.array, vectorized=vectorized, **kwargs)
+    admit_streams(scheduler, server, cfg)
+    return measure(scheduler, cfg["rounds"])
+
+
+def run_degraded(cfg: dict, vectorized: bool) -> dict:
+    server = build_server(cfg)
+    stack = build_degraded_stack(
+        server,
+        protection="mirror",
+        vectorized=vectorized,
+        locator="backend",
+    )
+    admit_streams(stack.scheduler, server, cfg)
+    result = measure(stack.scheduler, cfg["rounds"])
+    result["failovers"] = stack.planner.stats.failover_reads
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small smoke run (CI)"
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=None, help="timed rounds override"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_serving.json",
+        help="where to write the JSON results",
+    )
+    args = parser.parse_args(argv)
+
+    cfg = dict(QUICK if args.quick else FULL)
+    if args.rounds is not None:
+        cfg["rounds"] = args.rounds
+
+    print(
+        f"streams={cfg['streams']} disks={cfg['disks']} "
+        f"rate={cfg['rate']} rounds={cfg['rounds']} "
+        f"({cfg['streams'] * cfg['rate']} reads/round)"
+    )
+
+    results = {
+        "simple_scalar": run_simple(cfg, vectorized=False, locator="backend"),
+        "simple_vectorized_inventory": run_simple(
+            cfg, vectorized=True, locator="inventory"
+        ),
+        "simple_vectorized": run_simple(cfg, vectorized=True, locator="backend"),
+        "degraded_scalar": run_degraded(cfg, vectorized=False),
+        "degraded_vectorized": run_degraded(cfg, vectorized=True),
+    }
+    for name, result in results.items():
+        print(f"{name:28s}: {result['reads_per_sec']:>12,} reads/s")
+
+    simple_speedup = (
+        results["simple_vectorized"]["reads_per_sec"]
+        / results["simple_scalar"]["reads_per_sec"]
+    )
+    degraded_speedup = (
+        results["degraded_vectorized"]["reads_per_sec"]
+        / results["degraded_scalar"]["reads_per_sec"]
+    )
+    print(f"simple speedup   : {simple_speedup:.1f}x "
+          f"(floor {cfg['min_simple_speedup']:.0f}x)")
+    print(f"degraded speedup : {degraded_speedup:.1f}x "
+          f"(floor {cfg['min_degraded_speedup']:.0f}x)")
+
+    payload = {
+        "benchmark": "bench_serving",
+        "quick": args.quick,
+        "config": cfg,
+        "results": results,
+        "simple_speedup": round(simple_speedup, 2),
+        "degraded_speedup": round(degraded_speedup, 2),
+        "min_simple_speedup": cfg["min_simple_speedup"],
+        "min_degraded_speedup": cfg["min_degraded_speedup"],
+    }
+    args.output.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {args.output}")
+
+    assert simple_speedup >= cfg["min_simple_speedup"], (
+        f"vectorized simple path is only {simple_speedup:.1f}x scalar "
+        f"(floor {cfg['min_simple_speedup']:.0f}x)"
+    )
+    assert degraded_speedup >= cfg["min_degraded_speedup"], (
+        f"vectorized degraded path is only {degraded_speedup:.1f}x scalar "
+        f"(floor {cfg['min_degraded_speedup']:.0f}x)"
+    )
+    print("all speedup floors cleared")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

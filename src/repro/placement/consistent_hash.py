@@ -11,12 +11,15 @@ O(N * vnodes) persistent state, versus SCADDAR's O(operations) log.
 from __future__ import annotations
 
 from bisect import bisect_right
+from typing import Optional, Sequence
+
+import numpy as np
 
 from repro.core.operations import ScalingOp
 from repro.core.remap import survivor_ranks
 from repro.placement.base import PlacementPolicy
 from repro.prng.generators import _mix64
-from repro.storage.block import Block
+from repro.storage.block import Block, BlockId
 
 _NODE_SALT = 0xC0FFEE_15_600D
 _KEY_SALT = 0xDEC0DE_0F_F00D
@@ -30,6 +33,26 @@ def _vnode_position(node_id: int, replica: int) -> int:
 def _key_position(x0: int) -> int:
     """Ring position of a block key."""
     return _mix64(x0 ^ _KEY_SALT)
+
+
+def _mix64_batch(values: np.ndarray) -> np.ndarray:
+    """Vectorized SplitMix64 finalizer, bit-identical to ``_mix64``.
+
+    Lives here rather than in :mod:`repro.prng.generators` so the scalar
+    reference module stays dependency-free.
+    """
+    z = np.asarray(values, dtype=np.uint64).copy()
+    z ^= z >> np.uint64(30)
+    z *= np.uint64(0xBF58476D1CE4E5B9)
+    z ^= z >> np.uint64(27)
+    z *= np.uint64(0x94D049BB133111EB)
+    z ^= z >> np.uint64(31)
+    return z
+
+
+def _key_position_batch(x0s: np.ndarray) -> np.ndarray:
+    """Ring positions of a batch of block keys (uint64)."""
+    return _mix64_batch(np.asarray(x0s, dtype=np.uint64) ^ np.uint64(_KEY_SALT))
 
 
 class ConsistentHashPolicy(PlacementPolicy):
@@ -58,6 +81,10 @@ class ConsistentHashPolicy(PlacementPolicy):
         self._rank: dict[int, int] = {}  # node id -> logical index
         self._next_node_id = 0
         self._ring: list[tuple[int, int]] = []  # sorted (position, node id)
+        # Vectorized ring mirror, rebuilt lazily after any mutation.
+        self._kernel_dirty = True
+        self._ring_positions = np.empty(0, dtype=np.uint64)
+        self._ring_ranks = np.empty(0, dtype=np.int64)
         super().__init__(n0)
         for _ in range(n0):
             self._add_node()
@@ -68,6 +95,27 @@ class ConsistentHashPolicy(PlacementPolicy):
     def locate_one(self, block_id, x0: int) -> int:
         owner = self._owner_node(_key_position(x0))
         return self._rank[owner]
+
+    def locate_batch(
+        self,
+        block_ids: Optional[Sequence[BlockId]],
+        x0s: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized ring walk: hash, binary-search, wrap, rank.
+
+        ``searchsorted(..., side="right")`` matches the scalar
+        ``bisect_right(ring, (position, 1 << 70))`` exactly because node
+        ids never reach ``1 << 70``: a tie on position resolves past the
+        entry in both formulations.
+        """
+        if not self._ring:
+            raise RuntimeError("consistent hash ring is empty")
+        if self._kernel_dirty:
+            self._rebuild_kernels()
+        positions = _key_position_batch(x0s)
+        index = np.searchsorted(self._ring_positions, positions, side="right")
+        index[index == self._ring_positions.shape[0]] = 0  # wrap the ring
+        return self._ring_ranks[index]
 
     def state_entries(self) -> int:
         """The ring: one entry per virtual node."""
@@ -102,6 +150,7 @@ class ConsistentHashPolicy(PlacementPolicy):
         self._nodes = [node for node in self._nodes if node not in doomed]
         self._rank = {node: i for i, node in enumerate(self._nodes)}
         self._ring = [(pos, node) for pos, node in self._ring if node not in doomed]
+        self._kernel_dirty = True
 
     # ------------------------------------------------------------------
     # Ring internals
@@ -116,6 +165,25 @@ class ConsistentHashPolicy(PlacementPolicy):
             for replica in range(self._vnodes)
         )
         self._ring.sort()
+        self._kernel_dirty = True
+
+    def _rebuild_kernels(self) -> None:
+        """Mirror the sorted ring into parallel numpy arrays.
+
+        Ranks are resolved at rebuild time (node id -> current logical
+        index), so the batched walk is a single fancy-indexing step.
+        """
+        self._ring_positions = np.fromiter(
+            (pos for pos, __ in self._ring),
+            dtype=np.uint64,
+            count=len(self._ring),
+        )
+        self._ring_ranks = np.fromiter(
+            (self._rank[node] for __, node in self._ring),
+            dtype=np.int64,
+            count=len(self._ring),
+        )
+        self._kernel_dirty = False
 
     def _owner_node(self, position: int) -> int:
         if not self._ring:

@@ -10,10 +10,14 @@ highest logical indices.
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
+
+import numpy as np
+
 from repro.core.errors import UnsupportedOperationError
 from repro.core.operations import ScalingOp
 from repro.placement.base import PlacementPolicy
-from repro.storage.block import Block
+from repro.storage.block import Block, BlockId
 
 _MASK64 = (1 << 64) - 1
 _JUMP_MULTIPLIER = 2862933555777941757
@@ -35,6 +39,36 @@ def jump_hash(key: int, buckets: int) -> int:
     return bucket
 
 
+def jump_hash_batch(keys: np.ndarray, buckets: int) -> np.ndarray:
+    """Vectorized :func:`jump_hash` over an array of 64-bit keys.
+
+    Bit-identical to the scalar port: the uint64 LCG wraps exactly like
+    the masked Python integers, and the candidate step's float64 divide
+    and truncation match Python's ``int((b + 1) * ((1 << 31) / q))``
+    because both operands convert to float64 exactly (``q < 2**31``).
+    The masked loop advances every key still below ``buckets``; keys
+    settle in O(ln buckets) expected iterations.
+    """
+    if buckets <= 0:
+        raise ValueError(f"buckets must be >= 1, got {buckets}")
+    key = np.asarray(keys, dtype=np.uint64).copy()
+    n = key.shape[0]
+    bucket = np.full(n, -1, dtype=np.int64)
+    candidate = np.zeros(n, dtype=np.int64)
+    active = candidate < buckets
+    while active.any():
+        bucket[active] = candidate[active]
+        stepped = key[active] * np.uint64(_JUMP_MULTIPLIER) + np.uint64(1)
+        key[active] = stepped
+        quotient = ((stepped >> np.uint64(33)) + np.uint64(1)).astype(np.float64)
+        scaled = (bucket[active] + 1).astype(np.float64) * (
+            np.float64(1 << 31) / quotient
+        )
+        candidate[active] = scaled.astype(np.int64)
+        active = candidate < buckets
+    return bucket
+
+
 class JumpHashPolicy(PlacementPolicy):
     """Stateless jump-hash placement: ``disk = jump_hash(X0, N)``.
 
@@ -50,6 +84,13 @@ class JumpHashPolicy(PlacementPolicy):
 
     def locate_one(self, block_id, x0: int) -> int:
         return jump_hash(x0, self.current_disks)
+
+    def locate_batch(
+        self,
+        block_ids: Optional[Sequence[BlockId]],
+        x0s: np.ndarray,
+    ) -> np.ndarray:
+        return jump_hash_batch(np.asarray(x0s, dtype=np.uint64), self.current_disks)
 
     def state_entries(self) -> int:
         # Placement is a pure function of (X0, N).

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import TYPE_CHECKING, Optional, Union
+from typing import TYPE_CHECKING, Callable, Optional, Union
 
 import numpy as np
 
@@ -52,6 +52,7 @@ from repro.storage.migration import (
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.obs import ObsHandle
     from repro.server.faults import MirroredPlacement
+    from repro.server.locate import BackendBatchLocator
 
 
 @dataclass
@@ -349,6 +350,31 @@ class CMServer:
         with self.obs.timer("backend.locate.seconds", backend=self.backend.name):
             disks = self.backend.locate_batch(ids, x0s).tolist()
         return [table[disk] for disk in disks]
+
+    def computed_locator(self) -> "Callable[[BlockId], int]":
+        """A scalar ``BlockId -> physical`` locator that *computes*
+        placement through the backend (:meth:`block_location`), never
+        consulting the inventory — the serving-path contract the paper
+        argues for.  Pair with :meth:`computed_batch_locator` so the
+        scalar and batched paths resolve identically.
+        """
+
+        def locate(block_id: BlockId) -> int:
+            return self.block_location(block_id.object_id, block_id.index)
+
+        return locate
+
+    def computed_batch_locator(self) -> "BackendBatchLocator":
+        """A :class:`~repro.server.locate.BackendBatchLocator` resolving
+        whole rounds through the backend's vectorized kernel.
+
+        Assumes the inventory agrees with the computed placement (no
+        scaling operation mid-flight), exactly like
+        :meth:`block_location`.
+        """
+        from repro.server.locate import BackendBatchLocator
+
+        return BackendBatchLocator(self)
 
     def locate_blocks(self, blocks: list[Block]) -> list[int]:
         """Current *logical* disk of each block, batched.

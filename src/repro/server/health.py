@@ -94,6 +94,22 @@ class CircuitBreaker:
         return self._open_since is not None
 
     @property
+    def is_quiescent(self) -> bool:
+        """Closed, with no partial failure streak and the base cooldown.
+
+        On a quiescent breaker ``allows()`` is True and
+        ``record_success()`` changes no state — the property the
+        vectorized degraded path relies on to serve a disk's reads
+        wholesale without touching its breaker per read.
+        """
+        return (
+            self._open_since is None
+            and self.consecutive_failures == 0
+            and self._cooldown == self.base_cooldown
+            and not self._probing
+        )
+
+    @property
     def current_cooldown(self) -> int:
         """Rounds the breaker waits before its next half-open probe.
 
@@ -215,6 +231,21 @@ class DiskHealthMonitor:
         if state in (DiskHealth.DEAD, DiskHealth.REBUILDING):
             return False
         return self.breaker(physical_id).allows(round_index)
+
+    def serves_unimpeded(self, physical_id: int) -> bool:
+        """Whether a successful read from this disk needs no per-read
+        health machinery this round.
+
+        True when the disk is healthy and its breaker (if one was ever
+        created) is quiescent: ``is_readable`` would be True and
+        ``observe_success`` would be a state no-op, so the vectorized
+        degraded path can serve all of the disk's primary reads in one
+        batch.  Deliberately does *not* create a breaker.
+        """
+        if self.state(physical_id) is not DiskHealth.HEALTHY:
+            return False
+        breaker = self._breakers.get(physical_id)
+        return breaker is None or breaker.is_quiescent
 
     def snapshot(self) -> dict[int, str]:
         """Health state of every disk currently in the array."""
@@ -388,6 +419,8 @@ class Scrubber:
         self.total_rebuilt = 0
         self._rebuild_done: dict[int, int] = {}
         self._patrol_cursor = 0
+        self._population_cache: list[BlockId] = []
+        self._population_version = -1
 
     def rebuild_progress(self, physical_id: int) -> float:
         """Fraction of a rebuilding disk's inventory re-verified so far
@@ -438,11 +471,22 @@ class Scrubber:
         return report
 
     def _population(self) -> list[BlockId]:
-        """All resident blocks in deterministic (block-id) order."""
-        blocks: list[BlockId] = []
-        for pid in self.array.physical_ids:
-            blocks.extend(
-                b.block_id for b in self.array.blocks_on_physical(pid)
-            )
-        blocks.sort(key=lambda b: (b.object_id, b.index))
-        return blocks
+        """All resident blocks in deterministic (block-id) order.
+
+        The scan is O(total blocks) so the result is cached against the
+        array's :attr:`~repro.storage.array.DiskArray.inventory_version`;
+        block moves keep the membership (and thus this list) unchanged,
+        so only place/drop invalidate it.  The sorted order is identical
+        to an uncached rebuild — patrol semantics do not change.
+        """
+        version = self.array.inventory_version
+        if version != self._population_version:
+            blocks: list[BlockId] = []
+            for pid in self.array.physical_ids:
+                blocks.extend(
+                    b.block_id for b in self.array.blocks_on_physical(pid)
+                )
+            blocks.sort(key=lambda b: (b.object_id, b.index))
+            self._population_cache = blocks
+            self._population_version = version
+        return self._population_cache

@@ -25,6 +25,7 @@ serving stack (monitor + planner + scrubber + scheduler) in one call.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional, Protocol
 
@@ -43,6 +44,7 @@ from repro.storage.block import BlockId
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.server.cmserver import CMServer
+    from repro.server.locate import BatchLocator
     from repro.server.scheduler import RoundScheduler
 
 #: Read outcomes a planner can return (the first three mean "served").
@@ -161,9 +163,9 @@ class ReadStats:
     hiccups: int = 0
     #: Hiccups keyed by the block's primary disk — "hiccups attributable
     #: to disk D" is exactly this counter.
-    hiccups_by_primary: dict[int, int] = field(default_factory=dict)
+    hiccups_by_primary: Counter[int] = field(default_factory=Counter)
     #: Failover (mirror + parity) serves keyed by the primary they saved.
-    failovers_by_primary: dict[int, int] = field(default_factory=dict)
+    failovers_by_primary: Counter[int] = field(default_factory=Counter)
 
     @property
     def failover_reads(self) -> int:
@@ -202,6 +204,11 @@ class FailoverReadPlanner:
         Per-disk read attempts within one round before giving up on that
         disk (the within-round retry budget; across rounds the breaker's
         doubling cooldown is the capped exponential backoff).
+    batch_locator:
+        Optional :class:`~repro.server.locate.BatchLocator` resolving a
+        whole round's primaries at once (the vectorized degraded path);
+        defaults to a sequential wrapper over ``locator``, which is
+        always bit-identical to the scalar path.
     """
 
     def __init__(
@@ -212,16 +219,37 @@ class FailoverReadPlanner:
         injector: Optional[FaultInjector] = None,
         protection: Optional[ReadProtection] = None,
         max_attempts: int = 3,
+        batch_locator: Optional["BatchLocator"] = None,
     ):
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
         self.array = array
         self.monitor = monitor
         self._locate = locator or array.home_of
+        self._batch_locator = batch_locator
         self.injector = injector
         self.protection = protection
         self.max_attempts = max_attempts
         self.stats = ReadStats()
+
+    @property
+    def batch_locator(self) -> "BatchLocator":
+        """The planner's batch locator (sequential wrapper by default)."""
+        if self._batch_locator is None:
+            from repro.server.locate import SequentialBatchLocator
+
+            self._batch_locator = SequentialBatchLocator(self._locate)
+        return self._batch_locator
+
+    def account_primary_batch(self, count: int) -> None:
+        """Fold ``count`` wholesale primary serves into the ledger.
+
+        The vectorized degraded path resolves healthy-primary reads in
+        one pass; per-read :meth:`serve` would have recorded exactly one
+        ``requested`` and one ``served_primary`` each.
+        """
+        self.stats.requested += count
+        self.stats.served_primary += count
 
     def serve(
         self,
@@ -265,18 +293,14 @@ class FailoverReadPlanner:
                     self.stats.served_mirror += 1
                 else:
                     self.stats.served_parity += 1
-                self.stats.failovers_by_primary[primary] = (
-                    self.stats.failovers_by_primary.get(primary, 0) + 1
-                )
+                self.stats.failovers_by_primary[primary] += 1
                 return name
             if outcome == _SLOW:
                 self.stats.queued += 1
                 return READ_QUEUED
 
         self.stats.hiccups += 1
-        self.stats.hiccups_by_primary[primary] = (
-            self.stats.hiccups_by_primary.get(primary, 0) + 1
-        )
+        self.stats.hiccups_by_primary[primary] += 1
         return READ_HICCUP
 
     # ------------------------------------------------------------------
@@ -368,6 +392,8 @@ def build_degraded_stack(
     scrub_rate: int = 8,
     admission=None,
     obs=None,
+    vectorized: bool = True,
+    locator: str = "inventory",
 ) -> DegradedStack:
     """Wire the full degraded serving stack around a server.
 
@@ -375,6 +401,13 @@ def build_degraded_stack(
     only), or a ready :class:`ReadProtection` instance.  Mirror and
     parity need the SCADDAR backend (the offset scheme and the group
     arithmetic both live on the mapper); other backends pass ``None``.
+
+    ``vectorized`` selects the scheduler's batched round loop (on by
+    default; bit-identical to the scalar oracle).  ``locator`` picks how
+    primaries are resolved: ``"inventory"`` reads the array's block
+    inventory (correct mid-migration), ``"backend"`` computes placements
+    through the backend's vectorized kernel (the high-throughput path;
+    assumes no scaling operation is in flight).
 
     ``obs`` (an :class:`repro.obs.Obs`, default no-op) is shared by the
     health monitor (state-transition and breaker events) and the
@@ -398,22 +431,37 @@ def build_degraded_stack(
             f"unknown protection {protection!r}: use 'mirror', 'parity', "
             "None, or a ReadProtection instance"
         )
+    if locator == "inventory":
+        scalar_locator = None
+        batch_locator = None
+    elif locator == "backend":
+        scalar_locator = server.computed_locator()
+        batch_locator = server.computed_batch_locator()
+    else:
+        raise ValueError(
+            f"unknown locator {locator!r}: use 'inventory' or 'backend'"
+        )
     planner = FailoverReadPlanner(
         server.array,
         monitor,
+        locator=scalar_locator,
         injector=injector,
         protection=protection,
         max_attempts=max_attempts,
+        batch_locator=batch_locator,
     )
     scrubber = Scrubber(
         server.array, monitor, rate_per_round=scrub_rate, injector=injector
     )
     scheduler = RoundScheduler(
         server.array,
+        locator=scalar_locator,
         admission=admission,
         read_planner=planner,
         scrubber=scrubber,
         obs=obs,
+        vectorized=vectorized,
+        batch_locator=batch_locator,
     )
     return DegradedStack(
         server=server,

@@ -5,14 +5,28 @@ scheduling round) and may pause, resume and seek — the "VCR-style
 operations" whose unpredictable access patterns motivate random placement
 (Section 1).  Streams are pure bookkeeping; the scheduler turns their
 per-round block needs into disk requests.
+
+The vectorized scheduler never materializes per-stream ``BlockId`` lists:
+:func:`gather_round_demand` folds every active stream's contiguous demand
+window (:meth:`Stream.demand_window`) into one :class:`RoundDemand` of
+parallel arrays, and activity watchers let the scheduler maintain its
+admission-control demand total in O(1) per state change instead of
+re-summing all streams.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from enum import Enum
+from typing import Callable, Iterable
+
+import numpy as np
 
 from repro.server.objects import MediaObject
 from repro.storage.block import BlockId
+
+#: Callback fired when a stream's :attr:`Stream.is_active` flips.
+ActivityWatcher = Callable[["Stream", bool], None]
 
 
 class StreamState(Enum):
@@ -49,20 +63,44 @@ class Stream:
         #: Rounds in which this client received less than it demanded —
         #: the client-side rebuffering signal degraded-mode metrics track.
         self.stall_rounds = 0
+        self._activity_watchers: list[ActivityWatcher] = []
 
     @property
     def is_active(self) -> bool:
         """Whether the stream demands blocks this round."""
         return self.state is StreamState.PLAYING
 
+    def add_activity_watcher(self, watcher: ActivityWatcher) -> None:
+        """Register a callback fired whenever :attr:`is_active` flips.
+
+        The scheduler uses this to keep its running active-demand total
+        exact without re-summing every stream on each admission.
+        """
+        self._activity_watchers.append(watcher)
+
+    def remove_activity_watcher(self, watcher: ActivityWatcher) -> None:
+        """Unregister a previously added activity watcher."""
+        self._activity_watchers.remove(watcher)
+
+    def demand_window(self) -> tuple[int, int]:
+        """This round's demand as ``(start_index, count)``.
+
+        A stream's per-round need is always a contiguous run of block
+        indices, so the window is the whole demand — the vectorized
+        gather consumes this instead of a materialized id list.
+        ``count`` is 0 for paused and finished streams.
+        """
+        if self.state is not StreamState.PLAYING:
+            return (self.position, 0)
+        end = min(self.position + self.media.blocks_per_round, self.media.num_blocks)
+        return (self.position, end - self.position)
+
     def blocks_needed(self) -> list[BlockId]:
         """The block ids this stream must receive in the current round."""
-        if not self.is_active:
-            return []
-        end = min(self.position + self.media.blocks_per_round, self.media.num_blocks)
+        start, count = self.demand_window()
         return [
             BlockId(self.media.object_id, index)
-            for index in range(self.position, end)
+            for index in range(start, start + count)
         ]
 
     def deliver(self, count: int, demanded: int | None = None) -> None:
@@ -74,22 +112,28 @@ class Stream:
         """
         if count < 0:
             raise ValueError(f"delivered count must be >= 0, got {count}")
+        was_active = self.is_active
         if demanded is not None and count < demanded:
             self.stall_rounds += 1
         self.position = min(self.position + count, self.media.num_blocks)
         self.blocks_consumed += count
         if self.position >= self.media.num_blocks:
             self.state = StreamState.DONE
+        self._notify_activity(was_active)
 
     def pause(self) -> None:
         """Pause playback (no demand while paused)."""
+        was_active = self.is_active
         if self.state is StreamState.PLAYING:
             self.state = StreamState.PAUSED
+        self._notify_activity(was_active)
 
     def resume(self) -> None:
         """Resume a paused stream."""
+        was_active = self.is_active
         if self.state is StreamState.PAUSED:
             self.state = StreamState.PLAYING
+        self._notify_activity(was_active)
 
     def seek(self, block_index: int) -> None:
         """VCR-style random access to a position in the object."""
@@ -97,12 +141,79 @@ class Stream:
             raise ValueError(
                 f"seek target {block_index} out of 0..{self.media.num_blocks - 1}"
             )
+        was_active = self.is_active
         self.position = block_index
         if self.state is StreamState.DONE:
             self.state = StreamState.PLAYING
+        self._notify_activity(was_active)
+
+    def _notify_activity(self, was_active: bool) -> None:
+        if self.is_active != was_active:
+            for watcher in tuple(self._activity_watchers):
+                watcher(self, self.is_active)
 
     def __repr__(self) -> str:
         return (
             f"Stream(id={self.stream_id}, object={self.media.object_id}, "
             f"position={self.position}, state={self.state.value})"
         )
+
+
+@dataclass
+class RoundDemand:
+    """One round's aggregate demand as parallel per-request arrays.
+
+    ``streams`` holds every stream in scheduler iteration order (active
+    or not — delivery still walks all of them); ``counts[i]`` is stream
+    ``i``'s demand this round.  The per-request arrays are all the same
+    length (``total``): request ``r`` is block
+    ``(object_ids[r], block_indices[r])`` demanded by
+    ``streams[stream_slots[r]]``, in exactly the order the scalar
+    scheduler's nested stream/block loop would visit it.
+    """
+
+    streams: list[Stream]
+    counts: np.ndarray
+    object_ids: np.ndarray
+    block_indices: np.ndarray
+    stream_slots: np.ndarray
+
+    @property
+    def total(self) -> int:
+        """Total block reads demanded this round."""
+        return int(self.object_ids.shape[0])
+
+
+def gather_round_demand(streams: Iterable[Stream]) -> RoundDemand:
+    """Collect every stream's demand window into one :class:`RoundDemand`.
+
+    This is the vectorized counterpart of looping ``blocks_needed()`` per
+    stream: one pass over the streams (cheap scalar window reads), then a
+    handful of ``repeat``/``cumsum`` expansions to per-request arrays.
+    """
+    stream_list = list(streams)
+    counts_l: list[int] = []
+    positions_l: list[int] = []
+    objects_l: list[int] = []
+    for stream in stream_list:
+        start, count = stream.demand_window()
+        counts_l.append(count)
+        positions_l.append(start)
+        objects_l.append(stream.media.object_id)
+    counts = np.array(counts_l, dtype=np.int64)
+    total = int(counts.sum()) if counts_l else 0
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return RoundDemand(stream_list, counts, empty, empty, empty)
+    positions = np.array(positions_l, dtype=np.int64)
+    objects = np.array(objects_l, dtype=np.int64)
+    stream_slots = np.repeat(np.arange(len(stream_list), dtype=np.int64), counts)
+    starts = np.cumsum(counts) - counts
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
+    return RoundDemand(
+        streams=stream_list,
+        counts=counts,
+        object_ids=np.repeat(objects, counts),
+        block_indices=np.repeat(positions, counts) + offsets,
+        stream_slots=stream_slots,
+    )

@@ -44,6 +44,7 @@ class DiskArray:
         self._contents: dict[int, set[Block]] = {}
         self._home: dict[BlockId, int] = {}
         self._blocks_moved = 0
+        self._inventory_version = 0
         for spec in specs:
             self._attach(Disk(spec=spec))
 
@@ -197,6 +198,7 @@ class DiskArray:
         block = next(b for b in self._contents[source] if b.block_id == block_id)
         self._contents[source].remove(block)
         del self._home[block_id]
+        self._inventory_version += 1
 
     # ------------------------------------------------------------------
     # Accounting
@@ -210,6 +212,13 @@ class DiskArray:
     def blocks_moved(self) -> int:
         """Cumulative count of physical block transfers."""
         return self._blocks_moved
+
+    @property
+    def inventory_version(self) -> int:
+        """Counter bumped whenever block *membership* changes (place or
+        drop — moves keep the same resident set).  Lets callers cache
+        derived views of the inventory without rescanning every round."""
+        return self._inventory_version
 
     def load_vector(self) -> list[int]:
         """Blocks per disk, in logical order — the evaluation's raw data."""
@@ -243,6 +252,7 @@ class DiskArray:
             )
         self._contents[physical_id].add(block)
         self._home[block.block_id] = physical_id
+        self._inventory_version += 1
 
     def __repr__(self) -> str:
         return (

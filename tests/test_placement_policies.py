@@ -395,3 +395,83 @@ class TestStraw:
         assert policy.state_entries() == 6
         policy.apply(ScalingOp.remove([0, 5]))
         assert policy.state_entries() == 4
+
+
+class TestJumpHashBatchKernel:
+    """The vectorized jump-hash kernel is bit-identical to the scalar."""
+
+    @given(
+        buckets=st.integers(1, 64),
+        keys=st.lists(st.integers(0, 2**64 - 1), min_size=1, max_size=80),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_scalar(self, buckets, keys):
+        import numpy as np
+
+        from repro.placement.jump_hash import jump_hash_batch
+
+        batch = jump_hash_batch(np.array(keys, dtype=np.uint64), buckets)
+        assert batch.tolist() == [jump_hash(k, buckets) for k in keys]
+
+    def test_bucket_validation(self):
+        import numpy as np
+
+        from repro.placement.jump_hash import jump_hash_batch
+
+        with pytest.raises(ValueError):
+            jump_hash_batch(np.array([1], dtype=np.uint64), 0)
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_policy_locate_batch_matches_locate_one(self, data):
+        import numpy as np
+
+        policy = JumpHashPolicy(data.draw(st.integers(2, 10)))
+        for _ in range(data.draw(st.integers(0, 3))):
+            policy.apply(ScalingOp.add(data.draw(st.integers(1, 3))))
+        keys = data.draw(
+            st.lists(st.integers(0, 2**64 - 1), min_size=1, max_size=50)
+        )
+        xs = np.array(keys, dtype=np.uint64)
+        assert policy.locate_batch(None, xs).tolist() == [
+            policy.locate_one(None, k) for k in keys
+        ]
+
+
+class TestConsistentHashBatchKernel:
+    """The vectorized ring walk is bit-identical to the bisect walk."""
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_locate_batch_matches_locate_one(self, data):
+        import numpy as np
+
+        n0 = data.draw(st.integers(2, 8))
+        policy = ConsistentHashPolicy(n0, vnodes=data.draw(st.integers(1, 32)))
+        n = n0
+        for _ in range(data.draw(st.integers(0, 4))):
+            if n > 2 and data.draw(st.booleans()):
+                victim = data.draw(st.integers(0, n - 1))
+                policy.apply(ScalingOp.remove([victim]))
+                n -= 1
+            else:
+                count = data.draw(st.integers(1, 3))
+                policy.apply(ScalingOp.add(count))
+                n += count
+            keys = data.draw(
+                st.lists(st.integers(0, 2**64 - 1), min_size=1, max_size=40)
+            )
+            xs = np.array(keys, dtype=np.uint64)
+            assert policy.locate_batch(None, xs).tolist() == [
+                policy.locate_one(None, k) for k in keys
+            ]
+
+    def test_mix64_batch_matches_scalar(self):
+        import numpy as np
+
+        from repro.placement.consistent_hash import _mix64_batch
+        from repro.prng.generators import _mix64
+
+        keys = [0, 1, 2**63, 2**64 - 1, 0xDEADBEEF]
+        batch = _mix64_batch(np.array(keys, dtype=np.uint64))
+        assert batch.tolist() == [_mix64(k) for k in keys]

@@ -199,3 +199,149 @@ class TestScheduler:
         sched.admit(Stream(1, obj))
         reports = sched.run_rounds(2)
         assert sched.peak_queue_per_round(reports) == [1, 1]
+
+
+class TestDemandWindow:
+    def test_window_matches_blocks_needed(self):
+        s = Stream(1, media(num_blocks=5, rate=2), start_block=4)
+        start, count = s.demand_window()
+        assert (start, count) == (4, 1)
+        assert [(b.object_id, b.index) for b in s.blocks_needed()] == [(0, 4)]
+
+    def test_window_zero_when_inactive(self):
+        s = Stream(1, media())
+        s.pause()
+        assert s.demand_window()[1] == 0
+        s.resume()
+        s.deliver(20)
+        assert s.demand_window()[1] == 0
+
+
+class TestActivityWatchers:
+    def test_fires_on_flips_only(self):
+        events = []
+        s = Stream(1, media(num_blocks=3))
+        s.add_activity_watcher(lambda stream, active: events.append(active))
+        s.deliver(1)  # still active: no event
+        s.pause()
+        s.pause()  # already paused: no event
+        s.resume()
+        s.deliver(2)  # finishes
+        s.seek(0)  # revives
+        assert events == [False, True, False, True]
+
+    def test_remove_watcher(self):
+        events = []
+        watcher = lambda stream, active: events.append(active)  # noqa: E731
+        s = Stream(1, media())
+        s.add_activity_watcher(watcher)
+        s.remove_activity_watcher(watcher)
+        s.pause()
+        assert events == []
+
+
+class TestGatherRoundDemand:
+    def test_matches_blocks_needed(self):
+        from repro.server.streams import gather_round_demand
+
+        streams = [
+            Stream(0, media(num_blocks=10, rate=2)),
+            Stream(1, media(num_blocks=10, rate=3, object_id=1), start_block=8),
+            Stream(2, media(num_blocks=10, rate=1, object_id=2)),
+        ]
+        streams[2].pause()
+        demand = gather_round_demand(streams)
+        expected = [
+            (s.media.object_id, b.index, slot)
+            for slot, s in enumerate(streams)
+            for b in s.blocks_needed()
+        ]
+        got = list(
+            zip(
+                demand.object_ids.tolist(),
+                demand.block_indices.tolist(),
+                demand.stream_slots.tolist(),
+            )
+        )
+        assert got == [(o, i, slot) for o, i, slot in expected]
+        assert demand.total == 4
+        assert demand.counts.tolist() == [2, 2, 0]
+
+    def test_empty(self):
+        from repro.server.streams import gather_round_demand
+
+        assert gather_round_demand([]).total == 0
+
+
+class TestActiveDemandAccounting:
+    def brute_force(self, sched):
+        return sum(
+            s.media.blocks_per_round for s in sched.streams if s.is_active
+        )
+
+    def test_running_total_matches_brute_force(self):
+        import random
+
+        objects = [media(num_blocks=30, rate=r, object_id=r) for r in (1, 2, 3)]
+        array = build_served_array(objects, n_disks=4, bandwidth=100)
+        sched = RoundScheduler(array)
+        rng = random.Random(7)
+        admitted = []
+        for sid in range(60):
+            op = rng.choice(("admit", "pause", "resume", "seek", "round", "depart"))
+            if op == "admit" or not admitted:
+                stream = Stream(sid, rng.choice(objects))
+                sched.admit(stream)
+                admitted.append(stream)
+            elif op == "pause":
+                rng.choice(admitted).pause()
+            elif op == "resume":
+                rng.choice(admitted).resume()
+            elif op == "seek":
+                rng.choice(admitted).seek(rng.randrange(30))
+            elif op == "round":
+                sched.run_round()
+            else:
+                victim = rng.choice(admitted)
+                sched.depart(victim.stream_id)
+                admitted.remove(victim)
+            assert sched.active_demand == self.brute_force(sched)
+
+    def test_departed_stream_stops_updating_total(self):
+        obj = media(num_blocks=30)
+        array = build_served_array([obj])
+        sched = RoundScheduler(array)
+        stream = Stream(1, obj)
+        sched.admit(stream)
+        sched.depart(1)
+        stream.pause()  # must not corrupt the (now zero) total
+        assert sched.active_demand == 0
+
+
+class TestVectorizedToggle:
+    def test_scalar_flag_matches_default(self):
+        def run(vectorized):
+            obj = media(num_blocks=12)
+            array = build_served_array([obj], bandwidth=1)
+            sched = RoundScheduler(array, vectorized=vectorized)
+            for sid in range(3):
+                sched.admit(Stream(sid, obj, start_block=0))
+            reports = sched.run_rounds(4)
+            return (
+                [(r.requested, r.served, r.hiccups) for r in reports],
+                dict(sched.hiccups_by_stream),
+            )
+
+        assert run(False) == run(True)
+
+    def test_unknown_locator_target_ignored_by_both(self):
+        obj = media(num_blocks=4)
+        for vectorized in (False, True):
+            array = build_served_array([obj])
+            sched = RoundScheduler(
+                array, locator=lambda block_id: -99, vectorized=vectorized
+            )
+            sched.admit(Stream(1, obj))
+            report = sched.run_round()
+            assert report.requested == 0
+            assert report.served == 0
