@@ -68,6 +68,11 @@ QUICK_KWARGS: dict[str, dict] = {
     },
     "modern": {"num_blocks": 3_000},
     "chaos": {"num_objects": 3, "blocks_per_object": 150},
+    "soak": {
+        "ops_per_backend": 60,
+        "num_objects": 3,
+        "blocks_per_object": 60,
+    },
     "availability": {
         "num_objects": 3,
         "blocks_per_object": 120,
@@ -91,13 +96,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=[*EXPERIMENTS, "all", "report", "backends", "trace", "metrics"],
+        choices=[
+            *EXPERIMENTS, "all", "report", "backends", "trace", "metrics",
+            "budget",
+        ],
         help=(
             "which experiment to run; 'all' runs every one, 'report' "
             "emits a markdown results document to stdout, 'backends' "
             "lists the registered placement backends, 'trace' runs the "
             "availability experiment with structured tracing and prints "
-            "the event log, 'metrics' dumps its metric registry"
+            "the event log, 'metrics' dumps its metric registry, "
+            "'budget' tabulates the remaining Lemma 4.3 budget over a "
+            "growth scenario"
         ),
     )
     parser.add_argument(
@@ -144,6 +154,24 @@ def build_parser() -> argparse.ArgumentParser:
         default="prom",
         help="('metrics' only) output format (default: Prometheus text)",
     )
+    parser.add_argument(
+        "--eps",
+        type=float,
+        default=0.05,
+        help="('budget' only) unfairness tolerance epsilon (default 0.05)",
+    )
+    parser.add_argument(
+        "--bits",
+        type=int,
+        default=16,
+        help="('budget' only) random-number width b (default 16)",
+    )
+    parser.add_argument(
+        "--disks",
+        type=int,
+        default=4,
+        help="('budget' only) initial disk count N0 (default 4)",
+    )
     return parser
 
 
@@ -162,6 +190,49 @@ def render_backends() -> str:
             )
             for name, cls in BACKENDS.items()
         ],
+    )
+
+
+def render_budget(eps: float = 0.05, bits: int = 16, disks: int = 4) -> str:
+    """The ``scaddar budget`` view: watch Lemma 4.3's budget drain.
+
+    Simulates single-disk additions on an (empty) server with an
+    :class:`~repro.server.watchdog.ExhaustionWatchdog` attached and
+    tabulates the remaining operations and escalation level after each —
+    the operator's preview of when a deployment with these parameters
+    must reshuffle.
+    """
+    from repro.experiments.tables import format_table
+    from repro.core.operations import ScalingOp
+    from repro.server.cmserver import CMServer
+    from repro.server.objects import ObjectCatalog
+    from repro.server.watchdog import ExhaustionWatchdog, WatchdogConfig
+    from repro.storage.disk import DiskSpec
+
+    server = CMServer(
+        ObjectCatalog(bits=bits), [DiskSpec()] * disks, bits=bits
+    )
+    watchdog = ExhaustionWatchdog(server, WatchdogConfig(eps=eps))
+    rows = []
+    operations = 0
+    status = watchdog.status()
+    rows.append((operations, server.num_disks, status.remaining, status.level))
+    while not status.exhausted and operations < 64:
+        server.scale(ScalingOp.add(1))
+        operations += 1
+        status = watchdog.status()
+        rows.append(
+            (operations, server.num_disks, status.remaining, status.level)
+        )
+    table = format_table(
+        ("operation", "disks", "remaining ops", "level"), rows
+    )
+    return (
+        table
+        + f"\nb={bits} bits, N0={disks}, eps={eps}: the budget above is "
+        "Lemma 4.3's precondition (Pi_k <= R0*eps/(1+eps)); at level "
+        "'blocked' the next scale must be preceded by a full reshuffle "
+        "(scaddar reshuffle, or auto_reset=True on the watchdog)."
     )
 
 
@@ -286,6 +357,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if args.experiment == "metrics":
         print(render_metrics(quick=args.quick, seed=args.seed, fmt=args.format))
+        return 0
+    if args.experiment == "budget":
+        print(render_budget(eps=args.eps, bits=args.bits, disks=args.disks))
         return 0
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

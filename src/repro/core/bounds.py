@@ -109,6 +109,54 @@ def rule_of_thumb_max_operations(
     return max(math.floor(budget) - 1, -1)
 
 
+def remaining_operations(
+    r0: int,
+    pi: int,
+    n: int,
+    eps: Fraction | float,
+    group_size: int = 1,
+) -> int:
+    """How many further ``group_size``-disk additions Lemma 4.3 permits
+    from an arbitrary mid-life state (0 when the next one must reshuffle).
+
+    Parameters
+    ----------
+    r0:
+        Initial range size ``R_0`` (e.g. ``2**b``).
+    pi:
+        Current ``Pi_k = N_0 * ... * N_k`` (use ``n0`` for a fresh array).
+    n:
+        Current disk count ``N_k``.
+    eps:
+        Unfairness tolerance.
+    group_size:
+        Disks added per future operation.
+
+    This is the watchdog's core question — "how much budget is left?" —
+    factored out of :class:`~repro.core.scaddar.ScaddarMapper` so it can
+    be asked of any backend state without a live mapper.
+    """
+    if pi <= 0:
+        raise ValueError(f"Pi_k must be >= 1, got {pi}")
+    if n <= 0:
+        raise ValueError(f"disk count must be >= 1, got {n}")
+    if group_size <= 0:
+        raise ValueError(f"group size must be >= 1, got {group_size}")
+    tolerance = Fraction(eps)
+    if tolerance <= 0:
+        raise ValueError(f"eps must be > 0, got {eps}")
+    limit = Fraction(r0) * tolerance / (1 + tolerance)
+    if pi > limit:
+        return 0
+    allowed = 0
+    while True:
+        n += group_size
+        if pi * n > limit:
+            return allowed
+        pi *= n
+        allowed += 1
+
+
 def exact_max_operations(
     r0: int, n0: int, eps: Fraction | float, group_size: int = 1
 ) -> int:

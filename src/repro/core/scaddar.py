@@ -22,7 +22,11 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Hashable, Optional
 
-from repro.core.bounds import lemma_43_allows, unfairness_upper_bound
+from repro.core.bounds import (
+    lemma_43_allows,
+    remaining_operations,
+    unfairness_upper_bound,
+)
 from repro.core.errors import RandomnessExhaustedError
 from repro.core.operations import OperationLog, ScalingOp
 from repro.core.remap import (
@@ -264,21 +268,13 @@ class ScaddarMapper:
     def remaining_operations(self, eps: float, group_size: int = 1) -> int:
         """How many further ``group_size``-disk additions Lemma 4.3 still
         permits at tolerance ``eps`` (0 when the next one must reshuffle)."""
-        tolerance = Fraction(eps)
-        limit = Fraction(self.range_size) * tolerance / (1 + tolerance)
-        pi = self.log.product_n()
-        n = self.current_disks
-        allowed = 0
-        if pi > limit:
-            return 0
-        while True:
-            n += group_size
-            if pi * n > limit:
-                return allowed
-            pi *= n
-            allowed += 1
-            if allowed > self.bits:  # range halves at least once per op
-                return allowed
+        return remaining_operations(
+            self.range_size,
+            self.log.product_n(),
+            self.current_disks,
+            Fraction(eps),
+            group_size=group_size,
+        )
 
     # ------------------------------------------------------------------
     # Internals

@@ -29,6 +29,7 @@ module                paper artifact
 ``modern``            extension: vs consistent/jump hashing
 ``chaos_scaling``     robustness: scaling under injected faults
 ``availability``      robustness: serving through disk death
+``soak``              robustness: long-horizon lifecycle soak
 ====================  ==========================================
 """
 
@@ -51,6 +52,7 @@ from repro.experiments import (
     removal_patterns,
     reshuffle_cost,
     rule_of_thumb,
+    soak,
     stream_balance,
     uniformity,
 )
@@ -77,6 +79,7 @@ EXPERIMENTS = {
     "modern": modern,
     "chaos": chaos_scaling,
     "availability": availability,
+    "soak": soak,
 }
 
 __all__ = ["EXPERIMENTS"]

@@ -48,12 +48,21 @@ from repro.storage.migration import MigrationSession
 from repro.workloads.generator import uniform_catalog
 
 
-def comparison_schedule() -> list[ScalingOp]:
+def comparison_schedule(backend_name: str = "scaddar") -> list[ScalingOp]:
     """Growth, one mid-life tail removal, further growth.
 
     The removal targets the last disk so jump hash (tail-only removals)
     can run the same schedule as the arbitrary-removal backends.
+    Sequential checking is reallocation-free and adds-only, so its
+    schedule replaces the removal with an equal-length growth step.
     """
+    if backend_name == "sequential_checking":
+        return [
+            ScalingOp.add(2),
+            ScalingOp.add(2),
+            ScalingOp.add(1),
+            ScalingOp.add(3),
+        ]
     return [
         ScalingOp.add(2),
         ScalingOp.add(2),
@@ -101,7 +110,7 @@ def _run_backend(
     )
     blocks_before = server.total_blocks
 
-    schedule = comparison_schedule()
+    schedule = comparison_schedule(backend_name)
     reports: list[ScaleReport] = [server.scale(op) for op in schedule[:-1]]
 
     # Snapshot at the last quiescent point, then crash mid-way through

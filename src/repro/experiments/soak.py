@@ -1,0 +1,353 @@
+"""Experiment SOAK: the full lifecycle, thousands of ops, every backend.
+
+The other robustness experiments each stress one seam (a crash, a disk
+death, one faulty migration).  Real deployments hit all of them, in
+arbitrary order, for years.  This experiment compresses that lifetime:
+for every registered backend it drives one server through a long
+randomized mix of
+
+* **serve** rounds (streams playing; conservation is asserted on every
+  round: ``requested == served + hiccups + queued``),
+* **scale** operations run online under fault injection (transient
+  transfer errors retry with bounded backoff; every backend gets only
+  operations it supports — adds-only for sequential checking, tail
+  removals for jump hash),
+* **ingest** of new objects and **removal** of old ones,
+* **crash/resume** cycles (snapshot + journal, process dropped
+  mid-migration — or mid-*reshuffle* for SCADDAR — and resumed),
+* **reshuffles**, both explicit and automatic: the SCADDAR server runs
+  with an :class:`~repro.server.watchdog.ExhaustionWatchdog` in
+  ``auto_reset`` mode and a deliberately small bit width, so the
+  Lemma 4.3 budget genuinely runs out mid-soak and the full
+  redistribution path runs as part of ordinary operation.
+
+Every phase's randomness derives from one master seed through
+:func:`~repro.server.faults.derive_seed`, so the whole soak — action
+mix, fault schedules, crash points — is bit-reproducible while the
+streams stay decorrelated.
+
+The acceptance bar, per backend: zero blocks lost over the whole run,
+conservation holding on every served round, and a clean ``fsck`` at the
+end.  The final CoV is recorded (not asserted here): sequential
+checking's fairness decays by design, which is exactly the trade the
+paper's reshuffle exists to avoid.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.analysis.stats import coefficient_of_variation
+from repro.core.operations import ScalingOp
+from repro.experiments.tables import format_table
+from repro.placement.backends import BACKENDS
+from repro.server.cmserver import CMServer
+from repro.server.faults import FaultInjector, derive_seed
+from repro.server.fsck import check_layout
+from repro.server.ingest import IngestSession
+from repro.server.journal import ScalingJournal
+from repro.server.online import OnlineScaler
+from repro.server.persistence import resume_server, snapshot_server
+from repro.server.scheduler import RoundScheduler
+from repro.server.streams import Stream
+from repro.server.watchdog import ExhaustionWatchdog, WatchdogConfig
+from repro.storage.disk import DiskSpec
+from repro.storage.migration import MigrationSession
+from repro.workloads.generator import uniform_catalog
+
+#: Ceiling on the disk count before the mix prefers removals (keeps the
+#: array size — and the run time — bounded over thousands of ops).
+_MAX_DISKS = 12
+
+
+@dataclass(frozen=True)
+class SoakResult:
+    """One backend's lifetime score card."""
+
+    backend: str
+    ops: int
+    serve_rounds: int
+    scale_ops: int
+    ingests: int
+    object_removals: int
+    crash_resumes: int
+    reshuffles: int
+    #: Reshuffles the watchdog ran on its own (budget exhaustion).
+    auto_resets: int
+    #: Blocks moved by migrations + reshuffles over the whole run.
+    lifetime_moves: int
+    transient_faults: int
+    hiccups: int
+    final_cov: float
+    blocks_lost: int
+    conservation_ok: bool
+    layout_clean: bool
+
+    @property
+    def survived(self) -> bool:
+        """The headline claim: a lifetime of churn, nothing lost."""
+        return (
+            self.blocks_lost == 0
+            and self.conservation_ok
+            and self.layout_clean
+        )
+
+
+def _supported_scale_op(
+    name: str, rng: random.Random, num_disks: int, n0: int
+) -> ScalingOp:
+    """A scaling operation this backend can run at this disk count."""
+    can_remove = name != "sequential_checking" and num_disks > n0
+    grow = num_disks < _MAX_DISKS and (not can_remove or rng.random() < 0.6)
+    if grow or not can_remove:
+        return ScalingOp.add(rng.choice((1, 1, 2)))
+    if name == "jump_hash":
+        return ScalingOp.remove([num_disks - 1])  # tail-only
+    return ScalingOp.remove([rng.randrange(num_disks)])
+
+
+def _admit_streams(server: CMServer, scheduler: RoundScheduler) -> None:
+    for media in server.catalog:
+        if media.num_blocks == 0:
+            continue
+        scheduler.admit(
+            Stream(
+                media.object_id,
+                media,
+                start_block=(media.object_id * 131) % media.num_blocks,
+            )
+        )
+
+
+def _run_backend(
+    name: str,
+    phase_seed: int,
+    ops: int,
+    n0: int,
+    num_objects: int,
+    blocks_per_object: int,
+    bits: int,
+    eps: float,
+    fault_rate: float,
+    slow_rate: float,
+    master_seed: int,
+) -> SoakResult:
+    """Drive one backend through the full randomized lifecycle."""
+    rng = random.Random(derive_seed(phase_seed, 0))
+    catalog = uniform_catalog(
+        num_objects, blocks_per_object, master_seed=master_seed, bits=bits
+    )
+    spec = DiskSpec(capacity_blocks=200_000, bandwidth_blocks_per_round=16)
+    journal = ScalingJournal()
+    server = CMServer(
+        catalog, [spec] * n0, bits=bits, default_spec=spec,
+        journal=journal, backend=name,
+    )
+    config = WatchdogConfig(eps=eps, auto_reset=True)
+    watchdog = ExhaustionWatchdog(server, config)
+    server.attach_watchdog(watchdog)
+    scheduler = RoundScheduler(server.array)
+    _admit_streams(server, scheduler)
+
+    blocks_expected = server.total_blocks
+    conservation_ok = True
+    serve_rounds = scale_ops = ingests = object_removals = 0
+    crash_resumes = lifetime_moves = transient_faults = hiccups = 0
+    auto_resets = next_ingest = 0
+    reshufflable = name == "scaddar"
+
+    for i in range(ops):
+        roll = rng.random()
+        if roll < 0.18 and server.num_disks < _MAX_DISKS * 2:
+            # --- scale online under fault injection -------------------
+            op = _supported_scale_op(name, rng, server.num_disks, n0)
+            injector = FaultInjector(
+                seed=derive_seed(phase_seed, 1_000 + i),
+                transient_rate=fault_rate,
+                slow_rate=slow_rate,
+            )
+            report = OnlineScaler(server, scheduler).scale_online(
+                op, injector=injector
+            )
+            scale_ops += 1
+            lifetime_moves += report.blocks_moved
+            transient_faults += injector.stats.transient_faults
+            hiccups += report.hiccups
+        elif roll < 0.26:
+            # --- ingest a new object ----------------------------------
+            size = rng.randrange(20, 60)
+            session = IngestSession(server, f"soak-{next_ingest}", size)
+            next_ingest += 1
+            while not session.done:
+                session.step(10_000)
+            blocks_expected += size
+            ingests += 1
+        elif roll < 0.32 and next_ingest > object_removals:
+            # --- retire the oldest soak-ingested object ---------------
+            for media in server.catalog:
+                if media.name == f"soak-{object_removals}":
+                    blocks_expected -= media.num_blocks
+                    server.remove_object(media.object_id)
+                    object_removals += 1
+                    scheduler = RoundScheduler(server.array)
+                    _admit_streams(server, scheduler)
+                    break
+        elif roll < 0.38:
+            # --- crash mid-operation, resume from snapshot + journal --
+            snapshot = snapshot_server(server)
+            crash_reshuffle = reshufflable and rng.random() < 0.4
+            if crash_reshuffle:
+                pending = server.begin_reshuffle()
+            else:
+                op = _supported_scale_op(name, rng, server.num_disks, n0)
+                pending = server.begin_scale(op)
+            session = MigrationSession(
+                server.array, pending.plan,
+                journal=journal, op_seq=pending.op_seq,
+            )
+            if len(pending.plan):
+                session.step(
+                    len(pending.plan),
+                    max_moves=rng.randrange(len(pending.plan)) + 1,
+                )
+            del server, pending, session  # the crash
+            server, resumed, live = resume_server(snapshot, journal)
+            if live is not None:
+                while not live.done:
+                    live.step(10_000)
+                if crash_reshuffle:
+                    server.finish_reshuffle(resumed)
+                else:
+                    server.finish_scale(resumed)
+                lifetime_moves += len(resumed.plan)
+                if not crash_reshuffle:
+                    scale_ops += 1
+            auto_resets += watchdog.auto_resets  # lifetime count survives
+            watchdog = ExhaustionWatchdog(server, config)
+            server.attach_watchdog(watchdog)
+            scheduler = RoundScheduler(server.array)
+            _admit_streams(server, scheduler)
+            crash_resumes += 1
+        elif roll < 0.42 and reshufflable:
+            # --- explicit full redistribution -------------------------
+            lifetime_moves += server.reshuffle()
+        else:
+            # --- serve one round --------------------------------------
+            report = scheduler.run_round()
+            serve_rounds += 1
+            hiccups += report.hiccups
+            conservation_ok &= (
+                report.requested
+                == report.served + report.hiccups + report.queued
+            )
+
+    audit = check_layout(server)
+    return SoakResult(
+        backend=name,
+        ops=ops,
+        serve_rounds=serve_rounds,
+        scale_ops=scale_ops,
+        ingests=ingests,
+        object_removals=object_removals,
+        crash_resumes=crash_resumes,
+        reshuffles=server.reshuffles,
+        auto_resets=auto_resets + watchdog.auto_resets,
+        lifetime_moves=lifetime_moves,
+        transient_faults=transient_faults,
+        hiccups=hiccups,
+        final_cov=coefficient_of_variation(server.load_vector()),
+        blocks_lost=blocks_expected - server.total_blocks,
+        conservation_ok=conservation_ok,
+        layout_clean=audit.clean,
+    )
+
+
+def run_soak(
+    ops_per_backend: int = 400,
+    n0: int = 4,
+    num_objects: int = 4,
+    blocks_per_object: int = 150,
+    bits: int = 16,
+    eps: float = 0.05,
+    fault_rate: float = 0.12,
+    slow_rate: float = 0.03,
+    seed: int = 0x50AC,
+) -> list[SoakResult]:
+    """Soak every registered backend; each must survive its lifetime.
+
+    ``bits=16`` with ``eps=0.05`` keeps SCADDAR's Lemma 4.3 budget at a
+    handful of operations, so a soak of any length forces multiple
+    automatic resets — the watchdog's auto-reshuffle path runs for real,
+    not as a contrived unit test.
+    """
+    return [
+        _run_backend(
+            name,
+            phase_seed=derive_seed(seed, index),
+            ops=ops_per_backend,
+            n0=n0,
+            num_objects=num_objects,
+            blocks_per_object=blocks_per_object,
+            bits=bits,
+            eps=eps,
+            fault_rate=fault_rate,
+            slow_rate=slow_rate,
+            master_seed=seed,
+        )
+        for index, name in enumerate(BACKENDS)
+    ]
+
+
+def report(results: list[SoakResult] | None = None) -> str:
+    """Render the lifetime score card."""
+    results = results if results is not None else run_soak()
+    table = format_table(
+        (
+            "backend",
+            "ops",
+            "serve",
+            "scales",
+            "ingests",
+            "crashes",
+            "reshuffles",
+            "auto resets",
+            "moves",
+            "faults",
+            "final CoV",
+            "blocks lost",
+            "conserved",
+            "fsck clean",
+        ),
+        [
+            (
+                r.backend,
+                r.ops,
+                r.serve_rounds,
+                r.scale_ops,
+                r.ingests,
+                r.crash_resumes,
+                r.reshuffles,
+                r.auto_resets,
+                r.lifetime_moves,
+                r.transient_faults,
+                r.final_cov,
+                r.blocks_lost,
+                "yes" if r.conservation_ok else "NO",
+                "yes" if r.layout_clean else "NO",
+            )
+            for r in results
+        ],
+    )
+    survived = all(r.survived for r in results)
+    return (
+        table
+        + "\neach row is one server's whole lifetime: thousands of mixed "
+        "ops (serve/scale/ingest/crash/reshuffle) under >=10% fault "
+        "injection, zero data loss required"
+        + ("" if survived else "\n*** LIFECYCLE DATA LOSS DETECTED ***")
+    )
+
+
+#: Uniform entry point used by the CLI (`scaddar <name>`).
+run = run_soak

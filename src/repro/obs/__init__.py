@@ -22,6 +22,7 @@ from repro.obs.facade import NULL_OBS, NullObs, Obs, ObsHandle
 from repro.obs.registry import (
     DEFAULT_BUCKETS,
     Counter,
+    Gauge,
     Histogram,
     MetricsRegistry,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "Counter",
     "Event",
     "EventLog",
+    "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NullObs",

@@ -18,7 +18,13 @@ import json
 import re
 from typing import Any
 
-from repro.obs.registry import Counter, Histogram, LabelKey, MetricsRegistry
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    LabelKey,
+    MetricsRegistry,
+)
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
 
@@ -57,6 +63,18 @@ def _counter_lines(counter: Counter) -> list[str]:
     return lines
 
 
+def _gauge_lines(gauge: Gauge) -> list[str]:
+    name = sanitize_name(gauge.name)
+    lines = []
+    if gauge.help:
+        lines.append(f"# HELP {name} {gauge.help}")
+    lines.append(f"# TYPE {name} gauge")
+    for key in sorted(gauge.series):
+        value = gauge.series[key]
+        lines.append(f"{name}{_format_labels(key)} {_format_value(value)}")
+    return lines
+
+
 def _histogram_lines(hist: Histogram) -> list[str]:
     name = sanitize_name(hist.name)
     lines = []
@@ -83,6 +101,8 @@ def to_prometheus(registry: MetricsRegistry) -> str:
     lines: list[str] = []
     for counter in registry.counters:
         lines.extend(_counter_lines(counter))
+    for gauge in registry.gauges:
+        lines.extend(_gauge_lines(gauge))
     for hist in registry.histograms:
         lines.extend(_histogram_lines(hist))
     return "\n".join(lines) + ("\n" if lines else "")
@@ -105,6 +125,17 @@ def to_json(registry: MetricsRegistry) -> dict[str, Any]:
         }
         for counter in registry.counters
     ]
+    gauges = [
+        {
+            "name": gauge.name,
+            "help": gauge.help,
+            "series": [
+                {"labels": _labels_dict(key), "value": value}
+                for key, value in sorted(gauge.series.items())
+            ],
+        }
+        for gauge in registry.gauges
+    ]
     histograms = [
         {
             "name": hist.name,
@@ -124,7 +155,7 @@ def to_json(registry: MetricsRegistry) -> dict[str, Any]:
         }
         for hist in registry.histograms
     ]
-    return {"counters": counters, "histograms": histograms}
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}
 
 
 def to_json_text(registry: MetricsRegistry, indent: int = 2) -> str:

@@ -74,6 +74,9 @@ class NullObs:
     def inc(self, name: str, amount: float = 1, /, **labels: Any) -> None:
         return None
 
+    def set_gauge(self, name: str, value: float, /, **labels: Any) -> None:
+        return None
+
     def observe(self, name: str, value: float, /, **labels: Any) -> None:
         return None
 
@@ -81,7 +84,7 @@ class NullObs:
         return ""
 
     def json_snapshot(self) -> dict[str, Any]:
-        return {"counters": [], "histograms": []}
+        return {"counters": [], "gauges": [], "histograms": []}
 
     def write_events(self, path: Union[str, Path, None] = None) -> str:
         return ""
@@ -170,6 +173,10 @@ class Obs:
     def inc(self, name: str, amount: float = 1, /, **labels: Any) -> None:
         """Increment the named counter."""
         self.registry.counter(name).inc(amount, **labels)
+
+    def set_gauge(self, name: str, value: float, /, **labels: Any) -> None:
+        """Overwrite the named gauge's labelled series."""
+        self.registry.gauge(name).set(value, **labels)
 
     def observe(self, name: str, value: float, /, **labels: Any) -> None:
         """Record one observation into the named histogram."""

@@ -70,6 +70,37 @@ class Counter:
         return f"Counter({self.name!r}, total={self.total})"
 
 
+class Gauge:
+    """A point-in-time metric family (goes up *and* down).
+
+    Same label semantics as :class:`Counter`, but ``set`` overwrites the
+    series instead of accumulating — the shape for "remaining budget",
+    "disks alive", "queue depth".  A series that was never set reads as
+    ``None`` (distinct from a gauge legitimately sitting at 0).
+    """
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._values: dict[LabelKey, float] = {}
+
+    def set(self, value: float, /, **labels: Any) -> None:
+        """Overwrite the labelled series with ``value``."""
+        self._values[_label_key(labels)] = value
+
+    def value(self, **labels: Any) -> Optional[float]:
+        """Current value of one labelled series (None if never set)."""
+        return self._values.get(_label_key(labels))
+
+    @property
+    def series(self) -> dict[LabelKey, float]:
+        """Every labelled series, keyed by sorted label pairs."""
+        return dict(self._values)
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, series={len(self._values)})"
+
+
 class _HistogramSeries:
     """Accumulated distribution of one label combination."""
 
@@ -167,6 +198,7 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
 
     def counter(self, name: str, help: str = "") -> Counter:
@@ -175,6 +207,14 @@ class MetricsRegistry:
         if metric is None:
             metric = Counter(name, help)
             self._counters[name] = metric
+        return metric
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """The gauge of that name (created on first touch)."""
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = Gauge(name, help)
+            self._gauges[name] = metric
         return metric
 
     def histogram(
@@ -196,6 +236,11 @@ class MetricsRegistry:
         return [self._counters[k] for k in sorted(self._counters)]
 
     @property
+    def gauges(self) -> list[Gauge]:
+        """All gauges, sorted by name."""
+        return [self._gauges[k] for k in sorted(self._gauges)]
+
+    @property
     def histograms(self) -> list[Histogram]:
         """All histograms, sorted by name."""
         return [self._histograms[k] for k in sorted(self._histograms)]
@@ -203,5 +248,6 @@ class MetricsRegistry:
     def __repr__(self) -> str:
         return (
             f"MetricsRegistry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, "
             f"histograms={len(self._histograms)})"
         )

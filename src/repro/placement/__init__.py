@@ -46,6 +46,7 @@ from repro.placement.extendible import ExtendibleHashingPolicy
 from repro.placement.jump_hash import JumpHashPolicy, jump_hash
 from repro.placement.pseudo_random import NaivePolicy, ScaddarPolicy
 from repro.placement.round_robin import RoundRobinPolicy
+from repro.placement.sequential_checking import SequentialCheckingPolicy
 from repro.placement.straw import StrawPolicy, straw_length
 from repro.placement.weighted_straw import WeightedStrawPool
 
@@ -78,6 +79,7 @@ __all__ = [
     "RoundRobinPolicy",
     "ScaddarBackend",
     "ScaddarPolicy",
+    "SequentialCheckingPolicy",
     "StrawPolicy",
     "UnknownBackendError",
     "WeightedStrawPool",

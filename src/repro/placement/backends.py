@@ -18,7 +18,8 @@ policy, not just SCADDAR.  This module provides:
   backend comes to life (fresh, or restored from a snapshot).
 
 Registered backends besides SCADDAR: the jump-consistent-hash and
-vnode-ring comparators and the Appendix A directory baseline.  Every
+vnode-ring comparators, the Appendix A directory baseline, and the
+reallocation-free sequential-checking scheme (arXiv 1707.00904).  Every
 future policy (weighted/heterogeneous, replication-aware) plugs in by
 implementing the backend API and registering here.
 """
@@ -37,6 +38,7 @@ from repro.placement.consistent_hash import ConsistentHashPolicy
 from repro.placement.directory import DirectoryPolicy
 from repro.placement.jump_hash import JumpHashPolicy
 from repro.placement.pseudo_random import ScaddarPolicy
+from repro.placement.sequential_checking import SequentialCheckingPolicy
 from repro.storage.block import BlockId
 
 
@@ -89,6 +91,9 @@ class ScaddarBackend(ScaddarPolicy):
     def needs_reshuffle(self, eps: float) -> bool:
         return self.mapper.needs_reshuffle(eps)
 
+    def budget_remaining(self, eps: float, group_size: int = 1) -> Optional[int]:
+        return self.mapper.remaining_operations(eps, group_size=group_size)
+
 
 #: Backend name -> policy class.  Keys are the names recorded in
 #: snapshots, accepted by ``CMServer(backend=...)``, and listed by the
@@ -98,6 +103,7 @@ BACKENDS: dict[str, type[PlacementPolicy]] = {
     JumpHashPolicy.name: JumpHashPolicy,
     ConsistentHashPolicy.name: ConsistentHashPolicy,
     DirectoryPolicy.name: DirectoryPolicy,
+    SequentialCheckingPolicy.name: SequentialCheckingPolicy,
 }
 
 

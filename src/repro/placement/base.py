@@ -113,6 +113,17 @@ class PlacementPolicy(ABC):
         Default: policies without a budget accept every operation.
         """
 
+    def budget_remaining(self, eps: float, group_size: int = 1) -> Optional[int]:
+        """How many further scaling operations the policy's fairness
+        budget permits at tolerance ``eps``.
+
+        ``None`` means unlimited — the policy has no consumable budget
+        (hash rings, the directory).  Policies with one (SCADDAR's
+        Lemma 4.3) return the exact remaining count; 0 means the next
+        operation must be preceded by a full reshuffle.
+        """
+        return None
+
     def attach_obs(self, obs) -> None:
         """Attach an observability handle (:class:`repro.obs.Obs`).
 

@@ -11,7 +11,13 @@ from repro.server.admission import (
     StatisticalAdmission,
     UtilizationAdmission,
 )
-from repro.server.cmserver import CMServer, PendingScale, ScaleReport
+from repro.server.cmserver import (
+    CMServer,
+    OperationInFlightError,
+    PendingReshuffle,
+    PendingScale,
+    ScaleReport,
+)
 from repro.server.faults import (
     DataLossError,
     DiskDeathError,
@@ -42,6 +48,7 @@ from repro.server.ingest import IngestReport, IngestSession
 from repro.server.journal import (
     JournalError,
     OpJournalRecord,
+    ReshuffleOp,
     ScalingJournal,
 )
 from repro.server.metrics import MetricsCollector, MetricsSummary
@@ -64,9 +71,17 @@ from repro.server.persistence import (
 from repro.server.scheduler import RoundReport, RoundScheduler
 from repro.server.simulation import DaySummary, ServerSimulation
 from repro.server.streams import Stream, StreamState
+from repro.server.watchdog import (
+    BudgetExhaustedError,
+    BudgetStatus,
+    ExhaustionWatchdog,
+    WatchdogConfig,
+)
 
 __all__ = [
     "AggregateAdmission",
+    "BudgetExhaustedError",
+    "BudgetStatus",
     "CMServer",
     "CapacityPlan",
     "CircuitBreaker",
@@ -87,6 +102,7 @@ __all__ = [
     "derive_seed",
     "GrowthForecast",
     "DaySummary",
+    "ExhaustionWatchdog",
     "FaultInjector",
     "IngestReport",
     "JournalError",
@@ -100,10 +116,13 @@ __all__ = [
     "OnlineScaleReport",
     "OnlineScaler",
     "OpJournalRecord",
+    "OperationInFlightError",
     "ParityLayout",
     "ParityPlacement",
+    "PendingReshuffle",
     "PendingScale",
     "RecoveryReport",
+    "ReshuffleOp",
     "RoundReport",
     "RoundScheduler",
     "ScaleReport",
@@ -114,6 +133,7 @@ __all__ = [
     "StreamState",
     "TransientTransferError",
     "UtilizationAdmission",
+    "WatchdogConfig",
     "check_layout",
     "escalate_disk_death",
     "minimum_bits",

@@ -38,7 +38,7 @@ from repro.core.operations import ScalingOp
 from repro.core.scaddar import ScaddarMapper
 from repro.placement.backends import ScaddarBackend, make_backend
 from repro.placement.base import PlacementPolicy
-from repro.server.journal import LogicalMove, ScalingJournal
+from repro.server.journal import LogicalMove, ReshuffleOp, ScalingJournal
 from repro.server.objects import MediaObject, ObjectCatalog
 from repro.storage.array import DiskArray
 from repro.storage.block import Block, BlockId
@@ -53,6 +53,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.obs import ObsHandle
     from repro.server.faults import MirroredPlacement
     from repro.server.locate import BackendBatchLocator
+    from repro.server.watchdog import ExhaustionWatchdog
 
 
 @dataclass
@@ -85,6 +86,11 @@ class ScaleReport:
         return float(self.optimal_fraction) / moved
 
 
+class OperationInFlightError(RuntimeError):
+    """Raised when an operation cannot start because another scaling
+    operation or reshuffle is still in flight on this server."""
+
+
 @dataclass
 class PendingScale:
     """A begun-but-not-finished scaling operation.
@@ -105,6 +111,31 @@ class PendingScale:
     #: Backend state captured before the operation (abort restores it).
     rollback_payload: Optional[dict] = field(default=None, repr=False)
     _finished: bool = field(default=False, repr=False)
+
+
+@dataclass
+class PendingReshuffle:
+    """A begun-but-not-finished full redistribution.
+
+    The backend and catalog already reflect the fresh-seeds era; the
+    caller owns executing ``plan`` (at whatever pace — the online path
+    interleaves it with serving rounds) and then calling
+    :meth:`CMServer.finish_reshuffle`.
+    """
+
+    #: 1-based reshuffle count once this reset commits.
+    epoch: int
+    #: Disk count (unchanged by a reshuffle).
+    n_disks: int
+    plan: MigrationPlan
+    #: Journal correlation key — reshuffle seqs are their own space.
+    op_seq: int = 0
+    _finished: bool = field(default=False, repr=False)
+
+    @property
+    def op(self) -> ReshuffleOp:
+        """The journal-facing operation record."""
+        return ReshuffleOp(epoch=self.epoch)
 
 
 class CMServer:
@@ -176,6 +207,8 @@ class CMServer:
             journal.attach_obs(self.obs)
         self._x0: dict[BlockId, int] = {}
         self.reshuffles = 0
+        self._in_flight: Union[PendingScale, PendingReshuffle, None] = None
+        self.watchdog: Optional["ExhaustionWatchdog"] = None
         for media in catalog:
             self._load_blocks(media)
 
@@ -211,6 +244,8 @@ class CMServer:
         server.obs = NULL_OBS
         server._x0 = {}
         server.reshuffles = 0
+        server._in_flight = None
+        server.watchdog = None
         for media in catalog:
             server._load_blocks(media)
         return server
@@ -454,7 +489,18 @@ class CMServer:
 
         For removals the doomed disks stay attached (and readable) until
         :meth:`finish_scale`; their blocks drain via the plan.
+
+        When an exhaustion watchdog is attached
+        (:meth:`attach_watchdog`), it vets the operation first — warning,
+        refusing, or auto-reshuffling per its thresholds.
         """
+        if isinstance(self._in_flight, PendingReshuffle):
+            raise OperationInFlightError(
+                f"reshuffle epoch={self._in_flight.epoch} is still in "
+                "flight; finish it before scaling"
+            )
+        if self.watchdog is not None:
+            self.watchdog.before_scale(op)
         with self.obs.span("scale.plan", kind=op.kind, count=op.count):
             pending = self._begin_scale(op, specs, eps)
         if self.obs.enabled:
@@ -520,6 +566,7 @@ class CMServer:
             op_seq=self.backend.num_operations,
             rollback_payload=rollback_payload,
         )
+        self._in_flight = pending
         if self.journal is not None:
             # Logical endpoints (pre-detach indexing) — physical ids are
             # process-local and would not survive a restart.
@@ -548,6 +595,8 @@ class CMServer:
             if pending.op.kind == "remove":
                 self.array.remove_group(pending.op.removed)
             pending._finished = True
+            if self._in_flight is pending:
+                self._in_flight = None
             if self.journal is not None:
                 self.journal.record_commit(pending.op_seq)
         if self.obs.enabled:
@@ -600,6 +649,8 @@ class CMServer:
             )
             self.backend.attach_obs(self.obs)
             pending._finished = True
+            if self._in_flight is pending:
+                self._in_flight = None
             if self.journal is not None:
                 self.journal.record_abort(pending.op_seq)
         if self.obs.enabled:
@@ -636,10 +687,59 @@ class CMServer:
         blocks replaced by their new placement.  Returns blocks moved.
 
         This is the paper's recommended action once Lemma 4.3's budget is
-        exhausted; afterwards the operation budget is reset.  Raises
+        exhausted; afterwards the operation budget is reset.  Routed
+        through the journaled path (:meth:`begin_reshuffle` /
+        :meth:`finish_reshuffle`), so with a journal attached a crash at
+        any move index resumes cleanly; the moves themselves execute
+        immediately (the offline path).  Raises
         :class:`~repro.core.errors.UnsupportedOperationError` for
-        backends without a reshuffle lifecycle.
+        backends without a reshuffle lifecycle and
+        :class:`OperationInFlightError` when a migration is in flight
+        (the historical bug: resetting seeds mid-migration corrupted the
+        half-moved layout).
         """
+        pending = self.begin_reshuffle()
+        session = MigrationSession(
+            self.array,
+            pending.plan,
+            journal=self.journal,
+            op_seq=pending.op_seq,
+            obs=self.obs,
+        )
+        with self.obs.span(
+            "reshuffle.apply", epoch=pending.epoch, moves=len(pending.plan)
+        ):
+            while not session.done:
+                session.step(len(pending.plan))
+        self.finish_reshuffle(pending)
+        return len(pending.plan)
+
+    def begin_reshuffle(self) -> PendingReshuffle:
+        """Start a full redistribution without moving data.
+
+        Resets the backend and re-seeds every object (the fresh-seeds
+        era), computes the complete move plan to the new placement, and
+        journals the intent — the caller executes the plan (at whatever
+        pace) and calls :meth:`finish_reshuffle`.  Serving continues
+        throughout: the array inventory still answers old locations for
+        blocks whose move has not landed, exactly as mid-migration.
+
+        Raises
+        ------
+        OperationInFlightError
+            When a scaling operation or another reshuffle is in flight —
+            the reset would re-seed objects whose blocks are half-moved.
+        UnsupportedOperationError
+            For backends without a reshuffle lifecycle (raised before
+            any state is touched).
+        """
+        if self._in_flight is not None:
+            raise OperationInFlightError(
+                f"cannot reshuffle: {type(self._in_flight).__name__} "
+                "is still in flight; finish or abort it first"
+            )
+        # Backend first: refuses (pre-mutation) for non-reshufflable
+        # policies, so catalog seeds are never touched on the error path.
         self.backend.reshuffle()
         self.catalog.reseed_all()
         self._x0.clear()
@@ -656,14 +756,66 @@ class CMServer:
             else None
         )
         disks = self.backend.locate_batch(ids, x0s).tolist()
-        table = self.array.physical_ids
-        moved = 0
-        for block, disk in zip(blocks, disks):
+        for block in blocks:
             self._x0[block.block_id] = block.x0
-            if self.array.move(block.block_id, table[disk]):
-                moved += 1
+        table = list(self.array.physical_ids)
+        plan = plan_physical_moves(
+            self.array,
+            (
+                (block.block_id, disk)
+                for block, disk in zip(blocks, disks)
+            ),
+            table,
+        )
+        pending = PendingReshuffle(
+            epoch=self.reshuffles + 1,
+            n_disks=self.num_disks,
+            plan=plan,
+            op_seq=self.reshuffles + 1,
+        )
+        self._in_flight = pending
+        if self.journal is not None:
+            logical = {pid: i for i, pid in enumerate(table)}
+            self.journal.record_begin(
+                seq=pending.op_seq,
+                op=pending.op,
+                n_before=self.num_disks,
+                n_after=self.num_disks,
+                moves=[
+                    LogicalMove(
+                        block_id=m.block_id,
+                        source_logical=logical[m.source_physical],
+                        target_logical=logical[m.target_physical],
+                    )
+                    for m in plan.moves
+                ],
+            )
+        if self.obs.enabled:
+            self.obs.event(
+                "reshuffle.begin",
+                epoch=pending.epoch,
+                disks=self.num_disks,
+                moves=len(plan),
+            )
+        return pending
+
+    def finish_reshuffle(self, pending: PendingReshuffle) -> None:
+        """Complete a begun reshuffle: bump the epoch and journal commit."""
+        if pending._finished:
+            raise ValueError("this reshuffle was already finished")
+        pending._finished = True
         self.reshuffles += 1
-        return moved
+        if self._in_flight is pending:
+            self._in_flight = None
+        if self.journal is not None:
+            self.journal.record_commit(pending.op_seq)
+        if self.obs.enabled:
+            self.obs.event("reshuffle.commit", epoch=pending.epoch)
+
+    def attach_watchdog(self, watchdog: "ExhaustionWatchdog") -> None:
+        """Vet every future :meth:`begin_scale` through a budget watchdog
+        (:mod:`repro.server.watchdog`)."""
+        self.watchdog = watchdog
 
     def needs_reshuffle(self, eps: float) -> bool:
         """Whether the recorded operations already exceed tolerance."""

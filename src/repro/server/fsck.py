@@ -17,7 +17,7 @@ from collections.abc import Iterable
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.server.cmserver import CMServer, PendingScale
+from repro.server.cmserver import CMServer, PendingReshuffle, PendingScale
 from repro.storage.block import BlockId
 from repro.storage.migration import PhysicalMove
 
@@ -52,7 +52,9 @@ class LayoutReport:
 
 def check_layout(
     server: CMServer,
-    pending: Optional[PendingScale | Iterable[PhysicalMove]] = None,
+    pending: Optional[
+        PendingScale | PendingReshuffle | Iterable[PhysicalMove]
+    ] = None,
 ) -> LayoutReport:
     """Audit the server: catalog vs inventory vs computed locations.
 
@@ -70,9 +72,13 @@ def check_layout(
     :class:`~repro.server.cmserver.PendingScale` when one is available
     (required for mid-*removal* audits: the backend already indexes the
     survivors while the doomed disks are still attached, so expected
-    homes must be translated through the survivor table); a bare
-    iterable of moves suffices for additions.
+    homes must be translated through the survivor table); a
+    :class:`~repro.server.cmserver.PendingReshuffle` or a bare iterable
+    of moves suffices when no disks are leaving (reshuffles never change
+    the disk count).
     """
+    if isinstance(pending, PendingReshuffle):
+        pending = pending.plan.moves
     if isinstance(pending, PendingScale):
         moves: tuple[PhysicalMove, ...] = pending.plan.moves
         attached = list(server.array.physical_ids)

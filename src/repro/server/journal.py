@@ -16,6 +16,12 @@ operation, append-only JSON lines, O(moved blocks) per operation:
 * ``commit`` — written by :meth:`CMServer.finish_scale`;
 * ``abort`` — written by :meth:`CMServer.abort_scale` after rollback.
 
+Full redistributions journal through the same protocol under their own
+op kind (:class:`ReshuffleOp`): ``begin`` carries the reset's complete
+move plan, each landed move gets an ``apply``, and
+:meth:`CMServer.finish_reshuffle` writes the ``commit`` — so a crash at
+any move index of a reshuffle resumes exactly like a crashed scale.
+
 ``snapshot + journal`` is a complete recovery story:
 :func:`repro.server.persistence.resume_server` replays committed
 operations wholesale, skips aborted ones, and rebuilds the exact
@@ -43,6 +49,39 @@ from repro.storage.block import BlockId
 
 class JournalError(Exception):
     """Raised on journal corruption or protocol violations."""
+
+
+@dataclass(frozen=True)
+class ReshuffleOp:
+    """The journal's record of one full redistribution (reset).
+
+    A reshuffle is not a :class:`~repro.core.operations.ScalingOp` — it
+    changes no disk count and resets the backend's log instead of
+    appending to it — but it moves blocks and must survive a crash just
+    like a scale, so it journals through the same
+    begin/apply/commit protocol under its own op kind.
+
+    Attributes
+    ----------
+    epoch:
+        1-based count of reshuffles once this one commits; doubles as
+        the record's ``seq`` (reshuffle seq numbers live in their own
+        space — scaling seqs restart from 1 after each reset).
+    """
+
+    epoch: int
+    kind: str = field(default="reshuffle", init=False)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation."""
+        return {"kind": "reshuffle", "epoch": self.epoch}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ReshuffleOp":
+        """Inverse of :meth:`to_dict`."""
+        if data.get("kind") != "reshuffle":
+            raise ValueError(f"not a ReshuffleOp payload: {data!r}")
+        return cls(epoch=data["epoch"])
 
 
 @dataclass(frozen=True)
@@ -80,7 +119,7 @@ class OpJournalRecord:
     """
 
     seq: int
-    op: ScalingOp
+    op: "ScalingOp | ReshuffleOp"
     n_before: int
     n_after: int
     plan: tuple[LogicalMove, ...]
@@ -92,6 +131,11 @@ class OpJournalRecord:
     def open(self) -> bool:
         """Whether the operation is still in flight."""
         return not (self.committed or self.aborted)
+
+    @property
+    def is_reshuffle(self) -> bool:
+        """Whether this record journals a full redistribution."""
+        return isinstance(self.op, ReshuffleOp)
 
     @property
     def remaining(self) -> int:
@@ -143,7 +187,7 @@ class ScalingJournal:
     def record_begin(
         self,
         seq: int,
-        op: ScalingOp,
+        op: "ScalingOp | ReshuffleOp",
         n_before: int,
         n_after: int,
         moves: Iterable[LogicalMove],
@@ -236,10 +280,16 @@ class ScalingJournal:
         for lineno, entry in enumerate(raw, start=1):
             kind = entry.get("type")
             if kind == "begin":
+                op_data = entry["op"]
+                op: ScalingOp | ReshuffleOp = (
+                    ReshuffleOp.from_dict(op_data)
+                    if op_data.get("kind") == "reshuffle"
+                    else ScalingOp.from_dict(op_data)
+                )
                 records.append(
                     OpJournalRecord(
                         seq=entry["seq"],
-                        op=ScalingOp.from_dict(entry["op"]),
+                        op=op,
                         n_before=entry["n_before"],
                         n_after=entry["n_after"],
                         plan=tuple(

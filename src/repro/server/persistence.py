@@ -37,17 +37,25 @@ from repro.placement.backends import (
     UnknownBackendError,
     backend_from_payload,
 )
-from repro.server.cmserver import CMServer, PendingScale
-from repro.server.journal import JournalError, OpJournalRecord, ScalingJournal
+from repro.server.cmserver import CMServer, PendingReshuffle, PendingScale
+from repro.server.journal import (
+    JournalError,
+    OpJournalRecord,
+    ReshuffleOp,
+    ScalingJournal,
+)
 from repro.server.objects import MediaObject, ObjectCatalog
 from repro.storage.disk import DiskSpec
 from repro.storage.migration import MigrationPlan, MigrationSession
 
 #: Snapshot format version, bumped on incompatible layout changes.
-#: Version 3 records the placement backend (name + payload); version 2
+#: Version 4 records the catalog's seed epoch (so a restored server's
+#: *next* reshuffle derives the same seeds the crashed one would have);
+#: version 3 records the placement backend (name + payload); version 2
 #: added the explicit operation-count stamp and the journal pointer.
-#: Versions 1 and 2 are still read, always as SCADDAR.
-SNAPSHOT_VERSION = 3
+#: Versions 1..3 are still read (1/2 always as SCADDAR; 3 infers the
+#: seed epoch from the reshuffle count, which is how it advanced).
+SNAPSHOT_VERSION = 4
 
 
 class SnapshotError(ValueError):
@@ -72,6 +80,10 @@ def snapshot_server(server: CMServer) -> dict:
         "version": SNAPSHOT_VERSION,
         "bits": server.catalog.bits,
         "reshuffles": server.reshuffles,
+        # v4: the seed-derivation epoch — replaying a journaled reshuffle
+        # after restore must re-derive the exact seeds the crashed
+        # process derived.
+        "seed_epoch": server.catalog._seed_epoch,
         # Explicit op-count stamp (cross-checked on restore) and the
         # journal pointer, so an operator can find the records written
         # after this snapshot.
@@ -142,7 +154,7 @@ def restore_server(snapshot: dict | str) -> CMServer:
     """
     data = json.loads(snapshot) if isinstance(snapshot, str) else snapshot
     version = data.get("version")
-    if version not in (1, 2, SNAPSHOT_VERSION):
+    if version not in (1, 2, 3, SNAPSHOT_VERSION):
         raise SnapshotError(
             f"unsupported snapshot version {version!r}; "
             f"this build reads versions 1..{SNAPSHOT_VERSION}"
@@ -167,6 +179,9 @@ def restore_server(snapshot: dict | str) -> CMServer:
         family=catalog_data["family"],
         _objects=objects,
         _next_id=max(objects, default=-1) + 1,
+        # Pre-v4 snapshots: the epoch advanced exactly once per
+        # reshuffle (reseed_all's only caller), so the count infers it.
+        _seed_epoch=data.get("seed_epoch", data["reshuffles"]),
     )
 
     backend = _restore_backend(data, version)
@@ -230,7 +245,11 @@ def _restore_backend(data: dict, version: int):
 def resume_server(
     snapshot: dict | str,
     journal: ScalingJournal | str,
-) -> tuple[CMServer, Optional[PendingScale], Optional[MigrationSession]]:
+) -> tuple[
+    CMServer,
+    Optional[PendingScale | PendingReshuffle],
+    Optional[MigrationSession],
+]:
     """Rebuild the exact mid-migration state after a crash.
 
     The snapshot provides the last quiescent state; the journal provides
@@ -247,12 +266,23 @@ def resume_server(
       journaled ``apply`` records re-executed, and the remainder handed
       back as a live session.
 
+    Full redistributions (``reshuffle`` records) replay the same way:
+    seed derivation is a pure function of ``(master_seed, object_id,
+    seed_epoch)`` and the epoch rides in the snapshot, so re-beginning
+    the reshuffle re-derives the crashed process's exact plan — which is
+    then verified against the journaled one.  A committed reshuffle
+    resets the scaling seq space (the backend log restarts), so journal
+    records *older* than the snapshot's reshuffle count are skipped
+    wholesale.
+
     Returns ``(server, pending, session)`` — ``pending``/``session`` are
     ``None`` when the journal ends quiescent, otherwise the in-flight
-    operation and a session holding exactly the not-yet-landed moves
-    (execute it and call ``server.finish_scale(pending)`` to complete
-    the interrupted operation).  The journal is re-attached to the
-    returned server, so completion is journaled like any other scale.
+    operation (a :class:`PendingScale` or :class:`PendingReshuffle`) and
+    a session holding exactly the not-yet-landed moves (execute it and
+    call ``server.finish_scale(pending)`` /
+    ``server.finish_reshuffle(pending)`` to complete the interrupted
+    operation).  The journal is re-attached to the returned server, so
+    completion is journaled like any other operation.
 
     Raises
     ------
@@ -267,10 +297,53 @@ def resume_server(
     base_ops = server.backend.num_operations
     base_log = server.backend.log.operations
 
-    open_state: tuple[PendingScale, MigrationSession] | None = None
-    for record in journal.replay():
+    records = journal.replay()
+    # Everything up to and including the last reshuffle the snapshot
+    # already reflects is baked into the restored state (the scaling seq
+    # space restarted there): skip it wholesale.
+    start = 0
+    for i, record in enumerate(records):
+        if (
+            isinstance(record.op, ReshuffleOp)
+            and not record.aborted
+            and record.op.epoch <= server.reshuffles
+        ):
+            start = i + 1
+
+    open_state: (
+        tuple[PendingScale | PendingReshuffle, MigrationSession] | None
+    ) = None
+    for record in records[start:]:
         if record.aborted:
             continue  # begin + rollback = net nothing
+        if isinstance(record.op, ReshuffleOp):
+            if open_state is not None:
+                raise JournalError(
+                    "journal has records after an uncommitted operation"
+                )
+            if record.op.epoch != server.reshuffles + 1:
+                raise JournalError(
+                    f"journal reshuffle epoch={record.op.epoch} does not "
+                    f"follow the {server.reshuffles} reshuffles restored "
+                    "so far"
+                )
+            pending_r = server.begin_reshuffle()
+            by_block = {m.block_id: m for m in pending_r.plan.moves}
+            _verify_replayed_plan(server, record, by_block)
+            if record.committed:
+                for move in pending_r.plan.moves:
+                    server.array.move(move.block_id, move.target_physical)
+                server.finish_reshuffle(pending_r)
+                # The reset restarted the scaling seq space: subsequent
+                # scaling records replay against the fresh log.
+                base_ops = 0
+                base_log = server.backend.log.operations
+                continue
+            open_state = (
+                pending_r,
+                _session_for_remainder(server, journal, record, pending_r),
+            )
+            continue
         if record.seq <= base_ops:
             if base_log[record.seq - 1] != record.op:
                 raise JournalError(
@@ -296,25 +369,37 @@ def resume_server(
             server.finish_scale(pending)
             continue
         # Crash mid-migration: re-execute exactly the journaled moves.
-        applied = set()
-        for block_id in record.applied:
-            server.array.move(block_id, by_block[block_id].target_physical)
-            applied.add(block_id)
-        remaining = [
-            m for m in pending.plan.moves if m.block_id not in applied
-        ]
-        session = MigrationSession(
-            server.array,
-            MigrationPlan(moves=tuple(remaining)),
-            journal=journal,
-            op_seq=pending.op_seq,
+        open_state = (
+            pending,
+            _session_for_remainder(server, journal, record, pending),
         )
-        open_state = (pending, session)
 
     server.attach_journal(journal)
     if open_state is None:
         return server, None, None
     return server, open_state[0], open_state[1]
+
+
+def _session_for_remainder(
+    server: CMServer,
+    journal: ScalingJournal,
+    record: OpJournalRecord,
+    pending: PendingScale | PendingReshuffle,
+) -> MigrationSession:
+    """Re-execute the journaled ``apply`` records of an open operation
+    and build a live session over exactly the moves that never landed."""
+    by_block = {m.block_id: m for m in pending.plan.moves}
+    applied = set()
+    for block_id in record.applied:
+        server.array.move(block_id, by_block[block_id].target_physical)
+        applied.add(block_id)
+    remaining = [m for m in pending.plan.moves if m.block_id not in applied]
+    return MigrationSession(
+        server.array,
+        MigrationPlan(moves=tuple(remaining)),
+        journal=journal,
+        op_seq=pending.op_seq,
+    )
 
 
 def _verify_replayed_plan(

@@ -1,0 +1,211 @@
+"""The exhaustion watchdog: track Lemma 4.3's budget before it bites.
+
+SCADDAR's fairness guarantee is a *consumable*: Lemma 4.3 bounds the
+product of disk counts (``Pi_k <= R_0 * eps / (1 + eps)``), so every
+scaling operation spends budget and nothing short of a full reshuffle
+earns it back.  The paper leaves the operational question open — who
+notices the budget running out, and what do they do about it?
+
+This module is that operator.  :class:`ExhaustionWatchdog` wraps a
+:class:`~repro.server.cmserver.CMServer` and
+
+* **measures** — :meth:`status` asks the backend how many more
+  operations fit (:meth:`~repro.placement.base.PlacementPolicy.
+  budget_remaining`), publishes the number as the
+  ``budget.remaining_operations`` gauge (labelled by backend), and
+  classifies it into an escalation level;
+* **warns** — at or below ``warn_threshold`` remaining operations a
+  ``budget.warn`` event fires (once per level change, not per probe);
+* **blocks** — attached to a server (:meth:`CMServer.attach_watchdog`),
+  :meth:`before_scale` refuses to start an operation once the level
+  reaches ``blocked``, raising :class:`BudgetExhaustedError` instead of
+  letting fairness degrade past the tolerance;
+* **resets** — with ``auto_reset=True`` the refusal becomes a remedy:
+  the watchdog runs the full reshuffle the paper prescribes (through
+  the journaled online path) and then admits the operation.
+
+Backends that never degrade (directory, jump hash, sequential
+checking — ``budget_remaining() is None``) report ``unlimited`` and are
+never warned or blocked.
+
+Examples
+--------
+>>> from repro.server.cmserver import CMServer
+>>> from repro.server.objects import ObjectCatalog
+>>> from repro.storage.disk import DiskSpec
+>>> server = CMServer(ObjectCatalog(bits=16), [DiskSpec()] * 4, bits=16)
+>>> dog = ExhaustionWatchdog(server, WatchdogConfig(eps=0.1))
+>>> dog.status().level in {"ok", "warn", "blocked"}
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ScaddarError
+from repro.core.operations import ScalingOp
+
+from repro.server.cmserver import CMServer
+
+#: Escalation levels, least to most severe.
+LEVELS = ("unlimited", "ok", "warn", "blocked")
+
+
+class BudgetExhaustedError(ScaddarError):
+    """Raised by :meth:`ExhaustionWatchdog.before_scale` when the
+    remaining Lemma 4.3 budget is at or below the block threshold and
+    auto-reset is off.  The remedy is :meth:`CMServer.reshuffle`."""
+
+
+@dataclass(frozen=True)
+class WatchdogConfig:
+    """Thresholds for the escalation ladder.
+
+    Attributes
+    ----------
+    eps:
+        The unfairness tolerance the budget is measured against
+        (Lemma 4.3's epsilon).
+    warn_threshold:
+        Remaining operations at or below which the level is ``warn``.
+    block_threshold:
+        Remaining operations at or below which new scaling operations
+        are refused (``blocked``).  Must not exceed ``warn_threshold``.
+    auto_reset:
+        When True, a blocked operation triggers a full reshuffle
+        (budget reset) instead of raising, then proceeds.
+    group_size:
+        Disks per future operation assumed when counting how many more
+        operations fit (matches
+        :meth:`~repro.core.scaddar.ScaddarMapper.remaining_operations`).
+    """
+
+    eps: float
+    warn_threshold: int = 2
+    block_threshold: int = 0
+    auto_reset: bool = False
+    group_size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.eps <= 0:
+            raise ValueError(f"eps must be positive, got {self.eps}")
+        if self.block_threshold < 0 or self.warn_threshold < 0:
+            raise ValueError("thresholds must be non-negative")
+        if self.block_threshold > self.warn_threshold:
+            raise ValueError(
+                f"block_threshold {self.block_threshold} exceeds "
+                f"warn_threshold {self.warn_threshold}"
+            )
+
+
+@dataclass(frozen=True)
+class BudgetStatus:
+    """One probe of the budget: how much is left and how bad that is."""
+
+    backend: str
+    #: Remaining operations; ``None`` means the backend never degrades.
+    remaining: int | None
+    #: One of :data:`LEVELS`.
+    level: str
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether new scaling operations would be refused."""
+        return self.level == "blocked"
+
+
+class ExhaustionWatchdog:
+    """Budget monitor + admission controller for one server.
+
+    Construct with the server and a :class:`WatchdogConfig`; attach via
+    :meth:`CMServer.attach_watchdog` so every
+    :meth:`~repro.server.cmserver.CMServer.begin_scale` is vetted.
+    Metrics and events go to the server's observability handle.
+    """
+
+    def __init__(self, server: CMServer, config: WatchdogConfig):
+        self.server = server
+        self.config = config
+        #: Reshuffles this watchdog triggered (auto-reset mode).
+        self.auto_resets = 0
+        self._last_level: str | None = None
+
+    def status(self) -> BudgetStatus:
+        """Probe the remaining budget, publish the gauge, classify.
+
+        Emits a ``budget.warn`` / ``budget.blocked`` event when the
+        escalation level *changes* (so repeated probes don't spam), and
+        a ``budget.recovered`` event when it de-escalates.
+        """
+        remaining = self.server.backend.budget_remaining(
+            self.config.eps, group_size=self.config.group_size
+        )
+        level = self._classify(remaining)
+        obs = self.server.obs
+        if obs.enabled:
+            obs.set_gauge(
+                "budget.remaining_operations",
+                -1 if remaining is None else remaining,
+                backend=self.server.backend.name,
+            )
+            if level != self._last_level:
+                if level in ("warn", "blocked"):
+                    obs.event(
+                        f"budget.{level}",
+                        backend=self.server.backend.name,
+                        remaining=remaining,
+                    )
+                elif self._last_level in ("warn", "blocked"):
+                    obs.event(
+                        "budget.recovered",
+                        backend=self.server.backend.name,
+                        remaining=remaining,
+                    )
+        self._last_level = level
+        return BudgetStatus(
+            backend=self.server.backend.name, remaining=remaining, level=level
+        )
+
+    def before_scale(self, op: ScalingOp) -> None:
+        """Admission check run by :meth:`CMServer.begin_scale`.
+
+        Blocked + ``auto_reset`` runs the full reshuffle first (resetting
+        the budget) and admits the operation; blocked without it raises
+        :class:`BudgetExhaustedError`.  ``warn`` admits but events.
+        """
+        status = self.status()
+        if not status.exhausted:
+            return
+        if not self.config.auto_reset:
+            raise BudgetExhaustedError(
+                f"backend {status.backend!r} has "
+                f"{status.remaining} scaling operations left for "
+                f"eps={self.config.eps}; reshuffle to reset the budget "
+                f"(or construct the watchdog with auto_reset=True)"
+            )
+        if self.server.obs.enabled:
+            self.server.obs.event(
+                "budget.auto_reset",
+                backend=status.backend,
+                remaining=status.remaining,
+                op=op.kind,
+            )
+        self.server.reshuffle()
+        self.auto_resets += 1
+        self.status()  # republish the post-reset gauge
+
+    def _classify(self, remaining: int | None) -> str:
+        if remaining is None:
+            return "unlimited"
+        if remaining <= self.config.block_threshold:
+            return "blocked"
+        if remaining <= self.config.warn_threshold:
+            return "warn"
+        return "ok"
+
+    def __repr__(self) -> str:
+        return (
+            f"ExhaustionWatchdog(backend={self.server.backend.name!r}, "
+            f"eps={self.config.eps}, auto_resets={self.auto_resets})"
+        )

@@ -13,12 +13,25 @@ from repro.storage.disk import DiskSpec
 from repro.workloads.generator import random_x0s, uniform_catalog
 
 # Property-test effort tiers: "ci" is the thorough profile the workflow
-# runs with (HYPOTHESIS_PROFILE=ci), "dev" keeps local iteration fast.
+# runs with (HYPOTHESIS_PROFILE=ci), "dev" keeps local iteration fast,
+# and "state_machine" tunes the long-horizon soak state machine
+# (tests/test_soak_stateful.py): fewer examples, each running a much
+# longer rule sequence, so the lifecycle invariants see deep histories.
 # Tests that pin their own @settings(...) still inherit the profile's
 # defaults for anything they leave unset (notably deadline=None).
 settings.register_profile("ci", max_examples=100, deadline=None)
 settings.register_profile("dev", max_examples=20, deadline=None)
+settings.register_profile(
+    "state_machine",
+    max_examples=12,
+    stateful_step_count=60,
+    deadline=None,
+)
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+
+#: The soak profile's settings, importable by the state-machine test
+#: (applied per-class via ``settings`` when the profile is not loaded).
+STATE_MACHINE = settings.get_profile("state_machine")
 
 
 @pytest.fixture

@@ -39,6 +39,16 @@ BITS = 32
 #: Tail removal at 6 disks so every backend (jump hash included) can run.
 SCHEDULE = [ScalingOp.add(2), ScalingOp.remove([5]), ScalingOp.add(2)]
 
+#: Sequential checking is reallocation-free and adds-only, so its loop
+#: runs a growth-only schedule of the same length.
+ADDS_ONLY_SCHEDULE = [ScalingOp.add(2), ScalingOp.add(1), ScalingOp.add(2)]
+
+
+def schedule_for(name: str) -> list[ScalingOp]:
+    if name == "sequential_checking":
+        return ADDS_ONLY_SCHEDULE
+    return SCHEDULE
+
 
 def _server(backend: str, journal: ScalingJournal | None = None) -> CMServer:
     catalog = uniform_catalog(3, 60, master_seed=0xBE, bits=BITS)
@@ -65,6 +75,7 @@ class TestRegistry:
     def test_all_expected_backends_registered(self):
         assert set(BACKENDS) == {
             "scaddar", "jump_hash", "consistent_hash", "directory",
+            "sequential_checking",
         }
 
     def test_make_backend_unknown_name(self):
@@ -106,7 +117,7 @@ class TestRegistry:
 class TestPerBackendLoop:
     def test_snapshot_round_trip(self, name):
         server = _server(name)
-        for op in SCHEDULE:
+        for op in schedule_for(name):
             server.scale(op)
         before = _layout(server)
         restored = restore_server(snapshot_server(server))
@@ -116,20 +127,28 @@ class TestPerBackendLoop:
 
     def test_scale_moves_blocks_and_stays_clean(self, name):
         server = _server(name)
-        for op in SCHEDULE:
+        schedule = schedule_for(name)
+        expected_disks = 4
+        for op in schedule:
             report = server.scale(op)
-            assert report.blocks_moved > 0
+            if name == "sequential_checking":
+                # Reallocation-free by construction: nothing ever moves.
+                assert report.blocks_moved == 0
+            else:
+                assert report.blocks_moved > 0
             assert check_layout(server).clean
-        assert server.num_disks == 7
-        assert server.backend.num_operations == len(SCHEDULE)
+            expected_disks = op.next_disk_count(expected_disks)
+        assert server.num_disks == expected_disks
+        assert server.backend.num_operations == len(schedule)
 
     def test_crash_resume_full_loop(self, name):
+        schedule = schedule_for(name)
         journal = ScalingJournal()
         server = _server(name, journal=journal)
         blocks = server.total_blocks
-        server.scale(SCHEDULE[0])
+        server.scale(schedule[0])
         snapshot = snapshot_server(server)
-        pending = server.begin_scale(SCHEDULE[1])
+        pending = server.begin_scale(schedule[1])
         session = MigrationSession(
             server.array, pending.plan, journal=journal, op_seq=pending.op_seq
         )
@@ -201,6 +220,29 @@ class TestBackendSemantics:
         assert server.num_disks == 4
         assert server.backend.num_operations == 0
         assert check_layout(server).clean
+
+    def test_sequential_checking_rejects_any_removal(self):
+        server = _server("sequential_checking")
+        with pytest.raises(UnsupportedOperationError, match="reallocation-free"):
+            server.scale(ScalingOp.remove([3]))
+        # The refused operation must not have mutated anything.
+        assert server.num_disks == 4
+        assert server.backend.num_operations == 0
+        assert check_layout(server).clean
+
+    def test_sequential_checking_never_moves_blocks(self):
+        server = _server("sequential_checking")
+        before = {
+            media.object_id: server.block_locations(media.object_id)
+            for media in server.catalog
+        }
+        for op in ADDS_ONLY_SCHEDULE:
+            report = server.scale(op)
+            assert report.blocks_moved == 0
+        for media in server.catalog:
+            assert server.block_locations(media.object_id) == before[
+                media.object_id
+            ]
 
     def test_only_scaddar_reshuffles(self):
         for name in BACKENDS:

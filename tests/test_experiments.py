@@ -316,6 +316,7 @@ class TestModern:
             "consistent_hash",
             "jump_hash",
             "directory",
+            "sequential_checking",
         }
 
     def test_full_loop_covers_at_least_three_backends(self, rows):
@@ -329,6 +330,11 @@ class TestModern:
 
     def test_all_reasonably_movement_efficient(self, rows):
         for row in rows:
+            if row.backend == "sequential_checking":
+                # Reallocation-free: moves nothing while the RO1 optimum
+                # is nonzero, so its efficiency score is 0 by definition.
+                assert row.mean_moved_fraction == 0.0
+                continue
             assert row.mean_efficiency > 0.5, row
 
     def test_scaddar_and_directory_near_optimal(self, rows):

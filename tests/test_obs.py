@@ -256,13 +256,16 @@ class TestFacade:
     def test_null_obs_is_inert(self):
         NULL_OBS.event("anything", x=1)
         NULL_OBS.inc("reads.served", 5)
+        NULL_OBS.set_gauge("budget", 3)
         NULL_OBS.observe("lat", 1.0)
         with NULL_OBS.span("scale.plan") as span:
             span.annotate(moves=1)
         with NULL_OBS.timer("lat"):
             pass
         assert NULL_OBS.prometheus() == ""
-        assert NULL_OBS.json_snapshot() == {"counters": [], "histograms": []}
+        assert NULL_OBS.json_snapshot() == {
+            "counters": [], "gauges": [], "histograms": [],
+        }
         assert NULL_OBS.write_events() == ""
 
 

@@ -1,0 +1,236 @@
+"""Long-horizon lifecycle state machine (Hypothesis stateful testing).
+
+The scripted tests each exercise one seam; this machine lets Hypothesis
+*search* for a lethal interleaving: starting from a live server (any
+registered backend) it applies random sequences of serve rounds, scale
+operations, disk kills and revivals, ingests, object removals, explicit
+reshuffles, and crash/resume cycles — checking after every step that
+
+* no block is ever lost (``total_blocks`` matches the ledger),
+* every served round conserves reads
+  (``requested == served + hiccups + queued``),
+* the layout always audits clean at quiescent points.
+
+SCADDAR runs with the exhaustion watchdog in ``auto_reset`` mode over a
+16-bit budget, so deep sequences force genuine automatic reshuffles —
+the budget lifecycle is part of the searched state space, not mocked.
+
+Run under the ``state_machine`` Hypothesis profile
+(``HYPOTHESIS_PROFILE=state_machine``) for long rule sequences; the
+default dev/ci profiles keep it short and fast.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import settings, strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.operations import ScalingOp
+from repro.placement.backends import BACKENDS
+from repro.server.cmserver import CMServer, PendingReshuffle
+from repro.server.faults import FaultInjector, derive_seed
+from repro.server.fsck import check_layout
+from repro.server.ingest import IngestSession
+from repro.server.journal import ScalingJournal
+from repro.server.online import OnlineScaler
+from repro.server.persistence import resume_server, snapshot_server
+from repro.server.scheduler import RoundScheduler
+from repro.server.streams import Stream
+from repro.server.watchdog import ExhaustionWatchdog, WatchdogConfig
+from repro.storage.disk import DiskSpec
+from repro.storage.migration import MigrationSession
+from repro.workloads.generator import uniform_catalog
+
+BITS = 16
+N0 = 4
+MAX_DISKS = 10
+
+
+class LifecycleMachine(RuleBasedStateMachine):
+    """One server's lifetime under adversarial action sequences."""
+
+    @initialize(
+        backend=st.sampled_from(sorted(BACKENDS)),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def boot(self, backend: str, seed: int) -> None:
+        self.backend_name = backend
+        self.seed = seed
+        catalog = uniform_catalog(2, 40, master_seed=seed, bits=BITS)
+        spec = DiskSpec(capacity_blocks=50_000, bandwidth_blocks_per_round=16)
+        self.spec = spec
+        self.journal = ScalingJournal()
+        self.server = CMServer(
+            catalog, [spec] * N0, bits=BITS, default_spec=spec,
+            journal=self.journal, backend=backend,
+        )
+        self.config = WatchdogConfig(eps=0.05, auto_reset=True)
+        self.server.attach_watchdog(
+            ExhaustionWatchdog(self.server, self.config)
+        )
+        self.expected_blocks = self.server.total_blocks
+        self.ingested = 0
+        self.steps = 0
+        self._rebuild_scheduler()
+
+    def _rebuild_scheduler(self) -> None:
+        self.scheduler = RoundScheduler(self.server.array)
+        for media in self.server.catalog:
+            if media.num_blocks:
+                self.scheduler.admit(
+                    Stream(
+                        media.object_id,
+                        media,
+                        start_block=(media.object_id * 7) % media.num_blocks,
+                    )
+                )
+
+    def _next_seed(self) -> int:
+        self.steps += 1
+        return derive_seed(self.seed, self.steps)
+
+    @property
+    def can_remove(self) -> bool:
+        return (
+            self.backend_name != "sequential_checking"
+            and self.server.num_disks > N0
+        )
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+    @rule()
+    def serve(self) -> None:
+        report = self.scheduler.run_round()
+        assert (
+            report.requested
+            == report.served + report.hiccups + report.queued
+        )
+
+    @rule(count=st.sampled_from([1, 1, 2]))
+    def scale_up(self, count: int) -> None:
+        if self.server.num_disks + count > MAX_DISKS:
+            return
+        injector = FaultInjector(
+            seed=self._next_seed(), transient_rate=0.15, slow_rate=0.05
+        )
+        OnlineScaler(self.server, self.scheduler).scale_online(
+            ScalingOp.add(count), injector=injector
+        )
+
+    @precondition(lambda self: self.can_remove)
+    @rule(victim=st.integers(min_value=0, max_value=MAX_DISKS - 1))
+    def kill_disk(self, victim: int) -> None:
+        """Abrupt disk loss, handled as the paper's failure-as-removal."""
+        if self.backend_name == "jump_hash":
+            victim = self.server.num_disks - 1  # tail-only backend
+        else:
+            victim = victim % self.server.num_disks
+        injector = FaultInjector(
+            seed=self._next_seed(), transient_rate=0.15
+        )
+        OnlineScaler(self.server, self.scheduler).scale_online(
+            ScalingOp.remove([victim]), injector=injector
+        )
+
+    @precondition(lambda self: self.server.num_disks < MAX_DISKS)
+    @rule()
+    def revive_disk(self) -> None:
+        """Bring a replacement disk in (the revive side of churn)."""
+        self.server.scale(ScalingOp.add(1))
+
+    @rule(size=st.integers(min_value=5, max_value=25))
+    def ingest(self, size: int) -> None:
+        session = IngestSession(
+            self.server, f"ingest-{self.ingested}", size
+        )
+        self.ingested += 1
+        while not session.done:
+            session.step(10_000)
+        self.expected_blocks += size
+
+    @precondition(lambda self: len(self.server.catalog) > 2)
+    @rule()
+    def remove_newest_object(self) -> None:
+        media = max(self.server.catalog, key=lambda m: m.object_id)
+        self.expected_blocks -= media.num_blocks
+        self.server.remove_object(media.object_id)
+        self._rebuild_scheduler()
+
+    @precondition(lambda self: self.backend_name == "scaddar")
+    @rule()
+    def reshuffle(self) -> None:
+        self.server.reshuffle()
+
+    @rule(fraction=st.floats(min_value=0.0, max_value=1.0))
+    def crash_and_resume(self, fraction: float) -> None:
+        """Kill the process mid-operation; resume must lose nothing."""
+        snapshot = snapshot_server(self.server)
+        if self.backend_name == "scaddar" and fraction > 0.5:
+            pending = self.server.begin_reshuffle()
+        elif self.server.num_disks < MAX_DISKS:
+            pending = self.server.begin_scale(ScalingOp.add(1))
+        elif self.can_remove:
+            pending = self.server.begin_scale(
+                ScalingOp.remove([self.server.num_disks - 1])
+            )
+        else:
+            return
+        session = MigrationSession(
+            self.server.array, pending.plan,
+            journal=self.journal, op_seq=pending.op_seq,
+        )
+        if len(pending.plan):
+            session.step(
+                len(pending.plan),
+                max_moves=max(1, int(len(pending.plan) * fraction)),
+            )
+        del self.server, pending, session  # the crash
+
+        server, resumed, live = resume_server(snapshot, self.journal)
+        self.server = server
+        assert live is not None
+        while not live.done:
+            live.step(10_000)
+        if isinstance(resumed, PendingReshuffle):
+            self.server.finish_reshuffle(resumed)
+        else:
+            self.server.finish_scale(resumed)
+        self.server.attach_watchdog(
+            ExhaustionWatchdog(self.server, self.config)
+        )
+        self._rebuild_scheduler()
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    @invariant()
+    def no_block_lost(self) -> None:
+        assert self.server.total_blocks == self.expected_blocks
+
+    @invariant()
+    def layout_clean(self) -> None:
+        report = check_layout(self.server)
+        assert report.clean, (
+            f"{self.backend_name}: missing={len(report.missing)} "
+            f"orphans={len(report.orphans)} "
+            f"misplaced={len(report.misplaced)}"
+        )
+
+
+LifecycleTest = LifecycleMachine.TestCase
+if os.environ.get("HYPOTHESIS_PROFILE") == "state_machine":
+    LifecycleTest.settings = settings.get_profile("state_machine")
+else:
+    # Short sequences for dev/ci; the soak profile goes deep.
+    LifecycleTest.settings = settings(
+        max_examples=5, stateful_step_count=15, deadline=None
+    )

@@ -1,0 +1,218 @@
+"""The exhaustion watchdog: budget tracking, escalation, auto-reset.
+
+Lemma 4.3's fairness bound is a consumable, and the watchdog is the
+operator that notices it running out.  These tests pin the escalation
+ladder (unlimited/ok/warn/blocked), the admission check wired into
+``begin_scale``, the auto-reset remedy, and the observability contract
+(one gauge, level-change events only).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.operations import ScalingOp
+from repro.obs import Obs
+from repro.server.cmserver import CMServer
+from repro.server.objects import ObjectCatalog
+from repro.server.watchdog import (
+    LEVELS,
+    BudgetExhaustedError,
+    ExhaustionWatchdog,
+    WatchdogConfig,
+)
+from repro.storage.disk import DiskSpec
+
+BITS = 16  # deliberately small: the budget runs out within a few scales
+
+
+def make_server(backend="scaddar", obs=None, disks=4):
+    return CMServer(
+        ObjectCatalog(bits=BITS),
+        [DiskSpec()] * disks,
+        bits=BITS,
+        backend=backend,
+        obs=obs,
+    )
+
+
+def drain_budget(server, watchdog):
+    """Scale until the watchdog reports blocked (bounded)."""
+    for _ in range(64):
+        if watchdog.status().exhausted:
+            return
+        server.scale(ScalingOp.add(1))
+    raise AssertionError("budget never exhausted in 64 operations")
+
+
+class TestConfig:
+    def test_rejects_nonpositive_eps(self):
+        with pytest.raises(ValueError, match="eps must be positive"):
+            WatchdogConfig(eps=0.0)
+
+    def test_rejects_negative_thresholds(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            WatchdogConfig(eps=0.1, warn_threshold=-1)
+        with pytest.raises(ValueError, match="non-negative"):
+            WatchdogConfig(eps=0.1, warn_threshold=2, block_threshold=-1)
+
+    def test_rejects_block_above_warn(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            WatchdogConfig(eps=0.1, warn_threshold=1, block_threshold=2)
+
+
+class TestStatus:
+    def test_fresh_server_has_budget(self):
+        server = make_server()
+        status = ExhaustionWatchdog(server, WatchdogConfig(eps=0.05)).status()
+        assert status.backend == "scaddar"
+        assert status.remaining is not None and status.remaining > 0
+        assert status.level == "ok"
+        assert not status.exhausted
+
+    def test_level_walks_the_ladder_as_budget_drains(self):
+        server = make_server()
+        watchdog = ExhaustionWatchdog(server, WatchdogConfig(eps=0.05))
+        seen = [watchdog.status().level]
+        for _ in range(64):
+            if seen[-1] == "blocked":
+                break
+            server.scale(ScalingOp.add(1))
+            seen.append(watchdog.status().level)
+        # Monotone escalation: ok ... warn ... blocked, never skipping
+        # back, and each level's remaining respects the thresholds.
+        assert seen[-1] == "blocked"
+        assert "warn" in seen
+        ranks = [LEVELS.index(level) for level in seen]
+        assert ranks == sorted(ranks)
+
+    def test_never_degrading_backend_is_unlimited(self):
+        server = make_server(backend="directory")
+        watchdog = ExhaustionWatchdog(server, WatchdogConfig(eps=0.05))
+        status = watchdog.status()
+        assert status.remaining is None
+        assert status.level == "unlimited"
+        assert not status.exhausted
+        # Unlimited backends are never blocked, however much they scale.
+        for _ in range(8):
+            server.scale(ScalingOp.add(1))
+        watchdog.before_scale(ScalingOp.add(1))  # must not raise
+
+    def test_reshuffle_restores_the_budget(self):
+        server = make_server()
+        watchdog = ExhaustionWatchdog(server, WatchdogConfig(eps=0.05))
+        drain_budget(server, watchdog)
+        server.reshuffle()
+        status = watchdog.status()
+        assert status.remaining > 0
+        assert status.level in ("ok", "warn")
+
+
+class TestAdmission:
+    def test_blocked_scale_raises_with_remedy(self):
+        server = make_server()
+        watchdog = ExhaustionWatchdog(server, WatchdogConfig(eps=0.05))
+        drain_budget(server, watchdog)
+        server.attach_watchdog(watchdog)
+        with pytest.raises(BudgetExhaustedError, match="reshuffle"):
+            server.scale(ScalingOp.add(1))
+        # The refused operation left no trace.
+        ops_before = server.backend.num_operations
+        with pytest.raises(BudgetExhaustedError):
+            server.begin_scale(ScalingOp.add(1))
+        assert server.backend.num_operations == ops_before
+
+    def test_auto_reset_reshuffles_then_admits(self):
+        server = make_server()
+        watchdog = ExhaustionWatchdog(
+            server, WatchdogConfig(eps=0.05, auto_reset=True)
+        )
+        drain_budget(server, watchdog)
+        server.attach_watchdog(watchdog)
+        disks_before = server.num_disks
+        server.scale(ScalingOp.add(1))  # admitted via automatic reshuffle
+        assert watchdog.auto_resets == 1
+        assert server.reshuffles == 1
+        assert server.num_disks == disks_before + 1
+
+    def test_long_lifecycle_resets_repeatedly(self):
+        server = make_server()
+        watchdog = ExhaustionWatchdog(
+            server, WatchdogConfig(eps=0.05, auto_reset=True)
+        )
+        server.attach_watchdog(watchdog)
+        for _ in range(12):
+            server.scale(ScalingOp.add(1))
+        assert watchdog.auto_resets >= 2
+        assert server.reshuffles == watchdog.auto_resets
+
+
+class TestObservability:
+    def test_gauge_tracks_remaining(self):
+        obs = Obs()
+        server = make_server(obs=obs)
+        watchdog = ExhaustionWatchdog(server, WatchdogConfig(eps=0.05))
+        status = watchdog.status()
+        gauge = obs.registry.gauge("budget.remaining_operations")
+        assert gauge.value(backend="scaddar") == status.remaining
+        server.scale(ScalingOp.add(1))
+        status = watchdog.status()
+        assert gauge.value(backend="scaddar") == status.remaining
+
+    def test_unlimited_gauges_minus_one(self):
+        obs = Obs()
+        server = make_server(backend="directory", obs=obs)
+        ExhaustionWatchdog(server, WatchdogConfig(eps=0.05)).status()
+        gauge = obs.registry.gauge("budget.remaining_operations")
+        assert gauge.value(backend="directory") == -1
+
+    def test_events_fire_on_level_change_only(self):
+        obs = Obs()
+        server = make_server(obs=obs)
+        watchdog = ExhaustionWatchdog(server, WatchdogConfig(eps=0.05))
+        drain_budget(server, watchdog)
+        watchdog.status()
+        watchdog.status()  # repeated probes at the same level: no spam
+        kinds = [
+            e.kind for e in obs.log.events if e.kind.startswith("budget.")
+        ]
+        assert kinds == ["budget.warn", "budget.blocked"]
+        server.reshuffle()
+        # De-escalation emits exactly one event: recovered when the reset
+        # clears the thresholds, warn when the (now larger) array's fresh
+        # budget still sits inside the warn band.
+        status = watchdog.status()
+        watchdog.status()
+        kinds = [
+            e.kind for e in obs.log.events if e.kind.startswith("budget.")
+        ]
+        expected = (
+            "budget.recovered" if status.level == "ok" else "budget.warn"
+        )
+        assert kinds == ["budget.warn", "budget.blocked", expected]
+
+    def test_auto_reset_emits_event(self):
+        obs = Obs()
+        server = make_server(obs=obs)
+        watchdog = ExhaustionWatchdog(
+            server, WatchdogConfig(eps=0.05, auto_reset=True)
+        )
+        drain_budget(server, watchdog)
+        server.attach_watchdog(watchdog)
+        server.scale(ScalingOp.add(1))
+        resets = [
+            e for e in obs.log.events if e.kind == "budget.auto_reset"
+        ]
+        assert len(resets) == 1
+        assert resets[0].fields["backend"] == "scaddar"
+        assert resets[0].fields["op"] == "add"
+
+
+class TestBudgetCLI:
+    def test_render_budget_tabulates_the_drain(self):
+        from repro.cli import render_budget
+
+        out = render_budget(eps=0.05, bits=16, disks=4)
+        assert "remaining ops" in out
+        assert "blocked" in out
+        assert "Lemma 4.3" in out
