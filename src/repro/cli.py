@@ -68,6 +68,7 @@ QUICK_KWARGS: dict[str, dict] = {
     },
     "modern": {"num_blocks": 3_000},
     "chaos": {"num_objects": 3, "blocks_per_object": 150},
+    "cluster-chaos": {"num_objects": 9, "blocks_per_object": 60},
     "soak": {
         "ops_per_backend": 60,
         "num_objects": 3,
@@ -98,7 +99,7 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         choices=[
             *EXPERIMENTS, "all", "report", "backends", "trace", "metrics",
-            "budget",
+            "budget", "cluster",
         ],
         help=(
             "which experiment to run; 'all' runs every one, 'report' "
@@ -107,7 +108,8 @@ def build_parser() -> argparse.ArgumentParser:
             "availability experiment with structured tracing and prints "
             "the event log, 'metrics' dumps its metric registry, "
             "'budget' tabulates the remaining Lemma 4.3 budget over a "
-            "growth scenario"
+            "growth scenario, 'cluster' operates a sharded cluster "
+            "through its manifest (scaddar cluster --help)"
         ),
     )
     parser.add_argument(
@@ -337,6 +339,13 @@ def render_markdown_report(quick: bool = False) -> str:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Run the selected experiment(s); returns a process exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "cluster":
+        # The cluster verbs carry their own argument surface; dispatch
+        # before the experiment parser sees (and rejects) it.
+        from repro.cluster.cli import cluster_main
+
+        return cluster_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "report":
         print(render_markdown_report(quick=args.quick))

@@ -1,0 +1,77 @@
+"""The cluster layer: SCADDAR's minimal-move reorganization, one level up.
+
+A cluster is many single-server shards behind one object namespace.  The
+:class:`~repro.cluster.coordinator.ClusterCoordinator` routes objects to
+shards through a second-level placement policy drawn from the same
+backend registry the disks use
+(:class:`~repro.cluster.router.ShardRouter`), so shard add/remove is a
+:class:`~repro.core.operations.ScalingOp` planned with the familiar
+over-report-then-filter semantics and executed as a journaled rebalance
+(:class:`~repro.cluster.journal.ClusterJournal`) that composes with each
+shard's own scaling journal.  Manifest persistence, crash resume, obs
+aggregation, and a cluster-wide fsck complete the stack.
+"""
+
+from repro.cluster.coordinator import (
+    ClusterCoordinator,
+    ClusterRoundReport,
+    PendingReshard,
+    ShardTemplate,
+)
+from repro.cluster.fsck import (
+    ClusterLayoutReport,
+    RoutingViolation,
+    check_cluster,
+)
+from repro.cluster.journal import ClusterJournal, ObjectMove, ReshardRecord
+from repro.cluster.obs import (
+    cluster_prometheus,
+    merged_deterministic_view,
+    merged_registry,
+)
+from repro.cluster.persistence import (
+    MANIFEST_VERSION,
+    cluster_to_json,
+    restore_cluster,
+    resume_cluster,
+    snapshot_cluster,
+)
+from repro.cluster.router import (
+    ROUTER_SALT,
+    ShardRouter,
+    routing_key,
+    routing_keys,
+)
+from repro.cluster.shard import (
+    ShardNode,
+    shard_catalog_seed,
+    shard_fault_seed,
+)
+
+__all__ = [
+    "ClusterCoordinator",
+    "ClusterJournal",
+    "ClusterLayoutReport",
+    "ClusterRoundReport",
+    "MANIFEST_VERSION",
+    "ObjectMove",
+    "PendingReshard",
+    "ROUTER_SALT",
+    "ReshardRecord",
+    "RoutingViolation",
+    "ShardNode",
+    "ShardRouter",
+    "ShardTemplate",
+    "check_cluster",
+    "cluster_prometheus",
+    "cluster_to_json",
+    "merged_deterministic_view",
+    "merged_registry",
+    "resume_cluster",
+    "restore_cluster",
+    "routing_key",
+    "routing_keys",
+    "shard_catalog_seed",
+    "shard_fault_seed",
+    "snapshot_cluster",
+]

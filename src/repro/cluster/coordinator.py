@@ -1,0 +1,830 @@
+"""The cluster coordinator: many shards behind one object namespace.
+
+SCADDAR one level up.  The paper reorganizes *blocks over disks* with
+minimal movement; a cluster must reorganize *objects over shards* under
+the same constraint, so the coordinator routes every object through a
+second-level placement policy (:class:`~repro.cluster.router.ShardRouter`
+over the same backend registry) and turns shard add/remove into a
+journaled rebalance with the familiar begin / migrate / finish shape:
+
+* :meth:`begin_reshard` applies the topology operation to the router,
+  plans the object moves (over-report-then-filter, exactly like the
+  block-level ``plan_moves`` contract), spawns/condemns shards, and
+  journals the intent;
+* :meth:`migrate_next` moves one object — ingest on the target shard
+  (:class:`~repro.server.ingest.IngestSession`, so a landed migration is
+  indistinguishable from an initial load), drop from the source, re-home
+  any live streams — and journals the apply;
+* :meth:`finish_reshard` verifies doomed shards drained and commits.
+
+A crash anywhere in that sequence is recovered by
+:func:`repro.cluster.persistence.resume_cluster` from the manifest plus
+the :class:`~repro.cluster.journal.ClusterJournal`.
+
+Serving runs under a cluster-level round barrier: :meth:`run_round`
+drives every shard's :class:`~repro.server.scheduler.RoundScheduler`
+through round *r* before any shard sees round *r+1*, and folds the
+per-shard :class:`~repro.server.scheduler.RoundReport` records into one
+:class:`ClusterRoundReport`.
+
+Identity rules (all mirroring the single-server design):
+
+* shards have *stable ids* assigned monotonically, surviving slot
+  re-compaction the way physical disk ids survive removal — the router
+  speaks slots, the coordinator owns the slot → stable-id table;
+* objects have *cluster-global ids* (``gid``); each shard's catalog
+  assigns its own local ids, and the coordinator maps ``gid`` → (home
+  shard, local id).  Object names are unique cluster-wide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.cluster.journal import ClusterJournal, ObjectMove
+from repro.cluster.router import ROUTER_SALT, ShardRouter
+from repro.cluster.shard import ShardNode
+from repro.core.operations import ScalingOp
+from repro.server.cmserver import OperationInFlightError, ScaleReport
+from repro.server.ingest import IngestSession
+from repro.server.scheduler import RoundReport
+from repro.server.streams import Stream, StreamState
+from repro.storage.disk import DiskSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import ObsHandle
+
+
+@dataclass(frozen=True)
+class ShardTemplate:
+    """How the coordinator builds a shard (initial and reshard-spawned).
+
+    Recorded in the cluster manifest so a resumed rebalance creates new
+    shards identical to the ones the crashed process created.
+    """
+
+    num_disks: int
+    spec: DiskSpec
+    bits: int = 32
+    backend: str = "scaddar"
+
+    def to_payload(self) -> dict:
+        """JSON-compatible form for the cluster manifest."""
+        return {
+            "num_disks": self.num_disks,
+            "bits": self.bits,
+            "backend": self.backend,
+            "spec": {
+                "capacity_blocks": self.spec.capacity_blocks,
+                "bandwidth_blocks_per_round": (
+                    self.spec.bandwidth_blocks_per_round
+                ),
+                "model": self.spec.model,
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ShardTemplate":
+        """Rebuild a template from :meth:`to_payload`."""
+        spec = payload["spec"]
+        return cls(
+            num_disks=payload["num_disks"],
+            spec=DiskSpec(
+                capacity_blocks=spec["capacity_blocks"],
+                bandwidth_blocks_per_round=spec["bandwidth_blocks_per_round"],
+                model=spec["model"],
+            ),
+            bits=payload["bits"],
+            backend=payload["backend"],
+        )
+
+
+@dataclass
+class PendingReshard:
+    """A begun-but-not-finished shard rebalance.
+
+    The router already reflects the new topology, new shards are
+    attached, doomed shards are off the slot table but still draining;
+    the caller owns executing :attr:`moves` (at whatever pace) and then
+    calling :meth:`ClusterCoordinator.finish_reshard`.
+    """
+
+    op: ScalingOp
+    #: 1-based position in the router's operation log.
+    seq: int
+    shards_before: int
+    shards_after: int
+    new_shard_ids: tuple[int, ...]
+    removed_shard_ids: tuple[int, ...]
+    #: Filtered plan: every object that genuinely changes shard.
+    moves: tuple[ObjectMove, ...]
+    #: Object ids migrated so far, in execution order.
+    applied: list[int] = field(default_factory=list)
+    #: Router state before the operation (abort restores it).
+    rollback_payload: Optional[dict] = field(default=None, repr=False)
+    _finished: bool = field(default=False, repr=False)
+
+    @property
+    def remaining(self) -> tuple[ObjectMove, ...]:
+        """Planned migrations that have not landed yet, in plan order."""
+        done = set(self.applied)
+        return tuple(m for m in self.moves if m.object_id not in done)
+
+    @property
+    def done(self) -> bool:
+        """Whether every planned migration has landed."""
+        return len(self.applied) == len(self.moves)
+
+
+@dataclass
+class ClusterRoundReport:
+    """One barrier round across every shard.
+
+    ``reports`` maps stable shard id → that shard's
+    :class:`~repro.server.scheduler.RoundReport`; the aggregate
+    properties fold them (the conservation invariant ``requested ==
+    served + hiccups + queued`` folds with them).
+    """
+
+    round_index: int
+    reports: dict[int, RoundReport] = field(default_factory=dict)
+
+    @property
+    def requested(self) -> int:
+        """Block reads demanded cluster-wide this round."""
+        return sum(r.requested for r in self.reports.values())
+
+    @property
+    def served(self) -> int:
+        """Reads delivered cluster-wide this round."""
+        return sum(r.served for r in self.reports.values())
+
+    @property
+    def hiccups(self) -> int:
+        """Missed deadlines cluster-wide this round."""
+        return sum(r.hiccups for r in self.reports.values())
+
+    @property
+    def queued(self) -> int:
+        """Reads deferred to the next round cluster-wide."""
+        return sum(r.queued for r in self.reports.values())
+
+    @property
+    def availability(self) -> float:
+        """Fraction of the round's cluster demand served on time."""
+        requested = self.requested
+        return self.served / requested if requested else 1.0
+
+
+class ClusterCoordinator:
+    """Routes objects to shards and orchestrates cross-shard operations.
+
+    Build with :meth:`create` (fresh cluster) or through
+    :func:`repro.cluster.persistence.restore_cluster` /
+    :func:`~repro.cluster.persistence.resume_cluster` (from a manifest).
+
+    Parameters
+    ----------
+    router:
+        The second-level placement router (its slots index ``shards``).
+    shards:
+        Shard nodes in slot order (one per router slot).
+    template:
+        How reshard-spawned shards are built.
+    master_seed:
+        Cluster master seed; every shard derives its catalog and fault
+        seeds from it with its shard id in the path.
+    journal:
+        Optional :class:`~repro.cluster.journal.ClusterJournal` for
+        crash-consistent rebalances.
+    obs:
+        Optional cluster-level observability handle.  When given (and
+        enabled), every shard the coordinator *spawns* gets its own
+        :class:`~repro.obs.Obs`; :mod:`repro.cluster.obs` merges them.
+    """
+
+    def __init__(
+        self,
+        router: ShardRouter,
+        shards: list[ShardNode],
+        template: ShardTemplate,
+        master_seed: int = 0,
+        journal: Optional[ClusterJournal] = None,
+        obs: Optional["ObsHandle"] = None,
+    ):
+        from repro.obs import NULL_OBS
+
+        if len(shards) != router.num_shards:
+            raise ValueError(
+                f"router expects {router.num_shards} shards but "
+                f"{len(shards)} were given"
+            )
+        self.router = router
+        self.shards = list(shards)
+        self.template = template
+        self.master_seed = master_seed
+        self.journal = journal
+        self.obs = obs if obs is not None else NULL_OBS
+        if journal is not None:
+            journal.attach_obs(self.obs)
+        self._shard_by_id: dict[int, ShardNode] = {
+            shard.shard_id: shard for shard in self.shards
+        }
+        if len(self._shard_by_id) != len(self.shards):
+            raise ValueError("duplicate shard ids")
+        self._next_shard_id = max(self._shard_by_id, default=-1) + 1
+        self._next_gid = 0
+        #: gid -> stable id of the shard currently holding the object.
+        self._home: dict[int, int] = {}
+        #: gid -> the object's local catalog id on its home shard.
+        self._local: dict[int, int] = {}
+        #: cluster-unique object name -> gid.
+        self._names: dict[str, int] = {}
+        #: stream id -> gid (for re-homing and departure routing).
+        self._streams: dict[int, int] = {}
+        self._in_flight: Optional[PendingReshard] = None
+        self.round_index = 0
+
+    @classmethod
+    def create(
+        cls,
+        num_shards: int,
+        disks_per_shard: int,
+        spec: Optional[DiskSpec] = None,
+        *,
+        bits: int = 32,
+        shard_backend: str = "scaddar",
+        router_backend: str = "jump_hash",
+        master_seed: int = 0,
+        salt: int = ROUTER_SALT,
+        journal: Optional[ClusterJournal] = None,
+        obs: Optional["ObsHandle"] = None,
+    ) -> "ClusterCoordinator":
+        """Build a fresh cluster of identical shards.
+
+        ``router_backend`` is any registered placement backend;
+        ``jump_hash`` (adds anywhere, removals at the tail) and
+        ``consistent_hash`` / ``straw`` (arbitrary removal) are the
+        natural second-level choices, ``weighted_straw`` for
+        heterogeneous shards.
+        """
+        if num_shards < 1:
+            raise ValueError(f"a cluster needs >= 1 shard, got {num_shards}")
+        template = ShardTemplate(
+            num_disks=disks_per_shard,
+            spec=spec if spec is not None else DiskSpec(),
+            bits=bits,
+            backend=shard_backend,
+        )
+        instrument = obs is not None and obs.enabled
+        shards = [
+            _build_shard(shard_id, template, master_seed, instrument)
+            for shard_id in range(num_shards)
+        ]
+        return cls(
+            ShardRouter.create(router_backend, num_shards, salt=salt),
+            shards,
+            template,
+            master_seed=master_seed,
+            journal=journal,
+            obs=obs,
+        )
+
+    # ------------------------------------------------------------------
+    # Identity / inventory
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        """Shards currently on the slot table (draining ones excluded)."""
+        return len(self.shards)
+
+    @property
+    def shard_ids(self) -> tuple[int, ...]:
+        """Stable shard ids in slot order."""
+        return tuple(shard.shard_id for shard in self.shards)
+
+    @property
+    def num_objects(self) -> int:
+        """Objects in the cluster namespace."""
+        return len(self._home)
+
+    @property
+    def total_blocks(self) -> int:
+        """Blocks resident across every shard (draining ones included)."""
+        return sum(s.total_blocks for s in self._shard_by_id.values())
+
+    @property
+    def object_ids(self) -> tuple[int, ...]:
+        """Every cluster-global object id, ascending."""
+        return tuple(sorted(self._home))
+
+    def shard(self, shard_id: int) -> ShardNode:
+        """Look up a shard by stable id (draining shards included)."""
+        try:
+            return self._shard_by_id[shard_id]
+        except KeyError:
+            raise KeyError(f"shard {shard_id} is not in the cluster")
+
+    def shard_of(self, object_id: int) -> int:
+        """Stable id of the shard currently holding an object."""
+        try:
+            return self._home[object_id]
+        except KeyError:
+            raise KeyError(f"object {object_id} is not in the cluster")
+
+    def gid_of(self, name: str) -> int:
+        """Cluster-global id of an object by its unique name."""
+        try:
+            return self._names[name]
+        except KeyError:
+            raise KeyError(f"object name {name!r} is not in the cluster")
+
+    def local_id_of(self, object_id: int) -> int:
+        """The object's local catalog id on its home shard."""
+        self.shard_of(object_id)  # existence check with the same error
+        return self._local[object_id]
+
+    # ------------------------------------------------------------------
+    # Objects
+    # ------------------------------------------------------------------
+    def add_object(
+        self, name: str, num_blocks: int, blocks_per_round: int = 1
+    ) -> int:
+        """Create an object, route it to its shard, load all its blocks.
+
+        Returns the cluster-global object id.  Refused while a rebalance
+        is in flight (the move plan was computed over a fixed namespace).
+        """
+        self._check_quiescent("add_object")
+        if name in self._names:
+            raise ValueError(f"object name {name!r} already exists")
+        gid = self._next_gid
+        self._next_gid += 1
+        # Register before locating: stateful router backends assign the
+        # slot at registration time.
+        self.router.register([gid])
+        shard = self.shards[self.router.slot_of(gid)]
+        media = shard.server.add_object(name, num_blocks, blocks_per_round)
+        self._home[gid] = shard.shard_id
+        self._local[gid] = media.object_id
+        self._names[name] = gid
+        if self.obs.enabled:
+            self.obs.event(
+                "cluster.object.add",
+                gid=gid,
+                shard=shard.shard_id,
+                blocks=num_blocks,
+            )
+        return gid
+
+    def remove_object(self, object_id: int) -> None:
+        """Drop an object from its shard and the cluster namespace."""
+        self._check_quiescent("remove_object")
+        shard = self.shard(self.shard_of(object_id))
+        local = self._local[object_id]
+        name = shard.server.catalog.get(local).name
+        shard.server.remove_object(local)
+        self.router.unregister([object_id])
+        del self._home[object_id]
+        del self._local[object_id]
+        del self._names[name]
+        if self.obs.enabled:
+            self.obs.event(
+                "cluster.object.remove", gid=object_id, shard=shard.shard_id
+            )
+
+    def block_locations(self, object_id: int) -> tuple[int, list[int]]:
+        """Where an object's blocks live: ``(shard id, physical disks)``.
+
+        The physical ids are local to the shard's array; the shard id
+        disambiguates them cluster-wide.
+        """
+        shard = self.shard(self.shard_of(object_id))
+        return shard.shard_id, shard.server.block_locations(
+            self._local[object_id]
+        )
+
+    # ------------------------------------------------------------------
+    # Per-shard operations
+    # ------------------------------------------------------------------
+    def scale_shard(
+        self,
+        shard_id: int,
+        op: ScalingOp,
+        specs: Optional[list[DiskSpec]] = None,
+        eps: Optional[float] = None,
+    ) -> ScaleReport:
+        """Run one disk-level scaling operation on one shard.
+
+        Per-shard operations are independent of cluster rebalances: they
+        move blocks within the shard and never change object routing.
+        """
+        report = self.shard(shard_id).server.scale(op, specs=specs, eps=eps)
+        if self.obs.enabled:
+            self.obs.event(
+                "cluster.shard.scale",
+                shard=shard_id,
+                kind=op.kind,
+                count=op.count,
+                moved=report.blocks_moved,
+            )
+        return report
+
+    def reshuffle_shard(self, shard_id: int) -> int:
+        """Run a full SCADDAR redistribution on one shard (fresh seeds).
+
+        Returns blocks moved.  Raises for shard backends without a
+        reshuffle lifecycle, exactly like the single-server path.
+        """
+        moved = self.shard(shard_id).server.reshuffle()
+        if self.obs.enabled:
+            self.obs.event(
+                "cluster.shard.reshuffle", shard=shard_id, moved=moved
+            )
+        return moved
+
+    # ------------------------------------------------------------------
+    # Serving (cluster round barrier)
+    # ------------------------------------------------------------------
+    def admit_stream(
+        self, stream_id: int, object_id: int, start_block: int = 0
+    ) -> Stream:
+        """Admit a playback stream on the object's home shard.
+
+        Stream ids are cluster-unique so migration can re-home them.
+        """
+        if stream_id in self._streams:
+            raise ValueError(f"stream id {stream_id} already admitted")
+        shard = self.shard(self.shard_of(object_id))
+        media = shard.server.catalog.get(self._local[object_id])
+        stream = Stream(stream_id, media, start_block=start_block)
+        shard.scheduler.admit(stream)
+        self._streams[stream_id] = object_id
+        return stream
+
+    def depart_stream(self, stream_id: int) -> Stream:
+        """Remove a stream from whichever shard currently serves it."""
+        try:
+            gid = self._streams.pop(stream_id)
+        except KeyError:
+            raise KeyError(f"stream id {stream_id} is not admitted")
+        shard = self.shard(self.shard_of(gid))
+        return shard.scheduler.depart(stream_id)
+
+    def run_round(self) -> ClusterRoundReport:
+        """Serve one barrier round: every shard runs round *r* before any
+        runs *r+1*.
+
+        Draining shards (mid-removal) still serve — their objects are
+        readable until each one's migration lands, exactly like a
+        doomed disk serving until its blocks drain.
+        """
+        report = ClusterRoundReport(round_index=self.round_index)
+        self.round_index += 1
+        for shard in self._serving_shards():
+            report.reports[shard.shard_id] = shard.scheduler.run_round()
+        if self.obs.enabled:
+            self.obs.event(
+                "cluster.round",
+                round=report.round_index,
+                requested=report.requested,
+                served=report.served,
+                hiccups=report.hiccups,
+            )
+        return report
+
+    def run_rounds(self, count: int) -> list[ClusterRoundReport]:
+        """Run ``count`` barrier rounds and return their reports."""
+        if count < 0:
+            raise ValueError(f"round count must be >= 0, got {count}")
+        return [self.run_round() for _ in range(count)]
+
+    def _serving_shards(self) -> list[ShardNode]:
+        """Slot-table shards plus draining ones, in stable-id order."""
+        return [self._shard_by_id[sid] for sid in sorted(self._shard_by_id)]
+
+    # ------------------------------------------------------------------
+    # Resharding (shard add/remove as a journaled rebalance)
+    # ------------------------------------------------------------------
+    def begin_reshard(self, op: ScalingOp) -> PendingReshard:
+        """Start a shard add/remove: new topology, object move plan,
+        journaled intent — no objects moved yet.
+
+        ``op`` speaks *slots* (``ScalingOp.add(k)`` /
+        ``ScalingOp.remove([slot, ...])``), exactly like a disk-level
+        operation; router-backend constraints apply (``jump_hash``
+        removes from the tail only).  For removals the doomed shards
+        leave the slot table immediately but keep serving until drained.
+        """
+        if self._in_flight is not None:
+            raise OperationInFlightError(
+                f"rebalance seq={self._in_flight.seq} is still in flight; "
+                "finish or abort it before beginning another"
+            )
+        pending = self._begin_reshard(op, journal_writes=True)
+        if self.obs.enabled:
+            self.obs.event(
+                "cluster.reshard.begin",
+                seq=pending.seq,
+                kind=op.kind,
+                count=op.count,
+                shards_before=pending.shards_before,
+                shards_after=pending.shards_after,
+                moves=len(pending.moves),
+            )
+        return pending
+
+    def _begin_reshard(
+        self, op: ScalingOp, journal_writes: bool
+    ) -> PendingReshard:
+        shards_before = len(self.shards)
+        rollback_payload = self.router.state_payload()
+        if op.kind == "remove":
+            removed_ids = tuple(
+                self.shards[slot].shard_id for slot in op.removed
+            )
+        else:
+            removed_ids = ()
+
+        gids = sorted(self._home)
+        seq = self.router.num_operations + 1
+        # Mutates the router (the topology op lands in its log); raises
+        # before mutating for ops the backend refuses (e.g. jump_hash
+        # mid-table removal), leaving the cluster untouched.
+        indices, targets = self.router.plan_moves(op, gids)
+
+        if op.kind == "add":
+            new_ids = tuple(
+                self._spawn_shard().shard_id for _ in range(op.count)
+            )
+        else:
+            new_ids = ()
+            doomed = set(op.removed)
+            # Off the slot table now (the router's slots re-compacted);
+            # still in _shard_by_id, serving, until finish_reshard.
+            self.shards = [
+                shard
+                for slot, shard in enumerate(self.shards)
+                if slot not in doomed
+            ]
+
+        # Translate candidate moves (slots) to stable ids and drop the
+        # over-reported identity moves — the same filter the block-level
+        # migration planner applies.
+        table = [shard.shard_id for shard in self.shards]
+        moves = []
+        for index, target_slot in zip(indices.tolist(), targets.tolist()):
+            gid = gids[index]
+            target_id = table[target_slot]
+            if self._home[gid] != target_id:
+                moves.append(ObjectMove(gid, self._home[gid], target_id))
+
+        pending = PendingReshard(
+            op=op,
+            seq=seq,
+            shards_before=shards_before,
+            shards_after=len(self.shards),
+            new_shard_ids=new_ids,
+            removed_shard_ids=removed_ids,
+            moves=tuple(moves),
+            rollback_payload=rollback_payload,
+        )
+        self._in_flight = pending
+        if journal_writes and self.journal is not None:
+            self.journal.record_begin(
+                seq=seq,
+                op=op,
+                shards_before=shards_before,
+                shards_after=pending.shards_after,
+                new_shard_ids=new_ids,
+                moves=moves,
+            )
+        return pending
+
+    def migrate_next(self, pending: PendingReshard) -> Optional[ObjectMove]:
+        """Execute one planned migration; returns it (None when done)."""
+        self._check_pending(pending)
+        remaining = pending.remaining
+        if not remaining:
+            return None
+        move = remaining[0]
+        self._migrate(move, journal_writes=True, seq=pending.seq)
+        pending.applied.append(move.object_id)
+        return move
+
+    def execute_reshard(self, pending: PendingReshard) -> int:
+        """Run every remaining migration; returns how many were done."""
+        done = 0
+        while self.migrate_next(pending) is not None:
+            done += 1
+        return done
+
+    def finish_reshard(self, pending: PendingReshard) -> None:
+        """Complete a fully migrated rebalance (commit + drop drained)."""
+        self._finish_reshard(pending, journal_writes=True)
+        if self.obs.enabled:
+            self.obs.event(
+                "cluster.reshard.commit",
+                seq=pending.seq,
+                shards_after=pending.shards_after,
+                moved=len(pending.applied),
+            )
+
+    def _finish_reshard(
+        self, pending: PendingReshard, journal_writes: bool
+    ) -> None:
+        self._check_pending(pending)
+        if not pending.done:
+            raise ValueError(
+                f"rebalance seq={pending.seq} has "
+                f"{len(pending.remaining)} migrations outstanding"
+            )
+        for shard_id in pending.removed_shard_ids:
+            shard = self._shard_by_id[shard_id]
+            if shard.num_objects:
+                raise RuntimeError(
+                    f"shard {shard_id} still holds {shard.num_objects} "
+                    "objects; it cannot detach"
+                )
+            del self._shard_by_id[shard_id]
+        pending._finished = True
+        self._in_flight = None
+        if journal_writes and self.journal is not None:
+            self.journal.record_commit(pending.seq)
+
+    def abort_reshard(self, pending: PendingReshard) -> int:
+        """Roll back a begun rebalance: migrated objects move home, the
+        router and the shard list return to their pre-begin state.
+
+        Returns the number of migrations reversed.  Afterwards the
+        cluster routes exactly as before ``begin_reshard``.
+        """
+        self._check_pending(pending)
+        reversed_count = 0
+        for gid in reversed(pending.applied):
+            original = next(
+                m for m in pending.moves if m.object_id == gid
+            )
+            self._migrate(
+                ObjectMove(gid, self._home[gid], original.source_shard),
+                journal_writes=False,
+                seq=pending.seq,
+            )
+            reversed_count += 1
+        pending.applied.clear()
+        if pending.rollback_payload is None:
+            raise ValueError(
+                "pending rebalance carries no rollback state (was it "
+                "rebuilt by hand?)"
+            )
+        self.router = ShardRouter.from_payload(pending.rollback_payload)
+        if pending.op.kind == "add":
+            for shard_id in pending.new_shard_ids:
+                shard = self._shard_by_id.pop(shard_id)
+                if shard.num_objects:
+                    raise RuntimeError(
+                        f"new shard {shard_id} still holds objects after "
+                        "reversal; abort cannot drop it"
+                    )
+            self.shards = self.shards[: pending.shards_before]
+            self._next_shard_id -= len(pending.new_shard_ids)
+        else:
+            # Reinsert the doomed shards at their original slots,
+            # ascending so earlier insertions do not shift later ones.
+            for slot, shard_id in sorted(
+                zip(pending.op.removed, pending.removed_shard_ids)
+            ):
+                self.shards.insert(slot, self._shard_by_id[shard_id])
+        pending._finished = True
+        self._in_flight = None
+        if self.journal is not None:
+            self.journal.record_abort(pending.seq)
+        if self.obs.enabled:
+            self.obs.event(
+                "cluster.reshard.abort",
+                seq=pending.seq,
+                rolled_back=reversed_count,
+            )
+        return reversed_count
+
+    def reshard(self, op: ScalingOp) -> PendingReshard:
+        """Begin, fully execute, and finish one rebalance (offline path)."""
+        pending = self.begin_reshard(op)
+        self.execute_reshard(pending)
+        self.finish_reshard(pending)
+        return pending
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _spawn_shard(self) -> ShardNode:
+        """Create, register, and append one template-built shard."""
+        shard_id = self._next_shard_id
+        self._next_shard_id += 1
+        shard = _build_shard(
+            shard_id, self.template, self.master_seed, self.obs.enabled
+        )
+        self.shards.append(shard)
+        self._shard_by_id[shard_id] = shard
+        return shard
+
+    def _migrate(
+        self, move: ObjectMove, journal_writes: bool, seq: int
+    ) -> None:
+        """Move one object between shards (ingest + drop + re-home).
+
+        The target ingests the object through the same throttleable
+        session initial loads use; once every block lands, the source
+        drops its copy — at no point is the object unreadable.  Live
+        streams are re-homed at their current playback position.
+        """
+        gid = move.object_id
+        source = self._shard_by_id[move.source_shard]
+        target = self._shard_by_id[move.target_shard]
+        local = self._local[gid]
+        media = source.server.catalog.get(local)
+
+        # Capture live streams before the source copy goes away.
+        rehome: list[Stream] = []
+        if source._scheduler is not None:
+            for stream in source.scheduler.streams:
+                if stream.media.object_id == local:
+                    rehome.append(source.scheduler.depart(stream.stream_id))
+
+        session = IngestSession(
+            target.server, media.name, media.num_blocks,
+            blocks_per_round=media.blocks_per_round,
+        )
+        session.run(media.num_blocks)
+        source.server.remove_object(local)
+        self._home[gid] = target.shard_id
+        self._local[gid] = session.object_id
+
+        new_media = target.server.catalog.get(session.object_id)
+        for old in rehome:
+            if old.position >= new_media.num_blocks:
+                # Finished during the handoff: nothing left to serve.
+                self._streams.pop(old.stream_id, None)
+                continue
+            fresh = Stream(
+                old.stream_id, new_media, start_block=old.position
+            )
+            if old.state is StreamState.PAUSED:
+                fresh.pause()
+            target.scheduler.admit(fresh)
+
+        if journal_writes and self.journal is not None:
+            self.journal.record_apply(seq, gid)
+        if self.obs.enabled:
+            self.obs.event(
+                "cluster.migrate",
+                gid=gid,
+                source=move.source_shard,
+                target=move.target_shard,
+                blocks=media.num_blocks,
+                streams=len(rehome),
+            )
+
+    def _check_quiescent(self, what: str) -> None:
+        if self._in_flight is not None:
+            raise OperationInFlightError(
+                f"{what} refused: rebalance seq={self._in_flight.seq} is "
+                "in flight (the move plan was computed over the current "
+                "object namespace)"
+            )
+
+    def _check_pending(self, pending: PendingReshard) -> None:
+        if pending._finished:
+            raise ValueError("this rebalance was already finished")
+        if self._in_flight is not pending:
+            raise ValueError(
+                "this pending rebalance does not belong to this coordinator"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterCoordinator(router={self.router.policy.name!r}, "
+            f"shards={self.num_shards}, objects={self.num_objects}, "
+            f"blocks={self.total_blocks})"
+        )
+
+
+def _build_shard(
+    shard_id: int,
+    template: ShardTemplate,
+    master_seed: int,
+    instrument: bool,
+) -> ShardNode:
+    """One template-built shard, optionally with its own obs handle."""
+    from repro.obs import Obs
+
+    return ShardNode.create(
+        shard_id,
+        template.num_disks,
+        template.spec,
+        bits=template.bits,
+        backend=template.backend,
+        master_seed=master_seed,
+        obs=Obs() if instrument else None,
+    )

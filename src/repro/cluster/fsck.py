@@ -1,0 +1,115 @@
+"""Cluster layout auditing (fsck one level up).
+
+Two invariants on top of each shard's own
+:func:`~repro.server.fsck.check_layout` audit:
+
+* **routing** — every object's recorded home
+  (``coordinator._home[gid]``) equals where the router *computes* it
+  should live.  Mid-rebalance, an object whose pending migration
+  explains the disagreement (the router already says the target, the
+  object still sits at the source) is **in-flight**, not misrouted —
+  the same migration-awareness the disk-level audit has;
+* **per-shard layout** — every shard (slot-table and draining alike)
+  passes its own audit; a shard mid-scale can be vouched for by passing
+  its pending operation through ``shard_pending``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cluster.coordinator import ClusterCoordinator, PendingReshard
+from repro.server.cmserver import PendingReshuffle, PendingScale
+from repro.server.fsck import LayoutReport, check_layout
+
+
+@dataclass(frozen=True)
+class RoutingViolation:
+    """One object whose recorded home disagrees with the router."""
+
+    object_id: int
+    expected_shard: int
+    actual_shard: int
+
+
+@dataclass
+class ClusterLayoutReport:
+    """Outcome of one cluster-wide consistency audit."""
+
+    #: Stable shard id -> that shard's own layout audit.
+    shard_reports: dict[int, LayoutReport] = field(default_factory=dict)
+    objects_checked: int = 0
+    misrouted: list[RoutingViolation] = field(default_factory=list)
+    #: Routing disagreements explained by a pending rebalance move.
+    in_flight: list[RoutingViolation] = field(default_factory=list)
+
+    @property
+    def blocks_checked(self) -> int:
+        """Blocks audited across every shard."""
+        return sum(r.blocks_checked for r in self.shard_reports.values())
+
+    @property
+    def shard_in_flight(self) -> int:
+        """Disk-level in-flight violations summed over the shards."""
+        return sum(len(r.in_flight) for r in self.shard_reports.values())
+
+    @property
+    def clean(self) -> bool:
+        """Fully consistent: every shard clean and no misrouted objects
+        (in-flight entries at either level are expected mid-operation)."""
+        return not self.misrouted and all(
+            r.clean for r in self.shard_reports.values()
+        )
+
+
+def check_cluster(
+    coordinator: ClusterCoordinator,
+    pending: Optional[PendingReshard] = None,
+    shard_pending: Optional[
+        dict[int, PendingScale | PendingReshuffle]
+    ] = None,
+) -> ClusterLayoutReport:
+    """Audit the whole cluster: routing plus every shard's layout.
+
+    ``pending`` (defaults to the coordinator's in-flight rebalance, if
+    any) makes the routing audit migration-aware; ``shard_pending`` maps
+    stable shard ids to their own pending disk-level operations for the
+    per-shard audits.
+    """
+    if pending is None:
+        pending = coordinator._in_flight
+    pending_by_gid = (
+        {m.object_id: m for m in pending.remaining}
+        if pending is not None
+        else {}
+    )
+    report = ClusterLayoutReport()
+
+    for shard_id in sorted(coordinator._shard_by_id):
+        shard = coordinator._shard_by_id[shard_id]
+        report.shard_reports[shard_id] = check_layout(
+            shard.server,
+            (shard_pending or {}).get(shard_id),
+        )
+
+    slot_table = [shard.shard_id for shard in coordinator.shards]
+    for gid in sorted(coordinator._home):
+        report.objects_checked += 1
+        expected = slot_table[coordinator.router.slot_of(gid)]
+        actual = coordinator._home[gid]
+        if expected == actual:
+            continue
+        violation = RoutingViolation(
+            object_id=gid, expected_shard=expected, actual_shard=actual
+        )
+        move = pending_by_gid.get(gid)
+        if (
+            move is not None
+            and move.target_shard == expected
+            and move.source_shard == actual
+        ):
+            report.in_flight.append(violation)
+        else:
+            report.misrouted.append(violation)
+    return report

@@ -1,0 +1,303 @@
+"""The durable cluster journal: crash consistency for shard rebalances.
+
+Same intent/apply/commit discipline as the per-shard scaling journal
+(:mod:`repro.server.journal`), one level up: the unit of movement is an
+*object* migrating between shards instead of a block migrating between
+disks.
+
+* ``begin`` — written by
+  :meth:`~repro.cluster.coordinator.ClusterCoordinator.begin_reshard`
+  once the router reflects the new shard topology and the filtered move
+  plan is known: the operation, the shard counts, and the full move
+  list (object ids + *stable shard id* endpoints — slot indices
+  re-compact on removal and would be ambiguous after a crash);
+* ``apply`` — one record per migrated object, written after the object
+  fully landed on the target shard and was dropped from the source;
+* ``commit`` / ``abort`` — terminal records.
+
+The composition with the per-shard journals is strict layering: an
+object migration is *catalog* traffic on both shards (ingest on the
+target, removal on the source), never a per-shard scaling op, so a
+shard's own :class:`~repro.server.journal.ScalingJournal` records only
+its own disk-level operations.  Recovery replays the shard journals
+first (each shard returns to its own crash-consistent state), then the
+cluster journal on top (object moves re-executed against the restored
+shards) — see :func:`repro.cluster.persistence.resume_cluster`.
+
+Storage follows the scaling journal exactly: JSON lines, in-memory when
+``path=None``, flushed per record, optional fsync, torn final line
+tolerated on replay.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.core.operations import ScalingOp
+from repro.server.journal import JournalError
+
+
+@dataclass(frozen=True)
+class ObjectMove:
+    """One planned object migration, in stable-shard-id space."""
+
+    object_id: int
+    source_shard: int
+    target_shard: int
+
+
+@dataclass
+class ReshardRecord:
+    """Everything the cluster journal knows about one rebalance.
+
+    Attributes
+    ----------
+    seq:
+        1-based position of the operation in the router's log.
+    op:
+        The shard-topology operation (over *slots*, like any scaling op).
+    shards_before / shards_after:
+        Shard counts around the operation.
+    new_shard_ids:
+        Stable ids assigned to shards the operation attaches.
+    plan:
+        The filtered move list recorded at ``begin`` time.
+    applied:
+        Object ids whose migrations were journaled as landed, in order.
+    """
+
+    seq: int
+    op: ScalingOp
+    shards_before: int
+    shards_after: int
+    new_shard_ids: tuple[int, ...]
+    plan: tuple[ObjectMove, ...]
+    applied: list[int] = field(default_factory=list)
+    committed: bool = False
+    aborted: bool = False
+
+    @property
+    def open(self) -> bool:
+        """Whether the rebalance is still in flight."""
+        return not (self.committed or self.aborted)
+
+    @property
+    def remaining(self) -> int:
+        """Planned migrations without an apply record."""
+        return len(self.plan) - len(self.applied)
+
+
+class ClusterJournal:
+    """Append-only intent/apply/commit journal for shard rebalances.
+
+    Parameters
+    ----------
+    path:
+        JSON-lines file to append to; ``None`` keeps records in memory
+        (same semantics, no durability).
+    fsync:
+        ``os.fsync`` after every record when True.
+    """
+
+    def __init__(self, path: str | Path | None = None, fsync: bool = False):
+        from repro.obs import NULL_OBS
+
+        self.path = Path(path) if path is not None else None
+        self.fsync = fsync
+        self.obs = NULL_OBS
+        self._records: list[dict] = []
+        self._fh = None
+        if self.path is not None:
+            self._fh = open(self.path, "a", encoding="utf-8")
+
+    def attach_obs(self, obs) -> None:
+        """Attach an observability handle (records counted per type)."""
+        self.obs = obs
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def record_begin(
+        self,
+        seq: int,
+        op: ScalingOp,
+        shards_before: int,
+        shards_after: int,
+        new_shard_ids: Iterable[int],
+        moves: Iterable[ObjectMove],
+    ) -> None:
+        """Journal the intent of one rebalance (filtered plan included).
+
+        Raises
+        ------
+        JournalError
+            If another rebalance is still open.
+        """
+        last = self._last_record()
+        if last is not None and last.open:
+            raise JournalError(
+                f"rebalance seq={last.seq} is still open; commit or abort "
+                "it before beginning another"
+            )
+        self._append(
+            {
+                "type": "begin",
+                "seq": seq,
+                "op": op.to_dict(),
+                "shards_before": shards_before,
+                "shards_after": shards_after,
+                "new_shard_ids": list(new_shard_ids),
+                "plan": [
+                    [m.object_id, m.source_shard, m.target_shard]
+                    for m in moves
+                ],
+            }
+        )
+
+    def record_apply(self, seq: int, object_id: int) -> None:
+        """Journal one landed object migration."""
+        self._require_open(seq, "apply")
+        self._append({"type": "apply", "seq": seq, "object": object_id})
+
+    def record_commit(self, seq: int) -> None:
+        """Journal completion of a rebalance."""
+        self._require_open(seq, "commit")
+        self._append({"type": "commit", "seq": seq})
+
+    def record_abort(self, seq: int) -> None:
+        """Journal rollback of a rebalance."""
+        self._require_open(seq, "abort")
+        self._append({"type": "abort", "seq": seq})
+
+    def _require_open(self, seq: int, what: str) -> None:
+        last = self._last_record()
+        if last is None or not last.open:
+            raise JournalError(f"{what} for seq={seq}: no open rebalance")
+        if last.seq != seq:
+            raise JournalError(
+                f"{what} for seq={seq} does not match the open rebalance "
+                f"seq={last.seq}"
+            )
+
+    def sync(self) -> None:
+        """Force the journal to stable storage (no-op in memory)."""
+        if self._fh is not None:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        """Close the backing file (in-memory journals are unaffected)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "ClusterJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def replay(self) -> list[ReshardRecord]:
+        """Parse the journal into per-rebalance records, oldest first.
+
+        Raises
+        ------
+        JournalError
+            On corrupt records anywhere but the final line (a torn final
+            line is the expected crash artifact and is dropped).
+        """
+        raw = self._read_raw()
+        records: list[ReshardRecord] = []
+        for lineno, entry in enumerate(raw, start=1):
+            kind = entry.get("type")
+            if kind == "begin":
+                records.append(
+                    ReshardRecord(
+                        seq=entry["seq"],
+                        op=ScalingOp.from_dict(entry["op"]),
+                        shards_before=entry["shards_before"],
+                        shards_after=entry["shards_after"],
+                        new_shard_ids=tuple(entry["new_shard_ids"]),
+                        plan=tuple(
+                            ObjectMove(gid, src, dst)
+                            for gid, src, dst in entry["plan"]
+                        ),
+                    )
+                )
+                continue
+            if not records:
+                raise JournalError(
+                    f"record {lineno}: {kind!r} before any 'begin'"
+                )
+            current = records[-1]
+            if entry.get("seq") != current.seq:
+                raise JournalError(
+                    f"record {lineno}: seq {entry.get('seq')} does not "
+                    f"match open rebalance seq {current.seq}"
+                )
+            if kind == "apply":
+                if not current.open:
+                    raise JournalError(
+                        f"record {lineno}: apply after commit/abort"
+                    )
+                current.applied.append(entry["object"])
+            elif kind == "commit":
+                current.committed = True
+            elif kind == "abort":
+                current.aborted = True
+            else:
+                raise JournalError(f"record {lineno}: unknown type {kind!r}")
+        return records
+
+    def open_record(self) -> Optional[ReshardRecord]:
+        """The in-flight rebalance, if the journal ends mid-migration."""
+        records = self.replay()
+        if records and records[-1].open:
+            return records[-1]
+        return None
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _append(self, record: dict) -> None:
+        self._records.append(record)
+        if self.obs.enabled:
+            self.obs.inc("cluster.journal.records", type=record["type"])
+        if self._fh is not None:
+            self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+            self._fh.flush()
+            if self.fsync:
+                os.fsync(self._fh.fileno())
+
+    def _read_raw(self) -> list[dict]:
+        if self.path is None:
+            return list(self._records)
+        if not self.path.exists():
+            return []
+        entries: list[dict] = []
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        for lineno, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError:
+                if lineno == len(lines):
+                    break  # torn final line: the crash artifact
+                raise JournalError(f"corrupt cluster journal line {lineno}")
+        return entries
+
+    def _last_record(self) -> Optional[ReshardRecord]:
+        records = self.replay()
+        return records[-1] if records else None
+
+    def __repr__(self) -> str:
+        where = str(self.path) if self.path is not None else "memory"
+        return f"ClusterJournal({where}, records={len(self._read_raw())})"

@@ -1,0 +1,116 @@
+"""Cluster-wide observability aggregation.
+
+Every shard carries its own :class:`~repro.obs.Obs` handle (its events
+and counters are exactly a single server's); the coordinator carries one
+more for cluster-level events.  This module folds them into single
+artifacts without touching the per-shard handles:
+
+* :func:`merged_deterministic_view` — every handle's
+  :meth:`~repro.obs.events.EventLog.deterministic_view`, shard-tagged
+  and ordered by ``(tag, seq)`` — the cluster's seed-determinism
+  fingerprint (two same-seed runs must produce equal merged views);
+* :func:`merged_registry` — one fresh
+  :class:`~repro.obs.registry.MetricsRegistry` with every per-shard
+  series re-labelled by ``shard=<id>`` (the coordinator's own series get
+  ``shard=cluster``), counters summed into their new series, gauges
+  overwritten, histogram buckets copied wholesale;
+* :func:`cluster_prometheus` — the merged registry through the standard
+  exporter: one scrape document for the whole cluster.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.obs.export import to_prometheus
+from repro.obs.registry import (
+    LabelKey,
+    MetricsRegistry,
+    _HistogramSeries,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.coordinator import ClusterCoordinator
+    from repro.obs import Obs
+
+#: Tag the coordinator's own handle carries in merged artifacts.
+CLUSTER_TAG = "cluster"
+
+
+def _live_handles(
+    coordinator: "ClusterCoordinator",
+) -> Iterator[tuple[str, "Obs"]]:
+    """(tag, handle) for every enabled Obs in the cluster, cluster-level
+    first, then shards by stable id (draining shards included)."""
+    if coordinator.obs.enabled:
+        yield CLUSTER_TAG, coordinator.obs
+    for shard_id in sorted(coordinator._shard_by_id):
+        obs = coordinator._shard_by_id[shard_id].server.obs
+        if obs.enabled:
+            yield str(shard_id), obs
+
+
+def merged_deterministic_view(
+    coordinator: "ClusterCoordinator",
+) -> list[tuple[str, int, str, dict[str, Any]]]:
+    """Every handle's deterministic view, shard-tagged.
+
+    Entries are ``(tag, seq, kind, fields)`` with the cluster handle
+    first under :data:`CLUSTER_TAG`, then each shard's events under its
+    stable id — a total order (tag, then per-log seq) that two same-seed
+    runs reproduce exactly.
+    """
+    merged: list[tuple[str, int, str, dict[str, Any]]] = []
+    for tag, obs in _live_handles(coordinator):
+        merged.extend(
+            (tag, seq, kind, fields)
+            for seq, kind, fields in obs.log.deterministic_view()
+        )
+    return merged
+
+
+def _tagged(key: LabelKey, tag: str) -> LabelKey:
+    """Fold ``shard=<tag>`` into a series key (kept sorted, as the
+    registry's ``_label_key`` would produce it)."""
+    return tuple(sorted(key + (("shard", tag),)))
+
+
+def merged_registry(coordinator: "ClusterCoordinator") -> MetricsRegistry:
+    """One registry holding every handle's metrics, shard-labelled.
+
+    Counter series sum into their re-labelled identity (distinct shards
+    never collide — the shard label separates them), gauges carry over
+    point-in-time, histogram series are copied bucket-for-bucket.  The
+    source registries are read, never mutated.
+    """
+    merged = MetricsRegistry()
+    for tag, obs in _live_handles(coordinator):
+        registry = obs.registry
+        for counter in registry.counters:
+            target = merged.counter(counter.name, counter.help)
+            for key, value in counter.series.items():
+                target._values[_tagged(key, tag)] = (
+                    target._values.get(_tagged(key, tag), 0) + value
+                )
+        for gauge in registry.gauges:
+            target_gauge = merged.gauge(gauge.name, gauge.help)
+            for key, value in gauge.series.items():
+                target_gauge._values[_tagged(key, tag)] = value
+        for hist in registry.histograms:
+            target_hist = merged.histogram(
+                hist.name, hist.help, buckets=hist.buckets
+            )
+            for key, series in hist.series.items():
+                copy = _HistogramSeries(len(hist.buckets))
+                copy.bucket_counts = list(series.bucket_counts)
+                copy.count = series.count
+                copy.sum = series.sum
+                copy.min = series.min
+                copy.max = series.max
+                target_hist._series[_tagged(key, tag)] = copy
+    return merged
+
+
+def cluster_prometheus(coordinator: "ClusterCoordinator") -> str:
+    """The whole cluster's metrics as one Prometheus scrape document."""
+    return to_prometheus(merged_registry(coordinator))

@@ -30,6 +30,7 @@ module                paper artifact
 ``chaos_scaling``     robustness: scaling under injected faults
 ``availability``      robustness: serving through disk death
 ``soak``              robustness: long-horizon lifecycle soak
+``cluster_chaos``     robustness: shard rebalances under failure
 ====================  ==========================================
 """
 
@@ -38,6 +39,7 @@ from repro.experiments import (
     availability,
     bound_tightness,
     chaos_scaling,
+    cluster_chaos,
     cov_curve,
     fault_tolerance,
     fig1,
@@ -80,6 +82,7 @@ EXPERIMENTS = {
     "chaos": chaos_scaling,
     "availability": availability,
     "soak": soak,
+    "cluster-chaos": cluster_chaos,
 }
 
 __all__ = ["EXPERIMENTS"]

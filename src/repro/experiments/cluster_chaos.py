@@ -1,0 +1,394 @@
+"""Experiment CLUSTER-CHAOS: cluster rebalances under failure.
+
+The cluster-level counterpart of the chaos-scaling experiment: every
+scenario reorganizes *objects over shards* (SCADDAR's minimal-move
+objective one level up) while streams play, and must come out the other
+side with **zero blocks lost** and a clean cluster fsck.  Four
+scenarios:
+
+* **shard-add** — grow the cluster online; migrations interleave with
+  barrier rounds, and the observed object-move fraction must respect the
+  router's theoretical bound (``k/(N+k)`` for ``jump_hash``, the
+  object-level analogue of the paper's Lemma bounds);
+* **shard-remove** — drain and detach a shard under the same serving
+  load;
+* **crash-resume** — the coordinator dies mid-rebalance ("shard death
+  mid-rebalance": the process owning the topology is gone); recovery
+  replays the :class:`~repro.cluster.journal.ClusterJournal` over the
+  manifest and must land bit-identically on the layout an uncrashed run
+  produces;
+* **disk-death** — a disk dies *inside* one shard mid-scale while the
+  rest of the cluster keeps serving; the shard escalates
+  failure-as-removal locally, and every shard draws its fault schedule
+  from its own :func:`~repro.cluster.shard.shard_fault_seed`-derived
+  stream (no two shards share one).
+
+Every run is bit-reproducible from ``seed``: each scenario's final
+layout is digested and the shard-add scenario is executed twice to
+prove the digests match.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, replace
+
+from repro.analysis.movement import optimal_move_fraction
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.fsck import check_cluster
+from repro.cluster.journal import ClusterJournal
+from repro.cluster.persistence import resume_cluster, snapshot_cluster
+from repro.core.operations import ScalingOp
+from repro.experiments.tables import format_table
+from repro.server.faults import DiskDeathError, FaultInjector
+from repro.server.fsck import check_layout
+from repro.server.recovery import escalate_disk_death
+from repro.storage.disk import DiskSpec
+from repro.storage.migration import MigrationSession
+
+
+@dataclass(frozen=True)
+class ClusterChaosResult:
+    """Outcome of one cluster chaos scenario."""
+
+    scenario: str
+    shards_before: int
+    shards_after: int
+    planned_moves: int
+    migrated: int
+    rounds: int
+    hiccups: int
+    blocks_lost: int
+    layout_clean: bool
+    #: Fraction of objects moved over the router's theoretical optimum
+    #: (<= 1.0 + slack means the rebalance was move-minimal).
+    move_fraction: float = 0.0
+    optimal_fraction: float = 0.0
+    #: Same-seed replay produced an identical layout digest.
+    deterministic: bool = True
+    #: sha256 over the final (gid, shard, logical placements) layout.
+    digest: str = ""
+
+    @property
+    def survived(self) -> bool:
+        """The headline claim: nothing lost, everything consistent."""
+        return self.blocks_lost == 0 and self.layout_clean
+
+
+def _build(
+    num_shards: int,
+    disks_per_shard: int,
+    num_objects: int,
+    blocks_per_object: int,
+    bits: int,
+    seed: int,
+    router_backend: str = "jump_hash",
+    journal: ClusterJournal | None = None,
+    obs=None,
+) -> ClusterCoordinator:
+    spec = DiskSpec(capacity_blocks=100_000, bandwidth_blocks_per_round=12)
+    coordinator = ClusterCoordinator.create(
+        num_shards,
+        disks_per_shard,
+        spec,
+        bits=bits,
+        router_backend=router_backend,
+        master_seed=seed,
+        journal=journal if journal is not None else ClusterJournal(),
+        obs=obs,
+    )
+    for i in range(num_objects):
+        coordinator.add_object(f"title-{i}", blocks_per_object)
+    for i in range(num_objects):
+        media_blocks = blocks_per_object
+        coordinator.admit_stream(i, i, start_block=(i * 37) % media_blocks)
+    return coordinator
+
+
+def layout_digest(coordinator: ClusterCoordinator) -> str:
+    """sha256 fingerprint of the cluster's logical block layout."""
+    layout = []
+    for gid in coordinator.object_ids:
+        shard_id, physicals = coordinator.block_locations(gid)
+        array = coordinator.shard(shard_id).server.array
+        layout.append(
+            (gid, shard_id, [array.logical_of(pid) for pid in physicals])
+        )
+    return hashlib.sha256(
+        json.dumps(layout, separators=(",", ":")).encode()
+    ).hexdigest()
+
+
+def _rebalance_online(
+    coordinator: ClusterCoordinator, op: ScalingOp
+) -> tuple[int, int, int, int]:
+    """Begin/migrate/finish with one barrier round per migration.
+
+    Returns (planned, migrated, rounds, hiccups)."""
+    before = coordinator.total_blocks
+    pending = coordinator.begin_reshard(op)
+    rounds = hiccups = 0
+    while coordinator.migrate_next(pending) is not None:
+        report = coordinator.run_round()
+        rounds += 1
+        hiccups += report.hiccups
+    coordinator.finish_reshard(pending)
+    assert coordinator.total_blocks == before
+    return len(pending.moves), len(pending.applied), rounds, hiccups
+
+
+def _topology_scenario(
+    scenario: str,
+    op: ScalingOp,
+    num_shards: int,
+    disks_per_shard: int,
+    num_objects: int,
+    blocks_per_object: int,
+    bits: int,
+    seed: int,
+    obs=None,
+) -> ClusterChaosResult:
+    coordinator = _build(
+        num_shards, disks_per_shard, num_objects, blocks_per_object,
+        bits, seed, obs=obs,
+    )
+    before = coordinator.total_blocks
+    planned, migrated, rounds, hiccups = _rebalance_online(coordinator, op)
+    audit = check_cluster(coordinator)
+    return ClusterChaosResult(
+        scenario=scenario,
+        shards_before=num_shards,
+        shards_after=coordinator.num_shards,
+        planned_moves=planned,
+        migrated=migrated,
+        rounds=rounds,
+        hiccups=hiccups,
+        blocks_lost=before - coordinator.total_blocks,
+        layout_clean=audit.clean,
+        move_fraction=migrated / num_objects if num_objects else 0.0,
+        optimal_fraction=optimal_move_fraction(op, num_shards),
+        digest=layout_digest(coordinator),
+    )
+
+
+def _crash_resume_scenario(
+    num_shards: int,
+    disks_per_shard: int,
+    num_objects: int,
+    blocks_per_object: int,
+    bits: int,
+    seed: int,
+    obs=None,
+) -> ClusterChaosResult:
+    op = ScalingOp.add(1)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "cluster.journal")
+        coordinator = _build(
+            num_shards, disks_per_shard, num_objects, blocks_per_object,
+            bits, seed, journal=ClusterJournal(path), obs=obs,
+        )
+        manifest = snapshot_cluster(coordinator)
+        blocks = coordinator.total_blocks
+
+        # The doomed timeline: rebalance until half the moves landed,
+        # then the coordinator "dies" (we simply stop driving it).
+        pending = coordinator.begin_reshard(op)
+        planned = len(pending.moves)
+        for _ in range(planned // 2):
+            coordinator.migrate_next(pending)
+        coordinator.journal.close()
+
+        # The uncrashed twin fixes the expected layout.
+        twin = _build(
+            num_shards, disks_per_shard, num_objects, blocks_per_object,
+            bits, seed,
+        )
+        twin_planned, twin_migrated, _, _ = _rebalance_online(twin, op)
+        expected = layout_digest(twin)
+
+        resumed, resumed_pending = resume_cluster(manifest, path)
+        rounds = hiccups = 0
+        assert resumed_pending is not None
+        mid_audit = check_cluster(resumed, resumed_pending)
+        while resumed.migrate_next(resumed_pending) is not None:
+            report = resumed.run_round()
+            rounds += 1
+            hiccups += report.hiccups
+        resumed.finish_reshard(resumed_pending)
+        resumed.journal.close()
+        audit = check_cluster(resumed)
+        digest = layout_digest(resumed)
+        return ClusterChaosResult(
+            scenario="crash-resume",
+            shards_before=num_shards,
+            shards_after=resumed.num_shards,
+            planned_moves=planned,
+            migrated=len(resumed_pending.applied),
+            rounds=rounds,
+            hiccups=hiccups,
+            blocks_lost=blocks - resumed.total_blocks,
+            layout_clean=audit.clean and mid_audit.clean,
+            move_fraction=(
+                twin_migrated / num_objects if num_objects else 0.0
+            ),
+            optimal_fraction=optimal_move_fraction(op, num_shards),
+            deterministic=digest == expected,
+            digest=digest,
+        )
+
+
+def _disk_death_scenario(
+    num_shards: int,
+    disks_per_shard: int,
+    num_objects: int,
+    blocks_per_object: int,
+    bits: int,
+    seed: int,
+    fault_rate: float,
+    obs=None,
+) -> ClusterChaosResult:
+    coordinator = _build(
+        num_shards, disks_per_shard, num_objects, blocks_per_object,
+        bits, seed, obs=obs,
+    )
+    before = coordinator.total_blocks
+    victim = coordinator.shards[0]
+    server = victim.server
+
+    # Each shard's schedule comes from its own derived stream — the
+    # injector for shard 0 must not correlate with any sibling's.
+    seeds = {s.fault_seed(seed) for s in coordinator.shards}
+    decorrelated = len(seeds) == len(coordinator.shards)
+    injector = FaultInjector(
+        seed=victim.fault_seed(seed),
+        transient_rate=fault_rate,
+        death_at_transfer=max(2, server.total_blocks // (disks_per_shard * 4)),
+        death_victim="source",
+    )
+    pending = server.begin_scale(ScalingOp.add(1))
+    session = MigrationSession(
+        server.array, pending.plan,
+        journal=server.journal, op_seq=pending.op_seq, injector=injector,
+        obs=server.obs,
+    )
+    rounds = hiccups = 0
+    try:
+        while not session.done:
+            report = coordinator.run_round()
+            rounds += 1
+            hiccups += report.hiccups
+            session.step(report.reports[victim.shard_id].spare_by_physical)
+        server.finish_scale(pending)
+    except DiskDeathError as death:
+        escalate_disk_death(
+            server, pending, session, death.physical_id, injector=injector
+        )
+    shard_audit = check_layout(server)
+    cluster_audit = check_cluster(coordinator)
+    return ClusterChaosResult(
+        scenario="disk-death",
+        shards_before=num_shards,
+        shards_after=coordinator.num_shards,
+        planned_moves=len(pending.plan),
+        migrated=len(session.executed),
+        rounds=rounds,
+        hiccups=hiccups,
+        blocks_lost=before - coordinator.total_blocks,
+        layout_clean=(
+            shard_audit.clean and cluster_audit.clean and decorrelated
+        ),
+        digest=layout_digest(coordinator),
+    )
+
+
+def run_cluster_chaos(
+    num_shards: int = 3,
+    disks_per_shard: int = 3,
+    num_objects: int = 18,
+    blocks_per_object: int = 120,
+    bits: int = 32,
+    fault_rate: float = 0.1,
+    seed: int = 0xC105,
+    obs=None,
+) -> list[ClusterChaosResult]:
+    """Run the four cluster chaos scenarios; all must lose zero blocks.
+
+    ``obs`` (a cluster-level :class:`repro.obs.Obs`) instruments every
+    coordinator built along the way; merge the per-shard handles with
+    :func:`repro.cluster.obs.merged_deterministic_view`.
+    """
+    add = _topology_scenario(
+        "shard-add", ScalingOp.add(2), num_shards, disks_per_shard,
+        num_objects, blocks_per_object, bits, seed, obs=obs,
+    )
+    # Same seed, second run: the digest must be bit-identical.
+    replay = _topology_scenario(
+        "shard-add", ScalingOp.add(2), num_shards, disks_per_shard,
+        num_objects, blocks_per_object, bits, seed,
+    )
+    add = replace(add, deterministic=add.digest == replay.digest)
+    remove = _topology_scenario(
+        "shard-remove", ScalingOp.remove([num_shards - 1]), num_shards,
+        disks_per_shard, num_objects, blocks_per_object, bits, seed,
+        obs=obs,
+    )
+    crash = _crash_resume_scenario(
+        num_shards, disks_per_shard, num_objects, blocks_per_object,
+        bits, seed, obs=obs,
+    )
+    death = _disk_death_scenario(
+        num_shards, disks_per_shard, num_objects, blocks_per_object,
+        bits, seed, fault_rate, obs=obs,
+    )
+    return [add, remove, crash, death]
+
+
+def report(results: list[ClusterChaosResult] | None = None) -> str:
+    """Render the cluster chaos sweep."""
+    results = results if results is not None else run_cluster_chaos()
+    table = format_table(
+        (
+            "scenario",
+            "shards",
+            "moves",
+            "migrated",
+            "rounds",
+            "hiccups",
+            "move frac",
+            "optimal",
+            "blocks lost",
+            "fsck clean",
+            "same-seed",
+        ),
+        [
+            (
+                r.scenario,
+                f"{r.shards_before}->{r.shards_after}",
+                r.planned_moves,
+                r.migrated,
+                r.rounds,
+                r.hiccups,
+                round(r.move_fraction, 3),
+                round(r.optimal_fraction, 3),
+                r.blocks_lost,
+                "yes" if r.layout_clean else "NO",
+                "yes" if r.deterministic else "NO",
+            )
+            for r in results
+        ],
+    )
+    survived = all(r.survived and r.deterministic for r in results)
+    return (
+        table
+        + "\nzero blocks lost + clean fsck on every row: the cluster "
+        "rebalanced, crashed, and lost a disk without losing data; "
+        "same-seed runs replay bit-identically"
+        + ("" if survived else "\n*** DATA LOSS OR NONDETERMINISM ***")
+    )
+
+
+#: Uniform entry point used by the CLI (`scaddar <name>`).
+run = run_cluster_chaos

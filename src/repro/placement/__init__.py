@@ -47,8 +47,8 @@ from repro.placement.jump_hash import JumpHashPolicy, jump_hash
 from repro.placement.pseudo_random import NaivePolicy, ScaddarPolicy
 from repro.placement.round_robin import RoundRobinPolicy
 from repro.placement.sequential_checking import SequentialCheckingPolicy
-from repro.placement.straw import StrawPolicy, straw_length
-from repro.placement.weighted_straw import WeightedStrawPool
+from repro.placement.straw import StrawPolicy, straw_length, straw_winners
+from repro.placement.weighted_straw import WeightedStrawPolicy, WeightedStrawPool
 
 #: All policies the comparison benches sweep, keyed by policy name.
 ALL_POLICIES: dict[str, type[PlacementPolicy]] = {
@@ -82,9 +82,11 @@ __all__ = [
     "SequentialCheckingPolicy",
     "StrawPolicy",
     "UnknownBackendError",
+    "WeightedStrawPolicy",
     "WeightedStrawPool",
     "backend_from_payload",
     "jump_hash",
     "make_backend",
     "straw_length",
+    "straw_winners",
 ]

@@ -18,10 +18,11 @@ policy, not just SCADDAR.  This module provides:
   backend comes to life (fresh, or restored from a snapshot).
 
 Registered backends besides SCADDAR: the jump-consistent-hash and
-vnode-ring comparators, the Appendix A directory baseline, and the
-reallocation-free sequential-checking scheme (arXiv 1707.00904).  Every
-future policy (weighted/heterogeneous, replication-aware) plugs in by
-implementing the backend API and registering here.
+vnode-ring comparators, the Appendix A directory baseline, the
+reallocation-free sequential-checking scheme (arXiv 1707.00904), and
+the CRUSH-style straw2 pair (unit-weight ``straw`` and heterogeneous
+``weighted_straw``).  Every future policy (replication-aware, ...)
+plugs in by implementing the backend API and registering here.
 """
 
 from __future__ import annotations
@@ -39,6 +40,8 @@ from repro.placement.directory import DirectoryPolicy
 from repro.placement.jump_hash import JumpHashPolicy
 from repro.placement.pseudo_random import ScaddarPolicy
 from repro.placement.sequential_checking import SequentialCheckingPolicy
+from repro.placement.straw import StrawPolicy
+from repro.placement.weighted_straw import WeightedStrawPolicy
 from repro.storage.block import BlockId
 
 
@@ -104,6 +107,8 @@ BACKENDS: dict[str, type[PlacementPolicy]] = {
     ConsistentHashPolicy.name: ConsistentHashPolicy,
     DirectoryPolicy.name: DirectoryPolicy,
     SequentialCheckingPolicy.name: SequentialCheckingPolicy,
+    StrawPolicy.name: StrawPolicy,
+    WeightedStrawPolicy.name: WeightedStrawPolicy,
 }
 
 

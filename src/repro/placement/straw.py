@@ -17,12 +17,16 @@ compact for the shared interface.
 from __future__ import annotations
 
 import math
+from typing import Optional, Sequence
+
+import numpy as np
 
 from repro.core.operations import ScalingOp
 from repro.core.remap import survivor_ranks
 from repro.placement.base import PlacementPolicy
+from repro.placement.consistent_hash import _mix64_batch
 from repro.prng.generators import _mix64
-from repro.storage.block import Block
+from repro.storage.block import Block, BlockId
 
 _STRAW_SALT = 0x57A3A_2
 
@@ -39,6 +43,35 @@ def straw_length(x0: int, node_id: int, weight: float = 1.0) -> float:
     h = _mix64(_mix64(x0 ^ _STRAW_SALT) + node_id)
     u = (h + 1) / 2.0**64  # in (0, 1]
     return math.log(u) / weight
+
+
+def straw_winners(
+    x0s: np.ndarray,
+    node_ids: Sequence[int],
+    weights: Optional[Sequence[float]] = None,
+) -> np.ndarray:
+    """Vectorized straw2 selection: winning *position* per block.
+
+    One :func:`_mix64_batch` pass per node over the whole block batch —
+    the draw loop runs over N nodes, not N x blocks Python iterations.
+    Ties resolve to the earliest position (matching a scalar loop with a
+    strict ``>`` comparison); both the scalar and batched policy lookups
+    route through this one kernel so they cannot diverge.
+    """
+    x0s = np.asarray(x0s, dtype=np.uint64)
+    inner = _mix64_batch(x0s ^ np.uint64(_STRAW_SALT))
+    best = np.full(x0s.shape, -np.inf)
+    winner = np.zeros(x0s.shape, dtype=np.int64)
+    for position, node_id in enumerate(node_ids):
+        h = _mix64_batch(inner + np.uint64(node_id))
+        u = (h.astype(np.float64) + 1.0) * 2.0**-64  # in (0, 1]
+        straw = np.log(u)
+        if weights is not None:
+            straw /= weights[position]
+        better = straw > best
+        best = np.where(better, straw, best)
+        winner = np.where(better, position, winner)
+    return winner
 
 
 class StrawPolicy(PlacementPolicy):
@@ -64,14 +97,20 @@ class StrawPolicy(PlacementPolicy):
         super().__init__(n0)
 
     def disk_of(self, block: Block) -> int:
-        best_logical = 0
-        best_straw = -math.inf
-        for logical, node_id in enumerate(self._nodes):
-            straw = straw_length(block.x0, node_id)
-            if straw > best_straw:
-                best_straw = straw
-                best_logical = logical
-        return best_logical
+        return self.locate_one(block.block_id, block.x0)
+
+    def locate_one(self, block_id: BlockId, x0: int) -> int:
+        return int(
+            self.locate_batch(None, np.asarray([x0], dtype=np.uint64))[0]
+        )
+
+    def locate_batch(
+        self,
+        block_ids: Optional[Sequence[BlockId]],
+        x0s: np.ndarray,
+    ) -> np.ndarray:
+        """Batched straw draws: one vectorized pass per node."""
+        return straw_winners(x0s, self._nodes)
 
     def state_entries(self) -> int:
         """One node-id record per disk."""

@@ -1,18 +1,141 @@
-"""Weighted straw2 pool — the CRUSH way to run heterogeneous disks.
+"""Weighted straw2 — the CRUSH way to run heterogeneous disks.
 
 SCADDAR handles mixed hardware by splitting fast drives into several
 unit logical disks (Section 6 / :mod:`repro.storage.hetero`); CRUSH's
 straw2 instead weights the selection draw directly: disk ``i`` wins a
 block with probability proportional to ``w_i``, no virtual disks needed.
-:class:`WeightedStrawPool` mirrors the
-:class:`~repro.storage.hetero.HeterogeneousPool` interface so the
-heterogeneous experiment can compare the two approaches on identical
-fleets.
+
+Two faces of the same selection rule live here:
+
+* :class:`WeightedStrawPolicy` — the full backend
+  (:class:`~repro.placement.base.PlacementPolicy` + persistence
+  identity), registered as ``weighted_straw`` so the server stack and
+  the cluster router can place on weighted members;
+* :class:`WeightedStrawPool` — a thin physical-id-keyed pool mirroring
+  the :class:`~repro.storage.hetero.HeterogeneousPool` interface so the
+  heterogeneous experiment can compare the two approaches on identical
+  fleets.
 """
 
 from __future__ import annotations
 
-from repro.placement.straw import straw_length
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.operations import ScalingOp
+from repro.core.remap import survivor_ranks
+from repro.placement.base import PlacementPolicy, _restore_log
+from repro.placement.straw import straw_length, straw_winners
+from repro.storage.block import Block, BlockId
+
+
+class WeightedStrawPolicy(PlacementPolicy):
+    """Straw2 selection over *weighted* disks behind the shared interface.
+
+    Parameters
+    ----------
+    n0:
+        Initial disk count.
+    weights:
+        Selection weight per initial disk (default: all 1.0, in which
+        case placement coincides with :class:`~repro.placement.straw
+        .StrawPolicy` up to the weighted draw's float division).
+
+    Notes
+    -----
+    Disks attached by a scaling operation join at weight 1.0
+    (:class:`~repro.core.operations.ScalingOp` carries no weights);
+    :meth:`set_weight` adjusts a member afterwards — each adjustment
+    relocates exactly the blocks whose winner changed.  Because weights
+    are not derivable from the operation log, the persistence payload
+    records the node table and weights explicitly instead of relying on
+    log replay.
+    """
+
+    name = "weighted_straw"
+
+    def __init__(self, n0: int, weights: Optional[Sequence[float]] = None):
+        if weights is None:
+            weights = [1.0] * n0
+        if len(weights) != n0:
+            raise ValueError(
+                f"{n0} disks but {len(weights)} weights were given"
+            )
+        for weight in weights:
+            if weight <= 0:
+                raise ValueError(f"weight must be > 0, got {weight}")
+        self._nodes: list[int] = list(range(n0))
+        self._weights: list[float] = [float(w) for w in weights]
+        self._next_node_id = n0
+        super().__init__(n0)
+
+    def disk_of(self, block: Block) -> int:
+        return self.locate_one(block.block_id, block.x0)
+
+    def locate_one(self, block_id: BlockId, x0: int) -> int:
+        return int(
+            self.locate_batch(None, np.asarray([x0], dtype=np.uint64))[0]
+        )
+
+    def locate_batch(
+        self,
+        block_ids: Optional[Sequence[BlockId]],
+        x0s: np.ndarray,
+    ) -> np.ndarray:
+        """Batched weighted straw draws: one vectorized pass per node."""
+        return straw_winners(x0s, self._nodes, self._weights)
+
+    def weight_of(self, logical: int) -> float:
+        """A member's current selection weight."""
+        return self._weights[logical]
+
+    def set_weight(self, logical: int, weight: float) -> None:
+        """Re-weight one member (takes effect on the next lookup)."""
+        if weight <= 0:
+            raise ValueError(f"weight must be > 0, got {weight}")
+        self._weights[logical] = float(weight)
+
+    def state_entries(self) -> int:
+        """One (node id, weight) record per disk."""
+        return len(self._nodes)
+
+    def _on_apply(self, op: ScalingOp, n_before: int, n_after: int) -> None:
+        if op.kind == "add":
+            fresh = range(self._next_node_id, self._next_node_id + op.count)
+            self._nodes.extend(fresh)
+            self._weights.extend([1.0] * op.count)
+            self._next_node_id += op.count
+            return
+        ranks = survivor_ranks(op.removed, n_before)
+        survivors = [
+            (node, weight)
+            for logical, (node, weight) in enumerate(
+                zip(self._nodes, self._weights)
+            )
+            if ranks[logical] >= 0
+        ]
+        self._nodes = [node for node, __ in survivors]
+        self._weights = [weight for __, weight in survivors]
+
+    def state_payload(self) -> dict:
+        """Node table + weights (weights are not log-derivable)."""
+        return {
+            "operation_log": self._log_payload(),
+            "nodes": list(self._nodes),
+            "weights": list(self._weights),
+            "next_node_id": self._next_node_id,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "WeightedStrawPolicy":
+        log = _restore_log(payload)
+        policy = cls(log.n0)
+        policy.log = log
+        policy._nodes = [int(node) for node in payload["nodes"]]
+        policy._weights = [float(weight) for weight in payload["weights"]]
+        policy._next_node_id = int(payload["next_node_id"])
+        return policy
 
 
 class WeightedStrawPool:

@@ -68,6 +68,7 @@ from repro.server.persistence import (
     server_to_json,
     snapshot_server,
 )
+from repro.server.protocol import ServerProtocol
 from repro.server.scheduler import RoundReport, RoundScheduler
 from repro.server.simulation import DaySummary, ServerSimulation
 from repro.server.streams import Stream, StreamState
@@ -127,6 +128,7 @@ __all__ = [
     "RoundScheduler",
     "ScaleReport",
     "ScalingJournal",
+    "ServerProtocol",
     "ServerSimulation",
     "StatisticalAdmission",
     "Stream",

@@ -1,0 +1,106 @@
+"""The explicit single-server surface (:class:`ServerProtocol`).
+
+Before the cluster layer existed, "a server" was implicitly whatever
+:class:`~repro.server.cmserver.CMServer` happened to expose; the
+coordinator (:mod:`repro.cluster`) drives many servers through one
+contract, so that surface is now explicit.  The protocol names exactly
+the operations the rest of the stack composes:
+
+* **load / locate** — :meth:`add_object`, :meth:`remove_object`,
+  :meth:`block_locations`, :meth:`locate_blocks`;
+* **ingest** — :meth:`register_media` (the incremental-write entry used
+  by :class:`~repro.server.ingest.IngestSession`);
+* **scale** — :meth:`begin_scale` / :meth:`finish_scale` (journaled,
+  crash-consistent; see :mod:`repro.server.journal`);
+* **reshuffle** — :meth:`begin_reshuffle` / :meth:`finish_reshuffle`.
+
+Snapshot / resume stay module-level functions
+(:func:`~repro.server.persistence.snapshot_server`,
+:func:`~repro.server.persistence.resume_server`) because they construct
+servers rather than act on one; the protocol covers the instance
+surface only.
+
+The protocol is ``runtime_checkable`` so integration points can assert
+``isinstance(server, ServerProtocol)`` — a structural check (methods
+present), not a behavioral one; the per-backend loop tests are the
+behavioral contract.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.operations import ScalingOp
+    from repro.server.cmserver import PendingReshuffle, PendingScale
+    from repro.server.objects import MediaObject
+    from repro.storage.block import Block
+    from repro.storage.disk import DiskSpec
+
+
+@runtime_checkable
+class ServerProtocol(Protocol):
+    """What the cluster layer requires of one shard's server.
+
+    :class:`~repro.server.cmserver.CMServer` is the (only) production
+    implementation; the protocol exists so the coordinator's contract is
+    a type, not a convention.
+    """
+
+    # -- identity / inventory ------------------------------------------
+    @property
+    def num_disks(self) -> int:
+        """Current disk count."""
+        ...
+
+    @property
+    def total_blocks(self) -> int:
+        """Blocks resident on the array."""
+        ...
+
+    # -- load / locate -------------------------------------------------
+    def add_object(
+        self, name: str, num_blocks: int, blocks_per_round: int = 1
+    ) -> "MediaObject":
+        """Register a new object and place all its blocks."""
+        ...
+
+    def remove_object(self, object_id: int) -> None:
+        """Drop an object and free its blocks."""
+        ...
+
+    def block_locations(self, object_id: int) -> list[int]:
+        """Physical disk of every block of one object, in index order."""
+        ...
+
+    def locate_blocks(self, blocks: "list[Block]") -> list[int]:
+        """Current logical disk of each block, batched (write path)."""
+        ...
+
+    # -- ingest --------------------------------------------------------
+    def register_media(self, media: "MediaObject") -> None:
+        """Introduce an object to the backend without placing blocks."""
+        ...
+
+    # -- scale ---------------------------------------------------------
+    def begin_scale(
+        self,
+        op: "ScalingOp",
+        specs: "Optional[list[DiskSpec]]" = None,
+        eps: Optional[float] = None,
+    ) -> "PendingScale":
+        """Start a scaling operation without moving data."""
+        ...
+
+    def finish_scale(self, pending: "PendingScale") -> None:
+        """Complete a begun scaling operation."""
+        ...
+
+    # -- reshuffle -----------------------------------------------------
+    def begin_reshuffle(self) -> "PendingReshuffle":
+        """Start a full redistribution without moving data."""
+        ...
+
+    def finish_reshuffle(self, pending: "PendingReshuffle") -> None:
+        """Complete a begun reshuffle."""
+        ...

@@ -75,7 +75,7 @@ class TestRegistry:
     def test_all_expected_backends_registered(self):
         assert set(BACKENDS) == {
             "scaddar", "jump_hash", "consistent_hash", "directory",
-            "sequential_checking",
+            "sequential_checking", "straw", "weighted_straw",
         }
 
     def test_make_backend_unknown_name(self):

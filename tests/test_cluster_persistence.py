@@ -1,0 +1,335 @@
+"""Cluster persistence: manifest round-trip, crash resume, CLI verbs.
+
+The pledges under test:
+
+* a manifest restores the cluster bit-exactly (logical block layout,
+  routing, namespace) on every registered router backend;
+* ``resume_cluster`` lands on the exact same layout as an uncrashed run
+  no matter where in the rebalance the crash happened — including the
+  composition with a shard's own scaling journal;
+* the cluster fsck aggregates per-shard ``in_flight`` classification
+  for shards mid-scale;
+* the ``scaddar cluster`` CLI verbs drive the same machinery.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster import (
+    ClusterCoordinator,
+    ClusterJournal,
+    check_cluster,
+    cluster_to_json,
+    restore_cluster,
+    resume_cluster,
+    snapshot_cluster,
+)
+from repro.core.operations import ScalingOp
+from repro.placement.backends import BACKENDS
+from repro.server.cmserver import OperationInFlightError
+from repro.server.journal import JournalError, ScalingJournal
+from repro.server.persistence import SnapshotError
+from repro.storage.disk import DiskSpec
+
+SPEC = DiskSpec(capacity_blocks=50_000, bandwidth_blocks_per_round=8)
+
+
+def build_cluster(
+    num_shards: int = 3,
+    num_objects: int = 14,
+    router_backend: str = "jump_hash",
+    **kwargs,
+) -> ClusterCoordinator:
+    coordinator = ClusterCoordinator.create(
+        num_shards, 3, SPEC, bits=32, master_seed=0xFEED,
+        router_backend=router_backend, **kwargs,
+    )
+    for i in range(num_objects):
+        coordinator.add_object(f"title-{i}", 30 + i)
+    return coordinator
+
+
+def cluster_layout(coordinator: ClusterCoordinator) -> dict:
+    layout = {}
+    for gid in coordinator.object_ids:
+        shard_id, physicals = coordinator.block_locations(gid)
+        array = coordinator.shard(shard_id).server.array
+        layout[gid] = (
+            shard_id,
+            tuple(array.logical_of(pid) for pid in physicals),
+        )
+    return layout
+
+
+class TestManifestRoundTrip:
+    @pytest.mark.parametrize("backend", sorted(BACKENDS))
+    def test_round_trip_every_router_backend(self, backend):
+        coordinator = build_cluster(router_backend=backend)
+        restored = restore_cluster(snapshot_cluster(coordinator))
+        assert restored.shard_ids == coordinator.shard_ids
+        assert restored.object_ids == coordinator.object_ids
+        assert cluster_layout(restored) == cluster_layout(coordinator)
+        assert check_cluster(restored).clean
+        # The restored namespace keeps allocating where it left off.
+        gid = restored.add_object("fresh", 10)
+        assert gid == coordinator.num_objects
+
+    def test_round_trip_after_reshard(self):
+        coordinator = build_cluster()
+        coordinator.reshard(ScalingOp.add(2))
+        restored = restore_cluster(cluster_to_json(coordinator))
+        assert cluster_layout(restored) == cluster_layout(coordinator)
+        assert restored._next_shard_id == coordinator._next_shard_id
+
+    def test_snapshot_refused_mid_rebalance(self):
+        coordinator = build_cluster()
+        pending = coordinator.begin_reshard(ScalingOp.add(1))
+        with pytest.raises(OperationInFlightError):
+            snapshot_cluster(coordinator)
+        coordinator.execute_reshard(pending)
+        coordinator.finish_reshard(pending)
+        snapshot_cluster(coordinator)
+
+    def test_version_check(self):
+        manifest = snapshot_cluster(build_cluster(num_objects=2))
+        manifest["version"] = 99
+        with pytest.raises(SnapshotError):
+            restore_cluster(manifest)
+
+    def test_object_entry_must_match_shard_catalog(self):
+        manifest = snapshot_cluster(build_cluster(num_objects=4))
+        manifest["objects"][0]["name"] = "imposter"
+        with pytest.raises(SnapshotError):
+            restore_cluster(manifest)
+
+    def test_missing_local_id_detected(self):
+        manifest = snapshot_cluster(build_cluster(num_objects=4))
+        manifest["objects"][0]["local_id"] = 777
+        with pytest.raises(SnapshotError):
+            restore_cluster(manifest)
+
+    def test_next_local_id_survives_newest_removal(self):
+        coordinator = build_cluster(num_objects=6)
+        # Drop the newest object of some shard: max(ids)+1 would now
+        # undercount, next_local_id must not.
+        newest = max(
+            coordinator.object_ids, key=lambda g: coordinator.local_id_of(g)
+        )
+        shard_id = coordinator.shard_of(newest)
+        allocator = coordinator.shard(shard_id).server.catalog._next_id
+        coordinator.remove_object(newest)
+        restored = restore_cluster(snapshot_cluster(coordinator))
+        assert (
+            restored.shard(shard_id).server.catalog._next_id == allocator
+        )
+
+
+class TestResume:
+    def _manifest_and_journal(self, tmp_path, num_objects=14):
+        path = str(tmp_path / "cluster.journal")
+        coordinator = build_cluster(
+            num_objects=num_objects, journal=ClusterJournal(path)
+        )
+        manifest = snapshot_cluster(coordinator)
+        return coordinator, manifest, path
+
+    def test_resume_at_every_move_index(self, tmp_path):
+        coordinator, manifest, path = self._manifest_and_journal(tmp_path)
+        pending = coordinator.begin_reshard(ScalingOp.add(2))
+        coordinator.execute_reshard(pending)
+        coordinator.finish_reshard(pending)
+        expected = cluster_layout(coordinator)
+        coordinator.journal.close()
+        lines = open(path, encoding="utf-8").read().splitlines(keepends=True)
+        begin = [l for l in lines if json.loads(l)["type"] == "begin"]
+        applies = [l for l in lines if json.loads(l)["type"] == "apply"]
+        assert len(applies) == len(pending.moves) >= 3
+
+        for crash_at in range(len(applies) + 1):
+            partial = tmp_path / f"crash-{crash_at}.journal"
+            partial.write_text(
+                "".join(begin + applies[:crash_at]), encoding="utf-8"
+            )
+            resumed, open_pending = resume_cluster(
+                dict(manifest), str(partial)
+            )
+            assert open_pending is not None
+            assert len(open_pending.applied) == crash_at
+            assert check_cluster(resumed, open_pending).clean
+            resumed.execute_reshard(open_pending)
+            resumed.finish_reshard(open_pending)
+            assert cluster_layout(resumed) == expected
+            resumed.journal.close()
+
+    def test_resume_committed_journal_is_quiescent(self, tmp_path):
+        coordinator, manifest, path = self._manifest_and_journal(tmp_path)
+        coordinator.reshard(ScalingOp.add(1))
+        expected = cluster_layout(coordinator)
+        coordinator.journal.close()
+        resumed, pending = resume_cluster(manifest, path)
+        assert pending is None
+        assert cluster_layout(resumed) == expected
+
+    def test_resume_skips_aborted_records(self, tmp_path):
+        coordinator, manifest, path = self._manifest_and_journal(tmp_path)
+        aborted = coordinator.begin_reshard(ScalingOp.add(1))
+        coordinator.migrate_next(aborted)
+        coordinator.abort_reshard(aborted)
+        committed = coordinator.reshard(ScalingOp.add(1))
+        coordinator.journal.close()
+        resumed, pending = resume_cluster(manifest, path)
+        assert pending is None
+        # The aborted op never spawned a shard on resume, yet ids match.
+        assert resumed._next_shard_id == coordinator._next_shard_id
+        assert resumed.shard_ids == coordinator.shard_ids
+        # Abort rolled the router back, so the committed op reused the seq.
+        assert committed.seq == aborted.seq
+        assert cluster_layout(resumed) == cluster_layout(coordinator)
+
+    def test_resume_rejects_foreign_plan(self, tmp_path):
+        coordinator, manifest, path = self._manifest_and_journal(tmp_path)
+        pending = coordinator.begin_reshard(ScalingOp.add(1))
+        coordinator.execute_reshard(pending)
+        coordinator.finish_reshard(pending)
+        coordinator.journal.close()
+        # Tamper with the journaled plan: resume must notice the
+        # re-derived plan disagrees.
+        lines = open(path, encoding="utf-8").read().splitlines()
+        entries = [json.loads(line) for line in lines]
+        for entry in entries:
+            if entry["type"] == "begin" and entry["plan"]:
+                entry["plan"][0][0] += 1000
+        tampered = tmp_path / "tampered.journal"
+        tampered.write_text(
+            "".join(json.dumps(e) + "\n" for e in entries), encoding="utf-8"
+        )
+        with pytest.raises(JournalError):
+            resume_cluster(manifest, str(tampered))
+
+    def test_resume_rejects_seq_gap(self, tmp_path):
+        coordinator, manifest, path = self._manifest_and_journal(tmp_path)
+        coordinator.reshard(ScalingOp.add(1))
+        coordinator.journal.close()
+        entries = [
+            json.loads(line)
+            for line in open(path, encoding="utf-8").read().splitlines()
+        ]
+        for entry in entries:
+            entry["seq"] += 5
+        gapped = tmp_path / "gapped.journal"
+        gapped.write_text(
+            "".join(json.dumps(e) + "\n" for e in entries), encoding="utf-8"
+        )
+        with pytest.raises(JournalError):
+            resume_cluster(manifest, str(gapped))
+
+    def test_resume_composes_with_shard_journal(self, tmp_path):
+        """A shard crash mid-disk-scale resumes through its own journal
+        before the cluster journal replays on top."""
+        cluster_path = str(tmp_path / "cluster.journal")
+        shard_path = str(tmp_path / "shard0.journal")
+        coordinator = build_cluster(journal=ClusterJournal(cluster_path))
+        shard = coordinator.shards[0]
+        shard.server.attach_journal(ScalingJournal(shard_path))
+        manifest = snapshot_cluster(coordinator)
+        disks_before = shard.server.num_disks
+
+        # The shard begins a disk-level scale... and the process dies.
+        shard.server.begin_scale(ScalingOp.add(1))
+        shard.server.journal.close()
+
+        resumed, pending = resume_cluster(
+            manifest, cluster_path, shard_journals={0: shard_path}
+        )
+        assert pending is None
+        # The open disk-level op was completed synchronously.
+        assert resumed.shard(0).server.num_disks == disks_before + 1
+        assert check_cluster(resumed).clean
+
+
+class TestFsckAggregation:
+    def test_shard_in_flight_aggregates(self):
+        coordinator = build_cluster()
+        shard = coordinator.shards[0]
+        pending = shard.server.begin_scale(ScalingOp.add(1))
+        report = check_cluster(
+            coordinator, shard_pending={shard.shard_id: pending}
+        )
+        assert report.clean
+        assert report.shard_in_flight == len(pending.plan)
+        assert report.shard_reports[shard.shard_id].in_flight
+        # Without the pending op the same state is a violation.
+        dirty = check_cluster(coordinator)
+        assert not dirty.clean
+        shard.server.abort_scale(pending)
+
+    def test_blocks_checked_sums_all_shards(self):
+        coordinator = build_cluster()
+        report = check_cluster(coordinator)
+        assert report.blocks_checked == coordinator.total_blocks
+        assert report.objects_checked == coordinator.num_objects
+
+
+class TestClusterCLI:
+    def run_cli(self, *argv):
+        from repro.cli import main
+
+        return main(["cluster", *map(str, argv)])
+
+    def test_create_status_reshard_fsck_resume_metrics(self, tmp_path, capsys):
+        manifest = tmp_path / "m.json"
+        journal = tmp_path / "c.journal"
+        assert self.run_cli(
+            "create", "--manifest", manifest, "--journal", journal,
+            "--shards", 3, "--objects", 8, "--blocks-per-object", 20,
+            "--seed", "0xBEEF",
+        ) == 0
+        assert manifest.exists()
+        assert self.run_cli("status", "--manifest", manifest) == 0
+        assert "objects=8" in capsys.readouterr().out
+        assert self.run_cli(
+            "reshard", "--manifest", manifest, "--journal", journal,
+            "--add", 1,
+        ) == 0
+        assert self.run_cli(
+            "fsck", "--manifest", manifest, "--journal", journal
+        ) == 0
+        assert "CLEAN" in capsys.readouterr().out
+        assert self.run_cli(
+            "resume", "--manifest", manifest, "--journal", journal
+        ) == 0
+        assert "quiescent" in capsys.readouterr().out
+        assert self.run_cli("metrics", "--manifest", manifest) == 0
+        data = json.loads(manifest.read_text())
+        assert len(data["shards"]) == 4
+
+    def test_resume_completes_crashed_reshard(self, tmp_path, capsys):
+        manifest = tmp_path / "m.json"
+        journal = tmp_path / "c.journal"
+        self.run_cli(
+            "create", "--manifest", manifest, "--journal", journal,
+            "--shards", 3, "--objects", 10, "--blocks-per-object", 20,
+        )
+        capsys.readouterr()
+        # Crash a rebalance by hand: begin + one apply, no commit.
+        coordinator = restore_cluster(
+            json.loads(manifest.read_text()),
+            journal=ClusterJournal(str(journal)),
+        )
+        pending = coordinator.begin_reshard(ScalingOp.add(1))
+        coordinator.migrate_next(pending)
+        coordinator.journal.close()
+
+        assert self.run_cli(
+            "resume", "--manifest", manifest, "--journal", journal
+        ) == 0
+        out = capsys.readouterr().out
+        assert "resumed" in out
+        data = json.loads(manifest.read_text())
+        assert len(data["shards"]) == 4
+        assert self.run_cli(
+            "fsck", "--manifest", manifest, "--journal", journal
+        ) == 0

@@ -317,6 +317,8 @@ class TestModern:
             "jump_hash",
             "directory",
             "sequential_checking",
+            "straw",
+            "weighted_straw",
         }
 
     def test_full_loop_covers_at_least_three_backends(self, rows):
