@@ -10,24 +10,55 @@ over-report-then-filter semantics and executed as a journaled rebalance
 (:class:`~repro.cluster.journal.ClusterJournal`) that composes with each
 shard's own scaling journal.  Manifest persistence, crash resume, obs
 aggregation, and a cluster-wide fsck complete the stack.
+
+Fault tolerance rides on the same machinery: per-shard health walks the
+disk state machine one level up
+(:class:`~repro.cluster.health.ClusterHealthMonitor`), cross-shard
+replication keeps R copies on distinct shards and failure domains
+(:class:`~repro.cluster.replication.ClusterReplicationManager`), routed
+reads retry with capped backoff and fail over between copies
+(:meth:`~repro.cluster.coordinator.ClusterCoordinator.route_read`), and
+a dead shard is evacuated by a journaled, rate-bounded, crash-resumable
+rebuild (:class:`~repro.cluster.replication.ShardRebuilder`).
 """
 
 from repro.cluster.coordinator import (
     ClusterCoordinator,
     ClusterRoundReport,
     PendingReshard,
+    ShardDeathReport,
     ShardTemplate,
 )
 from repro.cluster.fsck import (
     ClusterLayoutReport,
+    ReplicaViolation,
     RoutingViolation,
     check_cluster,
 )
-from repro.cluster.journal import ClusterJournal, ObjectMove, ReshardRecord
+from repro.cluster.health import (
+    ClusterFaultInjector,
+    ClusterHealthMonitor,
+    FailoverConfig,
+    ObjectUnavailableError,
+    ReadRoute,
+    ShardHealth,
+)
+from repro.cluster.journal import (
+    ClusterJournal,
+    ClusterJournalCorruptionError,
+    ObjectMove,
+    ReshardRecord,
+)
+from repro.cluster.replication import (
+    ClusterReplicationManager,
+    ReplicationError,
+    ShardRebuilder,
+)
 from repro.cluster.obs import (
     cluster_prometheus,
     merged_deterministic_view,
     merged_registry,
+    record_health_gauges,
 )
 from repro.cluster.persistence import (
     MANIFEST_VERSION,
@@ -50,16 +81,28 @@ from repro.cluster.shard import (
 
 __all__ = [
     "ClusterCoordinator",
+    "ClusterFaultInjector",
+    "ClusterHealthMonitor",
     "ClusterJournal",
+    "ClusterJournalCorruptionError",
     "ClusterLayoutReport",
+    "ClusterReplicationManager",
     "ClusterRoundReport",
+    "FailoverConfig",
     "MANIFEST_VERSION",
     "ObjectMove",
+    "ObjectUnavailableError",
     "PendingReshard",
     "ROUTER_SALT",
+    "ReadRoute",
+    "ReplicaViolation",
+    "ReplicationError",
     "ReshardRecord",
     "RoutingViolation",
+    "ShardDeathReport",
+    "ShardHealth",
     "ShardNode",
+    "ShardRebuilder",
     "ShardRouter",
     "ShardTemplate",
     "check_cluster",
@@ -67,6 +110,7 @@ __all__ = [
     "cluster_to_json",
     "merged_deterministic_view",
     "merged_registry",
+    "record_health_gauges",
     "resume_cluster",
     "restore_cluster",
     "routing_key",

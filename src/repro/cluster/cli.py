@@ -30,6 +30,7 @@ from pathlib import Path
 
 from repro.cluster.coordinator import ClusterCoordinator
 from repro.cluster.fsck import check_cluster
+from repro.cluster.health import ShardHealth
 from repro.cluster.journal import ClusterJournal
 from repro.cluster.obs import cluster_prometheus
 from repro.cluster.persistence import (
@@ -67,17 +68,32 @@ def build_cluster_parser() -> argparse.ArgumentParser:
         help="cluster master seed (shards derive theirs from it)",
     )
     create.add_argument("--journal", type=Path, default=None)
+    create.add_argument(
+        "--replicas", type=int, default=1,
+        help="copies per object, primary included (default 1: no "
+        "replication)",
+    )
+    create.add_argument(
+        "--domains", type=int, default=None,
+        help="failure domains to stripe shards across (default: every "
+        "shard is its own domain)",
+    )
 
     status = verbs.add_parser("status", help="summarize a manifest")
     status.add_argument("--manifest", required=True, type=Path)
+    status.add_argument(
+        "--journal", type=Path, default=None,
+        help="cluster journal; an open rebalance makes status exit 2",
+    )
 
     fsck = verbs.add_parser(
-        "fsck", help="audit routing and per-shard layouts"
+        "fsck", help="audit routing, replication, and per-shard layouts"
     )
     fsck.add_argument("--manifest", required=True, type=Path)
     fsck.add_argument(
         "--journal", type=Path, default=None,
-        help="cluster journal; mid-rebalance audits classify in-flight",
+        help="cluster journal; mid-rebalance audits classify in-flight "
+        "and fsck exits 2 while a rebalance is open",
     )
 
     reshard = verbs.add_parser(
@@ -120,6 +136,8 @@ def _render_status(coordinator: ClusterCoordinator) -> str:
         (
             shard.shard_id,
             slot,
+            shard.domain,
+            coordinator.health.state(shard.shard_id).value,
             shard.server.num_disks,
             shard.num_objects,
             shard.total_blocks,
@@ -127,14 +145,16 @@ def _render_status(coordinator: ClusterCoordinator) -> str:
         for slot, shard in enumerate(coordinator.shards)
     ]
     table = format_table(
-        ("shard", "slot", "disks", "objects", "blocks"), rows
+        ("shard", "slot", "domain", "health", "disks", "objects", "blocks"),
+        rows,
     )
     return (
         table
         + f"\nrouter={coordinator.router.policy.name} "
         f"shards={coordinator.num_shards} "
         f"objects={coordinator.num_objects} "
-        f"blocks={coordinator.total_blocks}"
+        f"blocks={coordinator.total_blocks} "
+        f"replicas={coordinator.replication_factor}"
     )
 
 
@@ -154,13 +174,22 @@ def _render_fsck(report) -> str:
     table = format_table(
         ("shard", "blocks", "misplaced", "in flight", "clean"), rows
     )
-    return (
-        table
-        + f"\nrouting: {report.objects_checked} objects checked, "
+    lines = [
+        table,
+        f"routing: {report.objects_checked} objects checked, "
         f"{len(report.misrouted)} misrouted, "
-        f"{len(report.in_flight)} in flight\n"
-        + ("cluster is CLEAN" if report.clean else "cluster is NOT clean")
-    )
+        f"{len(report.in_flight)} in flight",
+        f"replication: {len(report.replica_violations)} violations, "
+        f"{len(report.degraded)} degraded",
+    ]
+    if report.clean:
+        lines.append(
+            "cluster is CLEAN"
+            + ("" if report.fully_replicated else " (degraded replicas)")
+        )
+    else:
+        lines.append("cluster is NOT clean")
+    return "\n".join(lines)
 
 
 def cluster_main(argv: Sequence[str]) -> int:
@@ -181,6 +210,8 @@ def cluster_main(argv: Sequence[str]) -> int:
             router_backend=args.router,
             master_seed=args.seed,
             journal=journal,
+            replication_factor=args.replicas,
+            num_domains=args.domains,
         )
         for i in range(args.objects):
             coordinator.add_object(f"object-{i}", args.blocks_per_object)
@@ -190,10 +221,24 @@ def cluster_main(argv: Sequence[str]) -> int:
         return 0
 
     if args.verb == "status":
-        print(_render_status(restore_cluster(_load(args.manifest))))
+        coordinator = restore_cluster(_load(args.manifest))
+        print(_render_status(coordinator))
+        if args.journal is not None and args.journal.exists():
+            open_record = ClusterJournal(str(args.journal)).open_record()
+            if open_record is not None:
+                print(
+                    f"rebalance seq={open_record.seq} is OPEN "
+                    f"({open_record.remaining} migrations outstanding)"
+                )
+                return 2
+        dead = coordinator.health.shards_in(ShardHealth.DEAD)
+        if dead:
+            print(f"dead shards: {dead}")
+            return 1
         return 0
 
     if args.verb == "fsck":
+        pending = None
         if args.journal is not None and args.journal.exists():
             coordinator, pending = resume_cluster(
                 _load(args.manifest), str(args.journal)
@@ -203,6 +248,12 @@ def cluster_main(argv: Sequence[str]) -> int:
             coordinator = restore_cluster(_load(args.manifest))
             report = check_cluster(coordinator)
         print(_render_fsck(report))
+        if pending is not None:
+            print(
+                f"rebalance seq={pending.seq} is OPEN "
+                f"({len(pending.remaining)} migrations outstanding)"
+            )
+            return 2
         return 0 if report.clean else 1
 
     if args.verb == "reshard":

@@ -40,13 +40,29 @@ Identity rules (all mirroring the single-server design):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Sequence
 
+import numpy as np
+
+from repro.cluster.health import (
+    ClusterFaultInjector,
+    ClusterHealthMonitor,
+    FailoverConfig,
+    ObjectUnavailableError,
+    ReadRoute,
+    ShardHealth,
+)
 from repro.cluster.journal import ClusterJournal, ObjectMove
+from repro.cluster.replication import (
+    ClusterReplicationManager,
+    ReplicationError,
+    ShardRebuilder,
+)
 from repro.cluster.router import ROUTER_SALT, ShardRouter
 from repro.cluster.shard import ShardNode
 from repro.core.operations import ScalingOp
 from repro.server.cmserver import OperationInFlightError, ScaleReport
+from repro.server.health import HealthTransitionError
 from repro.server.ingest import IngestSession
 from repro.server.scheduler import RoundReport
 from repro.server.streams import Stream, StreamState
@@ -123,6 +139,11 @@ class PendingReshard:
     applied: list[int] = field(default_factory=list)
     #: Router state before the operation (abort restores it).
     rollback_payload: Optional[dict] = field(default=None, repr=False)
+    #: Dead shard this rebalance evacuates (None for plain reshards).
+    rebuild_of: Optional[int] = None
+    #: Each planned mover's pre-move local id on its source shard
+    #: (rebuild abort flips homes back to these tombstone entries).
+    source_locals: dict[int, int] = field(default_factory=dict, repr=False)
     _finished: bool = field(default=False, repr=False)
 
     @property
@@ -149,11 +170,15 @@ class ClusterRoundReport:
 
     round_index: int
     reports: dict[int, RoundReport] = field(default_factory=dict)
+    #: Demand from stranded streams (every live copy of their object is
+    #: gone) — all of it counts as both requested and hiccuped, so the
+    #: conservation invariant keeps holding through total data loss.
+    stranded: int = 0
 
     @property
     def requested(self) -> int:
         """Block reads demanded cluster-wide this round."""
-        return sum(r.requested for r in self.reports.values())
+        return sum(r.requested for r in self.reports.values()) + self.stranded
 
     @property
     def served(self) -> int:
@@ -163,7 +188,7 @@ class ClusterRoundReport:
     @property
     def hiccups(self) -> int:
         """Missed deadlines cluster-wide this round."""
-        return sum(r.hiccups for r in self.reports.values())
+        return sum(r.hiccups for r in self.reports.values()) + self.stranded
 
     @property
     def queued(self) -> int:
@@ -175,6 +200,19 @@ class ClusterRoundReport:
         """Fraction of the round's cluster demand served on time."""
         requested = self.requested
         return self.served / requested if requested else 1.0
+
+
+@dataclass(frozen=True)
+class ShardDeathReport:
+    """What :meth:`ClusterCoordinator.kill_shard` did about one death."""
+
+    shard_id: int
+    #: Live streams moved to a replica copy on another shard.
+    streams_failed_over: int
+    #: Streams left with no live copy to serve them (R=1 deaths); their
+    #: demand keeps counting as hiccups until the object is declared
+    #: lost or the stream departs.
+    streams_stranded: int
 
 
 class ClusterCoordinator:
@@ -202,6 +240,19 @@ class ClusterCoordinator:
         Optional cluster-level observability handle.  When given (and
         enabled), every shard the coordinator *spawns* gets its own
         :class:`~repro.obs.Obs`; :mod:`repro.cluster.obs` merges them.
+    replication_factor:
+        Total copies per object (primary included).  1 — the default,
+        and the pre-replication behavior bit-for-bit — keeps only the
+        router-placed primary.
+    num_domains:
+        Failure domains shards are striped across (shard *i* lands in
+        ``dom{i % num_domains}``).  ``None`` gives every shard its own
+        domain, so replication degrades to distinct-shards-only.
+    failover:
+        Retry/timeout/backoff budget for :meth:`route_read`.
+    fault_injector:
+        Optional seeded :class:`~repro.cluster.health.ClusterFaultInjector`
+        supplying per-shard read failures to the failover path.
     """
 
     def __init__(
@@ -212,6 +263,10 @@ class ClusterCoordinator:
         master_seed: int = 0,
         journal: Optional[ClusterJournal] = None,
         obs: Optional["ObsHandle"] = None,
+        replication_factor: int = 1,
+        num_domains: Optional[int] = None,
+        failover: Optional[FailoverConfig] = None,
+        fault_injector: Optional[ClusterFaultInjector] = None,
     ):
         from repro.obs import NULL_OBS
 
@@ -219,6 +274,14 @@ class ClusterCoordinator:
             raise ValueError(
                 f"router expects {router.num_shards} shards but "
                 f"{len(shards)} were given"
+            )
+        if replication_factor < 1:
+            raise ValueError(
+                f"replication_factor must be >= 1, got {replication_factor}"
+            )
+        if num_domains is not None and num_domains < 1:
+            raise ValueError(
+                f"num_domains must be >= 1, got {num_domains}"
             )
         self.router = router
         self.shards = list(shards)
@@ -243,6 +306,26 @@ class ClusterCoordinator:
         self._names: dict[str, int] = {}
         #: stream id -> gid (for re-homing and departure routing).
         self._streams: dict[int, int] = {}
+        #: stream id -> stable id of the shard currently serving it
+        #: (diverges from the object's home after a failover).
+        self._stream_shard: dict[int, int] = {}
+        #: streams with no live copy left to serve them, by stream id.
+        self._stranded: dict[int, Stream] = {}
+        self.replication_factor = replication_factor
+        self.num_domains = num_domains
+        self.failover = failover if failover is not None else FailoverConfig()
+        self.fault_injector = fault_injector
+        self.health = ClusterHealthMonitor(obs=self.obs)
+        self.replication = ClusterReplicationManager(self)
+        #: gid -> stable ids of shards holding replica copies, in
+        #: placement order (the failover path tries them in this order).
+        self._replica_home: dict[int, tuple[int, ...]] = {}
+        #: (gid, shard id) -> the replica copy's local catalog id.
+        self._replica_local: dict[tuple[int, int], int] = {}
+        self.failover_reads = 0
+        self.failover_retries = 0
+        self.lost_objects = 0
+        self.lost_blocks = 0
         self._in_flight: Optional[PendingReshard] = None
         self.round_index = 0
 
@@ -260,6 +343,10 @@ class ClusterCoordinator:
         salt: int = ROUTER_SALT,
         journal: Optional[ClusterJournal] = None,
         obs: Optional["ObsHandle"] = None,
+        replication_factor: int = 1,
+        num_domains: Optional[int] = None,
+        failover: Optional[FailoverConfig] = None,
+        fault_injector: Optional[ClusterFaultInjector] = None,
     ) -> "ClusterCoordinator":
         """Build a fresh cluster of identical shards.
 
@@ -267,7 +354,10 @@ class ClusterCoordinator:
         ``jump_hash`` (adds anywhere, removals at the tail) and
         ``consistent_hash`` / ``straw`` (arbitrary removal) are the
         natural second-level choices, ``weighted_straw`` for
-        heterogeneous shards.
+        heterogeneous shards.  ``replication_factor`` > 1 needs a
+        rebuild-capable router (arbitrary removal) to survive the shard
+        deaths it protects against — see
+        :meth:`begin_shard_rebuild`.
         """
         if num_shards < 1:
             raise ValueError(f"a cluster needs >= 1 shard, got {num_shards}")
@@ -279,7 +369,13 @@ class ClusterCoordinator:
         )
         instrument = obs is not None and obs.enabled
         shards = [
-            _build_shard(shard_id, template, master_seed, instrument)
+            _build_shard(
+                shard_id,
+                template,
+                master_seed,
+                instrument,
+                domain=_domain_label(shard_id, num_domains),
+            )
             for shard_id in range(num_shards)
         ]
         return cls(
@@ -289,6 +385,10 @@ class ClusterCoordinator:
             master_seed=master_seed,
             journal=journal,
             obs=obs,
+            replication_factor=replication_factor,
+            num_domains=num_domains,
+            failover=failover,
+            fault_injector=fault_injector,
         )
 
     # ------------------------------------------------------------------
@@ -345,6 +445,18 @@ class ClusterCoordinator:
         self.shard_of(object_id)  # existence check with the same error
         return self._local[object_id]
 
+    def _local_id_on(self, object_id: int, shard_id: int) -> int:
+        """Local catalog id of the object's copy on a given shard
+        (primary or replica)."""
+        if self._home.get(object_id) == shard_id:
+            return self._local[object_id]
+        return self._replica_local[(object_id, shard_id)]
+
+    def replicas_of(self, object_id: int) -> tuple[int, ...]:
+        """Stable shard ids of the object's replica copies, in order."""
+        self.shard_of(object_id)  # existence check with the same error
+        return self._replica_home.get(object_id, ())
+
     # ------------------------------------------------------------------
     # Objects
     # ------------------------------------------------------------------
@@ -369,6 +481,7 @@ class ClusterCoordinator:
         self._home[gid] = shard.shard_id
         self._local[gid] = media.object_id
         self._names[name] = gid
+        self.replication.place(gid)
         if self.obs.enabled:
             self.obs.event(
                 "cluster.object.add",
@@ -379,11 +492,17 @@ class ClusterCoordinator:
         return gid
 
     def remove_object(self, object_id: int) -> None:
-        """Drop an object from its shard and the cluster namespace."""
+        """Drop an object (every copy) from the cluster namespace."""
         self._check_quiescent("remove_object")
         shard = self.shard(self.shard_of(object_id))
         local = self._local[object_id]
         name = shard.server.catalog.get(local).name
+        for replica_id in list(self._replica_home.get(object_id, ())):
+            self.replication.drop_replica(
+                object_id,
+                replica_id,
+                lost=not self.health.is_live(replica_id),
+            )
         shard.server.remove_object(local)
         self.router.unregister([object_id])
         del self._home[object_id]
@@ -417,9 +536,21 @@ class ClusterCoordinator:
     ) -> ScaleReport:
         """Run one disk-level scaling operation on one shard.
 
-        Per-shard operations are independent of cluster rebalances: they
-        move blocks within the shard and never change object routing.
+        Per-shard operations move blocks within the shard and never
+        change object routing, but they are mutually exclusive with a
+        cluster rebalance: a migration is catalog traffic on both
+        endpoint shards, and landing it on a shard whose own scaling
+        journal is mid-operation would interleave the two journals'
+        recovery stories.  Hence the layering guard — refused while a
+        rebalance is in flight, just as ``begin_reshard`` refuses while
+        any shard's disk-level operation is open.
         """
+        self._check_quiescent("scale_shard")
+        if not self.health.is_live(shard_id):
+            raise HealthTransitionError(
+                f"shard {shard_id} is {self.health.state(shard_id).value}; "
+                "dead shards are rebuilt, not scaled"
+            )
         report = self.shard(shard_id).server.scale(op, specs=specs, eps=eps)
         if self.obs.enabled:
             self.obs.event(
@@ -436,7 +567,15 @@ class ClusterCoordinator:
 
         Returns blocks moved.  Raises for shard backends without a
         reshuffle lifecycle, exactly like the single-server path.
+        Mutually exclusive with a cluster rebalance (see
+        :meth:`scale_shard`).
         """
+        self._check_quiescent("reshuffle_shard")
+        if not self.health.is_live(shard_id):
+            raise HealthTransitionError(
+                f"shard {shard_id} is {self.health.state(shard_id).value}; "
+                "dead shards are rebuilt, not reshuffled"
+            )
         moved = self.shard(shard_id).server.reshuffle()
         if self.obs.enabled:
             self.obs.event(
@@ -445,32 +584,158 @@ class ClusterCoordinator:
         return moved
 
     # ------------------------------------------------------------------
+    # Failover read routing
+    # ------------------------------------------------------------------
+    def route_read(
+        self, object_id: int, round_index: Optional[int] = None
+    ) -> ReadRoute:
+        """Pick the shard that serves one read, with retry and failover.
+
+        Tries the home shard first, then each replica in placement
+        order.  Against each *readable* shard (dead/rebuilding shards
+        and tripped breakers are skipped outright) the read is attempted
+        up to ``failover.max_attempts`` times with capped exponential
+        backoff between retries, bounded by the per-shard timeout
+        budget; exhausting one shard falls over to the next copy.
+        Every outcome feeds the shard's health monitor, so repeated
+        failures trip the breaker and later reads skip the shard
+        without paying the retry latency.
+
+        Raises
+        ------
+        ObjectUnavailableError
+            When no copy could serve the read.
+        """
+        if round_index is None:
+            round_index = self.round_index
+        home = self.shard_of(object_id)
+        cfg = self.failover
+        path: list[int] = []
+        attempts = 0
+        backoff_total = 0
+        for shard_id in (home,) + self._replica_home.get(object_id, ()):
+            path.append(shard_id)
+            if not self.health.is_readable(shard_id, round_index):
+                continue
+            backoff = cfg.base_backoff_rounds
+            budget = cfg.timeout_budget_rounds
+            for attempt in range(1, cfg.max_attempts + 1):
+                attempts += 1
+                failed = (
+                    self.fault_injector is not None
+                    and self.fault_injector.read_error(shard_id)
+                )
+                if not failed:
+                    self.health.observe_success(shard_id)
+                    failed_over = shard_id != home
+                    if failed_over:
+                        self.failover_reads += 1
+                        if self.obs.enabled:
+                            self.obs.inc("cluster.failover.reads")
+                            self.obs.event(
+                                "cluster.read.failover",
+                                gid=object_id,
+                                home=home,
+                                served_by=shard_id,
+                                attempts=attempts,
+                                backoff=backoff_total,
+                            )
+                    return ReadRoute(
+                        object_id=object_id,
+                        shard_id=shard_id,
+                        attempts=attempts,
+                        backoff_rounds=backoff_total,
+                        failed_over=failed_over,
+                        path=tuple(path),
+                    )
+                self.health.observe_failure(shard_id, round_index)
+                self.failover_retries += 1
+                if self.obs.enabled:
+                    self.obs.inc("cluster.failover.retries")
+                if attempt >= cfg.max_attempts:
+                    break
+                charge = min(backoff, cfg.max_backoff_rounds)
+                if charge > budget:
+                    break  # timeout budget spent: fall over now
+                budget -= charge
+                backoff_total += charge
+                backoff = min(backoff * 2, cfg.max_backoff_rounds)
+        if self.obs.enabled:
+            self.obs.event(
+                "cluster.read.unavailable", gid=object_id, attempts=attempts
+            )
+        raise ObjectUnavailableError(
+            f"object {object_id} has no copy that can serve "
+            f"(tried shards {path})"
+        )
+
+    def route_reads(self, object_ids: Sequence[int]) -> np.ndarray:
+        """Serving shard for each object, batched.
+
+        While every shard serves unimpeded (no open breakers, no
+        faults, no rebalance in flight) this is one vectorized router
+        lookup — the all-healthy hot path stays allocation-free per
+        read, which is what keeps failover machinery out of the
+        routed-lookup throughput budget.  Any degradation falls back to
+        per-object :meth:`route_read` with its full retry/failover
+        semantics.
+        """
+        if (
+            self.fault_injector is None
+            and self._in_flight is None
+            and not self._stranded
+            and self.health.all_unimpeded(self.shard_ids)
+        ):
+            table = np.array(
+                [shard.shard_id for shard in self.shards], dtype=np.int64
+            )
+            return table[self.router.slots_of(object_ids)]
+        return np.array(
+            [self.route_read(int(gid)).shard_id for gid in object_ids],
+            dtype=np.int64,
+        )
+
+    # ------------------------------------------------------------------
     # Serving (cluster round barrier)
     # ------------------------------------------------------------------
     def admit_stream(
         self, stream_id: int, object_id: int, start_block: int = 0
     ) -> Stream:
-        """Admit a playback stream on the object's home shard.
+        """Admit a playback stream on a shard holding a live copy.
 
-        Stream ids are cluster-unique so migration can re-home them.
+        Routed through :meth:`route_read` — the home shard on a healthy
+        cluster (bit-identical to the pre-replication behavior), a
+        replica when the home is dead or persistently failing.  Stream
+        ids are cluster-unique so migration and failover can re-home
+        them.
         """
         if stream_id in self._streams:
             raise ValueError(f"stream id {stream_id} already admitted")
-        shard = self.shard(self.shard_of(object_id))
-        media = shard.server.catalog.get(self._local[object_id])
+        self.shard_of(object_id)  # existence check with the same error
+        route = self.route_read(object_id)
+        shard = self.shard(route.shard_id)
+        media = shard.server.catalog.get(
+            self._local_id_on(object_id, route.shard_id)
+        )
         stream = Stream(stream_id, media, start_block=start_block)
         shard.scheduler.admit(stream)
         self._streams[stream_id] = object_id
+        self._stream_shard[stream_id] = route.shard_id
         return stream
 
     def depart_stream(self, stream_id: int) -> Stream:
-        """Remove a stream from whichever shard currently serves it."""
+        """Remove a stream from whichever shard currently serves it
+        (stranded streams depart from the coordinator's own holding
+        pen)."""
         try:
             gid = self._streams.pop(stream_id)
         except KeyError:
             raise KeyError(f"stream id {stream_id} is not admitted")
-        shard = self.shard(self.shard_of(gid))
-        return shard.scheduler.depart(stream_id)
+        stranded = self._stranded.pop(stream_id, None)
+        if stranded is not None:
+            return stranded
+        shard_id = self._stream_shard.pop(stream_id, self.shard_of(gid))
+        return self.shard(shard_id).scheduler.depart(stream_id)
 
     def run_round(self) -> ClusterRoundReport:
         """Serve one barrier round: every shard runs round *r* before any
@@ -478,12 +743,24 @@ class ClusterCoordinator:
 
         Draining shards (mid-removal) still serve — their objects are
         readable until each one's migration lands, exactly like a
-        doomed disk serving until its blocks drain.
+        doomed disk serving until its blocks drain.  Dead and rebuilding
+        shards serve nothing (their streams failed over at death);
+        stranded streams' demand is charged as hiccups so the
+        conservation invariant survives total copy loss.
         """
         report = ClusterRoundReport(round_index=self.round_index)
         self.round_index += 1
+        self.health.new_round()
         for shard in self._serving_shards():
+            if not self.health.is_live(shard.shard_id):
+                continue
             report.reports[shard.shard_id] = shard.scheduler.run_round()
+        for stream_id in sorted(self._stranded):
+            stream = self._stranded[stream_id]
+            _, count = stream.demand_window()
+            if count:
+                report.stranded += count
+                stream.deliver(0, count)
         if self.obs.enabled:
             self.obs.event(
                 "cluster.round",
@@ -505,6 +782,136 @@ class ClusterCoordinator:
         return [self._shard_by_id[sid] for sid in sorted(self._shard_by_id)]
 
     # ------------------------------------------------------------------
+    # Shard death: detect -> fail over -> rebuild -> re-admit
+    # ------------------------------------------------------------------
+    def kill_shard(self, shard_id: int) -> ShardDeathReport:
+        """A shard died: mark it dead and fail its live streams over.
+
+        Every stream the dead shard was serving is re-routed through
+        :meth:`route_read` to a surviving copy at its exact playback
+        position (paused streams stay paused); streams whose object has
+        no live copy left are *stranded* — their demand keeps counting
+        as hiccups each round, so availability honestly reflects the
+        loss until :meth:`begin_shard_rebuild` declares the objects
+        lost or the clients depart.
+
+        Killing is legal at any time, including mid-rebalance: pending
+        migrations out of the dead shard switch to replica sources (or
+        promotion) automatically.
+        """
+        shard = self.shard(shard_id)
+        if not self.health.is_live(shard_id):
+            raise HealthTransitionError(
+                f"shard {shard_id} is already "
+                f"{self.health.state(shard_id).value}"
+            )
+        self.health.mark_dead(shard_id)
+        captured: list[Stream] = []
+        if shard._scheduler is not None:
+            for stream in list(shard.scheduler.streams):
+                captured.append(shard.scheduler.depart(stream.stream_id))
+                self._stream_shard.pop(stream.stream_id, None)
+        stranded_before = len(self._stranded)
+        self._readmit_streams(captured)
+        stranded = len(self._stranded) - stranded_before
+        report = ShardDeathReport(
+            shard_id=shard_id,
+            streams_failed_over=len(captured) - stranded,
+            streams_stranded=stranded,
+        )
+        if self.obs.enabled:
+            self.obs.event(
+                "cluster.shard.dead",
+                shard=shard_id,
+                failed_over=report.streams_failed_over,
+                stranded=report.streams_stranded,
+            )
+            self.obs.set_gauge(
+                "cluster.shards.dead",
+                len(self.health.shards_in(ShardHealth.DEAD)),
+            )
+        return report
+
+    def begin_shard_rebuild(
+        self, shard_id: int, rate_per_round: int = 4
+    ) -> ShardRebuilder:
+        """Start the journaled evacuation of a dead shard.
+
+        The rebuild is an ordinary reshard-remove of the dead slot —
+        same journal records (tagged ``rebuild_of``), same crash-resume
+        path — except migrations source from replica copies (the dead
+        shard's data is unreachable) and promote an existing replica on
+        the target instead of copying when one is there.  The dead
+        shard's catalog is left untouched as a tombstone; it detaches
+        wholesale at :meth:`finish_reshard`.
+
+        Requires a router backend that can remove the dead slot
+        (``consistent_hash`` / ``straw``; ``jump_hash`` only removes
+        the tail slot — the error raises before anything mutates).
+        Returns a rate-bounded :class:`~repro.cluster.replication.ShardRebuilder`;
+        call its ``step()`` once per serving round, then ``finish()``.
+        """
+        if self.health.state(shard_id) is not ShardHealth.DEAD:
+            raise HealthTransitionError(
+                f"shard {shard_id} is {self.health.state(shard_id).value}; "
+                "only dead shards are rebuilt"
+            )
+        slot = next(
+            (
+                i
+                for i, shard in enumerate(self.shards)
+                if shard.shard_id == shard_id
+            ),
+            None,
+        )
+        if slot is None:
+            raise ValueError(
+                f"shard {shard_id} is not on the slot table (an in-flight "
+                "removal already owns its evacuation)"
+            )
+        if self._in_flight is not None:
+            raise OperationInFlightError(
+                f"rebalance seq={self._in_flight.seq} is still in flight; "
+                "finish or abort it before rebuilding"
+            )
+        self._check_shard_ops_quiescent(skip={shard_id})
+        pending = self._begin_reshard(
+            ScalingOp.remove([slot]), journal_writes=True,
+            rebuild_of=shard_id,
+        )
+        self.health.begin_rebuild(shard_id)
+        if self.obs.enabled:
+            self.obs.event(
+                "cluster.rebuild.begin",
+                shard=shard_id,
+                seq=pending.seq,
+                moves=len(pending.moves),
+            )
+            self.obs.set_gauge(
+                "cluster.rebuild.progress", 0.0, shard=str(shard_id)
+            )
+        return ShardRebuilder(self, pending, rate_per_round=rate_per_round)
+
+    def rebuild_shard(
+        self, shard_id: int, rate_per_round: int = 4
+    ) -> PendingReshard:
+        """Begin, fully drive, and commit one dead shard's rebuild
+        (offline path)."""
+        rebuilder = self.begin_shard_rebuild(
+            shard_id, rate_per_round=rate_per_round
+        )
+        rebuilder.run()
+        rebuilder.finish()
+        return rebuilder.pending
+
+    def readmit_shard(self) -> PendingReshard:
+        """Re-admit capacity after a rebuild: one ordinary journaled
+        shard-add, fully executed (the spawned shard gets a fresh
+        stable id and the next free failure domain by the cluster's
+        striping rule)."""
+        return self.reshard(ScalingOp.add(1))
+
+    # ------------------------------------------------------------------
     # Resharding (shard add/remove as a journaled rebalance)
     # ------------------------------------------------------------------
     def begin_reshard(self, op: ScalingOp) -> PendingReshard:
@@ -522,6 +929,7 @@ class ClusterCoordinator:
                 f"rebalance seq={self._in_flight.seq} is still in flight; "
                 "finish or abort it before beginning another"
             )
+        self._check_shard_ops_quiescent()
         pending = self._begin_reshard(op, journal_writes=True)
         if self.obs.enabled:
             self.obs.event(
@@ -536,7 +944,10 @@ class ClusterCoordinator:
         return pending
 
     def _begin_reshard(
-        self, op: ScalingOp, journal_writes: bool
+        self,
+        op: ScalingOp,
+        journal_writes: bool,
+        rebuild_of: Optional[int] = None,
     ) -> PendingReshard:
         shards_before = len(self.shards)
         rollback_payload = self.router.state_payload()
@@ -589,6 +1000,10 @@ class ClusterCoordinator:
             removed_shard_ids=removed_ids,
             moves=tuple(moves),
             rollback_payload=rollback_payload,
+            rebuild_of=rebuild_of,
+            source_locals={
+                m.object_id: self._local[m.object_id] for m in moves
+            },
         )
         self._in_flight = pending
         if journal_writes and self.journal is not None:
@@ -599,6 +1014,7 @@ class ClusterCoordinator:
                 shards_after=pending.shards_after,
                 new_shard_ids=new_ids,
                 moves=moves,
+                rebuild_of=rebuild_of,
             )
         return pending
 
@@ -640,18 +1056,51 @@ class ClusterCoordinator:
                 f"rebalance seq={pending.seq} has "
                 f"{len(pending.remaining)} migrations outstanding"
             )
+        # Evict replica copies from departing shards first: replicas
+        # are this layer's data, invisible to the router's move plan.
+        # A live departing shard drains them (drop + re-create on a
+        # survivor); a dead one lost them — repair re-replicates from
+        # the remaining copies either way.
+        for shard_id in pending.removed_shard_ids:
+            live = self.health.is_live(shard_id)
+            holders = sorted(
+                gid
+                for (gid, sid) in self._replica_local
+                if sid == shard_id
+            )
+            for gid in holders:
+                self.replication.drop_replica(gid, shard_id, lost=not live)
+                self.replication.repair(gid)
         for shard_id in pending.removed_shard_ids:
             shard = self._shard_by_id[shard_id]
-            if shard.num_objects:
+            if self.health.is_live(shard_id) and shard.num_objects:
                 raise RuntimeError(
                     f"shard {shard_id} still holds {shard.num_objects} "
                     "objects; it cannot detach"
                 )
+            # A dead shard detaches with its tombstone catalog entries;
+            # every reachable copy was re-homed above or by migration.
             del self._shard_by_id[shard_id]
+            self.health.forget(shard_id)
         pending._finished = True
         self._in_flight = None
         if journal_writes and self.journal is not None:
             self.journal.record_commit(pending.seq)
+        if pending.rebuild_of is not None and self.obs.enabled:
+            self.obs.event(
+                "cluster.rebuild.commit",
+                shard=pending.rebuild_of,
+                seq=pending.seq,
+                moved=len(pending.applied),
+            )
+            self.obs.set_gauge(
+                "cluster.rebuild.progress", 1.0,
+                shard=str(pending.rebuild_of),
+            )
+            self.obs.set_gauge(
+                "cluster.shards.dead",
+                len(self.health.shards_in(ShardHealth.DEAD)),
+            )
 
     def abort_reshard(self, pending: PendingReshard) -> int:
         """Roll back a begun rebalance: migrated objects move home, the
@@ -662,17 +1111,20 @@ class ClusterCoordinator:
         """
         self._check_pending(pending)
         reversed_count = 0
-        for gid in reversed(pending.applied):
-            original = next(
-                m for m in pending.moves if m.object_id == gid
-            )
-            self._migrate(
-                ObjectMove(gid, self._home[gid], original.source_shard),
-                journal_writes=False,
-                seq=pending.seq,
-            )
-            reversed_count += 1
-        pending.applied.clear()
+        if pending.rebuild_of is not None:
+            reversed_count = self._reverse_rebuild(pending)
+        else:
+            for gid in reversed(pending.applied):
+                original = next(
+                    m for m in pending.moves if m.object_id == gid
+                )
+                self._migrate(
+                    ObjectMove(gid, self._home[gid], original.source_shard),
+                    journal_writes=False,
+                    seq=pending.seq,
+                )
+                reversed_count += 1
+            pending.applied.clear()
         if pending.rollback_payload is None:
             raise ValueError(
                 "pending rebalance carries no rollback state (was it "
@@ -680,6 +1132,14 @@ class ClusterCoordinator:
             )
         self.router = ShardRouter.from_payload(pending.rollback_payload)
         if pending.op.kind == "add":
+            # Replicas repaired onto the doomed new shards mid-flight
+            # must evacuate before the empty-shard check below.
+            for gid, shard_id in sorted(
+                (gid, sid)
+                for (gid, sid) in self._replica_local
+                if sid in set(pending.new_shard_ids)
+            ):
+                self.replication.drop_replica(gid, shard_id)
             for shard_id in pending.new_shard_ids:
                 shard = self._shard_by_id.pop(shard_id)
                 if shard.num_objects:
@@ -687,6 +1147,7 @@ class ClusterCoordinator:
                         f"new shard {shard_id} still holds objects after "
                         "reversal; abort cannot drop it"
                     )
+                self.health.forget(shard_id)
             self.shards = self.shards[: pending.shards_before]
             self._next_shard_id -= len(pending.new_shard_ids)
         else:
@@ -696,6 +1157,16 @@ class ClusterCoordinator:
                 zip(pending.op.removed, pending.removed_shard_ids)
             ):
                 self.shards.insert(slot, self._shard_by_id[shard_id])
+        if pending.rebuild_of is not None:
+            # The shard is back on the slot table but still dead; a
+            # fresh begin_shard_rebuild re-plans its evacuation.
+            self.health.mark_dead(pending.rebuild_of)
+        elif self.replication_factor > 1:
+            # Final invariant sweep over everything that moved: the
+            # reversal may have left copies on shards that just left
+            # the cluster or domains that now collide.
+            for gid in sorted({m.object_id for m in pending.moves}):
+                self.replication.repair(gid)
         pending._finished = True
         self._in_flight = None
         if self.journal is not None:
@@ -723,7 +1194,11 @@ class ClusterCoordinator:
         shard_id = self._next_shard_id
         self._next_shard_id += 1
         shard = _build_shard(
-            shard_id, self.template, self.master_seed, self.obs.enabled
+            shard_id,
+            self.template,
+            self.master_seed,
+            self.obs.enabled,
+            domain=_domain_label(shard_id, self.num_domains),
         )
         self.shards.append(shard)
         self._shard_by_id[shard_id] = shard
@@ -734,45 +1209,77 @@ class ClusterCoordinator:
     ) -> None:
         """Move one object between shards (ingest + drop + re-home).
 
-        The target ingests the object through the same throttleable
-        session initial loads use; once every block lands, the source
-        drops its copy — at no point is the object unreadable.  Live
-        streams are re-homed at their current playback position.
+        The ordinary path ingests the object on the target through the
+        same throttleable session initial loads use; once every block
+        lands, the source drops its copy — at no point is the object
+        unreadable.  Two replication-aware variations:
+
+        * when the target already holds a *replica* copy, that copy is
+          **promoted** to primary instead of re-ingested (zero data
+          movement, and no catalog-name collision on the target);
+        * when the source shard is **dead**, the copy is sourced from a
+          live replica (the dead shard's catalog entry stays behind as
+          a tombstone); an object with no live copy at all is declared
+          lost — accounted, journaled as applied, and dropped from the
+          namespace so the rebalance can still complete.
+
+        Live streams are re-homed at their current playback position,
+        and the object's replica invariants are repaired after the move.
         """
         gid = move.object_id
         source = self._shard_by_id[move.source_shard]
         target = self._shard_by_id[move.target_shard]
-        local = self._local[gid]
-        media = source.server.catalog.get(local)
-
-        # Capture live streams before the source copy goes away.
-        rehome: list[Stream] = []
-        if source._scheduler is not None:
-            for stream in source.scheduler.streams:
-                if stream.media.object_id == local:
-                    rehome.append(source.scheduler.depart(stream.stream_id))
-
-        session = IngestSession(
-            target.server, media.name, media.num_blocks,
-            blocks_per_round=media.blocks_per_round,
-        )
-        session.run(media.num_blocks)
-        source.server.remove_object(local)
-        self._home[gid] = target.shard_id
-        self._local[gid] = session.object_id
-
-        new_media = target.server.catalog.get(session.object_id)
-        for old in rehome:
-            if old.position >= new_media.num_blocks:
-                # Finished during the handoff: nothing left to serve.
-                self._streams.pop(old.stream_id, None)
-                continue
-            fresh = Stream(
-                old.stream_id, new_media, start_block=old.position
+        target_id = target.shard_id
+        if not self.health.is_live(target_id):
+            raise ReplicationError(
+                f"move target shard {target_id} is "
+                f"{self.health.state(target_id).value}; abort the "
+                "rebalance and rebuild it first"
             )
-            if old.state is StreamState.PAUSED:
-                fresh.pause()
-            target.scheduler.admit(fresh)
+        source_live = self.health.is_live(move.source_shard)
+        local = self._local[gid]
+
+        rehome: list[Stream] = []
+        if source_live:
+            ref_media = source.server.catalog.get(local)
+            # Capture live streams before the source copy goes away.
+            rehome = self._capture_streams(source, local)
+        elif target_id not in self._replica_home.get(gid, ()):
+            live = [
+                sid
+                for sid in self._replica_home.get(gid, ())
+                if self.health.is_live(sid)
+            ]
+            if not live:
+                self._declare_lost(gid, move, journal_writes, seq)
+                return
+            ref_media = self._shard_by_id[live[0]].server.catalog.get(
+                self._replica_local[(gid, live[0])]
+            )
+
+        if (gid, target_id) in self._replica_local:
+            # Promotion: the target's replica copy becomes the primary.
+            new_local = self._replica_local.pop((gid, target_id))
+            self._replica_home[gid] = tuple(
+                sid for sid in self._replica_home[gid] if sid != target_id
+            )
+            if not self._replica_home[gid]:
+                del self._replica_home[gid]
+            blocks_moved = 0
+        else:
+            session = IngestSession(
+                target.server, ref_media.name, ref_media.num_blocks,
+                blocks_per_round=ref_media.blocks_per_round,
+            )
+            session.run(ref_media.num_blocks)
+            new_local = session.object_id
+            blocks_moved = ref_media.num_blocks
+        if source_live:
+            source.server.remove_object(local)
+        self._home[gid] = target_id
+        self._local[gid] = new_local
+        self._readmit_streams(rehome)
+        self.replication.repair(gid)
 
         if journal_writes and self.journal is not None:
             self.journal.record_apply(seq, gid)
@@ -782,9 +1289,158 @@ class ClusterCoordinator:
                 gid=gid,
                 source=move.source_shard,
                 target=move.target_shard,
-                blocks=media.num_blocks,
+                blocks=blocks_moved,
                 streams=len(rehome),
             )
+
+    def _declare_lost(
+        self, gid: int, move: ObjectMove, journal_writes: bool, seq: int
+    ) -> None:
+        """Drop an unreachable object from the namespace (R=1 death).
+
+        The loss is journaled as the move's apply record, so a resumed
+        rebuild reaches the same verdict instead of retrying a
+        migration that cannot succeed.  The dead shard's tombstone
+        catalog entry stays behind — an abort restores the namespace
+        entry from it.
+        """
+        tombstone = self._shard_by_id[move.source_shard].server.catalog.get(
+            self._local[gid]
+        )
+        for sid in list(self._replica_home.get(gid, ())):
+            self.replication.drop_replica(gid, sid, lost=True)
+        for stream_id in sorted(
+            sid for sid, g in self._streams.items() if g == gid
+        ):
+            del self._streams[stream_id]
+            self._stranded.pop(stream_id, None)
+            self._stream_shard.pop(stream_id, None)
+        self.router.unregister([gid])
+        del self._home[gid]
+        del self._local[gid]
+        del self._names[tombstone.name]
+        self.lost_objects += 1
+        self.lost_blocks += tombstone.num_blocks
+        if journal_writes and self.journal is not None:
+            self.journal.record_apply(seq, gid)
+        if self.obs.enabled:
+            self.obs.event(
+                "cluster.object.lost",
+                gid=gid,
+                shard=move.source_shard,
+                blocks=tombstone.num_blocks,
+            )
+
+    def _reverse_rebuild(self, pending: PendingReshard) -> int:
+        """Undo a rebuild's migrations by flipping homes back to the
+        dead shard's tombstone catalog entries (no data moves — the
+        dead shard never lost its bytes, only its reachability).
+
+        Evacuated primaries are demoted back to replica copies where
+        they landed; objects declared lost mid-rebuild re-enter the
+        namespace from their tombstones.
+        """
+        dead_id = pending.rebuild_of
+        assert dead_id is not None
+        dead = self._shard_by_id[dead_id]
+        reversed_count = 0
+        for gid in reversed(pending.applied):
+            tombstone_local = pending.source_locals[gid]
+            tombstone = dead.server.catalog.get(tombstone_local)
+            if gid in self._home:
+                # Demote the evacuated primary back to a replica copy:
+                # same bytes, same shard, just no longer the home.
+                cur = self._home[gid]
+                self._replica_home[gid] = (cur,) + self._replica_home.get(
+                    gid, ()
+                )
+                self._replica_local[(gid, cur)] = self._local[gid]
+            else:
+                # Declared lost mid-rebuild: the tombstone was its last
+                # copy, and it is the home again now.
+                self._names[tombstone.name] = gid
+                self.lost_objects -= 1
+                self.lost_blocks -= tombstone.num_blocks
+            self._home[gid] = dead_id
+            self._local[gid] = tombstone_local
+            reversed_count += 1
+        pending.applied.clear()
+        return reversed_count
+
+    def _capture_streams(
+        self, shard: ShardNode, local_id: int
+    ) -> list[Stream]:
+        """Depart every stream a shard serves from one catalog entry."""
+        captured: list[Stream] = []
+        if shard._scheduler is not None:
+            for stream in list(shard.scheduler.streams):
+                if stream.media.object_id == local_id:
+                    captured.append(
+                        shard.scheduler.depart(stream.stream_id)
+                    )
+                    self._stream_shard.pop(stream.stream_id, None)
+        return captured
+
+    def _readmit_streams(self, streams: list[Stream]) -> None:
+        """Re-home captured streams at their playback positions.
+
+        Each stream is routed through the failover path to whichever
+        live copy can serve it; a stream whose object has no live copy
+        is stranded (its demand keeps counting as hiccups).  Streams
+        that finished during the handoff just depart.
+        """
+        for old in streams:
+            stream_id = old.stream_id
+            gid = self._streams.get(stream_id)
+            if gid is None:
+                continue
+            if old.position >= old.media.num_blocks:
+                # Finished during the handoff: nothing left to serve.
+                del self._streams[stream_id]
+                continue
+            try:
+                route = self.route_read(gid)
+            except ObjectUnavailableError:
+                self._strand(old)
+                continue
+            shard = self.shard(route.shard_id)
+            media = shard.server.catalog.get(
+                self._local_id_on(gid, route.shard_id)
+            )
+            fresh = Stream(stream_id, media, start_block=old.position)
+            if old.state is StreamState.PAUSED:
+                fresh.pause()
+            shard.scheduler.admit(fresh)
+            self._stream_shard[stream_id] = route.shard_id
+
+    def _strand(self, stream: Stream) -> None:
+        """Park a stream with no live copy left to serve it."""
+        self._stranded[stream.stream_id] = stream
+        if self.obs.enabled:
+            self.obs.event(
+                "cluster.stream.stranded",
+                stream=stream.stream_id,
+                gid=self._streams.get(stream.stream_id),
+            )
+
+    def _check_shard_ops_quiescent(
+        self, skip: Optional[set[int]] = None
+    ) -> None:
+        """Refuse a cluster rebalance while any live shard's own
+        disk-level operation is open (strict journal layering: a shard
+        mid-scale would interleave two journals' recovery stories)."""
+        skip = skip if skip is not None else set()
+        for shard in self._serving_shards():
+            if shard.shard_id in skip:
+                continue
+            if not self.health.is_live(shard.shard_id):
+                continue
+            if shard.server._in_flight is not None:
+                raise OperationInFlightError(
+                    f"shard {shard.shard_id} has a disk-level operation "
+                    "in flight; finish or abort it before a cluster "
+                    "rebalance"
+                )
 
     def _check_quiescent(self, what: str) -> None:
         if self._in_flight is not None:
@@ -810,11 +1466,20 @@ class ClusterCoordinator:
         )
 
 
+def _domain_label(shard_id: int, num_domains: Optional[int]) -> str:
+    """The failure domain a shard id lands in under the cluster's
+    striping rule (``None``: every shard is its own domain)."""
+    if num_domains:
+        return f"dom{shard_id % num_domains}"
+    return f"dom{shard_id}"
+
+
 def _build_shard(
     shard_id: int,
     template: ShardTemplate,
     master_seed: int,
     instrument: bool,
+    domain: Optional[str] = None,
 ) -> ShardNode:
     """One template-built shard, optionally with its own obs handle."""
     from repro.obs import Obs
@@ -827,4 +1492,5 @@ def _build_shard(
         backend=template.backend,
         master_seed=master_seed,
         obs=Obs() if instrument else None,
+        domain=domain,
     )

@@ -1,6 +1,6 @@
 """Cluster layout auditing (fsck one level up).
 
-Two invariants on top of each shard's own
+Three invariant families on top of each shard's own
 :func:`~repro.server.fsck.check_layout` audit:
 
 * **routing** — every object's recorded home
@@ -9,9 +9,19 @@ Two invariants on top of each shard's own
   explains the disagreement (the router already says the target, the
   object still sits at the source) is **in-flight**, not misrouted —
   the same migration-awareness the disk-level audit has;
+* **replication** — every object's copies sit on pairwise-distinct
+  shards and (among live copies) pairwise-distinct failure domains,
+  each replica record points at a real catalog entry matching the
+  primary's name and size, and the live-copy count meets the cluster's
+  replication factor (capped by how many distinct live domains exist).
+  A shortfall *explained by a dead or rebuilding copy-holder* is
+  **degraded** — expected mid-failure, repaired by the rebuild — while
+  any other replication breach is a violation;
 * **per-shard layout** — every shard (slot-table and draining alike)
   passes its own audit; a shard mid-scale can be vouched for by passing
-  its pending operation through ``shard_pending``.
+  its pending operation through ``shard_pending``.  Dead shards are
+  skipped (their catalogs are unreachable tombstones, audited again if
+  an abort revives their entries).
 """
 
 from __future__ import annotations
@@ -33,6 +43,17 @@ class RoutingViolation:
     actual_shard: int
 
 
+@dataclass(frozen=True)
+class ReplicaViolation:
+    """One object whose replica set breaks a replication invariant."""
+
+    object_id: int
+    #: Invariant breached: ``duplicate-shard``, ``domain-collision``,
+    #: ``missing-copy``, ``mismatched-copy``, or ``under-replicated``.
+    kind: str
+    detail: str
+
+
 @dataclass
 class ClusterLayoutReport:
     """Outcome of one cluster-wide consistency audit."""
@@ -43,6 +64,11 @@ class ClusterLayoutReport:
     misrouted: list[RoutingViolation] = field(default_factory=list)
     #: Routing disagreements explained by a pending rebalance move.
     in_flight: list[RoutingViolation] = field(default_factory=list)
+    #: Replication invariant breaches (never expected).
+    replica_violations: list[ReplicaViolation] = field(default_factory=list)
+    #: Under-replication fully explained by dead/rebuilding copy-holders
+    #: — the state a rebuild exists to repair, not a consistency breach.
+    degraded: list[ReplicaViolation] = field(default_factory=list)
 
     @property
     def blocks_checked(self) -> int:
@@ -56,11 +82,20 @@ class ClusterLayoutReport:
 
     @property
     def clean(self) -> bool:
-        """Fully consistent: every shard clean and no misrouted objects
-        (in-flight entries at either level are expected mid-operation)."""
-        return not self.misrouted and all(
-            r.clean for r in self.shard_reports.values()
+        """Fully consistent: every shard clean, no misrouted objects,
+        no replication breaches (in-flight entries at either level and
+        degraded objects are expected mid-operation / mid-failure)."""
+        return (
+            not self.misrouted
+            and not self.replica_violations
+            and all(r.clean for r in self.shard_reports.values())
         )
+
+    @property
+    def fully_replicated(self) -> bool:
+        """Clean *and* every object holds its full live replica set
+        (no degraded entries) — the post-rebuild steady state."""
+        return self.clean and not self.degraded
 
 
 def check_cluster(
@@ -87,6 +122,8 @@ def check_cluster(
     report = ClusterLayoutReport()
 
     for shard_id in sorted(coordinator._shard_by_id):
+        if not coordinator.health.is_live(shard_id):
+            continue  # a tombstone catalog is unreachable, not auditable
         shard = coordinator._shard_by_id[shard_id]
         report.shard_reports[shard_id] = check_layout(
             shard.server,
@@ -112,4 +149,99 @@ def check_cluster(
             report.in_flight.append(violation)
         else:
             report.misrouted.append(violation)
+
+    _check_replication(coordinator, report)
     return report
+
+
+def _check_replication(
+    coordinator: ClusterCoordinator, report: ClusterLayoutReport
+) -> None:
+    """Audit every object's replica set against the cluster invariants."""
+    factor = coordinator.replication_factor
+    if factor <= 1:
+        return
+    health = coordinator.health
+
+    def domain(shard_id: int) -> str:
+        return coordinator._shard_by_id[shard_id].domain
+
+    # The factor is only achievable up to the number of distinct live
+    # domains on the slot table — a 2-domain cluster can never hold 3
+    # domain-distinct copies, and that is a sizing fact, not a breach.
+    live_domains = {
+        domain(shard.shard_id)
+        for shard in coordinator.shards
+        if health.is_live(shard.shard_id)
+    }
+    target = min(factor, len(live_domains))
+
+    for gid in sorted(coordinator._home):
+        copies = (coordinator._home[gid],) + coordinator._replica_home.get(
+            gid, ()
+        )
+        seen: set[int] = set()
+        for sid in copies:
+            if sid in seen:
+                report.replica_violations.append(
+                    ReplicaViolation(
+                        gid, "duplicate-shard",
+                        f"two copies recorded on shard {sid}",
+                    )
+                )
+            seen.add(sid)
+        primary = coordinator._shard_by_id[
+            coordinator._home[gid]
+        ].server.catalog.get(coordinator._local[gid])
+        for sid in coordinator._replica_home.get(gid, ()):
+            try:
+                media = coordinator._shard_by_id[sid].server.catalog.get(
+                    coordinator._replica_local[(gid, sid)]
+                )
+            except KeyError:
+                report.replica_violations.append(
+                    ReplicaViolation(
+                        gid, "missing-copy",
+                        f"replica record points at shard {sid} local id "
+                        f"{coordinator._replica_local.get((gid, sid))} "
+                        "which its catalog does not hold",
+                    )
+                )
+                continue
+            if (
+                media.name != primary.name
+                or media.num_blocks != primary.num_blocks
+            ):
+                report.replica_violations.append(
+                    ReplicaViolation(
+                        gid, "mismatched-copy",
+                        f"replica on shard {sid} is "
+                        f"{media.name!r}/{media.num_blocks} blocks, "
+                        f"primary is {primary.name!r}/"
+                        f"{primary.num_blocks}",
+                    )
+                )
+        live = [sid for sid in copies if health.is_live(sid)]
+        used_domains: set[str] = set()
+        for sid in live:
+            if domain(sid) in used_domains:
+                report.replica_violations.append(
+                    ReplicaViolation(
+                        gid, "domain-collision",
+                        f"two live copies share failure domain "
+                        f"{domain(sid)!r}",
+                    )
+                )
+            used_domains.add(domain(sid))
+        if len(live) < target:
+            entry = ReplicaViolation(
+                gid, "under-replicated",
+                f"{len(live)} live copies of {target} required "
+                f"(copies on shards {list(copies)})",
+            )
+            if len(live) < len(copies):
+                # A copy-holder is dead/rebuilding: the shortfall is
+                # the failure the rebuild repairs, not an fsck breach.
+                report.degraded.append(entry)
+            else:
+                report.replica_violations.append(entry)

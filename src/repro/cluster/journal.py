@@ -41,6 +41,25 @@ from repro.core.operations import ScalingOp
 from repro.server.journal import JournalError
 
 
+class ClusterJournalCorruptionError(JournalError):
+    """A damaged record anywhere but the torn final line.
+
+    A torn *final* line is the expected crash artifact and is dropped
+    silently; a damaged *interior* record (unparseable JSON, or valid
+    JSON missing required fields) means the file itself was harmed —
+    truncation, bit rot, concurrent writers — and recovery must stop.
+    ``lineno`` names the 1-based damaged line so the operator can
+    inspect exactly where the journal went bad.
+    """
+
+    def __init__(self, lineno: int, reason: str):
+        super().__init__(
+            f"corrupt cluster journal line {lineno}: {reason}"
+        )
+        self.lineno = lineno
+        self.reason = reason
+
+
 @dataclass(frozen=True)
 class ObjectMove:
     """One planned object migration, in stable-shard-id space."""
@@ -68,6 +87,11 @@ class ReshardRecord:
         The filtered move list recorded at ``begin`` time.
     applied:
         Object ids whose migrations were journaled as landed, in order.
+    rebuild_of:
+        Stable id of the dead shard this rebalance evacuates, or
+        ``None`` for an ordinary reshard.  Recovery must re-mark that
+        shard dead before re-deriving the plan, so the field rides in
+        the begin record.
     """
 
     seq: int
@@ -79,6 +103,7 @@ class ReshardRecord:
     applied: list[int] = field(default_factory=list)
     committed: bool = False
     aborted: bool = False
+    rebuild_of: Optional[int] = None
 
     @property
     def open(self) -> bool:
@@ -129,8 +154,12 @@ class ClusterJournal:
         shards_after: int,
         new_shard_ids: Iterable[int],
         moves: Iterable[ObjectMove],
+        rebuild_of: Optional[int] = None,
     ) -> None:
         """Journal the intent of one rebalance (filtered plan included).
+
+        ``rebuild_of`` names the dead shard a rebuild evacuates (absent
+        for ordinary reshards; older journals never carry it).
 
         Raises
         ------
@@ -143,20 +172,21 @@ class ClusterJournal:
                 f"rebalance seq={last.seq} is still open; commit or abort "
                 "it before beginning another"
             )
-        self._append(
-            {
-                "type": "begin",
-                "seq": seq,
-                "op": op.to_dict(),
-                "shards_before": shards_before,
-                "shards_after": shards_after,
-                "new_shard_ids": list(new_shard_ids),
-                "plan": [
-                    [m.object_id, m.source_shard, m.target_shard]
-                    for m in moves
-                ],
-            }
-        )
+        record = {
+            "type": "begin",
+            "seq": seq,
+            "op": op.to_dict(),
+            "shards_before": shards_before,
+            "shards_after": shards_after,
+            "new_shard_ids": list(new_shard_ids),
+            "plan": [
+                [m.object_id, m.source_shard, m.target_shard]
+                for m in moves
+            ],
+        }
+        if rebuild_of is not None:
+            record["rebuild_of"] = rebuild_of
+        self._append(record)
 
     def record_apply(self, seq: int, object_id: int) -> None:
         """Journal one landed object migration."""
@@ -209,28 +239,38 @@ class ClusterJournal:
 
         Raises
         ------
+        ClusterJournalCorruptionError
+            On a damaged record anywhere but the final line — both
+            unparseable JSON and structurally incomplete records (a
+            torn final line is the expected crash artifact and is
+            dropped).
         JournalError
-            On corrupt records anywhere but the final line (a torn final
-            line is the expected crash artifact and is dropped).
+            On well-formed records that violate the protocol (apply
+            before begin, seq mismatches, unknown types).
         """
-        raw = self._read_raw()
         records: list[ReshardRecord] = []
-        for lineno, entry in enumerate(raw, start=1):
+        for lineno, entry in self._read_raw():
             kind = entry.get("type")
             if kind == "begin":
-                records.append(
-                    ReshardRecord(
-                        seq=entry["seq"],
-                        op=ScalingOp.from_dict(entry["op"]),
-                        shards_before=entry["shards_before"],
-                        shards_after=entry["shards_after"],
-                        new_shard_ids=tuple(entry["new_shard_ids"]),
-                        plan=tuple(
-                            ObjectMove(gid, src, dst)
-                            for gid, src, dst in entry["plan"]
-                        ),
+                try:
+                    records.append(
+                        ReshardRecord(
+                            seq=entry["seq"],
+                            op=ScalingOp.from_dict(entry["op"]),
+                            shards_before=entry["shards_before"],
+                            shards_after=entry["shards_after"],
+                            new_shard_ids=tuple(entry["new_shard_ids"]),
+                            plan=tuple(
+                                ObjectMove(gid, src, dst)
+                                for gid, src, dst in entry["plan"]
+                            ),
+                            rebuild_of=entry.get("rebuild_of"),
+                        )
                     )
-                )
+                except (KeyError, TypeError, ValueError) as exc:
+                    raise ClusterJournalCorruptionError(
+                        lineno, f"damaged begin record ({exc!r})"
+                    )
                 continue
             if not records:
                 raise JournalError(
@@ -247,7 +287,12 @@ class ClusterJournal:
                     raise JournalError(
                         f"record {lineno}: apply after commit/abort"
                     )
-                current.applied.append(entry["object"])
+                try:
+                    current.applied.append(entry["object"])
+                except KeyError as exc:
+                    raise ClusterJournalCorruptionError(
+                        lineno, f"damaged apply record ({exc!r})"
+                    )
             elif kind == "commit":
                 current.committed = True
             elif kind == "abort":
@@ -276,22 +321,29 @@ class ClusterJournal:
             if self.fsync:
                 os.fsync(self._fh.fileno())
 
-    def _read_raw(self) -> list[dict]:
+    def _read_raw(self) -> list[tuple[int, dict]]:
+        """(1-based line number, parsed record) for every journal line.
+
+        Line numbers are file positions (blank lines counted), so the
+        typed corruption error names the line an editor would show.
+        """
         if self.path is None:
-            return list(self._records)
+            return list(enumerate(self._records, start=1))
         if not self.path.exists():
             return []
-        entries: list[dict] = []
+        entries: list[tuple[int, dict]] = []
         lines = self.path.read_text(encoding="utf-8").splitlines()
         for lineno, line in enumerate(lines, start=1):
             if not line.strip():
                 continue
             try:
-                entries.append(json.loads(line))
-            except json.JSONDecodeError:
+                entries.append((lineno, json.loads(line)))
+            except json.JSONDecodeError as exc:
                 if lineno == len(lines):
                     break  # torn final line: the crash artifact
-                raise JournalError(f"corrupt cluster journal line {lineno}")
+                raise ClusterJournalCorruptionError(
+                    lineno, f"unparseable record ({exc.msg})"
+                )
         return entries
 
     def _last_record(self) -> Optional[ReshardRecord]:

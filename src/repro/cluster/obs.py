@@ -15,7 +15,19 @@ artifacts without touching the per-shard handles:
   ``shard=cluster``), counters summed into their new series, gauges
   overwritten, histogram buckets copied wholesale;
 * :func:`cluster_prometheus` — the merged registry through the standard
-  exporter: one scrape document for the whole cluster.
+  exporter: one scrape document for the whole cluster;
+* :func:`record_health_gauges` — stamps the point-in-time fault-tolerance
+  gauges (shards per health state, lost objects, tracked replica copies)
+  onto the coordinator's handle, so a scrape always reflects the current
+  health picture even between transitions.
+
+The per-event health signals — ``cluster.health.transition``,
+``cluster.breaker.trip``/``probe``, ``cluster.failover.reads``/
+``retries`` counters, ``cluster.rebuild.progress`` gauges — are emitted
+at their sources (:mod:`repro.cluster.health`,
+:meth:`~repro.cluster.coordinator.ClusterCoordinator.route_read`,
+:class:`~repro.cluster.replication.ShardRebuilder`) and merge here like
+any other series.
 """
 
 from __future__ import annotations
@@ -111,6 +123,27 @@ def merged_registry(coordinator: "ClusterCoordinator") -> MetricsRegistry:
     return merged
 
 
+def record_health_gauges(coordinator: "ClusterCoordinator") -> None:
+    """Stamp point-in-time fault-tolerance gauges onto the coordinator's
+    handle (no-op when the cluster is uninstrumented)."""
+    from repro.cluster.health import ShardHealth
+
+    obs = coordinator.obs
+    if not obs.enabled:
+        return
+    counts = {state: 0 for state in ShardHealth}
+    for shard_id in coordinator._shard_by_id:
+        counts[coordinator.health.state(shard_id)] += 1
+    for state, count in counts.items():
+        obs.set_gauge("cluster.shards.state", count, state=state.value)
+    obs.set_gauge("cluster.objects.lost", coordinator.lost_objects)
+    obs.set_gauge(
+        "cluster.replicas.tracked", len(coordinator._replica_local)
+    )
+
+
 def cluster_prometheus(coordinator: "ClusterCoordinator") -> str:
-    """The whole cluster's metrics as one Prometheus scrape document."""
+    """The whole cluster's metrics as one Prometheus scrape document
+    (health gauges stamped fresh first)."""
+    record_health_gauges(coordinator)
     return to_prometheus(merged_registry(coordinator))

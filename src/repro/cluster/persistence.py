@@ -41,6 +41,7 @@ from repro.cluster.coordinator import (
     PendingReshard,
     ShardTemplate,
 )
+from repro.cluster.health import ShardHealth
 from repro.cluster.journal import ClusterJournal
 from repro.cluster.router import ShardRouter
 from repro.cluster.shard import ShardNode
@@ -55,7 +56,12 @@ from repro.server.persistence import (
 
 #: Cluster manifest format version (independent of the per-shard
 #: snapshot version riding inside each ``shards[*].snapshot``).
-MANIFEST_VERSION = 1
+#:
+#: v2 adds the replication envelope — ``replication_factor``,
+#: ``num_domains``, per-shard ``domain`` labels, the per-object replica
+#: map, and ``dead_shards`` — all absent from v1 manifests, which this
+#: build still reads (as replication-factor-1 clusters).
+MANIFEST_VERSION = 2
 
 
 def snapshot_cluster(coordinator: ClusterCoordinator) -> dict:
@@ -64,6 +70,8 @@ def snapshot_cluster(coordinator: ClusterCoordinator) -> dict:
     O(objects + shards + per-shard backend payloads).  Refused while a
     rebalance is in flight — the mid-rebalance gap is the journal's
     domain, exactly like the single-server snapshot/journal split.
+    Dead shards snapshot fine (their catalogs are intact tombstones);
+    only the rebalance that evacuates one is the journal's business.
     """
     if coordinator._in_flight is not None:
         raise OperationInFlightError(
@@ -73,6 +81,19 @@ def snapshot_cluster(coordinator: ClusterCoordinator) -> dict:
     journal = coordinator.journal
     return {
         "version": MANIFEST_VERSION,
+        "replication_factor": coordinator.replication_factor,
+        "num_domains": coordinator.num_domains,
+        "dead_shards": coordinator.health.shards_in(ShardHealth.DEAD),
+        "replicas": [
+            {
+                "object_id": gid,
+                "copies": [
+                    [sid, coordinator._replica_local[(gid, sid)]]
+                    for sid in copies
+                ],
+            }
+            for gid, copies in sorted(coordinator._replica_home.items())
+        ],
         "master_seed": coordinator.master_seed,
         "router": coordinator.router.state_payload(),
         # The replay boundary: journal records with seq <= this stamp
@@ -100,6 +121,7 @@ def snapshot_cluster(coordinator: ClusterCoordinator) -> dict:
         "shards": [
             {
                 "shard_id": shard.shard_id,
+                "domain": shard.domain,
                 # The catalog allocator position — max(ids)+1 undercounts
                 # after a removal of the newest object, and resumed
                 # migrations must re-derive identical local ids.
@@ -131,10 +153,10 @@ def restore_cluster(
     """
     data = json.loads(manifest) if isinstance(manifest, str) else manifest
     version = data.get("version")
-    if version != MANIFEST_VERSION:
+    if version not in (1, MANIFEST_VERSION):
         raise SnapshotError(
             f"unsupported cluster manifest version {version!r}; "
-            f"this build reads version {MANIFEST_VERSION}"
+            f"this build reads versions 1..{MANIFEST_VERSION}"
         )
     router = ShardRouter.from_payload(data["router"])
     shards = []
@@ -143,7 +165,11 @@ def restore_cluster(
         server.catalog._next_id = max(
             server.catalog._next_id, entry["next_local_id"]
         )
-        shards.append(ShardNode(entry["shard_id"], server))
+        shards.append(
+            # v1 manifests carry no domain; ShardNode defaults to the
+            # per-shard-unique label, matching v1's factor-1 semantics.
+            ShardNode(entry["shard_id"], server, domain=entry.get("domain"))
+        )
     coordinator = ClusterCoordinator(
         router,
         shards,
@@ -151,6 +177,8 @@ def restore_cluster(
         master_seed=data["master_seed"],
         journal=journal,
         obs=obs,
+        replication_factor=data.get("replication_factor", 1),
+        num_domains=data.get("num_domains"),
     )
     coordinator._next_gid = data["next_object_id"]
     coordinator._next_shard_id = max(
@@ -176,6 +204,34 @@ def restore_cluster(
         coordinator._home[gid] = entry["shard"]
         coordinator._local[gid] = entry["local_id"]
         coordinator._names[entry["name"]] = gid
+    for entry in data.get("replicas", ()):
+        gid = entry["object_id"]
+        if gid not in coordinator._home:
+            raise SnapshotError(
+                f"manifest replica map names object {gid} which the "
+                "object table does not hold"
+            )
+        copies = []
+        for shard_id, local_id in entry["copies"]:
+            shard = coordinator.shard(shard_id)
+            try:
+                media = shard.server.catalog.get(local_id)
+            except KeyError:
+                raise SnapshotError(
+                    f"manifest replica of object {gid} points at local id "
+                    f"{local_id} which shard {shard_id} does not hold"
+                )
+            name = coordinator.shard(coordinator._home[gid]).server.catalog
+            if media.name != name.get(coordinator._local[gid]).name:
+                raise SnapshotError(
+                    f"manifest replica of object {gid} on shard {shard_id} "
+                    f"is named {media.name!r}, not the primary's name"
+                )
+            copies.append(shard_id)
+            coordinator._replica_local[(gid, shard_id)] = local_id
+        coordinator._replica_home[gid] = tuple(copies)
+    for shard_id in data.get("dead_shards", ()):
+        coordinator.health.mark_dead(shard_id)
     return coordinator
 
 
@@ -223,7 +279,13 @@ def resume_cluster(
     pending_out: Optional[PendingReshard] = None
     for record in journal.replay():
         if record.aborted:
-            continue  # begin + full rollback = net nothing
+            # begin + full rollback = net nothing for the namespace,
+            # but an aborted *rebuild* leaves its shard dead (aborting
+            # the evacuation never revived the machine) — later records
+            # must replay against that truth.
+            if record.rebuild_of is not None:
+                coordinator.health.mark_dead(record.rebuild_of)
+            continue
         if record.seq <= stamp:
             continue  # already reflected in the manifest's router state
         if pending_out is not None:
@@ -236,7 +298,16 @@ def resume_cluster(
                 f"{coordinator.router.num_operations} router operations "
                 "restored so far"
             )
-        pending = coordinator._begin_reshard(record.op, journal_writes=False)
+        if record.rebuild_of is not None:
+            # A rebuild's death precedes its begin record; streams are
+            # transient so re-marking the shard dead is the whole replay
+            # of kill_shard.
+            coordinator.health.mark_dead(record.rebuild_of)
+        pending = coordinator._begin_reshard(
+            record.op, journal_writes=False, rebuild_of=record.rebuild_of
+        )
+        if record.rebuild_of is not None:
+            coordinator.health.begin_rebuild(record.rebuild_of)
         if pending.new_shard_ids != record.new_shard_ids:
             raise JournalError(
                 f"rebalance seq={record.seq} re-derived shard ids "
@@ -305,7 +376,9 @@ def _resume_shard(
         server.catalog._next_id, entry["next_local_id"]
     )
     old = coordinator._shard_by_id[shard_id]
-    replacement = ShardNode(shard_id, server, journal=server.journal)
+    replacement = ShardNode(
+        shard_id, server, journal=server.journal, domain=old.domain
+    )
     coordinator._shard_by_id[shard_id] = replacement
     coordinator.shards = [
         replacement if shard is old else shard for shard in coordinator.shards

@@ -32,6 +32,10 @@ from repro.storage.block import BlockId
 #: Default cluster salt mixed into every routing key.
 ROUTER_SALT = 0xC1_05_7E_12
 
+#: Extra salt separating replica-candidate scores from primary routing,
+#: so replica ranking never correlates with the home-slot choice.
+REPLICA_SALT = 0x5EC0_4DA7
+
 
 def routing_key(object_id: int, salt: int = ROUTER_SALT) -> int:
     """The 64-bit placement key of one cluster-global object id."""
@@ -119,6 +123,31 @@ class ShardRouter:
         keys = routing_keys(object_ids, self.salt)
         ids = [BlockId(int(gid), 0) for gid in object_ids]
         return self.policy.plan_moves(op, ids, keys)
+
+    def replica_rank(
+        self, object_id: int, shard_ids: Sequence[int]
+    ) -> list[int]:
+        """Rank shards as replica homes for one object (best first).
+
+        Rendezvous (highest-random-weight) hashing over *stable shard
+        ids*: each candidate's score mixes the object's routing key with
+        the shard id, so the ranking of the surviving shards is
+        unchanged when any other shard joins or leaves — the
+        minimal-disruption property SCADDAR demands of placement,
+        obtained by construction for replicas.  The replication manager
+        filters this order by health and failure domain; ranking over
+        stable ids (not slots) keeps replica placement independent of
+        slot re-compaction.
+        """
+        key = routing_key(object_id, self.salt)
+        return sorted(
+            (int(sid) for sid in shard_ids),
+            key=lambda sid: (
+                _mix64(key ^ _mix64((sid ^ REPLICA_SALT) & _MASK64)),
+                sid,
+            ),
+            reverse=True,
+        )
 
     def register(self, object_ids: Sequence[int]) -> None:
         """Introduce objects to the routing policy (stateful backends)."""

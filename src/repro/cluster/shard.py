@@ -68,6 +68,11 @@ class ShardNode:
         :class:`~repro.server.protocol.ServerProtocol`).
     journal:
         The server's scaling journal (attached to ``server``).
+    domain:
+        Failure-domain label (rack, zone, host).  Replica placement
+        never puts two copies of one object in the same domain; the
+        default gives every shard its own domain (replication degrades
+        to distinct-shards-only, which is always required anyway).
     """
 
     def __init__(
@@ -75,11 +80,13 @@ class ShardNode:
         shard_id: int,
         server: CMServer,
         journal: Optional[ScalingJournal] = None,
+        domain: Optional[str] = None,
     ):
         assert isinstance(server, ServerProtocol)
         self.shard_id = shard_id
         self.server = server
         self.journal = journal
+        self.domain = domain if domain is not None else f"dom{shard_id}"
         self._scheduler: Optional[RoundScheduler] = None
 
     @classmethod
@@ -93,6 +100,7 @@ class ShardNode:
         master_seed: int = 0,
         journal: Optional[ScalingJournal] = None,
         obs: Optional["ObsHandle"] = None,
+        domain: Optional[str] = None,
     ) -> "ShardNode":
         """Build a fresh shard with a decorrelated catalog seed.
 
@@ -113,7 +121,7 @@ class ShardNode:
             backend=backend,
             obs=obs,
         )
-        return cls(shard_id, server, journal)
+        return cls(shard_id, server, journal, domain=domain)
 
     @property
     def scheduler(self) -> RoundScheduler:
@@ -143,6 +151,7 @@ class ShardNode:
 
     def __repr__(self) -> str:
         return (
-            f"ShardNode(id={self.shard_id}, disks={self.server.num_disks}, "
-            f"objects={self.num_objects}, blocks={self.total_blocks})"
+            f"ShardNode(id={self.shard_id}, domain={self.domain!r}, "
+            f"disks={self.server.num_disks}, objects={self.num_objects}, "
+            f"blocks={self.total_blocks})"
         )

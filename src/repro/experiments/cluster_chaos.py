@@ -21,11 +21,21 @@ scenarios:
   rest of the cluster keeps serving; the shard escalates
   failure-as-removal locally, and every shard draws its fault schedule
   from its own :func:`~repro.cluster.shard.shard_fault_seed`-derived
-  stream (no two shards share one).
+  stream (no two shards share one);
+* **shard-death-serving** — with replication factor 2 across two
+  failure domains, a whole shard dies mid-serving; streams fail over to
+  replicas, availability across the event stays >= 0.99, the journaled
+  rebuild restores R=2 with a fully-replicated fsck, and crash-resume
+  of the rebuild is proven at **every** move index against the
+  uncrashed digest;
+* **shard-death-rebalance** — the shard dies while an online shard-add
+  rebalance is mid-flight; the open rebalance completes (dead sources
+  fall back to replica copies), then the rebuild runs — zero blocks
+  lost through the composition.
 
 Every run is bit-reproducible from ``seed``: each scenario's final
-layout is digested and the shard-add scenario is executed twice to
-prove the digests match.
+layout is digested and the shard-add and shard-death scenarios are
+executed twice to prove the digests match.
 """
 
 from __future__ import annotations
@@ -71,11 +81,21 @@ class ClusterChaosResult:
     deterministic: bool = True
     #: sha256 over the final (gid, shard, logical placements) layout.
     digest: str = ""
+    #: Served fraction of the cluster demand across the whole event
+    #: (1.0 for scenarios that do not measure it).
+    availability: float = 1.0
+    #: The scenario's availability floor (0.0 when not asserted).
+    availability_floor: float = 0.0
 
     @property
     def survived(self) -> bool:
-        """The headline claim: nothing lost, everything consistent."""
-        return self.blocks_lost == 0 and self.layout_clean
+        """The headline claim: nothing lost, everything consistent,
+        availability above the scenario's floor."""
+        return (
+            self.blocks_lost == 0
+            and self.layout_clean
+            and self.availability >= self.availability_floor
+        )
 
 
 def _build(
@@ -88,6 +108,8 @@ def _build(
     router_backend: str = "jump_hash",
     journal: ClusterJournal | None = None,
     obs=None,
+    replication_factor: int = 1,
+    num_domains: int | None = None,
 ) -> ClusterCoordinator:
     spec = DiskSpec(capacity_blocks=100_000, bandwidth_blocks_per_round=12)
     coordinator = ClusterCoordinator.create(
@@ -99,6 +121,8 @@ def _build(
         master_seed=seed,
         journal=journal if journal is not None else ClusterJournal(),
         obs=obs,
+        replication_factor=replication_factor,
+        num_domains=num_domains,
     )
     for i in range(num_objects):
         coordinator.add_object(f"title-{i}", blocks_per_object)
@@ -119,6 +143,22 @@ def layout_digest(coordinator: ClusterCoordinator) -> str:
         )
     return hashlib.sha256(
         json.dumps(layout, separators=(",", ":")).encode()
+    ).hexdigest()
+
+
+def ha_digest(coordinator: ClusterCoordinator) -> str:
+    """Layout digest extended with the replica map — the fingerprint a
+    replicated cluster must reproduce bit-for-bit across same-seed runs
+    and crash-resumed rebuilds."""
+    replicas = sorted(
+        (gid, list(copies))
+        for gid, copies in coordinator._replica_home.items()
+    )
+    return hashlib.sha256(
+        (
+            layout_digest(coordinator)
+            + json.dumps(replicas, separators=(",", ":"))
+        ).encode()
     ).hexdigest()
 
 
@@ -304,6 +344,132 @@ def _disk_death_scenario(
     )
 
 
+def _shard_death_scenario(
+    num_shards: int,
+    disks_per_shard: int,
+    num_objects: int,
+    blocks_per_object: int,
+    bits: int,
+    seed: int,
+    mid_rebalance: bool,
+    resume_proof: bool = False,
+    obs=None,
+) -> ClusterChaosResult:
+    """Kill a whole shard (mid-serving or mid-rebalance) at R=2 across
+    two failure domains, rebuild, and audit the full story.
+
+    With ``resume_proof`` the rebuild's journal is re-cut at every
+    apply index and each cut resumed to completion — every one must
+    land on the uncrashed run's exact layout + replica-map digest.
+    """
+    scenario = (
+        "shard-death-rebalance" if mid_rebalance else "shard-death-serving"
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "cluster.journal")
+        coordinator = _build(
+            num_shards, disks_per_shard, num_objects, blocks_per_object,
+            bits, seed, router_backend="consistent_hash",
+            journal=ClusterJournal(path), obs=obs,
+            replication_factor=2, num_domains=2,
+        )
+        domains = {s.domain for s in coordinator.shards}
+        assert len(domains) >= 2
+        blocks_before = coordinator.total_blocks
+        reports = coordinator.run_rounds(3)  # steady state first
+
+        pending = None
+        if mid_rebalance:
+            pending = coordinator.begin_reshard(ScalingOp.add(1))
+            coordinator.migrate_next(pending)
+            reports.append(coordinator.run_round())
+            victim = min(
+                sid
+                for sid in coordinator.shard_ids
+                if sid not in pending.new_shard_ids
+            )
+        else:
+            victim = coordinator.shard_of(0)
+        manifest = (
+            snapshot_cluster(coordinator) if not mid_rebalance else None
+        )
+
+        coordinator.kill_shard(victim)
+        reports.append(coordinator.run_round())
+        if pending is not None:
+            # The open rebalance completes around the corpse: dead
+            # sources fall back to replica copies or promotion.
+            while coordinator.migrate_next(pending) is not None:
+                reports.append(coordinator.run_round())
+            coordinator.finish_reshard(pending)
+
+        rebuilder = coordinator.begin_shard_rebuild(victim)
+        planned = len(rebuilder.pending.moves)
+        while not rebuilder.done:
+            rebuilder.step()
+            reports.append(coordinator.run_round())
+        rebuilder.finish()
+        reports.extend(coordinator.run_rounds(2))
+        coordinator.journal.close()
+
+        requested = sum(r.requested for r in reports)
+        served = sum(r.served for r in reports)
+        availability = served / requested if requested else 1.0
+        audit = check_cluster(coordinator)
+        clean = (
+            audit.clean
+            and audit.fully_replicated
+            and coordinator.lost_objects == 0
+        )
+        digest = ha_digest(coordinator)
+
+        deterministic = True
+        if resume_proof and manifest is not None:
+            # Re-cut the rebuild journal at every apply index; every
+            # resumed timeline must reach this exact digest.
+            lines = open(path, encoding="utf-8").read().splitlines(
+                keepends=True
+            )
+            begin = [
+                l for l in lines if json.loads(l)["type"] == "begin"
+            ]
+            applies = [
+                l for l in lines if json.loads(l)["type"] == "apply"
+            ]
+            for crash_at in range(len(applies) + 1):
+                cut = os.path.join(tmp, f"cut-{crash_at}.journal")
+                with open(cut, "w", encoding="utf-8") as handle:
+                    handle.write("".join(begin + applies[:crash_at]))
+                resumed, open_pending = resume_cluster(
+                    dict(manifest), cut
+                )
+                assert open_pending is not None
+                resumed.execute_reshard(open_pending)
+                resumed.finish_reshard(open_pending)
+                resumed.journal.close()
+                if ha_digest(resumed) != digest:
+                    deterministic = False
+
+        return ClusterChaosResult(
+            scenario=scenario,
+            shards_before=num_shards,
+            shards_after=coordinator.num_shards,
+            planned_moves=planned,
+            migrated=planned,
+            rounds=len(reports),
+            hiccups=sum(r.hiccups for r in reports),
+            blocks_lost=(
+                coordinator.lost_blocks
+                + max(0, blocks_before - coordinator.total_blocks)
+            ),
+            layout_clean=clean,
+            deterministic=deterministic,
+            digest=digest,
+            availability=availability,
+            availability_floor=0.99,
+        )
+
+
 def run_cluster_chaos(
     num_shards: int = 3,
     disks_per_shard: int = 3,
@@ -343,7 +509,27 @@ def run_cluster_chaos(
         num_shards, disks_per_shard, num_objects, blocks_per_object,
         bits, seed, fault_rate, obs=obs,
     )
-    return [add, remove, crash, death]
+    shard_death = _shard_death_scenario(
+        num_shards, disks_per_shard, num_objects, blocks_per_object,
+        bits, seed, mid_rebalance=False, resume_proof=True, obs=obs,
+    )
+    # Same seed, second run: the replicated digest must match too.
+    shard_death_replay = _shard_death_scenario(
+        num_shards, disks_per_shard, num_objects, blocks_per_object,
+        bits, seed, mid_rebalance=False,
+    )
+    shard_death = replace(
+        shard_death,
+        deterministic=(
+            shard_death.deterministic
+            and shard_death.digest == shard_death_replay.digest
+        ),
+    )
+    rebalance_death = _shard_death_scenario(
+        num_shards, disks_per_shard, num_objects, blocks_per_object,
+        bits, seed, mid_rebalance=True, obs=obs,
+    )
+    return [add, remove, crash, death, shard_death, rebalance_death]
 
 
 def report(results: list[ClusterChaosResult] | None = None) -> str:
@@ -360,6 +546,7 @@ def report(results: list[ClusterChaosResult] | None = None) -> str:
             "move frac",
             "optimal",
             "blocks lost",
+            "avail",
             "fsck clean",
             "same-seed",
         ),
@@ -374,6 +561,7 @@ def report(results: list[ClusterChaosResult] | None = None) -> str:
                 round(r.move_fraction, 3),
                 round(r.optimal_fraction, 3),
                 r.blocks_lost,
+                round(r.availability, 4),
                 "yes" if r.layout_clean else "NO",
                 "yes" if r.deterministic else "NO",
             )
@@ -384,8 +572,9 @@ def report(results: list[ClusterChaosResult] | None = None) -> str:
     return (
         table
         + "\nzero blocks lost + clean fsck on every row: the cluster "
-        "rebalanced, crashed, and lost a disk without losing data; "
-        "same-seed runs replay bit-identically"
+        "rebalanced, crashed, lost a disk, and lost whole shards "
+        "without losing data; availability held through the shard "
+        "deaths and same-seed runs replay bit-identically"
         + ("" if survived else "\n*** DATA LOSS OR NONDETERMINISM ***")
     )
 

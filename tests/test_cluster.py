@@ -16,6 +16,7 @@ import pytest
 from repro.cluster import (
     ClusterCoordinator,
     ClusterJournal,
+    ClusterJournalCorruptionError,
     ObjectMove,
     ShardRouter,
     check_cluster,
@@ -26,6 +27,7 @@ from repro.cluster import (
     routing_keys,
     shard_catalog_seed,
     shard_fault_seed,
+    snapshot_cluster,
 )
 from repro.cluster.journal import JournalError
 from repro.core.operations import ScalingOp
@@ -394,6 +396,42 @@ class TestClusterJournal:
         [record] = ClusterJournal(path).replay()
         assert record.open and record.applied == [5]
 
+    def test_interior_corruption_raises_typed_error(self, tmp_path):
+        path = str(tmp_path / "c.journal")
+        journal = ClusterJournal(path)
+        journal.record_begin(
+            seq=1, op=ScalingOp.add(1), shards_before=2, shards_after=3,
+            new_shard_ids=(2,), moves=[ObjectMove(5, 0, 2)],
+        )
+        journal.record_apply(1, 5)
+        journal.record_commit(1)
+        journal.close()
+        lines = open(path, encoding="utf-8").read().splitlines()
+        lines[1] = '{"type": "app'  # bit-rot in the middle of the file
+        open(path, "w", encoding="utf-8").write("\n".join(lines) + "\n")
+        with pytest.raises(ClusterJournalCorruptionError) as excinfo:
+            ClusterJournal(path).replay()
+        assert excinfo.value.lineno == 2
+        assert "line 2" in str(excinfo.value)
+        assert isinstance(excinfo.value, JournalError)  # old handlers work
+
+    def test_structurally_damaged_record_names_its_line(self, tmp_path):
+        path = str(tmp_path / "c.journal")
+        journal = ClusterJournal(path)
+        journal.record_begin(
+            seq=1, op=ScalingOp.add(1), shards_before=2, shards_after=3,
+            new_shard_ids=(2,), moves=[ObjectMove(5, 0, 2)],
+        )
+        journal.record_apply(1, 5)
+        journal.record_commit(1)
+        journal.close()
+        lines = open(path, encoding="utf-8").read().splitlines()
+        lines[0] = '{"type": "begin", "seq": 1}'  # parses, fields gone
+        open(path, "w", encoding="utf-8").write("\n".join(lines) + "\n")
+        with pytest.raises(ClusterJournalCorruptionError) as excinfo:
+            ClusterJournal(path).replay()
+        assert excinfo.value.lineno == 1
+
     def test_journaled_run_matches_memory(self, tmp_path):
         path = str(tmp_path / "c.journal")
         coordinator = build_cluster(journal=ClusterJournal(path))
@@ -472,3 +510,97 @@ class TestObsAggregation:
         coordinator = build_cluster(num_objects=2)
         assert merged_deterministic_view(coordinator) == []
         assert cluster_prometheus(coordinator).strip() == ""
+
+
+class TestClusterCLIExitCodes:
+    """``scaddar cluster fsck``/``status`` as monitoring probes: 0 when
+    clean and quiescent, 1 when unclean (dead shards / fsck breaches),
+    2 while a rebalance is open in the journal."""
+
+    def run_cli(self, *argv):
+        from repro.cli import main
+
+        return main(["cluster", *map(str, argv)])
+
+    def write_manifest(self, coordinator, path):
+        import json
+
+        path.write_text(
+            json.dumps(snapshot_cluster(coordinator)), encoding="utf-8"
+        )
+
+    def build_replicated(self, journal=None):
+        coordinator = ClusterCoordinator.create(
+            4, 3, SPEC, bits=32, master_seed=0xBEEF,
+            router_backend="consistent_hash",
+            replication_factor=2, num_domains=2, journal=journal,
+        )
+        for i in range(8):
+            coordinator.add_object(f"title-{i}", 20)
+        return coordinator
+
+    def test_status_clean_is_zero(self, tmp_path, capsys):
+        manifest = tmp_path / "m.json"
+        self.write_manifest(self.build_replicated(), manifest)
+        assert self.run_cli("status", "--manifest", manifest) == 0
+        out = capsys.readouterr().out
+        assert "replicas=2" in out and "healthy" in out
+
+    def test_status_dead_shard_is_one(self, tmp_path, capsys):
+        manifest = tmp_path / "m.json"
+        coordinator = self.build_replicated()
+        coordinator.kill_shard(0)
+        self.write_manifest(coordinator, manifest)
+        assert self.run_cli("status", "--manifest", manifest) == 1
+        assert "dead shards: [0]" in capsys.readouterr().out
+
+    def test_status_open_rebalance_is_two(self, tmp_path, capsys):
+        manifest = tmp_path / "m.json"
+        journal = tmp_path / "c.journal"
+        coordinator = self.build_replicated(
+            journal=ClusterJournal(str(journal))
+        )
+        self.write_manifest(coordinator, manifest)
+        pending = coordinator.begin_reshard(ScalingOp.add(1))
+        coordinator.migrate_next(pending)
+        coordinator.journal.close()  # the crash
+        assert self.run_cli(
+            "status", "--manifest", manifest, "--journal", journal
+        ) == 2
+        assert "OPEN" in capsys.readouterr().out
+
+    def test_fsck_clean_is_zero(self, tmp_path, capsys):
+        manifest = tmp_path / "m.json"
+        self.write_manifest(self.build_replicated(), manifest)
+        assert self.run_cli("fsck", "--manifest", manifest) == 0
+        assert "CLEAN" in capsys.readouterr().out
+
+    def test_fsck_replica_breach_is_one(self, tmp_path, capsys):
+        import json
+
+        manifest = tmp_path / "m.json"
+        self.write_manifest(self.build_replicated(), manifest)
+        # Collapse every shard into one failure domain behind fsck's
+        # back: every replica pair now collides.
+        data = json.loads(manifest.read_text())
+        for entry in data["shards"]:
+            entry["domain"] = "dom0"
+        manifest.write_text(json.dumps(data), encoding="utf-8")
+        assert self.run_cli("fsck", "--manifest", manifest) == 1
+        out = capsys.readouterr().out
+        assert "NOT clean" in out
+
+    def test_fsck_open_rebalance_is_two(self, tmp_path, capsys):
+        manifest = tmp_path / "m.json"
+        journal = tmp_path / "c.journal"
+        coordinator = self.build_replicated(
+            journal=ClusterJournal(str(journal))
+        )
+        self.write_manifest(coordinator, manifest)
+        pending = coordinator.begin_reshard(ScalingOp.add(1))
+        coordinator.migrate_next(pending)
+        coordinator.journal.close()  # the crash
+        assert self.run_cli(
+            "fsck", "--manifest", manifest, "--journal", journal
+        ) == 2
+        assert "OPEN" in capsys.readouterr().out

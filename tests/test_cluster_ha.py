@@ -1,0 +1,617 @@
+"""Cluster fault tolerance: health, replication, failover, rebuild.
+
+The pledges under test:
+
+* per-shard health walks the disk state machine one level up — breaker
+  trips demote to suspect, probes recover, death is terminal until a
+  rebuild detaches the shard;
+* replication keeps R copies of every object on pairwise-distinct
+  shards AND pairwise-distinct failure domains, placed by rendezvous
+  ranking (stable under topology change by construction);
+* routed reads retry with capped exponential backoff under a per-shard
+  timeout budget, then fail over through the replica chain; the
+  all-healthy batch path matches the scalar path bit-for-bit;
+* a shard death fails its streams over at their exact playback
+  positions, strands the unservable ones, and the conservation
+  invariant (requested == served + hiccups + queued) holds throughout;
+* a dead shard's rebuild is a journaled, rate-bounded, abortable
+  rebalance that restores full replication and detaches the tombstone;
+* cluster rebalances and per-shard scaling ops stay mutually exclusive
+  (strict journal layering), in both directions;
+* same-seed runs reproduce the whole story bit-identically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    ClusterCoordinator,
+    ClusterFaultInjector,
+    ClusterJournal,
+    FailoverConfig,
+    ObjectUnavailableError,
+    ShardHealth,
+    check_cluster,
+    merged_deterministic_view,
+)
+from repro.cluster.health import ClusterHealthMonitor
+from repro.core.operations import ScalingOp
+from repro.server.cmserver import OperationInFlightError
+from repro.server.health import HealthTransitionError
+from repro.server.streams import StreamState
+from repro.storage.disk import DiskSpec
+
+SPEC = DiskSpec(capacity_blocks=50_000, bandwidth_blocks_per_round=8)
+
+
+def build_ha_cluster(
+    num_shards: int = 4,
+    num_objects: int = 12,
+    blocks_per_object: int = 40,
+    replication_factor: int = 2,
+    num_domains: int = 2,
+    router_backend: str = "consistent_hash",
+    **kwargs,
+) -> ClusterCoordinator:
+    coordinator = ClusterCoordinator.create(
+        num_shards, 3, SPEC, bits=32, master_seed=0xBEEF,
+        router_backend=router_backend,
+        replication_factor=replication_factor,
+        num_domains=num_domains,
+        **kwargs,
+    )
+    for i in range(num_objects):
+        coordinator.add_object(f"title-{i}", blocks_per_object)
+    return coordinator
+
+
+def stream_on(shard, stream_id):
+    """The scheduler's live Stream with this id (or None)."""
+    return next(
+        (s for s in shard.scheduler.streams if s.stream_id == stream_id),
+        None,
+    )
+
+
+class TestHealthMachine:
+    def test_fresh_shards_are_healthy(self):
+        monitor = ClusterHealthMonitor()
+        assert monitor.state(0) is ShardHealth.HEALTHY
+        assert monitor.is_live(0) and monitor.serves_unimpeded(0)
+
+    def test_failures_trip_breaker_to_suspect(self):
+        monitor = ClusterHealthMonitor(trip_after=3)
+        for _ in range(3):
+            monitor.observe_failure(0, round_index=0)
+        assert monitor.state(0) is ShardHealth.SUSPECT
+        assert monitor.is_live(0)  # data still there
+        assert not monitor.serves_unimpeded(0)
+        assert not monitor.is_readable(0, 1)  # cooling down
+
+    def test_probe_success_recovers(self):
+        monitor = ClusterHealthMonitor(trip_after=2, cooldown_rounds=1)
+        monitor.observe_failure(0, 0)
+        monitor.observe_failure(0, 0)
+        assert monitor.state(0) is ShardHealth.SUSPECT
+        probed = False
+        for round_index in range(1, 10):
+            monitor.new_round()
+            if monitor.is_readable(0, round_index):
+                monitor.observe_success(0)
+                probed = True
+                break
+        assert probed
+        assert monitor.state(0) is ShardHealth.HEALTHY
+        assert monitor.serves_unimpeded(0)
+
+    def test_death_and_rebuild_transitions(self):
+        monitor = ClusterHealthMonitor()
+        monitor.mark_dead(1)
+        assert monitor.state(1) is ShardHealth.DEAD
+        assert not monitor.is_live(1)
+        assert not monitor.is_readable(1, 0)
+        with pytest.raises(HealthTransitionError):
+            monitor.mark_healthy(1)
+        monitor.begin_rebuild(1)
+        assert monitor.state(1) is ShardHealth.REBUILDING
+        assert not monitor.is_live(1)
+        monitor.forget(1)
+        assert monitor.state(1) is ShardHealth.HEALTHY
+
+    def test_rebuild_requires_dead(self):
+        monitor = ClusterHealthMonitor()
+        with pytest.raises(HealthTransitionError):
+            monitor.begin_rebuild(0)
+
+    def test_transitions_logged(self):
+        monitor = ClusterHealthMonitor()
+        monitor.mark_dead(2)
+        monitor.begin_rebuild(2)
+        assert monitor.transitions == [
+            (2, ShardHealth.HEALTHY, ShardHealth.DEAD),
+            (2, ShardHealth.DEAD, ShardHealth.REBUILDING),
+        ]
+
+
+class TestFailoverConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FailoverConfig(max_attempts=0)
+        with pytest.raises(ValueError):
+            FailoverConfig(base_backoff_rounds=0)
+        with pytest.raises(ValueError):
+            FailoverConfig(base_backoff_rounds=4, max_backoff_rounds=2)
+        with pytest.raises(ValueError):
+            FailoverConfig(timeout_budget_rounds=-1)
+
+
+class TestFaultInjector:
+    def test_per_shard_streams_deterministic(self):
+        a = ClusterFaultInjector(master_seed=7, read_error_rate=0.5)
+        b = ClusterFaultInjector(master_seed=7, read_error_rate=0.5)
+        assert [a.read_error(0) for _ in range(64)] == [
+            b.read_error(0) for _ in range(64)
+        ]
+
+    def test_shards_decorrelated(self):
+        injector = ClusterFaultInjector(master_seed=7, read_error_rate=0.5)
+        s0 = [injector.read_error(0) for _ in range(64)]
+        s1 = [injector.read_error(1) for _ in range(64)]
+        assert s0 != s1
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            ClusterFaultInjector(read_error_rate=1.5)
+
+
+class TestReplicaPlacement:
+    def test_every_object_has_r_copies_distinct_domains(self):
+        coordinator = build_ha_cluster()
+        for gid in coordinator.object_ids:
+            copies = coordinator.replication.copies_of(gid)
+            assert len(copies) == 2
+            assert len(set(copies)) == 2
+            domains = {coordinator.shard(s).domain for s in copies}
+            assert len(domains) == 2
+
+    def test_factor_one_keeps_no_replicas(self):
+        coordinator = build_ha_cluster(replication_factor=1)
+        assert coordinator._replica_home == {}
+        assert coordinator._replica_local == {}
+
+    def test_small_cluster_degrades_not_fails(self):
+        # One shard: no legal replica target; objects load degraded
+        # (a sizing fact, not an fsck breach).
+        coordinator = build_ha_cluster(
+            num_shards=1, num_objects=4, num_domains=1
+        )
+        assert coordinator.replication.replicas_of(0) == ()
+        assert check_cluster(coordinator).clean
+
+    def test_rendezvous_rank_stable_under_removal(self):
+        coordinator = build_ha_cluster()
+        ranked = coordinator.router.replica_rank(5, [0, 1, 2, 3])
+        survivors = [sid for sid in ranked if sid != 2]
+        assert coordinator.router.replica_rank(5, [0, 1, 3]) == survivors
+
+    def test_repair_closes_gap_after_drop(self):
+        coordinator = build_ha_cluster()
+        gid = 0
+        victim = coordinator.replication.replicas_of(gid)[0]
+        coordinator.replication.drop_replica(gid, victim)
+        assert len(coordinator.replication.copies_of(gid)) == 1
+        coordinator.replication.repair(gid)
+        copies = coordinator.replication.copies_of(gid)
+        assert len(copies) == 2
+        domains = {coordinator.shard(s).domain for s in copies}
+        assert len(domains) == 2
+
+    def test_fsck_flags_domain_collision(self):
+        coordinator = build_ha_cluster()
+        gid = 0
+        home = coordinator.shard_of(gid)
+        same_dom = next(
+            s.shard_id
+            for s in coordinator.shards
+            if s.shard_id != home
+            and s.domain == coordinator.shard(home).domain
+        )
+        victim = coordinator.replication.replicas_of(gid)[0]
+        coordinator.replication.drop_replica(gid, victim)
+        coordinator.replication._copy_to(gid, same_dom)
+        report = check_cluster(coordinator)
+        assert any(
+            v.kind == "domain-collision" for v in report.replica_violations
+        )
+        assert not report.clean
+
+    def test_replication_survives_reshard(self):
+        coordinator = build_ha_cluster()
+        coordinator.reshard(ScalingOp.add(1))
+        report = check_cluster(coordinator)
+        assert report.clean and report.fully_replicated
+        coordinator.reshard(ScalingOp.remove([0]))
+        report = check_cluster(coordinator)
+        assert report.clean and report.fully_replicated
+        for gid in coordinator.object_ids:
+            assert len(coordinator.replication.copies_of(gid)) == 2
+
+
+class TestFailoverRouting:
+    def test_healthy_cluster_routes_home(self):
+        coordinator = build_ha_cluster()
+        for gid in coordinator.object_ids:
+            route = coordinator.route_read(gid)
+            assert route.shard_id == coordinator.shard_of(gid)
+            assert not route.failed_over
+            assert route.attempts == 1 and route.backoff_rounds == 0
+
+    def test_batch_matches_scalar_on_healthy_cluster(self):
+        coordinator = build_ha_cluster()
+        gids = list(coordinator.object_ids)
+        batch = coordinator.route_reads(gids)
+        scalar = [coordinator.route_read(g).shard_id for g in gids]
+        assert batch.tolist() == scalar
+
+    def test_dead_home_fails_over_to_replica(self):
+        coordinator = build_ha_cluster()
+        gid = 0
+        home = coordinator.shard_of(gid)
+        replica = coordinator.replication.replicas_of(gid)[0]
+        coordinator.kill_shard(home)
+        route = coordinator.route_read(gid)
+        assert route.failed_over and route.shard_id == replica
+        assert route.path[0] == home  # home considered (and skipped) first
+        assert coordinator.failover_reads >= 1
+
+    def test_batch_falls_back_when_degraded(self):
+        coordinator = build_ha_cluster()
+        coordinator.kill_shard(coordinator.shard_of(0))
+        gids = list(coordinator.object_ids)
+        batch = coordinator.route_reads(gids)
+        scalar = [coordinator.route_read(g).shard_id for g in gids]
+        assert batch.tolist() == scalar
+
+    def test_injected_errors_retry_with_backoff(self):
+        injector = ClusterFaultInjector(master_seed=3, read_error_rate=0.45)
+        coordinator = build_ha_cluster(fault_injector=injector)
+        routes = []
+        for gid in coordinator.object_ids:
+            for _ in range(8):
+                try:
+                    routes.append(coordinator.route_read(gid))
+                except ObjectUnavailableError:
+                    pass
+        assert any(r.attempts > 1 for r in routes)
+        assert any(r.backoff_rounds > 0 for r in routes)
+        assert coordinator.failover_retries > 0
+        # Every injected failure fed the retry accounting one-for-one.
+        assert injector.read_errors == coordinator.failover_retries
+
+    def test_timeout_budget_caps_retries(self):
+        # Budget 0: the first retry's backoff already exceeds it, so
+        # each copy gets exactly one attempt before falling over.
+        injector = ClusterFaultInjector(master_seed=3, read_error_rate=1.0)
+        coordinator = build_ha_cluster(
+            fault_injector=injector,
+            failover=FailoverConfig(max_attempts=5, timeout_budget_rounds=0),
+        )
+        with pytest.raises(ObjectUnavailableError):
+            coordinator.route_read(0)
+        assert injector.read_errors == 2  # home + one replica, once each
+
+    def test_unavailable_when_every_copy_dead(self):
+        coordinator = build_ha_cluster(num_domains=4)
+        gid = 0
+        for sid in coordinator.replication.copies_of(gid):
+            coordinator.kill_shard(sid)
+        with pytest.raises(ObjectUnavailableError):
+            coordinator.route_read(gid)
+
+    def test_repeated_failures_trip_breaker(self):
+        injector = ClusterFaultInjector(master_seed=5, read_error_rate=1.0)
+        coordinator = build_ha_cluster(fault_injector=injector)
+        gid = 0
+        home = coordinator.shard_of(gid)
+        for _ in range(4):
+            with pytest.raises(ObjectUnavailableError):
+                coordinator.route_read(gid)
+        assert coordinator.health.state(home) is ShardHealth.SUSPECT
+        assert not coordinator.health.all_unimpeded(coordinator.shard_ids)
+
+
+class TestShardDeath:
+    def test_streams_fail_over_at_position(self):
+        coordinator = build_ha_cluster()
+        gid = 0
+        coordinator.admit_stream(7, gid)
+        coordinator.run_rounds(3)
+        home = coordinator.shard_of(gid)
+        position = stream_on(coordinator.shard(home), 7).position
+        assert position > 0
+        report = coordinator.kill_shard(home)
+        assert report.streams_failed_over == 1
+        assert report.streams_stranded == 0
+        replica = coordinator.replication.replicas_of(gid)[0]
+        moved = stream_on(coordinator.shard(replica), 7)
+        assert moved is not None and moved.position == position
+
+    def test_conservation_through_death(self):
+        coordinator = build_ha_cluster(num_objects=8)
+        for i, gid in enumerate(coordinator.object_ids):
+            coordinator.admit_stream(100 + i, gid)
+        victim = coordinator.shard_of(0)
+        coordinator.run_rounds(2)
+        coordinator.kill_shard(victim)
+        for _ in range(4):
+            report = coordinator.run_round()
+            assert report.requested == (
+                report.served + report.hiccups + report.queued
+            )
+            assert report.availability == 1.0  # R=2 covered every stream
+
+    def test_r1_death_strands_and_charges_hiccups(self):
+        coordinator = build_ha_cluster(replication_factor=1, num_objects=8)
+        for i, gid in enumerate(coordinator.object_ids):
+            coordinator.admit_stream(100 + i, gid)
+        victim = coordinator.shard_of(0)
+        doomed = [
+            g for g in coordinator.object_ids
+            if coordinator.shard_of(g) == victim
+        ]
+        report = coordinator.kill_shard(victim)
+        assert report.streams_stranded == len(doomed)
+        round_report = coordinator.run_round()
+        assert round_report.stranded > 0
+        assert round_report.availability < 1.0
+        assert round_report.requested == (
+            round_report.served
+            + round_report.hiccups
+            + round_report.queued
+        )
+
+    def test_kill_rejects_already_dead(self):
+        coordinator = build_ha_cluster()
+        coordinator.kill_shard(0)
+        with pytest.raises(HealthTransitionError):
+            coordinator.kill_shard(0)
+
+    def test_dead_shard_refuses_scale_and_reshuffle(self):
+        coordinator = build_ha_cluster()
+        coordinator.kill_shard(0)
+        with pytest.raises(HealthTransitionError):
+            coordinator.scale_shard(0, ScalingOp.add(1))
+        with pytest.raises(HealthTransitionError):
+            coordinator.reshuffle_shard(0)
+
+    def test_depart_stranded_stream(self):
+        coordinator = build_ha_cluster(replication_factor=1)
+        gid = 0
+        coordinator.admit_stream(9, gid)
+        coordinator.kill_shard(coordinator.shard_of(gid))
+        stream = coordinator.depart_stream(9)
+        assert stream.stream_id == 9
+        assert coordinator.run_round().stranded == 0
+
+
+class TestShardRebuild:
+    def test_rebuild_restores_full_replication(self):
+        coordinator = build_ha_cluster()
+        victim = coordinator.shard_of(0)
+        coordinator.kill_shard(victim)
+        rebuilder = coordinator.begin_shard_rebuild(victim)
+        assert coordinator.health.state(victim) is ShardHealth.REBUILDING
+        rebuilder.run()
+        rebuilder.finish()
+        assert victim not in coordinator._shard_by_id
+        report = check_cluster(coordinator)
+        assert report.clean and report.fully_replicated
+        for gid in coordinator.object_ids:
+            copies = coordinator.replication.copies_of(gid)
+            assert victim not in copies
+            assert len(copies) == 2
+            domains = {coordinator.shard(s).domain for s in copies}
+            assert len(domains) == 2
+
+    def test_rebuild_rate_bounded(self):
+        coordinator = build_ha_cluster(num_objects=16)
+        victim = coordinator.shard_of(0)
+        coordinator.kill_shard(victim)
+        rebuilder = coordinator.begin_shard_rebuild(victim, rate_per_round=2)
+        total = len(rebuilder.pending.moves)
+        assert total > 0
+        steps = 0
+        while not rebuilder.done:
+            assert rebuilder.step() <= 2
+            coordinator.run_round()  # rebuild never blocks serving
+            steps += 1
+        assert steps >= (total + 1) // 2
+        assert rebuilder.progress == 1.0
+        rebuilder.finish()
+
+    def test_promotion_avoids_copying(self):
+        # When the router sends an object to a shard already holding
+        # its replica, the rebuild promotes the copy instead of moving
+        # blocks — rendezvous overlap makes this the typical case.
+        coordinator = build_ha_cluster(num_objects=24)
+        victim = coordinator.shard_of(0)
+        coordinator.kill_shard(victim)
+        rebuilder = coordinator.begin_shard_rebuild(victim)
+        promoted = sum(
+            1
+            for move in rebuilder.pending.moves
+            if move.target_shard
+            in coordinator.replication.replicas_of(move.object_id)
+        )
+        assert promoted > 0
+        rebuilder.run()
+        rebuilder.finish()
+        assert check_cluster(coordinator).fully_replicated
+
+    def test_rebuild_requires_dead_shard(self):
+        coordinator = build_ha_cluster()
+        with pytest.raises(HealthTransitionError):
+            coordinator.begin_shard_rebuild(0)
+
+    def test_rebuild_requires_removal_capable_router(self):
+        # jump_hash removes tail slots only; a mid-table dead shard
+        # cannot be rebuilt and the error leaves the cluster untouched.
+        coordinator = build_ha_cluster(
+            router_backend="jump_hash", num_domains=4
+        )
+        coordinator.kill_shard(0)
+        with pytest.raises(Exception):
+            coordinator.begin_shard_rebuild(0)
+        assert coordinator._in_flight is None
+        assert coordinator.health.state(0) is ShardHealth.DEAD
+
+    def test_abort_restores_tombstone_homes(self):
+        coordinator = build_ha_cluster()
+        victim = coordinator.shard_of(0)
+        homes_before = dict(coordinator._home)
+        coordinator.kill_shard(victim)
+        rebuilder = coordinator.begin_shard_rebuild(victim, rate_per_round=1)
+        rebuilder.step()
+        assert rebuilder.pending.applied
+        coordinator.abort_reshard(rebuilder.pending)
+        assert coordinator._home == homes_before
+        assert coordinator.health.state(victim) is ShardHealth.DEAD
+        # A retried rebuild completes cleanly.
+        retry = coordinator.begin_shard_rebuild(victim)
+        retry.run()
+        retry.finish()
+        report = check_cluster(coordinator)
+        assert report.clean and report.fully_replicated
+
+    def test_kill_mid_rebalance_then_rebuild(self):
+        coordinator = build_ha_cluster(num_objects=16)
+        pending = coordinator.begin_reshard(ScalingOp.add(1))
+        coordinator.migrate_next(pending)
+        victim = next(
+            sid
+            for sid in coordinator.shard_ids
+            if sid not in pending.new_shard_ids
+        )
+        coordinator.kill_shard(victim)
+        # The open rebalance completes (dead sources fall back to
+        # replicas or promotion), then the dead shard rebuilds.
+        coordinator.execute_reshard(pending)
+        coordinator.finish_reshard(pending)
+        rebuilder = coordinator.begin_shard_rebuild(victim)
+        rebuilder.run()
+        rebuilder.finish()
+        report = check_cluster(coordinator)
+        assert report.clean and report.fully_replicated
+        assert coordinator.lost_objects == 0
+
+    def test_readmit_restores_capacity(self):
+        coordinator = build_ha_cluster()
+        victim = coordinator.shard_of(0)
+        coordinator.kill_shard(victim)
+        coordinator.rebuild_shard(victim)
+        assert coordinator.num_shards == 3
+        coordinator.readmit_shard()
+        assert coordinator.num_shards == 4
+        report = check_cluster(coordinator)
+        assert report.clean and report.fully_replicated
+
+    def test_r1_rebuild_declares_loss(self):
+        coordinator = build_ha_cluster(replication_factor=1)
+        victim = coordinator.shard_of(0)
+        doomed = [
+            g for g in coordinator.object_ids
+            if coordinator.shard_of(g) == victim
+        ]
+        coordinator.kill_shard(victim)
+        coordinator.rebuild_shard(victim)
+        assert coordinator.lost_objects == len(doomed)
+        assert coordinator.lost_blocks == 40 * len(doomed)
+        assert all(g not in coordinator.object_ids for g in doomed)
+        assert check_cluster(coordinator).clean
+
+
+class TestJournalLayering:
+    def test_reshard_refused_while_shard_scale_open(self, tmp_path):
+        coordinator = build_ha_cluster(
+            journal=ClusterJournal(str(tmp_path / "cluster.journal"))
+        )
+        shard = coordinator.shard(1)
+        shard_pending = shard.server.begin_scale(ScalingOp.add(1))
+        with pytest.raises(OperationInFlightError):
+            coordinator.begin_reshard(ScalingOp.add(1))
+        # The refusal journaled nothing at the cluster level.
+        assert coordinator.journal.replay() == []
+        shard.server.abort_scale(shard_pending)
+        pending = coordinator.begin_reshard(ScalingOp.add(1))
+        coordinator.execute_reshard(pending)
+        coordinator.finish_reshard(pending)
+        assert coordinator.journal.replay()[-1].committed
+
+    def test_shard_scale_refused_while_reshard_open(self, tmp_path):
+        coordinator = build_ha_cluster(
+            journal=ClusterJournal(str(tmp_path / "cluster.journal"))
+        )
+        pending = coordinator.begin_reshard(ScalingOp.add(1))
+        with pytest.raises(OperationInFlightError):
+            coordinator.scale_shard(1, ScalingOp.add(1))
+        with pytest.raises(OperationInFlightError):
+            coordinator.reshuffle_shard(1)
+        coordinator.execute_reshard(pending)
+        coordinator.finish_reshard(pending)
+        # Both journals are quiescent afterwards: the cluster record is
+        # committed and the per-shard op runs clean.
+        assert coordinator.journal.replay()[-1].committed
+        coordinator.scale_shard(1, ScalingOp.add(1))
+
+    def test_rebuild_guard_exempts_the_dead_shard(self, tmp_path):
+        coordinator = build_ha_cluster(
+            journal=ClusterJournal(str(tmp_path / "cluster.journal"))
+        )
+        coordinator.kill_shard(0)
+        # A live shard's open op still blocks the rebuild...
+        shard = coordinator.shard(1)
+        shard_pending = shard.server.begin_scale(ScalingOp.add(1))
+        with pytest.raises(OperationInFlightError):
+            coordinator.begin_shard_rebuild(0)
+        shard.server.abort_scale(shard_pending)
+        # ...but the dead shard itself is exempt from the guard (its
+        # frozen server state is never consulted).
+        rebuilder = coordinator.begin_shard_rebuild(0)
+        rebuilder.run()
+        rebuilder.finish()
+        assert check_cluster(coordinator).fully_replicated
+
+
+class TestDeterminism:
+    def run_story(self):
+        from repro.obs import Obs
+
+        coordinator = build_ha_cluster(obs=Obs())
+        for i, gid in enumerate(coordinator.object_ids[:6]):
+            coordinator.admit_stream(100 + i, gid)
+        coordinator.run_rounds(2)
+        victim = coordinator.shard_of(0)
+        coordinator.kill_shard(victim)
+        rebuilder = coordinator.begin_shard_rebuild(victim)
+        while not rebuilder.done:
+            rebuilder.step()
+            coordinator.run_round()
+        rebuilder.finish()
+        coordinator.readmit_shard()
+        coordinator.run_rounds(2)
+        return coordinator
+
+    def test_same_seed_runs_identical(self):
+        a = self.run_story()
+        b = self.run_story()
+        assert a._home == b._home
+        assert a._replica_home == b._replica_home
+        assert a._replica_local == b._replica_local
+        assert merged_deterministic_view(a) == merged_deterministic_view(b)
+
+    def test_streams_keep_playing_through_lifecycle(self):
+        coordinator = self.run_story()
+        for stream_id in range(100, 106):
+            stream = coordinator.depart_stream(stream_id)
+            assert stream.state in (StreamState.PLAYING, StreamState.DONE)

@@ -333,3 +333,152 @@ class TestClusterCLI:
         assert self.run_cli(
             "fsck", "--manifest", manifest, "--journal", journal
         ) == 0
+
+
+def build_ha_cluster(num_objects: int = 10, **kwargs) -> ClusterCoordinator:
+    coordinator = ClusterCoordinator.create(
+        4, 3, SPEC, bits=32, master_seed=0xFEED,
+        router_backend="consistent_hash",
+        replication_factor=2, num_domains=2, **kwargs,
+    )
+    for i in range(num_objects):
+        coordinator.add_object(f"title-{i}", 30 + i)
+    return coordinator
+
+
+class TestReplicationPersistence:
+    """Manifest v2: the replication envelope (factor, domains, replica
+    map, dead shards) round-trips, and v1 manifests still read."""
+
+    def test_v2_round_trip_replica_map(self):
+        coordinator = build_ha_cluster()
+        manifest = snapshot_cluster(coordinator)
+        assert manifest["version"] == 2
+        assert manifest["replication_factor"] == 2
+        assert manifest["num_domains"] == 2
+        assert manifest["dead_shards"] == []
+        restored = restore_cluster(manifest)
+        assert restored._replica_home == coordinator._replica_home
+        assert restored._replica_local == coordinator._replica_local
+        assert {s.shard_id: s.domain for s in restored.shards} == {
+            s.shard_id: s.domain for s in coordinator.shards
+        }
+        report = check_cluster(restored)
+        assert report.clean and report.fully_replicated
+
+    def test_v2_round_trip_with_dead_shard(self):
+        from repro.cluster import ShardHealth
+
+        coordinator = build_ha_cluster()
+        coordinator.kill_shard(1)
+        manifest = snapshot_cluster(coordinator)
+        assert manifest["dead_shards"] == [1]
+        restored = restore_cluster(manifest)
+        assert restored.health.state(1) is ShardHealth.DEAD
+        # Degradation is preserved: the dead copy-holder explains every
+        # shortfall, and the rebuild path is open.
+        report = check_cluster(restored)
+        assert report.clean
+        assert len(report.degraded) == len(check_cluster(coordinator).degraded)
+        restored.rebuild_shard(1)
+        assert check_cluster(restored).fully_replicated
+
+    def test_v1_manifest_still_readable(self):
+        coordinator = build_cluster()  # factor 1: exactly what v1 wrote
+        manifest = snapshot_cluster(coordinator)
+        manifest["version"] = 1
+        for key in ("replication_factor", "num_domains", "dead_shards",
+                    "replicas"):
+            manifest.pop(key)
+        for entry in manifest["shards"]:
+            entry.pop("domain")
+        restored = restore_cluster(manifest)
+        assert restored.replication_factor == 1
+        assert restored._replica_home == {}
+        assert cluster_layout(restored) == cluster_layout(coordinator)
+        assert check_cluster(restored).clean
+
+    def test_replica_record_must_match_catalog(self):
+        coordinator = build_ha_cluster()
+        manifest = snapshot_cluster(coordinator)
+        manifest["replicas"][0]["copies"][0][1] = 9999  # bogus local id
+        with pytest.raises(SnapshotError):
+            restore_cluster(manifest)
+
+    def test_snapshot_refused_mid_rebuild(self):
+        coordinator = build_ha_cluster()
+        coordinator.kill_shard(1)
+        rebuilder = coordinator.begin_shard_rebuild(1)
+        with pytest.raises(OperationInFlightError):
+            snapshot_cluster(coordinator)
+        rebuilder.run()
+        rebuilder.finish()
+        snapshot_cluster(coordinator)  # clean again
+
+
+class TestRebuildResume:
+    def test_rebuild_resume_at_every_move_index(self, tmp_path):
+        """A crash anywhere inside a shard rebuild resumes to the exact
+        layout and replica map of the uncrashed run."""
+        path = str(tmp_path / "cluster.journal")
+        coordinator = build_ha_cluster(journal=ClusterJournal(path))
+        manifest = snapshot_cluster(coordinator)
+        victim = coordinator.shard_of(0)
+        coordinator.kill_shard(victim)
+        rebuilder = coordinator.begin_shard_rebuild(victim)
+        rebuilder.run()
+        rebuilder.finish()
+        expected_layout = cluster_layout(coordinator)
+        expected_replicas = dict(coordinator._replica_home)
+        coordinator.journal.close()
+
+        lines = open(path, encoding="utf-8").read().splitlines(keepends=True)
+        begin = [l for l in lines if json.loads(l)["type"] == "begin"]
+        applies = [l for l in lines if json.loads(l)["type"] == "apply"]
+        assert json.loads(begin[0])["rebuild_of"] == victim
+        assert len(applies) >= 2
+
+        from repro.cluster import ShardHealth
+
+        for crash_at in range(len(applies) + 1):
+            partial = tmp_path / f"crash-{crash_at}.journal"
+            partial.write_text(
+                "".join(begin + applies[:crash_at]), encoding="utf-8"
+            )
+            resumed, open_pending = resume_cluster(
+                dict(manifest), str(partial)
+            )
+            assert open_pending is not None
+            assert open_pending.rebuild_of == victim
+            assert len(open_pending.applied) == crash_at
+            # The journal's rebuild record re-marked the shard dead even
+            # though the manifest predates the death.
+            assert resumed.health.state(victim) is ShardHealth.REBUILDING
+            resumed.execute_reshard(open_pending)
+            resumed.finish_reshard(open_pending)
+            assert cluster_layout(resumed) == expected_layout
+            assert resumed._replica_home == expected_replicas
+            report = check_cluster(resumed)
+            assert report.clean and report.fully_replicated
+            resumed.journal.close()
+
+    def test_resume_aborted_rebuild_keeps_shard_dead(self, tmp_path):
+        from repro.cluster import ShardHealth
+
+        path = str(tmp_path / "cluster.journal")
+        coordinator = build_ha_cluster(journal=ClusterJournal(path))
+        manifest = snapshot_cluster(coordinator)
+        victim = coordinator.shard_of(0)
+        coordinator.kill_shard(victim)
+        rebuilder = coordinator.begin_shard_rebuild(victim, rate_per_round=1)
+        rebuilder.step()
+        coordinator.abort_reshard(rebuilder.pending)
+        coordinator.journal.close()
+        resumed, pending = resume_cluster(manifest, path)
+        assert pending is None
+        # The death outlives the aborted rebuild: the shard must not
+        # silently return to service on restart.
+        assert resumed.health.state(victim) is ShardHealth.DEAD
+        assert check_cluster(resumed).clean
+        resumed.rebuild_shard(victim)
+        assert check_cluster(resumed).fully_replicated
