@@ -69,6 +69,15 @@ QUICK_KWARGS: dict[str, dict] = {
     "modern": {"num_blocks": 3_000},
     "chaos": {"num_objects": 3, "blocks_per_object": 150},
     "cluster-chaos": {"num_objects": 9, "blocks_per_object": 60},
+    "flash-crowd": {
+        "num_objects": 10,
+        "blocks_per_object": 40,
+        "base_streams": 24,
+        "flash_streams": 8,
+        "warm_rounds": 6,
+        "flash_rounds": 8,
+        "post_rounds": 5,
+    },
     "soak": {
         "ops_per_backend": 60,
         "num_objects": 3,

@@ -20,6 +20,12 @@ reads retry with capped backoff and fail over between copies
 (:meth:`~repro.cluster.coordinator.ClusterCoordinator.route_read`), and
 a dead shard is evacuated by a journaled, rate-bounded, crash-resumable
 rebuild (:class:`~repro.cluster.replication.ShardRebuilder`).
+
+Replica degree can further be *popularity-driven*: attach a
+:class:`~repro.cluster.popularity.ReplicationPolicy` and observed demand
+(:class:`~repro.cluster.popularity.DemandTracker`) apportions a fixed
+total-copy budget across objects per-object, adapting online through a
+rate-bounded per-round pass.
 """
 
 from repro.cluster.coordinator import (
@@ -48,6 +54,10 @@ from repro.cluster.journal import (
     ClusterJournalCorruptionError,
     ObjectMove,
     ReshardRecord,
+)
+from repro.cluster.popularity import (
+    DemandTracker,
+    ReplicationPolicy,
 )
 from repro.cluster.replication import (
     ClusterReplicationManager,
@@ -88,6 +98,7 @@ __all__ = [
     "ClusterLayoutReport",
     "ClusterReplicationManager",
     "ClusterRoundReport",
+    "DemandTracker",
     "FailoverConfig",
     "MANIFEST_VERSION",
     "ObjectMove",
@@ -97,6 +108,7 @@ __all__ = [
     "ReadRoute",
     "ReplicaViolation",
     "ReplicationError",
+    "ReplicationPolicy",
     "ReshardRecord",
     "RoutingViolation",
     "ShardDeathReport",

@@ -38,6 +38,7 @@ from repro.cluster.persistence import (
     resume_cluster,
     snapshot_cluster,
 )
+from repro.cluster.popularity import ReplicationPolicy
 from repro.core.operations import ScalingOp
 from repro.storage.disk import DiskSpec
 
@@ -77,6 +78,12 @@ def build_cluster_parser() -> argparse.ArgumentParser:
         "--domains", type=int, default=None,
         help="failure domains to stripe shards across (default: every "
         "shard is its own domain)",
+    )
+    create.add_argument(
+        "--copy-budget", type=int, default=None, dest="copy_budget",
+        help="attach a popularity-driven replication policy with this "
+        "total-copy budget (primaries included); replica degree then "
+        "adapts per object to observed demand",
     )
 
     status = verbs.add_parser("status", help="summarize a manifest")
@@ -148,7 +155,7 @@ def _render_status(coordinator: ClusterCoordinator) -> str:
         ("shard", "slot", "domain", "health", "disks", "objects", "blocks"),
         rows,
     )
-    return (
+    status = (
         table
         + f"\nrouter={coordinator.router.policy.name} "
         f"shards={coordinator.num_shards} "
@@ -156,6 +163,21 @@ def _render_status(coordinator: ClusterCoordinator) -> str:
         f"blocks={coordinator.total_blocks} "
         f"replicas={coordinator.replication_factor}"
     )
+    manager = coordinator.replication
+    if manager.policy is not None:
+        copies = len(coordinator._home) + sum(
+            len(sids) for sids in coordinator._replica_home.values()
+        )
+        boosted = sum(
+            1
+            for target in manager.policy.targets.values()
+            if target > coordinator.replication_factor
+        )
+        status += (
+            f"\npopularity: budget={manager.policy.copy_budget} "
+            f"copies={copies} boosted={boosted}"
+        )
+    return status
 
 
 def _render_fsck(report) -> str:
@@ -212,6 +234,11 @@ def cluster_main(argv: Sequence[str]) -> int:
             journal=journal,
             replication_factor=args.replicas,
             num_domains=args.domains,
+            replication_policy=(
+                ReplicationPolicy(args.copy_budget)
+                if args.copy_budget is not None
+                else None
+            ),
         )
         for i in range(args.objects):
             coordinator.add_object(f"object-{i}", args.blocks_per_object)

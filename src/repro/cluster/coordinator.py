@@ -53,6 +53,7 @@ from repro.cluster.health import (
     ShardHealth,
 )
 from repro.cluster.journal import ClusterJournal, ObjectMove
+from repro.cluster.popularity import ReplicationPolicy
 from repro.cluster.replication import (
     ClusterReplicationManager,
     ReplicationError,
@@ -253,6 +254,17 @@ class ClusterCoordinator:
     fault_injector:
         Optional seeded :class:`~repro.cluster.health.ClusterFaultInjector`
         supplying per-shard read failures to the failover path.
+    replication_policy:
+        Optional :class:`~repro.cluster.popularity.ReplicationPolicy`.
+        When attached, replica degree becomes per-object: routed reads
+        and stream demand feed a decaying
+        :class:`~repro.cluster.popularity.DemandTracker`, and every
+        :meth:`run_round` runs one rate-bounded
+        :meth:`~repro.cluster.replication.ClusterReplicationManager.adapt`
+        pass that re-apportions the policy's total-copy budget toward
+        hot objects.  ``None`` (the default) keeps uniform
+        ``replication_factor`` behavior bit-for-bit, including the
+        tracking-free hot path.
     """
 
     def __init__(
@@ -267,6 +279,7 @@ class ClusterCoordinator:
         num_domains: Optional[int] = None,
         failover: Optional[FailoverConfig] = None,
         fault_injector: Optional[ClusterFaultInjector] = None,
+        replication_policy: Optional[ReplicationPolicy] = None,
     ):
         from repro.obs import NULL_OBS
 
@@ -316,7 +329,9 @@ class ClusterCoordinator:
         self.failover = failover if failover is not None else FailoverConfig()
         self.fault_injector = fault_injector
         self.health = ClusterHealthMonitor(obs=self.obs)
-        self.replication = ClusterReplicationManager(self)
+        self.replication = ClusterReplicationManager(
+            self, policy=replication_policy
+        )
         #: gid -> stable ids of shards holding replica copies, in
         #: placement order (the failover path tries them in this order).
         self._replica_home: dict[int, tuple[int, ...]] = {}
@@ -347,6 +362,7 @@ class ClusterCoordinator:
         num_domains: Optional[int] = None,
         failover: Optional[FailoverConfig] = None,
         fault_injector: Optional[ClusterFaultInjector] = None,
+        replication_policy: Optional[ReplicationPolicy] = None,
     ) -> "ClusterCoordinator":
         """Build a fresh cluster of identical shards.
 
@@ -389,6 +405,7 @@ class ClusterCoordinator:
             num_domains=num_domains,
             failover=failover,
             fault_injector=fault_injector,
+            replication_policy=replication_policy,
         )
 
     # ------------------------------------------------------------------
@@ -508,6 +525,7 @@ class ClusterCoordinator:
         del self._home[object_id]
         del self._local[object_id]
         del self._names[name]
+        self.replication.forget(object_id)
         if self.obs.enabled:
             self.obs.event(
                 "cluster.object.remove", gid=object_id, shard=shard.shard_id
@@ -595,11 +613,14 @@ class ClusterCoordinator:
         order.  Against each *readable* shard (dead/rebuilding shards
         and tripped breakers are skipped outright) the read is attempted
         up to ``failover.max_attempts`` times with capped exponential
-        backoff between retries, bounded by the per-shard timeout
-        budget; exhausting one shard falls over to the next copy.
-        Every outcome feeds the shard's health monitor, so repeated
-        failures trip the breaker and later reads skip the shard
-        without paying the retry latency.
+        backoff between retries.  The timeout budget is **route-wide**:
+        one ``timeout_budget_rounds`` allowance covers the whole path,
+        so a long replica chain can never wait ``copies × budget``
+        rounds.  Once the budget is spent, each remaining copy still
+        gets one backoff-free attempt (a cheap probe) before the read
+        is declared unavailable.  Every outcome feeds the shard's
+        health monitor, so repeated failures trip the breaker and later
+        reads skip the shard without paying the retry latency.
 
         Raises
         ------
@@ -609,16 +630,17 @@ class ClusterCoordinator:
         if round_index is None:
             round_index = self.round_index
         home = self.shard_of(object_id)
+        self.replication.record_demand(object_id)
         cfg = self.failover
         path: list[int] = []
         attempts = 0
         backoff_total = 0
+        budget = cfg.timeout_budget_rounds
         for shard_id in (home,) + self._replica_home.get(object_id, ()):
             path.append(shard_id)
             if not self.health.is_readable(shard_id, round_index):
                 continue
             backoff = cfg.base_backoff_rounds
-            budget = cfg.timeout_budget_rounds
             for attempt in range(1, cfg.max_attempts + 1):
                 attempts += 1
                 failed = (
@@ -686,10 +708,20 @@ class ClusterCoordinator:
             and not self._stranded
             and self.health.all_unimpeded(self.shard_ids)
         ):
+            gids = np.asarray(object_ids, dtype=np.int64)
+            if self.replication.tracker is not None and len(gids):
+                # Queue the demand feed (one unit per routed read; the
+                # slow path records inside route_read).  Aggregation is
+                # lazy inside the tracker and the id array is shared
+                # with the router lookup, so the hot path pays one list
+                # append, not a per-object loop or an extra conversion.
+                self.replication.tracker.record_batch(gids)
+                if self.obs.enabled:
+                    self.obs.inc("cluster.demand.units", len(gids))
             table = np.array(
                 [shard.shard_id for shard in self.shards], dtype=np.int64
             )
-            return table[self.router.slots_of(object_ids)]
+            return table[self.router.slots_of(gids)]
         return np.array(
             [self.route_read(int(gid)).shard_id for gid in object_ids],
             dtype=np.int64,
@@ -751,6 +783,13 @@ class ClusterCoordinator:
         report = ClusterRoundReport(round_index=self.round_index)
         self.round_index += 1
         self.health.new_round()
+        if self.replication.tracker is not None and self._streams:
+            # Every admitted stream is one unit of sustained demand for
+            # its object this round (stranded streams included — their
+            # unmet demand is exactly what the policy should chase).
+            self.replication.tracker.advance_to(self.round_index)
+            for stream_id in sorted(self._streams):
+                self.replication.record_demand(self._streams[stream_id])
         for shard in self._serving_shards():
             if not self.health.is_live(shard.shard_id):
                 continue
@@ -761,6 +800,10 @@ class ClusterCoordinator:
             if count:
                 report.stranded += count
                 stream.deliver(0, count)
+        if self.replication.policy is not None and self._in_flight is None:
+            # One rate-bounded adaptation pass per round; paused while a
+            # rebalance is in flight (its move plan owns the namespace).
+            self.replication.adapt()
         if self.obs.enabled:
             self.obs.event(
                 "cluster.round",
@@ -1161,7 +1204,7 @@ class ClusterCoordinator:
             # The shard is back on the slot table but still dead; a
             # fresh begin_shard_rebuild re-plans its evacuation.
             self.health.mark_dead(pending.rebuild_of)
-        elif self.replication_factor > 1:
+        elif self.replication_factor > 1 or self.replication.policy is not None:
             # Final invariant sweep over everything that moved: the
             # reversal may have left copies on shards that just left
             # the cluster or domains that now collide.
@@ -1319,6 +1362,7 @@ class ClusterCoordinator:
         del self._home[gid]
         del self._local[gid]
         del self._names[tombstone.name]
+        self.replication.forget(gid)
         self.lost_objects += 1
         self.lost_blocks += tombstone.num_blocks
         if journal_writes and self.journal is not None:

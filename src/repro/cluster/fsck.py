@@ -12,8 +12,10 @@ Three invariant families on top of each shard's own
 * **replication** — every object's copies sit on pairwise-distinct
   shards and (among live copies) pairwise-distinct failure domains,
   each replica record points at a real catalog entry matching the
-  primary's name and size, and the live-copy count meets the cluster's
-  replication factor (capped by how many distinct live domains exist).
+  primary's name and size, and the live-copy count meets the *object's
+  own* target — its committed popularity-policy target when one is
+  attached, the uniform replication factor otherwise (either way
+  capped by how many distinct live domains exist).
   A shortfall *explained by a dead or rebuilding copy-holder* is
   **degraded** — expected mid-failure, repaired by the rebuild — while
   any other replication breach is a violation;
@@ -157,16 +159,23 @@ def check_cluster(
 def _check_replication(
     coordinator: ClusterCoordinator, report: ClusterLayoutReport
 ) -> None:
-    """Audit every object's replica set against the cluster invariants."""
-    factor = coordinator.replication_factor
-    if factor <= 1:
+    """Audit every object's replica set against the cluster invariants.
+
+    The replica-count invariant is **per-object**: each object is held
+    to its own target
+    (:meth:`~repro.cluster.replication.ClusterReplicationManager.target_of`
+    — the committed popularity-policy target when one is attached, the
+    uniform factor otherwise), capped by the live-domain count.
+    """
+    manager = coordinator.replication
+    if coordinator.replication_factor <= 1 and manager.policy is None:
         return
     health = coordinator.health
 
     def domain(shard_id: int) -> str:
         return coordinator._shard_by_id[shard_id].domain
 
-    # The factor is only achievable up to the number of distinct live
+    # Any target is only achievable up to the number of distinct live
     # domains on the slot table — a 2-domain cluster can never hold 3
     # domain-distinct copies, and that is a sizing fact, not a breach.
     live_domains = {
@@ -174,9 +183,9 @@ def _check_replication(
         for shard in coordinator.shards
         if health.is_live(shard.shard_id)
     }
-    target = min(factor, len(live_domains))
 
     for gid in sorted(coordinator._home):
+        target = min(manager.target_of(gid), len(live_domains))
         copies = (coordinator._home[gid],) + coordinator._replica_home.get(
             gid, ()
         )
@@ -239,9 +248,11 @@ def _check_replication(
                 f"{len(live)} live copies of {target} required "
                 f"(copies on shards {list(copies)})",
             )
-            if len(live) < len(copies):
-                # A copy-holder is dead/rebuilding: the shortfall is
-                # the failure the rebuild repairs, not an fsck breach.
+            if len(live) < len(copies) or gid in manager._dirty:
+                # A copy-holder is dead/rebuilding, or the object sits
+                # in the manager's rate-bounded reconciliation queue
+                # (its target just rose): the shortfall is a state
+                # being repaired, not an fsck breach.
                 report.degraded.append(entry)
             else:
                 report.replica_violations.append(entry)

@@ -78,9 +78,13 @@ class FailoverConfig:
     max_backoff_rounds:
         Backoff growth cap.
     timeout_budget_rounds:
-        Total backoff rounds one shard may consume for one read; when a
+        Total backoff rounds one routed read may consume across its
+        **whole** failover path (home plus every replica); when a
         retry's backoff would exceed what is left, the read falls over
         immediately instead of waiting out the full attempt count.
+        Once spent, each remaining copy still gets one backoff-free
+        attempt, so a long replica chain never waits
+        ``copies x budget`` rounds.
     """
 
     max_attempts: int = 3

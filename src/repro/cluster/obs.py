@@ -140,6 +140,25 @@ def record_health_gauges(coordinator: "ClusterCoordinator") -> None:
     obs.set_gauge(
         "cluster.replicas.tracked", len(coordinator._replica_local)
     )
+    manager = coordinator.replication
+    obs.set_gauge("cluster.replica.copies_lost", manager.copies_lost)
+    if manager.policy is not None and manager.tracker is not None:
+        # Popularity picture: how much of the copy budget is committed
+        # and how much demand signal the tracker has absorbed.
+        committed = len(coordinator._home) + len(coordinator._replica_local)
+        obs.set_gauge("cluster.popularity.budget", manager.policy.copy_budget)
+        obs.set_gauge("cluster.popularity.copies", committed)
+        obs.set_gauge(
+            "cluster.popularity.boosted",
+            sum(
+                1
+                for target in manager.policy.targets.values()
+                if target > manager.factor
+            ),
+        )
+        obs.set_gauge(
+            "cluster.popularity.demand_units", manager.tracker.total_units
+        )
 
 
 def cluster_prometheus(coordinator: "ClusterCoordinator") -> str:

@@ -61,7 +61,13 @@ from repro.server.persistence import (
 #: ``num_domains``, per-shard ``domain`` labels, the per-object replica
 #: map, and ``dead_shards`` — all absent from v1 manifests, which this
 #: build still reads (as replication-factor-1 clusters).
-MANIFEST_VERSION = 2
+#:
+#: v3 adds the optional popularity envelope (``popularity``): the
+#: replication policy's config + committed per-object targets +
+#: hysteresis streaks, the demand tracker's decayed scores, and the
+#: adapt pass's patrol cursor / dirty queue — ``None`` (and absent from
+#: v1/v2 manifests, still readable) when no policy is attached.
+MANIFEST_VERSION = 3
 
 
 def snapshot_cluster(coordinator: ClusterCoordinator) -> dict:
@@ -83,6 +89,7 @@ def snapshot_cluster(coordinator: ClusterCoordinator) -> dict:
         "version": MANIFEST_VERSION,
         "replication_factor": coordinator.replication_factor,
         "num_domains": coordinator.num_domains,
+        "popularity": coordinator.replication.policy_payload(),
         "dead_shards": coordinator.health.shards_in(ShardHealth.DEAD),
         "replicas": [
             {
@@ -95,6 +102,9 @@ def snapshot_cluster(coordinator: ClusterCoordinator) -> dict:
             for gid, copies in sorted(coordinator._replica_home.items())
         ],
         "master_seed": coordinator.master_seed,
+        # The barrier-round clock: the demand tracker's decay stamps are
+        # relative to it, so a restored cluster must resume the count.
+        "round_index": coordinator.round_index,
         "router": coordinator.router.state_payload(),
         # The replay boundary: journal records with seq <= this stamp
         # are already reflected in the router payload above.
@@ -153,7 +163,7 @@ def restore_cluster(
     """
     data = json.loads(manifest) if isinstance(manifest, str) else manifest
     version = data.get("version")
-    if version not in (1, MANIFEST_VERSION):
+    if version not in (1, 2, MANIFEST_VERSION):
         raise SnapshotError(
             f"unsupported cluster manifest version {version!r}; "
             f"this build reads versions 1..{MANIFEST_VERSION}"
@@ -184,6 +194,10 @@ def restore_cluster(
     coordinator._next_shard_id = max(
         coordinator._next_shard_id, data["next_shard_id"]
     )
+    coordinator.round_index = data.get("round_index", 0)
+    # v1/v2 manifests carry no popularity envelope: restore_policy(None)
+    # leaves the cluster uniform, the pre-v3 behavior bit-for-bit.
+    coordinator.replication.restore_policy(data.get("popularity"))
     for entry in data["objects"]:
         gid = entry["object_id"]
         shard = coordinator.shard(entry["shard"])

@@ -26,9 +26,10 @@ first-class object.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.cluster.health import ShardHealth
+from repro.cluster.popularity import DemandTracker, ReplicationPolicy
 from repro.server.ingest import IngestSession
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -50,17 +51,60 @@ class ClusterReplicationManager:
     replicas bit-identically.
     """
 
-    def __init__(self, coordinator: "ClusterCoordinator"):
+    def __init__(
+        self,
+        coordinator: "ClusterCoordinator",
+        policy: Optional[ReplicationPolicy] = None,
+    ):
         self.c = coordinator
         #: Replica copies created over the cluster's lifetime.
         self.copies_created = 0
-        #: Replica copies dropped (evicted or lost with their shard).
+        #: Replica copies *evicted* (deliberately removed from a live
+        #: shard) over the cluster's lifetime.
         self.copies_dropped = 0
+        #: Replica copies *lost* with their shard (dropped from the
+        #: record because the shard holding them died) — split from
+        #: ``copies_dropped`` so loss is never mistaken for eviction.
+        self.copies_lost = 0
+        #: Optional popularity policy; when attached, per-object targets
+        #: override the uniform ``replication_factor``.
+        self.policy = policy
+        #: Demand signal driving the policy (``None`` without one, so
+        #: the no-policy hot path records nothing).
+        self.tracker: Optional[DemandTracker] = (
+            DemandTracker(policy.demand_half_life_rounds)
+            if policy is not None
+            else None
+        )
+        #: Objects whose committed target changed and still need
+        #: reconciliation (drained hot-first by :meth:`adapt`).
+        self._dirty: set[int] = set()
+        #: Patrol position for the background sweep in :meth:`adapt`.
+        self._patrol_cursor = 0
 
     @property
     def factor(self) -> int:
-        """Total copies per object (primary included)."""
+        """Uniform total copies per object (primary included) — the
+        default for any object without a committed per-object target."""
         return self.c.replication_factor
+
+    def target_of(self, gid: int) -> int:
+        """Total copies (primary included) this object should hold: its
+        committed policy target, or the uniform factor without one."""
+        if self.policy is None:
+            return self.factor
+        return self.policy.target_of(gid, self.factor)
+
+    def live_domain_count(self) -> int:
+        """Distinct failure domains with at least one live shard — the
+        ceiling on useful copies per object."""
+        return len(
+            {
+                shard.domain
+                for shard in self.c.shards
+                if self.c.health.is_live(shard.shard_id)
+            }
+        )
 
     # ------------------------------------------------------------------
     # Queries
@@ -107,11 +151,11 @@ class ClusterReplicationManager:
         """Create the initial replica set for a just-added object.
 
         Called by ``add_object`` right after the primary loaded.  Best
-        effort: when fewer legal candidates exist than ``factor - 1``
+        effort: when fewer legal candidates exist than ``target - 1``
         (small cluster, shards down), the object is left degraded and
         ``repair`` closes the gap once capacity returns.
         """
-        if self.factor <= 1:
+        if self.target_of(gid) <= 1:
             return ()
         return self._fill(gid)
 
@@ -121,12 +165,15 @@ class ClusterReplicationManager:
         Keeps every copy that is still legal (live shard, no duplicate
         shard, no duplicate domain — first copy in placement order
         wins), drops the rest, then creates missing copies on the
-        best-ranked legal candidates.  Returns copies created.  No-op
-        while the primary itself is unreachable — the rebuild owns that
-        case, and repairing around a dead primary would strand its
-        eventual new home.
+        best-ranked legal candidates up to the object's *own* target
+        (so a lowered target evicts from the tail of the placement
+        order).  Returns copies created.  No-op while the primary
+        itself is unreachable — the rebuild owns that case, and
+        repairing around a dead primary would strand its eventual new
+        home.
         """
-        if self.factor <= 1:
+        target = self.target_of(gid)
+        if target <= 1 and gid not in self.c._replica_home:
             return 0
         home = self.c._home[gid]
         if not self.c.health.is_live(home):
@@ -139,11 +186,16 @@ class ClusterReplicationManager:
                 or sid in used_shards
                 or self._domain(sid) in used_domains
             ):
-                self.drop_replica(gid, sid)
+                # A copy on a dead shard is *lost*, not evicted — its
+                # blocks went down with the shard.
+                self.drop_replica(
+                    gid, sid, lost=not self.c.health.is_live(sid)
+                )
                 continue
-            if len(used_shards) >= self.factor:
-                # Over-replicated (a rebuild abort demoted a primary):
-                # trim from the tail of the placement order.
+            if len(used_shards) >= target:
+                # Over-replicated (a rebuild abort demoted a primary,
+                # or the policy lowered this object's target): trim
+                # from the tail of the placement order.
                 self.drop_replica(gid, sid)
                 continue
             used_shards.add(sid)
@@ -152,13 +204,13 @@ class ClusterReplicationManager:
         return len(created)
 
     def _fill(self, gid: int) -> tuple[int, ...]:
-        """Create copies until the object has ``factor`` total (or the
+        """Create copies until the object has its target total (or the
         candidate pool runs dry), returning the new replica shards."""
         home = self.c._home[gid]
         used_shards = {home} | set(self.replicas_of(gid))
         used_domains = {self._domain(sid) for sid in used_shards}
         created = []
-        needed = self.factor - len(used_shards)
+        needed = self.target_of(gid) - len(used_shards)
         if needed > 0:
             for sid in self._candidates(gid, used_shards, used_domains):
                 self._copy_to(gid, sid)
@@ -213,8 +265,16 @@ class ClusterReplicationManager:
 
         Streams served from the dropped copy are re-homed through the
         failover router first, so eviction never kills a playback.
+        Dropping a copy that was never recorded (e.g. a double drop) is
+        a :class:`ReplicationError`, not a bare ``KeyError``.
         """
-        local = self.c._replica_local.pop((gid, shard_id))
+        try:
+            local = self.c._replica_local.pop((gid, shard_id))
+        except KeyError:
+            raise ReplicationError(
+                f"object {gid} has no replica recorded on shard "
+                f"{shard_id} (double drop?)"
+            ) from None
         self.c._replica_home[gid] = tuple(
             sid for sid in self.replicas_of(gid) if sid != shard_id
         )
@@ -225,11 +285,126 @@ class ClusterReplicationManager:
             rehomed = self.c._capture_streams(shard, local)
             shard.server.remove_object(local)
             self.c._readmit_streams(rehomed)
-        self.copies_dropped += 1
+        if lost:
+            self.copies_lost += 1
+        else:
+            self.copies_dropped += 1
         if self.c.obs.enabled:
             self.c.obs.event(
                 "cluster.replica.drop", gid=gid, shard=shard_id, lost=lost
             )
+
+    # ------------------------------------------------------------------
+    # Popularity adaptation
+    # ------------------------------------------------------------------
+    def record_demand(self, gid: int, units: int = 1) -> None:
+        """Feed observed demand into the tracker (no-op without a
+        policy, so the uniform-R hot path stays untouched)."""
+        if self.tracker is None:
+            return
+        self.tracker.record(gid, units)
+        if self.c.obs.enabled:
+            self.c.obs.inc("cluster.demand.units", units)
+
+    def forget(self, gid: int) -> None:
+        """Drop one object's demand and target state (object removed)."""
+        if self.tracker is not None:
+            self.tracker.forget(gid)
+        if self.policy is not None:
+            self.policy.forget(gid)
+        self._dirty.discard(gid)
+
+    def adapt(self) -> dict[str, int]:
+        """One rate-bounded adaptation pass (call once per cluster
+        round, after serving).
+
+        Re-evaluates targets through the policy (hysteresis inside),
+        then reconciles at most ``max_copy_ops_per_round`` actual copy
+        creations + evictions: dirty objects first, hottest first, then
+        a wrapping patrol cursor over the namespace so placement drift
+        (e.g. a readmitted shard) is eventually repaired even when no
+        target changed.  The Scrubber discipline one level up — adapt
+        traffic never starves stream service.  Returns op counts.
+        """
+        if self.policy is None or self.tracker is None:
+            return {"created": 0, "dropped": 0, "retargeted": 0}
+        self.tracker.advance_to(self.c.round_index)
+        gids = sorted(self.c._home)
+        ceiling = self.live_domain_count()
+        if not gids or ceiling < 1:
+            return {"created": 0, "dropped": 0, "retargeted": 0}
+        demands = self.tracker.demands(gids)
+        changed = self.policy.update(demands, ceiling, self.factor)
+        self._dirty.update(changed)
+        self._dirty.intersection_update(self.c._home)
+
+        before_created = self.copies_created
+        before_evicted = self.copies_dropped
+        before_lost = self.copies_lost
+        budget = self.policy.max_copy_ops_per_round
+
+        def ops_spent() -> int:
+            return (
+                (self.copies_created - before_created)
+                + (self.copies_dropped - before_evicted)
+                + (self.copies_lost - before_lost)
+            )
+
+        # Dirty objects, hottest first — the flash crowd's object gets
+        # its copies before anything else moves.
+        for gid in sorted(self._dirty, key=lambda g: (-demands[g], g)):
+            if ops_spent() >= budget:
+                break
+            self.repair(gid)
+            self._dirty.discard(gid)
+        # Remaining budget patrols the namespace (bounded walk, cursor
+        # wraps) to converge placement drift with no target change.
+        patrolled = 0
+        while ops_spent() < budget and patrolled < len(gids):
+            gid = gids[self._patrol_cursor % len(gids)]
+            self._patrol_cursor = (self._patrol_cursor + 1) % len(gids)
+            patrolled += 1
+            if gid not in self._dirty:
+                self.repair(gid)
+        report = {
+            "created": self.copies_created - before_created,
+            "dropped": (
+                (self.copies_dropped - before_evicted)
+                + (self.copies_lost - before_lost)
+            ),
+            "retargeted": len(changed),
+        }
+        if self.c.obs.enabled and (
+            report["created"] or report["dropped"] or report["retargeted"]
+        ):
+            self.c.obs.event("cluster.replica.adapt", **report)
+        return report
+
+    # -- persistence identity ------------------------------------------
+    def policy_payload(self) -> Optional[dict[str, Any]]:
+        """Manifest (v3) state: policy config + targets + tracker, or
+        ``None`` when no policy is attached."""
+        if self.policy is None or self.tracker is None:
+            return None
+        return {
+            "policy": self.policy.to_payload(),
+            "tracker": self.tracker.to_payload(),
+            "patrol_cursor": self._patrol_cursor,
+            "dirty": sorted(self._dirty),
+        }
+
+    def restore_policy(self, payload: Optional[dict[str, Any]]) -> None:
+        """Rebuild policy + tracker state from :meth:`policy_payload`."""
+        if payload is None:
+            self.policy = None
+            self.tracker = None
+            self._dirty = set()
+            self._patrol_cursor = 0
+            return
+        self.policy = ReplicationPolicy.from_payload(payload["policy"])
+        self.tracker = DemandTracker.from_payload(payload["tracker"])
+        self._patrol_cursor = payload["patrol_cursor"]
+        self._dirty = set(payload["dirty"])
 
 
 class ShardRebuilder:

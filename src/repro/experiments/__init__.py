@@ -31,6 +31,7 @@ module                paper artifact
 ``availability``      robustness: serving through disk death
 ``soak``              robustness: long-horizon lifecycle soak
 ``cluster_chaos``     robustness: shard rebalances under failure
+``flash_crowd``       popularity-aware replication vs uniform R
 ====================  ==========================================
 """
 
@@ -43,6 +44,7 @@ from repro.experiments import (
     cov_curve,
     fault_tolerance,
     fig1,
+    flash_crowd,
     generator_sensitivity,
     group_size,
     heterogeneous,
@@ -83,6 +85,7 @@ EXPERIMENTS = {
     "availability": availability,
     "soak": soak,
     "cluster-chaos": cluster_chaos,
+    "flash-crowd": flash_crowd,
 }
 
 __all__ = ["EXPERIMENTS"]

@@ -8,6 +8,7 @@
 
 from repro.workloads.arrivals import Arrival, ArrivalProcess
 from repro.workloads.generator import (
+    apportion_streams,
     lognormal_catalog,
     make_blocks,
     random_x0s,
@@ -32,6 +33,7 @@ from repro.workloads.schedules import (
 
 __all__ = [
     "Arrival",
+    "apportion_streams",
     "ArrivalProcess",
     "TraceEvent",
     "TracePlayer",

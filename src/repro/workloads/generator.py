@@ -90,3 +90,35 @@ def zipf_popularity(num_objects: int, exponent: float = 0.729) -> list[float]:
     ranks = np.arange(1, num_objects + 1, dtype=float)
     weights = ranks ** (-exponent)
     return list(weights / weights.sum())
+
+
+def apportion_streams(total: int, weights: list[float]) -> list[int]:
+    """Split ``total`` streams across objects proportionally to weights.
+
+    Largest-remainder (Hamilton) apportionment: every object gets the
+    floor of its exact share, the leftover streams go to the largest
+    fractional remainders (ties: lowest index), so the result is
+    deterministic, sums exactly to ``total``, and tracks the weight
+    distribution as closely as integers allow.  Pairs with
+    :func:`zipf_popularity` to turn access probabilities into a
+    concrete per-object stream census.
+    """
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total}")
+    if not weights:
+        raise ValueError("weights must be non-empty")
+    if any(w < 0 for w in weights):
+        raise ValueError("weights must be non-negative")
+    scale = sum(weights)
+    if scale <= 0:
+        raise ValueError("weights must sum to > 0")
+    exact = [total * w / scale for w in weights]
+    counts = [int(share) for share in exact]
+    leftover = total - sum(counts)
+    by_remainder = sorted(
+        range(len(weights)),
+        key=lambda i: (-(exact[i] - counts[i]), i),
+    )
+    for i in by_remainder[:leftover]:
+        counts[i] += 1
+    return counts

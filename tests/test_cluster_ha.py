@@ -31,6 +31,7 @@ from repro.cluster import (
     ClusterJournal,
     FailoverConfig,
     ObjectUnavailableError,
+    ReplicationError,
     ShardHealth,
     check_cluster,
     merged_deterministic_view,
@@ -207,6 +208,48 @@ class TestReplicaPlacement:
         domains = {coordinator.shard(s).domain for s in copies}
         assert len(domains) == 2
 
+    def test_repair_counts_dead_copies_lost_not_dropped(self):
+        # Regression: repair() used to book a dead shard's replica as
+        # an eviction (copies_dropped), hiding data loss behind the
+        # routine-trim counter.
+        coordinator = build_ha_cluster()
+        gid = 0
+        manager = coordinator.replication
+        victim = manager.replicas_of(gid)[0]
+        coordinator.kill_shard(victim)
+        dropped_before = manager.copies_dropped
+        lost_before = manager.copies_lost
+        manager.repair(gid)
+        assert manager.copies_lost == lost_before + 1
+        assert manager.copies_dropped == dropped_before
+        copies = manager.copies_of(gid)
+        assert len(copies) == 2
+        assert all(coordinator.health.is_live(s) for s in copies)
+
+    def test_voluntary_drop_counts_dropped_not_lost(self):
+        coordinator = build_ha_cluster()
+        gid = 0
+        manager = coordinator.replication
+        victim = manager.replicas_of(gid)[0]
+        dropped_before = manager.copies_dropped
+        lost_before = manager.copies_lost
+        manager.drop_replica(gid, victim)
+        assert manager.copies_dropped == dropped_before + 1
+        assert manager.copies_lost == lost_before
+
+    def test_double_drop_raises_typed_error(self):
+        # Regression: a double drop used to escape as a bare KeyError
+        # on the internal (gid, shard) bookkeeping tuple.
+        coordinator = build_ha_cluster()
+        gid = 0
+        victim = coordinator.replication.replicas_of(gid)[0]
+        coordinator.replication.drop_replica(gid, victim)
+        with pytest.raises(
+            ReplicationError,
+            match=f"object {gid} has no replica recorded on shard {victim}",
+        ):
+            coordinator.replication.drop_replica(gid, victim)
+
     def test_fsck_flags_domain_collision(self):
         coordinator = build_ha_cluster()
         gid = 0
@@ -300,6 +343,28 @@ class TestFailoverRouting:
         with pytest.raises(ObjectUnavailableError):
             coordinator.route_read(0)
         assert injector.read_errors == 2  # home + one replica, once each
+
+    def test_timeout_budget_is_route_wide(self):
+        # Regression: the budget used to reset per shard, so a long
+        # replica chain could wait copies x budget rounds.  One
+        # allowance now covers the whole failover path; once spent,
+        # each remaining copy gets exactly one backoff-free probe.
+        injector = ClusterFaultInjector(master_seed=3, read_error_rate=1.0)
+        coordinator = build_ha_cluster(
+            fault_injector=injector,
+            failover=FailoverConfig(
+                max_attempts=10,
+                base_backoff_rounds=1,
+                max_backoff_rounds=4,
+                timeout_budget_rounds=3,
+            ),
+        )
+        with pytest.raises(ObjectUnavailableError):
+            coordinator.route_read(0)
+        # Home: three attempts (backoffs 1 + 2 spend the budget, the
+        # third retry's charge of 4 overflows).  Replica: one probe,
+        # not a fresh budget's worth of ten attempts.
+        assert injector.read_errors == 4
 
     def test_unavailable_when_every_copy_dead(self):
         coordinator = build_ha_cluster(num_domains=4)

@@ -306,6 +306,20 @@ class TestClusterCLI:
         data = json.loads(manifest.read_text())
         assert len(data["shards"]) == 4
 
+    def test_create_with_copy_budget_attaches_policy(self, tmp_path, capsys):
+        manifest = tmp_path / "m.json"
+        assert self.run_cli(
+            "create", "--manifest", manifest,
+            "--shards", 4, "--objects", 6, "--blocks-per-object", 20,
+            "--domains", 2, "--copy-budget", 9,
+        ) == 0
+        assert "popularity: budget=9" in capsys.readouterr().out
+        assert self.run_cli("status", "--manifest", manifest) == 0
+        assert "budget=9 copies=6" in capsys.readouterr().out
+        restored = restore_cluster(json.loads(manifest.read_text()))
+        assert restored.replication.policy is not None
+        assert restored.replication.policy.copy_budget == 9
+
     def test_resume_completes_crashed_reshard(self, tmp_path, capsys):
         manifest = tmp_path / "m.json"
         journal = tmp_path / "c.journal"
@@ -353,7 +367,7 @@ class TestReplicationPersistence:
     def test_v2_round_trip_replica_map(self):
         coordinator = build_ha_cluster()
         manifest = snapshot_cluster(coordinator)
-        assert manifest["version"] == 2
+        assert manifest["version"] == 3
         assert manifest["replication_factor"] == 2
         assert manifest["num_domains"] == 2
         assert manifest["dead_shards"] == []

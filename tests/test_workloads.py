@@ -6,6 +6,7 @@ import pytest
 
 from repro.core.operations import ScalingOp
 from repro.workloads.generator import (
+    apportion_streams,
     lognormal_catalog,
     make_blocks,
     random_x0s,
@@ -87,6 +88,35 @@ class TestZipf:
             zipf_popularity(0)
         with pytest.raises(ValueError):
             zipf_popularity(5, exponent=-1)
+
+
+class TestApportionStreams:
+    def test_sums_exactly_to_total(self):
+        counts = apportion_streams(48, zipf_popularity(7))
+        assert sum(counts) == 48
+
+    def test_tracks_weights(self):
+        counts = apportion_streams(100, [3.0, 1.0])
+        assert counts == [75, 25]
+
+    def test_largest_remainders_win_leftovers(self):
+        # Exact shares 3.5 / 3.5 / 3.0: the one leftover stream goes to
+        # the largest remainder, ties broken by lowest index.
+        assert apportion_streams(10, [3.5, 3.5, 3.0]) == [4, 3, 3]
+
+    def test_zero_total_and_zero_weights(self):
+        assert apportion_streams(0, [1.0, 2.0]) == [0, 0]
+        assert apportion_streams(5, [0.0, 1.0]) == [0, 5]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            apportion_streams(-1, [1.0])
+        with pytest.raises(ValueError):
+            apportion_streams(3, [])
+        with pytest.raises(ValueError):
+            apportion_streams(3, [1.0, -0.5])
+        with pytest.raises(ValueError):
+            apportion_streams(3, [0.0, 0.0])
 
 
 class TestSchedules:
